@@ -1,0 +1,147 @@
+//! Criterion microbenchmarks for the simulator's core data structures:
+//! the event queue, caches, directory, PP toolchain, and handler
+//! execution. These measure *simulator* performance (host time), not the
+//! simulated machine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flash_engine::{Addr, Cycle, DetRng, EventQueue, NodeId};
+use flash_mem::{CacheGeometry, MagicCache, MemController, MemTiming};
+use flash_pp::{CodegenOptions, SchedOptions};
+use flash_protocol::dir::{dir_addr, Directory, DEFAULT_PS_CAPACITY};
+use flash_protocol::fields::aux;
+use flash_protocol::handlers::{compile, fields_of, MemEnv};
+use flash_protocol::msg::{InMsg, MsgType};
+use flash_protocol::{CostTable, ProtoMem};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(Cycle::new(i * 7 % 501), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum += e;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_caches(c: &mut Criterion) {
+    c.bench_function("l2_probe_hit", |b| {
+        let mut cache = flash_cpu::L2Cache::new(1 << 20);
+        cache.install(Addr::new(0x1000), flash_cpu::LineState::Shared);
+        b.iter(|| black_box(cache.probe(Addr::new(0x1000), false)))
+    });
+    c.bench_function("mdc_access_stream", |b| {
+        let mut mdc = MagicCache::new(CacheGeometry::mdc());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 8) % (1 << 20);
+            black_box(mdc.access(i, false))
+        })
+    });
+    c.bench_function("mem_controller_request", |b| {
+        let mut mc = MemController::new(MemTiming::default(), Some(1));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 40;
+            black_box(mc.request(Cycle::new(t)))
+        })
+    });
+}
+
+fn bench_directory(c: &mut Criterion) {
+    c.bench_function("directory_alloc_free", |b| {
+        let mut mem = ProtoMem::new();
+        Directory::init_free_list(&mut mem, DEFAULT_PS_CAPACITY);
+        b.iter(|| {
+            let mut d = Directory::new(&mut mem);
+            let e = d.alloc_entry().unwrap();
+            d.free_entry(e);
+            black_box(e)
+        })
+    });
+}
+
+fn bench_pp_toolchain(c: &mut Criterion) {
+    c.bench_function("assemble_and_schedule_protocol", |b| {
+        b.iter(|| black_box(compile(CodegenOptions::magic()).unwrap()))
+    });
+    c.bench_function("schedule_only", |b| {
+        let src = format!(
+            "{}\n{}",
+            flash_protocol::fields::asm_prologue(),
+            flash_protocol::handlers::SOURCE
+        );
+        let module = flash_pp::asm::assemble(&src).unwrap();
+        b.iter(|| black_box(flash_pp::sched::schedule(&module, SchedOptions::magic())))
+    });
+}
+
+fn read_miss_msg() -> InMsg {
+    // requester == home: the handler path is idempotent (sets the LOCAL
+    // bit), so millions of bench iterations do not grow directory state.
+    let a = Addr::new(0x2000);
+    InMsg {
+        mtype: MsgType::NGet,
+        src: NodeId(0),
+        addr: a,
+        aux: aux::pack(NodeId(0), MsgType::NGet, NodeId(0)),
+        spec: true,
+        self_node: NodeId(0),
+        home: NodeId(0),
+        diraddr: dir_addr(a),
+        with_data: false,
+    }
+}
+
+fn bench_handlers(c: &mut Criterion) {
+    let program = compile(CodegenOptions::magic()).unwrap();
+    let entry = program.entry("ni_get").unwrap();
+    c.bench_function("emulated_ni_get_handler", |b| {
+        let mut mem = ProtoMem::new();
+        Directory::init_free_list(&mut mem, DEFAULT_PS_CAPACITY);
+        let msg = read_miss_msg();
+        let fields = fields_of(&msg);
+        b.iter(|| {
+            let mut env = MemEnv {
+                mem: &mut mem,
+                fields,
+            };
+            black_box(flash_pp::emu::run(&program, entry, &mut env, 100_000).unwrap())
+        })
+    });
+    c.bench_function("native_ni_get_handler", |b| {
+        let mut mem = ProtoMem::new();
+        Directory::init_free_list(&mut mem, DEFAULT_PS_CAPACITY);
+        let msg = read_miss_msg();
+        let costs = CostTable::paper();
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            black_box(flash_protocol::native::handle(&msg, &mut mem, &costs, &mut out))
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("det_rng_below", |b| {
+        let mut r = DetRng::for_stream(1, 2);
+        b.iter(|| black_box(r.below(1000)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue,
+    bench_caches,
+    bench_directory,
+    bench_pp_toolchain,
+    bench_handlers,
+    bench_rng
+);
+criterion_main!(benches);

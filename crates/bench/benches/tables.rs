@@ -1,0 +1,96 @@
+//! End-to-end table-regeneration benchmarks: each benchmark runs the
+//! simulation behind one of the paper's tables/figures at reduced scale,
+//! so `cargo bench` both regenerates the result shapes and tracks the
+//! simulator's own performance on them. Full-size reproductions come from
+//! the `src/bin/` binaries (`FLASH_FULL=1 cargo run --bin repro_all`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flash::{ControllerKind, MachineConfig};
+use flash_bench::{measure_latency_table, MissClass};
+use flash_workloads::{by_name, run_workload};
+
+const PROCS: u16 = 4;
+const SCALE: u32 = 32;
+
+fn bench_table_3_3(c: &mut Criterion) {
+    // The no-contention latency measurement behind Table 3.3.
+    c.bench_function("table_3_3_latency_measurement", |b| {
+        b.iter(|| black_box(flash_bench::measure_class(ControllerKind::FlashEmulated, MissClass::RemoteClean)))
+    });
+    // Verify the full table once per bench run.
+    let t = measure_latency_table(ControllerKind::FlashEmulated);
+    assert!(t.remote_clean > t.local_clean);
+}
+
+fn bench_fig_4_1(c: &mut Criterion) {
+    // One FLASH-vs-ideal pair per representative app (the figure's bars).
+    let mut g = c.benchmark_group("fig_4_1");
+    g.sample_size(10);
+    for app in ["FFT", "Radix"] {
+        g.bench_function(format!("{app}_flash"), |b| {
+            b.iter(|| {
+                let w = by_name(app, PROCS, SCALE);
+                black_box(run_workload(&MachineConfig::flash(PROCS), w.as_ref()).exec_cycles)
+            })
+        });
+        g.bench_function(format!("{app}_ideal"), |b| {
+            b.iter(|| {
+                let w = by_name(app, PROCS, SCALE);
+                black_box(run_workload(&MachineConfig::ideal(PROCS), w.as_ref()).exec_cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_table_4_2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_4_2_small_caches");
+    g.sample_size(10);
+    for cache in [64u64 << 10, 4 << 10] {
+        g.bench_function(format!("fft_{}k", cache >> 10), |b| {
+            b.iter(|| {
+                let w = by_name("FFT", PROCS, SCALE);
+                black_box(
+                    run_workload(&MachineConfig::flash(PROCS).with_cache_bytes(cache), w.as_ref()).miss_rate,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_table_5_1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_5_1_speculation");
+    g.sample_size(10);
+    for (name, spec) in [("spec_on", true), ("spec_off", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let w = by_name("FFT", PROCS, SCALE);
+                black_box(
+                    run_workload(&MachineConfig::flash(PROCS).with_speculation(spec), w.as_ref()).exec_cycles,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sec_5_3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec_5_3_pp_extensions");
+    g.sample_size(10);
+    g.bench_function("deoptimized_pp", |b| {
+        b.iter(|| {
+            let w = by_name("FFT", PROCS, SCALE);
+            let cfg = MachineConfig::flash(PROCS).with_codegen(flash_pp::CodegenOptions::deoptimized());
+            black_box(run_workload(&cfg, w.as_ref()).exec_cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table_3_3, bench_fig_4_1, bench_table_4_2, bench_table_5_1, bench_sec_5_3
+);
+criterion_main!(tables);

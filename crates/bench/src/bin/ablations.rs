@@ -1,0 +1,4 @@
+//! Sensitivity ablations of the simulator's design choices.
+fn main() {
+    flash_bench::tables::ablations();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig_4_3 artifact. See `flash_bench::tables`.
+fn main() {
+    flash_bench::tables::fig_4_3();
+}

@@ -1,0 +1,23 @@
+//! Regenerates every table and figure in the paper's evaluation in one
+//! run. Set `FLASH_FULL=1` for the paper's problem sizes.
+use flash_bench::tables as t;
+
+fn main() {
+    t::table_3_2();
+    t::table_3_3();
+    t::table_3_4();
+    t::fig_4_1();
+    t::table_4_1();
+    t::fig_4_2();
+    t::fig_4_3();
+    t::table_4_2();
+    t::sec_4_3_hotspot();
+    t::sec_4_5_scale64();
+    t::table_5_1();
+    t::sec_5_2_mdc();
+    t::table_5_2();
+    t::table_5_3();
+    t::sec_5_3_ppext();
+    t::ablations();
+    t::flexibility_note();
+}

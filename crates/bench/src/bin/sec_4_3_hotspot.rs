@@ -1,0 +1,4 @@
+//! Regenerates the paper's sec_4_3_hotspot artifact. See `flash_bench::tables`.
+fn main() {
+    flash_bench::tables::sec_4_3_hotspot();
+}

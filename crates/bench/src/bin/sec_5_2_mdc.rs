@@ -1,0 +1,4 @@
+//! Regenerates the paper's sec_5_2_mdc artifact. See `flash_bench::tables`.
+fn main() {
+    flash_bench::tables::sec_5_2_mdc();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table_3_4 artifact. See `flash_bench::tables`.
+fn main() {
+    flash_bench::tables::table_3_4();
+}

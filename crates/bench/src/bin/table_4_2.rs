@@ -1,0 +1,4 @@
+//! Regenerates the paper's table_4_2 artifact. See `flash_bench::tables`.
+fn main() {
+    flash_bench::tables::table_4_2();
+}

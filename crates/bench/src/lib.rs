@@ -1,0 +1,276 @@
+//! Shared experiment drivers for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation; this library holds the common machinery: scale
+//! selection, the Table 3.3 latency measurement harness, and the standard
+//! application suite runner.
+//!
+//! Scale control: the binaries default to reduced problem sizes
+//! (`scale = 4`) so the whole suite regenerates in seconds. Set
+//! `FLASH_FULL=1` for the paper's Table 3.5 sizes, or `FLASH_SCALE=n`
+//! for a specific divisor.
+
+pub mod tables;
+
+use flash::config::node_addr;
+use flash::{ControllerKind, LatencyTable, Machine, MachineConfig, MachineReport, RunResult};
+use flash_cpu::{RefStream, SliceStream, WorkItem};
+use flash_engine::NodeId;
+use flash_workloads::{by_name, run_workload, Workload};
+
+/// Problem-size divisor selected by environment variables.
+pub fn scale() -> u32 {
+    if std::env::var("FLASH_FULL").is_ok_and(|v| v == "1") {
+        return 1;
+    }
+    std::env::var("FLASH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Processor count for the parallel applications (paper: 16).
+pub fn parallel_procs() -> u16 {
+    std::env::var("FLASH_PROCS").ok().and_then(|v| v.parse().ok()).unwrap_or(16)
+}
+
+/// Processor count for the OS workload (paper: 8).
+pub fn os_procs() -> u16 {
+    parallel_procs().min(8)
+}
+
+/// The applications run at each cache size (paper §3.4: LU and OS are not
+/// simulated at the small sizes, Barnes not at 4 KB; Ocean uses 16 KB in
+/// place of 4 KB).
+pub fn apps_at(cache_bytes: u64) -> Vec<&'static str> {
+    match cache_bytes {
+        b if b >= (1 << 20) => vec!["Barnes", "FFT", "LU", "MP3D", "Ocean", "Radix"],
+        b if b >= (64 << 10) => vec!["Barnes", "FFT", "MP3D", "Ocean", "Radix"],
+        _ => vec!["FFT", "MP3D", "Ocean", "Radix"],
+    }
+}
+
+/// Effective cache size for an app at the "4 KB" level (Ocean: 16 KB,
+/// paper footnote 2).
+pub fn small_cache_for(app: &str, cache_bytes: u64) -> u64 {
+    if app == "Ocean" && cache_bytes < (16 << 10) {
+        16 << 10
+    } else {
+        cache_bytes
+    }
+}
+
+/// Builds the named workload at the current scale.
+pub fn workload(app: &str) -> Box<dyn Workload> {
+    let procs = if app == "OS" { os_procs() } else { parallel_procs() };
+    by_name(app, procs, scale())
+}
+
+/// Runs one app on one controller kind at a cache size.
+pub fn run_app(app: &str, kind: ControllerKind, cache_bytes: u64) -> MachineReport {
+    let w = workload(app);
+    let cfg = base_cfg(kind, w.procs()).with_cache_bytes(small_cache_for(app, cache_bytes));
+    run_workload(&cfg, w.as_ref())
+}
+
+/// Standard configuration for a controller kind.
+pub fn base_cfg(kind: ControllerKind, procs: u16) -> MachineConfig {
+    match kind {
+        ControllerKind::FlashEmulated => MachineConfig::flash(procs),
+        ControllerKind::FlashCostTable => MachineConfig::flash_cost_table(procs),
+        ControllerKind::Ideal => MachineConfig::ideal(procs),
+    }
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+// ====================================================================
+// Table 3.3 measurement harness
+// ====================================================================
+
+/// One read-miss class scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissClass {
+    /// Local read, clean at home.
+    LocalClean,
+    /// Local read, dirty in a remote cache.
+    LocalDirtyRemote,
+    /// Remote read, clean at home.
+    RemoteClean,
+    /// Remote read, dirty in the home node's cache.
+    RemoteDirtyHome,
+    /// Remote read, dirty in a third node's cache.
+    RemoteDirtyRemote,
+}
+
+impl MissClass {
+    /// All classes in Table 3.3 order.
+    pub const ALL: [MissClass; 5] = [
+        MissClass::LocalClean,
+        MissClass::LocalDirtyRemote,
+        MissClass::RemoteClean,
+        MissClass::RemoteDirtyHome,
+        MissClass::RemoteDirtyRemote,
+    ];
+
+    /// Table 3.3 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MissClass::LocalClean => "Local read miss, clean in local memory",
+            MissClass::LocalDirtyRemote => "Local read miss, dirty in remote cache",
+            MissClass::RemoteClean => "Remote read miss, clean in home memory",
+            MissClass::RemoteDirtyHome => "Remote read miss, dirty in home cache",
+            MissClass::RemoteDirtyRemote => "Remote read miss, dirty in 3rd node",
+        }
+    }
+
+    /// `(home, writer)` for the measured line, from the reader's (node 0)
+    /// perspective. `writer == home` means the home's own processor
+    /// dirties it; `None` leaves the line clean.
+    fn roles(self) -> (u16, Option<u16>) {
+        match self {
+            MissClass::LocalClean => (0, None),
+            MissClass::LocalDirtyRemote => (0, Some(1)),
+            MissClass::RemoteClean => (1, None),
+            MissClass::RemoteDirtyHome => (1, Some(1)),
+            MissClass::RemoteDirtyRemote => (1, Some(2)),
+        }
+    }
+}
+
+/// Measures the no-contention read-miss latency of one class on a 3-node
+/// machine, isolating warm-path latency by differencing against a warm-up
+/// transaction of the same class on an adjacent line (same MDC header
+/// line, same handlers).
+pub fn measure_class(kind: ControllerKind, class: MissClass) -> f64 {
+    let (home, writer) = class.roles();
+    let line_a = node_addr(NodeId(home), 0x2000);
+    let line_b = node_addr(NodeId(home), 0x2080); // adjacent: shares the MDC line
+    let reader_items = |measured: bool| {
+        let mut v = Vec::new();
+        v.push(WorkItem::Barrier); // writers dirty the lines first
+        v.push(WorkItem::Read(line_b)); // warm-up transaction
+        v.push(WorkItem::Busy(4000));
+        if measured {
+            v.push(WorkItem::Read(line_a));
+        }
+        v
+    };
+    let writer_items = || {
+        let mut v = Vec::new();
+        if let Some(_w) = writer {
+            v.push(WorkItem::Write(line_b));
+            v.push(WorkItem::Write(line_a));
+        }
+        v.push(WorkItem::Barrier);
+        v.push(WorkItem::Busy(4));
+        v
+    };
+    let run = |measured: bool| {
+        let mut cfg = base_cfg(kind, 3);
+        // Pin the paper's 16-node average network transit for
+        // comparability with Table 3.3.
+        cfg.net.transit_override = Some(22);
+        let streams: Vec<Box<dyn RefStream>> = (0..3u16)
+            .map(|n| {
+                let items = if n == 0 {
+                    reader_items(measured)
+                } else if Some(n) == writer {
+                    writer_items()
+                } else {
+                    vec![WorkItem::Barrier, WorkItem::Busy(4)]
+                };
+                Box::new(SliceStream::new(items)) as Box<dyn RefStream>
+            })
+            .collect();
+        let mut m = Machine::new(cfg, streams);
+        let RunResult::Completed { .. } = m.run(10_000_000) else {
+            panic!("latency scenario stuck for {class:?}");
+        };
+        m.procs()[0].stats().read_stall_q as f64 / 4.0
+    };
+    run(true) - run(false)
+}
+
+/// Measures the full Table 3.3 latency column for a controller kind.
+pub fn measure_latency_table(kind: ControllerKind) -> LatencyTable {
+    LatencyTable {
+        local_clean: measure_class(kind, MissClass::LocalClean),
+        local_dirty_remote: measure_class(kind, MissClass::LocalDirtyRemote),
+        remote_clean: measure_class(kind, MissClass::RemoteClean),
+        remote_dirty_home: measure_class(kind, MissClass::RemoteDirtyHome),
+        remote_dirty_remote: measure_class(kind, MissClass::RemoteDirtyRemote),
+    }
+}
+
+/// Uniprocessor radix stressing the MDC: a large data set streamed with a
+/// stride wide enough to defeat the MDC's 2 KB-per-line reach (paper
+/// §5.2's 16 MB, radix-2048 experiment).
+pub fn mdc_stress_stream(data_mb: u64, scale: u32) -> Vec<Box<dyn RefStream>> {
+    let lines = (data_mb << 20) / 128 / scale as u64;
+    let buckets = 2048u64;
+    let mut items = Vec::new();
+    // Sequential histogram read of the keys.
+    let mut l = 0;
+    while l < lines {
+        items.push(WorkItem::Busy(8));
+        items.push(WorkItem::Read(node_addr(NodeId(0), l * 128)));
+        l += 1;
+    }
+    // Permutation writes with bucket stride > MDC reach.
+    let region = node_addr(NodeId(0), lines * 128 + 4096);
+    let mut rng = flash_engine::DetRng::for_stream(0x5d2, 0);
+    for _ in 0..lines {
+        items.push(WorkItem::Busy(10));
+        let b = rng.below(buckets);
+        let o = rng.below((lines / buckets).max(1));
+        items.push(WorkItem::Write(region.offset((b * (lines / buckets).max(1) + o) * 128)));
+    }
+    vec![Box::new(SliceStream::new(items))]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_table_close_to_paper_flash() {
+        let measured = measure_latency_table(ControllerKind::FlashEmulated);
+        let paper = LatencyTable::paper_flash();
+        for (m, p) in measured.as_array().iter().zip(paper.as_array()) {
+            let rel = (m - p).abs() / p;
+            assert!(rel < 0.25, "measured {m:.0} vs paper {p:.0} ({:.0}% off)", rel * 100.0);
+        }
+    }
+
+    #[test]
+    fn latency_table_close_to_paper_ideal() {
+        let measured = measure_latency_table(ControllerKind::Ideal);
+        let paper = LatencyTable::paper_ideal();
+        for (m, p) in measured.as_array().iter().zip(paper.as_array()) {
+            let rel = (m - p).abs() / p;
+            assert!(rel < 0.25, "measured {m:.0} vs paper {p:.0} ({:.0}% off)", rel * 100.0);
+        }
+    }
+
+    #[test]
+    fn flash_latencies_exceed_ideal_per_class() {
+        let f = measure_latency_table(ControllerKind::FlashEmulated);
+        let i = measure_latency_table(ControllerKind::Ideal);
+        for (a, b) in f.as_array().iter().zip(i.as_array()) {
+            assert!(a > &b, "FLASH {a:.0} vs ideal {b:.0}");
+        }
+    }
+
+    #[test]
+    fn apps_at_matches_paper_footnotes() {
+        assert_eq!(apps_at(1 << 20).len(), 6);
+        assert!(!apps_at(64 << 10).contains(&"LU"));
+        assert!(!apps_at(4 << 10).contains(&"Barnes"));
+        assert_eq!(small_cache_for("Ocean", 4 << 10), 16 << 10);
+        assert_eq!(small_cache_for("FFT", 4 << 10), 4 << 10);
+    }
+}

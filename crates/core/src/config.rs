@@ -1,0 +1,234 @@
+//! Machine configuration.
+//!
+//! Defaults reproduce the paper's §3.2 common characteristics: 400-MIPS
+//! processors, 1 MB two-way processor caches with 4 MSHRs, 128-byte lines,
+//! 14-cycle memory, the 16-node mesh's 22-cycle average network transit,
+//! and the MAGIC sub-operation latencies of Table 3.2.
+
+use flash_engine::{Addr, NodeId};
+use flash_magic::ControllerKind;
+use flash_mem::MemTiming;
+use flash_net::NetConfig;
+use flash_pp::CodegenOptions;
+
+/// How physical pages map to home nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// The workload encodes the home node in address bits 32..48 —
+    /// explicit data placement, as tuned parallel applications do.
+    Explicit,
+    /// Pages are allocated round-robin across node memories (the paper's
+    /// OS workload policy, §3.4).
+    RoundRobinPages {
+        /// Page size in bytes.
+        page_bytes: u64,
+    },
+    /// Every page lives on node 0 — the §4.3 hot-spot configurations
+    /// ("allocated all of its memory from node zero"; the original IRIX
+    /// port that "fills the memory of one node before going on").
+    FirstNode,
+}
+
+impl Placement {
+    /// Home node of an address under this policy.
+    pub fn home_of(&self, addr: Addr, nodes: u16) -> NodeId {
+        match *self {
+            Placement::Explicit => NodeId(((addr.raw() >> 32) as u16) % nodes),
+            Placement::RoundRobinPages { page_bytes } => {
+                NodeId(((addr.raw() / page_bytes) % nodes as u64) as u16)
+            }
+            Placement::FirstNode => NodeId(0),
+        }
+    }
+}
+
+/// Helper for [`Placement::Explicit`] address construction: byte `offset`
+/// within `node`'s memory.
+///
+/// # Examples
+///
+/// ```
+/// use flash::config::{node_addr, Placement};
+/// use flash_engine::NodeId;
+///
+/// let a = node_addr(NodeId(3), 0x100);
+/// assert_eq!(Placement::Explicit.home_of(a, 16), NodeId(3));
+/// ```
+pub fn node_addr(node: NodeId, offset: u64) -> Addr {
+    debug_assert!(offset < 1 << 32, "offset overflows the node field");
+    Addr::new(((node.0 as u64) << 32) | offset)
+}
+
+/// Fixed path latencies outside the MAGIC chip, in cycles (Table 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathLatencies {
+    /// Miss detect to request on bus.
+    pub miss_to_bus: u64,
+    /// Bus transit.
+    pub bus: u64,
+    /// PI inbound processing.
+    pub pi_in: u64,
+    /// NI inbound processing.
+    pub ni_in: u64,
+    /// Retrieve state from the processor cache (state-only intervention).
+    pub cache_state: u64,
+    /// Retrieve the first double word of data from the processor cache.
+    pub cache_data: u64,
+    /// Processor bus retry delay after a NACK.
+    pub retry: u64,
+    /// Simulation-level lock hand-off time.
+    pub lock_grant: u64,
+}
+
+impl Default for PathLatencies {
+    fn default() -> Self {
+        PathLatencies {
+            miss_to_bus: 5,
+            bus: 1,
+            pi_in: 1,
+            ni_in: 8,
+            cache_state: 15,
+            cache_data: 20,
+            retry: 4,
+            lock_grant: 2,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of nodes (= processors).
+    pub nodes: u16,
+    /// Controller kind: detailed FLASH, table-driven FLASH, or ideal.
+    pub controller: ControllerKind,
+    /// Processor cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Outstanding-miss registers per processor.
+    pub mshrs: usize,
+    /// Inbox speculative memory initiation (paper Table 5.1 knob).
+    pub speculation: bool,
+    /// PP code generation (paper §5.3 knob).
+    pub codegen: CodegenOptions,
+    /// Model the MDC (disable for the §5.2 no-penalty counterfactual).
+    pub mdc_enabled: bool,
+    /// Run the monitoring protocol variant: request handlers count
+    /// accesses per line in protocol memory (a flexibility showcase with
+    /// measurable PP overhead).
+    pub monitoring: bool,
+    /// Page-placement policy.
+    pub placement: Placement,
+    /// DRAM timing.
+    pub mem_timing: MemTiming,
+    /// Network parameters.
+    pub net: NetConfig,
+    /// Off-chip path latencies.
+    pub lat: PathLatencies,
+}
+
+impl MachineConfig {
+    /// The detailed FLASH machine at `nodes` nodes.
+    pub fn flash(nodes: u16) -> Self {
+        MachineConfig {
+            nodes,
+            controller: ControllerKind::FlashEmulated,
+            cache_bytes: 1 << 20,
+            mshrs: 4,
+            speculation: true,
+            codegen: CodegenOptions::magic(),
+            mdc_enabled: true,
+            monitoring: false,
+            placement: Placement::Explicit,
+            mem_timing: MemTiming::default(),
+            net: NetConfig::default(),
+            lat: PathLatencies::default(),
+        }
+    }
+
+    /// The idealized hardwired machine at `nodes` nodes.
+    pub fn ideal(nodes: u16) -> Self {
+        MachineConfig {
+            controller: ControllerKind::Ideal,
+            ..Self::flash(nodes)
+        }
+    }
+
+    /// The fast table-driven FLASH machine at `nodes` nodes.
+    pub fn flash_cost_table(nodes: u16) -> Self {
+        MachineConfig {
+            controller: ControllerKind::FlashCostTable,
+            ..Self::flash(nodes)
+        }
+    }
+
+    /// Returns the config with a different processor cache size.
+    pub fn with_cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Returns the config with speculation enabled or disabled.
+    pub fn with_speculation(mut self, on: bool) -> Self {
+        self.speculation = on;
+        self
+    }
+
+    /// Returns the config with a placement policy.
+    pub fn with_placement(mut self, p: Placement) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Returns the config with PP code-generation options.
+    pub fn with_codegen(mut self, c: CodegenOptions) -> Self {
+        self.codegen = c;
+        self
+    }
+
+    /// Returns the config with the MDC model enabled or disabled.
+    pub fn with_mdc(mut self, on: bool) -> Self {
+        self.mdc_enabled = on;
+        self
+    }
+
+    /// Returns the config with the monitoring protocol variant enabled.
+    pub fn with_monitoring(mut self, on: bool) -> Self {
+        self.monitoring = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_policies() {
+        let rr = Placement::RoundRobinPages { page_bytes: 4096 };
+        assert_eq!(rr.home_of(Addr::new(0), 16), NodeId(0));
+        assert_eq!(rr.home_of(Addr::new(4096), 16), NodeId(1));
+        assert_eq!(rr.home_of(Addr::new(16 * 4096), 16), NodeId(0));
+        assert_eq!(Placement::FirstNode.home_of(Addr::new(1 << 40), 16), NodeId(0));
+        assert_eq!(
+            Placement::Explicit.home_of(node_addr(NodeId(7), 123), 16),
+            NodeId(7)
+        );
+        // Node field wraps at the machine size.
+        assert_eq!(
+            Placement::Explicit.home_of(node_addr(NodeId(17), 0), 16),
+            NodeId(1)
+        );
+    }
+
+    #[test]
+    fn presets() {
+        let f = MachineConfig::flash(16);
+        assert_eq!(f.controller, ControllerKind::FlashEmulated);
+        assert_eq!(f.cache_bytes, 1 << 20);
+        let i = MachineConfig::ideal(16);
+        assert_eq!(i.controller, ControllerKind::Ideal);
+        let c = MachineConfig::flash(16).with_cache_bytes(4 << 10).with_speculation(false);
+        assert_eq!(c.cache_bytes, 4 << 10);
+        assert!(!c.speculation);
+    }
+}

@@ -1,0 +1,769 @@
+//! The machine: nodes, network, and the event loop (the FlashLite role).
+
+use crate::config::MachineConfig;
+use flash_cpu::{CpuOut, Processor, RefStream, RunOutcome};
+use flash_engine::{Addr, Cycle, EventQueue, NodeId};
+use flash_magic::{ControllerKind, Emission, MagicChip};
+use flash_net::{Mesh, NetModel};
+use flash_protocol::fields::aux;
+use flash_protocol::{dir_addr, InMsg, JumpTable, Msg, MsgType, ProcMsg};
+use std::collections::{HashMap, VecDeque};
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Resume a processor's reference stream.
+    ProcRun(u16),
+    /// A message is ready at a node's inbox (inbound latency paid).
+    MagicIn { node: u16, wire: Wire },
+    /// MAGIC delivers a message to its local processor.
+    ProcDeliver { node: u16, pm: ProcMsg, tries: u32 },
+}
+
+/// A message on the wire (or on a node's internal buses).
+#[derive(Debug, Clone, Copy)]
+struct Wire {
+    mtype: MsgType,
+    src: NodeId,
+    addr: Addr,
+    aux: u64,
+    with_data: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Park {
+    Scheduled,
+    WaitReply,
+    WaitSync,
+    Done,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    held: bool,
+    waiters: VecDeque<(u16, Cycle)>,
+}
+
+/// Why [`Machine::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunResult {
+    /// Every processor finished its stream.
+    Completed {
+        /// Latest processor finish time = application execution time.
+        exec_cycles: u64,
+    },
+    /// The cycle budget was exhausted first.
+    BudgetExhausted,
+    /// The event queue drained with processors still unfinished — a
+    /// protocol or workload deadlock (e.g. unbalanced barriers).
+    Deadlocked {
+        /// Number of processors that never finished.
+        stuck: usize,
+    },
+}
+
+/// A full machine instance: processors, MAGIC chips, memory, network.
+pub struct Machine {
+    cfg: MachineConfig,
+    procs: Vec<Processor>,
+    chips: Vec<MagicChip>,
+    net: NetModel,
+    events: EventQueue<Ev>,
+    now: Cycle,
+    parked: Vec<Park>,
+    barrier_waiters: Vec<(u16, Cycle)>,
+    locks: HashMap<u32, LockState>,
+    done: usize,
+    finish: Vec<Cycle>,
+    interv_deferrals: u64,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("nodes", &self.cfg.nodes)
+            .field("now", &self.now)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+/// Deferrals allowed for one intervention while the target's in-flight
+/// grant lands (16 cycles apart). Beyond this the transaction is assumed
+/// to be a request/forward cycle: the intervention reports a miss (the
+/// home abandons the pending transaction) and the target's eventual grant
+/// is poisoned so no stale copy is cached.
+const MAX_INTERV_DEFERRALS: u32 = 64;
+
+/// Line address to trace (set `FLASH_TRACE_ADDR=0x...` to dump every
+/// message touching that 128-byte line to stderr).
+fn trace_addr() -> Option<u64> {
+    static TRACE: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    *TRACE.get_or_init(|| {
+        std::env::var("FLASH_TRACE_ADDR")
+            .ok()
+            .and_then(|t| u64::from_str_radix(t.trim_start_matches("0x"), 16).ok())
+            .map(|a| a & !127)
+    })
+}
+
+impl Machine {
+    /// Builds a machine running one reference stream per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams.len() != cfg.nodes`.
+    pub fn new(cfg: MachineConfig, streams: Vec<Box<dyn RefStream>>) -> Self {
+        assert_eq!(streams.len(), cfg.nodes as usize, "one stream per node");
+        let program = match (cfg.controller, cfg.monitoring) {
+            (ControllerKind::FlashEmulated, false) => Some(MagicChip::default_program(cfg.codegen)),
+            (ControllerKind::FlashEmulated, true) => Some(std::rc::Rc::new(
+                flash_protocol::handlers::compile_monitoring(cfg.codegen)
+                    .expect("monitoring protocol assembles"),
+            )),
+            _ => None,
+        };
+        let jump = if cfg.monitoring && cfg.controller == ControllerKind::FlashEmulated {
+            JumpTable::dpa_with_monitoring()
+        } else {
+            JumpTable::dpa_protocol()
+        };
+        let chips = (0..cfg.nodes)
+            .map(|i| {
+                MagicChip::new(
+                    cfg.controller,
+                    NodeId(i),
+                    program.clone(),
+                    jump.clone(),
+                    cfg.mem_timing,
+                    cfg.speculation,
+                    cfg.mdc_enabled,
+                )
+            })
+            .collect();
+        let procs: Vec<Processor> = streams
+            .into_iter()
+            .map(|s| Processor::new(cfg.cache_bytes, cfg.mshrs, s))
+            .collect();
+        let net = NetModel::new(Mesh::for_nodes(cfg.nodes), cfg.net);
+        let mut events = EventQueue::new();
+        for i in 0..cfg.nodes {
+            events.push(Cycle::ZERO, Ev::ProcRun(i));
+        }
+        let n = cfg.nodes as usize;
+        Machine {
+            cfg,
+            procs,
+            chips,
+            net,
+            events,
+            now: Cycle::ZERO,
+            parked: vec![Park::Scheduled; n],
+            barrier_waiters: Vec::new(),
+            locks: HashMap::new(),
+            done: 0,
+            finish: vec![Cycle::ZERO; n],
+            interv_deferrals: 0,
+        }
+    }
+
+    /// Schedules a DMA write into `node`'s memory at time `at` (the OS
+    /// workload's zero-latency disk, paper §3.4).
+    pub fn add_dma_write(&mut self, at: Cycle, node: NodeId, addr: Addr) {
+        self.events.push(
+            at,
+            Ev::MagicIn {
+                node: node.0,
+                wire: Wire {
+                    mtype: MsgType::IoDmaWrite,
+                    src: node,
+                    addr: addr.line(),
+                    aux: 0,
+                    with_data: true,
+                },
+            },
+        );
+    }
+
+    /// Runs until every processor finishes or `budget_cycles` elapse.
+    pub fn run(&mut self, budget_cycles: u64) -> RunResult {
+        while let Some((t, ev)) = self.events.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            if t.raw() > budget_cycles {
+                return RunResult::BudgetExhausted;
+            }
+            match ev {
+                Ev::ProcRun(n) => self.ev_proc_run(n),
+                Ev::MagicIn { node, wire } => self.ev_magic_in(node, wire),
+                Ev::ProcDeliver { node, pm, tries } => self.ev_proc_deliver(node, pm, tries),
+            }
+            if self.done == self.procs.len() && self.events.is_empty() {
+                break;
+            }
+        }
+        if self.done < self.procs.len() {
+            return RunResult::Deadlocked {
+                stuck: self.procs.len() - self.done,
+            };
+        }
+        RunResult::Completed {
+            exec_cycles: self.exec_cycles(),
+        }
+    }
+
+    /// Latest processor finish time.
+    pub fn exec_cycles(&self) -> u64 {
+        self.finish.iter().map(|c| c.raw()).max().unwrap_or(0)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The machine's processors (stats inspection).
+    pub fn procs(&self) -> &[Processor] {
+        &self.procs
+    }
+
+    /// The machine's MAGIC chips (stats inspection).
+    pub fn chips(&self) -> &[MagicChip] {
+        &self.chips
+    }
+
+    /// The network model (stats inspection).
+    pub fn network(&self) -> &NetModel {
+        &self.net
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Interventions that had to be deferred waiting for in-flight data.
+    pub fn interv_deferrals(&self) -> u64 {
+        self.interv_deferrals
+    }
+
+    // ---- event handlers --------------------------------------------------
+
+    fn ev_proc_run(&mut self, n: u16) {
+        let i = n as usize;
+        if self.parked[i] != Park::Scheduled {
+            return; // stale wakeup
+        }
+        let mut outs = Vec::new();
+        let outcome = self.procs[i].run(self.now, &mut outs);
+        self.post_cpu_outs(n, &outs);
+        match outcome {
+            RunOutcome::BlockedRead | RunOutcome::BlockedWrite => {
+                self.parked[i] = Park::WaitReply;
+            }
+            RunOutcome::Barrier => {
+                // Processors run ahead of the event clock; synchronization
+                // uses each processor's own arrival time.
+                let pt = self.procs[i].now().max(self.now);
+                self.parked[i] = Park::WaitSync;
+                self.barrier_waiters.push((n, pt));
+                self.maybe_release_barrier();
+            }
+            RunOutcome::Lock(id) => {
+                let pt = self.procs[i].now().max(self.now);
+                let grant = self.cfg.lat.lock_grant;
+                let lock = self.locks.entry(id).or_default();
+                if lock.held {
+                    lock.waiters.push_back((n, pt));
+                    self.parked[i] = Park::WaitSync;
+                } else {
+                    lock.held = true;
+                    self.schedule_run(n, pt + grant);
+                }
+            }
+            RunOutcome::Unlock(id) => {
+                let pt = self.procs[i].now().max(self.now);
+                let grant = self.cfg.lat.lock_grant;
+                let next = {
+                    let lock = self.locks.entry(id).or_default();
+                    match lock.waiters.pop_front() {
+                        Some(w) => Some(w),
+                        None => {
+                            lock.held = false;
+                            None
+                        }
+                    }
+                };
+                if let Some((w, wt)) = next {
+                    self.schedule_run(w, pt.max(wt) + grant);
+                }
+                self.schedule_run(n, pt);
+            }
+            RunOutcome::Quantum => {
+                let at = self.procs[i].now();
+                self.schedule_run(n, at.max(self.now));
+            }
+            RunOutcome::Finished => {
+                if self.parked[i] != Park::Done {
+                    self.parked[i] = Park::Done;
+                    self.finish[i] = self.procs[i].finish_time();
+                    self.done += 1;
+                    self.maybe_release_barrier();
+                }
+            }
+        }
+    }
+
+    fn schedule_run(&mut self, n: u16, at: Cycle) {
+        self.parked[n as usize] = Park::Scheduled;
+        self.events.push(at, Ev::ProcRun(n));
+    }
+
+    fn wake_if_waiting(&mut self, n: u16, at: Cycle) {
+        if self.parked[n as usize] == Park::WaitReply {
+            self.schedule_run(n, at);
+        }
+    }
+
+    fn maybe_release_barrier(&mut self) {
+        let active = self.procs.len() - self.done;
+        if active > 0 && self.barrier_waiters.len() == active {
+            let waiters = std::mem::take(&mut self.barrier_waiters);
+            let release = waiters
+                .iter()
+                .map(|&(_, t)| t)
+                .fold(self.now, Cycle::max);
+            for (w, _) in waiters {
+                self.schedule_run(w, release);
+            }
+        }
+    }
+
+    /// Converts processor requests into PI messages at the MAGIC inbox.
+    fn post_cpu_outs(&mut self, n: u16, outs: &[(Cycle, CpuOut)]) {
+        let lat = self.cfg.lat;
+        for &(t, o) in outs {
+            let (mtype, addr, extra) = match o {
+                CpuOut::Get(a) => (MsgType::PiGet, a, lat.miss_to_bus),
+                CpuOut::GetX(a) => (MsgType::PiGetX, a, lat.miss_to_bus),
+                CpuOut::Upgrade(a) => (MsgType::PiUpgrade, a, lat.miss_to_bus),
+                CpuOut::Writeback(a) => (MsgType::PiWriteback, a, 0),
+                CpuOut::Hint(a) => (MsgType::PiRplHint, a, 0),
+            };
+            self.events.push(
+                t + extra + lat.bus + lat.pi_in,
+                Ev::MagicIn {
+                    node: n,
+                    wire: Wire {
+                        mtype,
+                        src: NodeId(n),
+                        addr,
+                        aux: 0,
+                        with_data: mtype.carries_data(),
+                    },
+                },
+            );
+        }
+    }
+
+    fn ev_magic_in(&mut self, node: u16, wire: Wire) {
+        if trace_addr() == Some(wire.addr.line().raw()) {
+            let home = self.cfg.placement.home_of(wire.addr, self.cfg.nodes);
+            eprintln!(
+                "[{}] magic_in node{} {:?} src={} aux={:#x} hdr={:#x}",
+                self.now,
+                node,
+                wire.mtype,
+                wire.src,
+                wire.aux,
+                self.chips[home.index()].peek_header(flash_protocol::dir_addr(wire.addr)).0
+            );
+        }
+        let home = self.cfg.placement.home_of(wire.addr, self.cfg.nodes);
+        let msg = InMsg {
+            mtype: wire.mtype,
+            src: wire.src,
+            addr: wire.addr,
+            aux: wire.aux,
+            spec: false,
+            self_node: NodeId(node),
+            home,
+            diraddr: dir_addr(wire.addr),
+            with_data: wire.with_data,
+        };
+        // Read-miss classification at the home (paper Tables 4.1/4.2).
+        let chip = &mut self.chips[node as usize];
+        match wire.mtype {
+            MsgType::PiGet if home == NodeId(node) => chip.classify_read(&msg, NodeId(node)),
+            MsgType::NGet => chip.classify_read(&msg, aux::requester(wire.aux)),
+            _ => {}
+        }
+        let emissions = chip.process(msg, self.now);
+        for em in emissions {
+            match em {
+                Emission::Net { at, msg } => self.post_net(at, msg),
+                Emission::Proc { at, msg } => {
+                    self.events.push(at, Ev::ProcDeliver { node, pm: msg, tries: 0 });
+                }
+            }
+        }
+    }
+
+    fn post_net(&mut self, at: Cycle, msg: Msg) {
+        if trace_addr() == Some(msg.addr.line().raw()) {
+            eprintln!(
+                "[{}] post_net at={} {:?} {}->{} aux={:#x}",
+                self.now, at, msg.mtype, msg.src, msg.dst, msg.aux
+            );
+        }
+        let arrival = self.net.send(at, msg.src, msg.dst);
+        self.events.push(
+            arrival + self.cfg.lat.ni_in,
+            Ev::MagicIn {
+                node: msg.dst.0,
+                wire: Wire {
+                    mtype: msg.mtype,
+                    src: msg.src,
+                    addr: msg.addr,
+                    aux: msg.aux,
+                    with_data: msg.with_data,
+                },
+            },
+        );
+    }
+
+    fn ev_proc_deliver(&mut self, node: u16, pm: ProcMsg, tries: u32) {
+        let i = node as usize;
+        let lat = self.cfg.lat;
+        match pm.mtype {
+            MsgType::PPut | MsgType::PPutX | MsgType::PUpgAck => {
+                let excl = pm.mtype != MsgType::PPut;
+                let mut outs = Vec::new();
+                self.procs[i].deliver_reply(pm.addr, excl, self.now, &mut outs);
+                self.post_cpu_outs(node, &outs);
+                self.wake_if_waiting(node, self.now);
+            }
+            MsgType::PInval => {
+                self.procs[i].inval(pm.addr, self.now);
+            }
+            MsgType::PIntervGet | MsgType::PIntervGetX => {
+                let excl = pm.mtype == MsgType::PIntervGetX;
+                let mut give_up = false;
+                if self.procs[i].has_mshr(pm.addr) {
+                    if tries < MAX_INTERV_DEFERRALS {
+                        // Data for this line is in flight; the bus
+                        // transaction retries until it lands.
+                        self.interv_deferrals += 1;
+                        self.events.push(
+                            self.now + 16,
+                            Ev::ProcDeliver {
+                                node,
+                                pm,
+                                tries: tries + 1,
+                            },
+                        );
+                        return;
+                    }
+                    // Request/forward cycle: break it. The miss report
+                    // makes the home abandon the transaction; poisoning
+                    // keeps the eventual grant from caching a stale copy.
+                    self.procs[i].poison_pending(pm.addr);
+                    give_up = true;
+                }
+                let found = !give_up && self.procs[i].intervention(pm.addr, excl, self.now);
+                let (mtype, delay) = if found {
+                    (MsgType::PiIntervReply, lat.cache_data)
+                } else {
+                    (MsgType::PiIntervMiss, lat.cache_state)
+                };
+                self.events.push(
+                    self.now + delay + lat.bus + lat.pi_in,
+                    Ev::MagicIn {
+                        node,
+                        wire: Wire {
+                            mtype,
+                            src: NodeId(node),
+                            addr: pm.addr,
+                            aux: pm.aux,
+                            with_data: found,
+                        },
+                    },
+                );
+            }
+            MsgType::PNackRetry => {
+                if let Some(o) = self.procs[i].nack_retry(pm.addr) {
+                    // Bus retry: the miss was already detected, so only
+                    // the retry delay plus bus/PI path applies.
+                    let (mtype, addr) = match o {
+                        flash_cpu::CpuOut::Get(a) => (MsgType::PiGet, a),
+                        flash_cpu::CpuOut::GetX(a) => (MsgType::PiGetX, a),
+                        flash_cpu::CpuOut::Upgrade(a) => (MsgType::PiUpgrade, a),
+                        other => unreachable!("{other:?} is not retryable"),
+                    };
+                    self.events.push(
+                        self.now + lat.retry + lat.bus + lat.pi_in,
+                        Ev::MagicIn {
+                            node,
+                            wire: Wire {
+                                mtype,
+                                src: NodeId(node),
+                                addr,
+                                aux: 0,
+                                with_data: false,
+                            },
+                        },
+                    );
+                }
+            }
+            MsgType::PIoData => {}
+            other => unreachable!("{other:?} is not a processor-bound message"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::node_addr;
+    use flash_cpu::{SliceStream, WorkItem};
+
+    fn machine_with(cfg: MachineConfig, per_proc: Vec<Vec<WorkItem>>) -> Machine {
+        let streams = per_proc
+            .into_iter()
+            .map(|v| Box::new(SliceStream::new(v)) as Box<dyn RefStream>)
+            .collect();
+        Machine::new(cfg, streams)
+    }
+
+    fn idle(n: usize) -> Vec<Vec<WorkItem>> {
+        vec![vec![WorkItem::Busy(4)]; n]
+    }
+
+    #[test]
+    fn empty_machine_completes() {
+        for cfg in [MachineConfig::flash(4), MachineConfig::ideal(4), MachineConfig::flash_cost_table(4)] {
+            let mut m = machine_with(cfg, idle(4));
+            match m.run(10_000) {
+                RunResult::Completed { exec_cycles } => assert_eq!(exec_cycles, 1),
+                r => panic!("unexpected {r:?}"),
+            }
+        }
+    }
+
+    /// Read stall of the final read in `items` relative to `warm_items`
+    /// (which excludes it), isolating warm-path latency from cold MAGIC
+    /// cache effects — the paper's Table 3.3 assumes warm steady state.
+    fn marginal_read_stall(cfg: &MachineConfig, procs: u16, warm_items: Vec<WorkItem>, items: Vec<WorkItem>) -> f64 {
+        let idle: Vec<WorkItem> = vec![WorkItem::Busy(1)];
+        let run = |it: Vec<WorkItem>| {
+            let mut streams = vec![it];
+            for _ in 1..procs {
+                streams.push(idle.clone());
+            }
+            let mut m = machine_with(cfg.clone(), streams);
+            let RunResult::Completed { .. } = m.run(1_000_000) else {
+                panic!("stuck");
+            };
+            m.procs()[0].stats().read_stall_q as f64 / 4.0
+        };
+        run(items) - run(warm_items)
+    }
+
+    #[test]
+    fn single_local_read_latency_matches_table_3_3() {
+        // Warm-up read to a neighbouring line (same MDC header line), then
+        // a timed read: ~27 cycles on FLASH, 24 on ideal (paper Table 3.3).
+        let a = node_addr(NodeId(0), 0x2000);
+        let warm = node_addr(NodeId(0), 0x2080);
+        let warm_items = vec![WorkItem::Read(warm), WorkItem::Busy(4000)];
+        let mut items = warm_items.clone();
+        items.push(WorkItem::Read(a));
+        for (cfg, expect) in [
+            (MachineConfig::flash(1), 27u64),
+            (MachineConfig::ideal(1), 24u64),
+        ] {
+            let per_miss = marginal_read_stall(&cfg, 1, warm_items.clone(), items.clone());
+            assert!(
+                (per_miss - expect as f64).abs() <= 3.0,
+                "per-miss read stall {per_miss:.1} vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn remote_read_latency_roughly_matches_table_3_3() {
+        // Processor 0 reads a line homed on node 1 (clean): FLASH 111,
+        // ideal 92 (paper Table 3.3), measured after warming the remote
+        // handler paths and MDC header line.
+        let a = node_addr(NodeId(1), 0x4000);
+        let warm = node_addr(NodeId(1), 0x4080);
+        let warm_items = vec![WorkItem::Read(warm), WorkItem::Busy(8000)];
+        let mut items = warm_items.clone();
+        items.push(WorkItem::Read(a));
+        // Small machines have shorter meshes; pin the paper's 16-node
+        // 22-cycle average transit for comparability with Table 3.3.
+        let mut fcfg = MachineConfig::flash(2);
+        fcfg.net.transit_override = Some(22);
+        let mut icfg = MachineConfig::ideal(2);
+        icfg.net.transit_override = Some(22);
+        for (cfg, expect, tol) in [(fcfg, 111.0, 15.0), (icfg, 92.0, 12.0)] {
+            let stall = marginal_read_stall(&cfg, 2, warm_items.clone(), items.clone());
+            assert!(
+                (stall - expect).abs() <= tol,
+                "remote clean read stall {stall:.1} vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_remote_transfer_works() {
+        // P1 writes a line homed on node 0; P0 then reads it (local read,
+        // dirty remote). Both machines must complete with correct traffic.
+        let a = node_addr(NodeId(0), 0x8000);
+        let w = vec![WorkItem::Write(a), WorkItem::Barrier, WorkItem::Busy(4)];
+        let r = vec![WorkItem::Barrier, WorkItem::Read(a), WorkItem::Busy(4)];
+        for cfg in [MachineConfig::flash(2), MachineConfig::ideal(2), MachineConfig::flash_cost_table(2)] {
+            let kind = cfg.controller;
+            let mut m = machine_with(cfg, vec![r.clone(), w.clone()]);
+            match m.run(1_000_000) {
+                RunResult::Completed { exec_cycles } => {
+                    assert!(exec_cycles > 100, "{kind:?}: too fast ({exec_cycles})");
+                }
+                r => panic!("{kind:?}: {r:?}"),
+            }
+            // The read was classified local-dirty-remote at the home.
+            let class = m.chips()[0].stats().read_class;
+            assert_eq!(class.local_dirty_remote, 1, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_processors() {
+        let a = |n: u16| node_addr(NodeId(n), 0x100);
+        let mk = |n: u16| {
+            vec![
+                WorkItem::Busy(400 * (n as u64 + 1)), // staggered arrival
+                WorkItem::Barrier,
+                WorkItem::Read(a(n)),
+                WorkItem::Busy(4),
+            ]
+        };
+        let mut m = machine_with(MachineConfig::flash(4), (0..4).map(mk).collect());
+        let RunResult::Completed { exec_cycles } = m.run(1_000_000) else {
+            panic!("stuck");
+        };
+        // The fastest processor waited for the slowest: sync stall > 0.
+        assert!(m.procs()[0].stats().sync_stall_q > 0);
+        assert_eq!(m.procs()[3].stats().sync_stall_q, 0);
+        assert!(exec_cycles >= 400);
+    }
+
+    #[test]
+    fn locks_serialize_critical_sections() {
+        let mk = |_n: u16| {
+            vec![
+                WorkItem::Lock(7),
+                WorkItem::Busy(400),
+                WorkItem::Unlock(7),
+                WorkItem::Busy(4),
+            ]
+        };
+        let mut m = machine_with(MachineConfig::flash(4), (0..4).map(mk).collect());
+        let RunResult::Completed { exec_cycles } = m.run(1_000_000) else {
+            panic!("stuck");
+        };
+        // Four 100-cycle critical sections must serialize.
+        assert!(exec_cycles >= 400, "exec {exec_cycles}");
+        let total_sync: u64 = m.procs().iter().map(|p| p.stats().sync_stall_q).sum();
+        assert!(total_sync > 0);
+    }
+
+    #[test]
+    fn sharing_and_invalidation_round_trip() {
+        // All processors read a line homed on node 0, then P1 writes it.
+        let a = node_addr(NodeId(0), 0xc000);
+        let mk = |n: u16| {
+            let mut v = vec![WorkItem::Read(a), WorkItem::Barrier];
+            if n == 1 {
+                v.push(WorkItem::Write(a));
+            }
+            v.push(WorkItem::Barrier);
+            v.push(WorkItem::Busy(4));
+            v
+        };
+        for cfg in [MachineConfig::flash(4), MachineConfig::ideal(4)] {
+            let kind = cfg.controller;
+            let mut m = machine_with(cfg, (0..4).map(mk).collect());
+            match m.run(1_000_000) {
+                RunResult::Completed { .. } => {}
+                r => panic!("{kind:?}: {r:?}"),
+            }
+            let invals: u64 = m.procs().iter().map(|p| p.stats().invals_received).sum();
+            assert!(invals >= 2, "{kind:?}: sharers must be invalidated, got {invals}");
+        }
+    }
+
+    #[test]
+    fn dma_write_invalidates_cached_copies() {
+        let a = node_addr(NodeId(0), 0x3000);
+        let items = vec![WorkItem::Read(a), WorkItem::Busy(40_000), WorkItem::Read(a), WorkItem::Busy(4)];
+        let mut m = machine_with(MachineConfig::flash(2), vec![items, vec![WorkItem::Busy(1)]]);
+        m.add_dma_write(Cycle::new(2_000), NodeId(0), a);
+        let RunResult::Completed { .. } = m.run(1_000_000) else {
+            panic!("stuck");
+        };
+        assert_eq!(m.procs()[0].stats().invals_received, 1);
+        // Second read misses again after the DMA invalidation.
+        assert_eq!(m.procs()[0].stats().read_misses, 2);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = node_addr(NodeId(1), 0x9000);
+        let mk = |n: u16| {
+            vec![
+                WorkItem::Read(node_addr(NodeId(n), 0x100)),
+                WorkItem::Write(a),
+                WorkItem::Barrier,
+                WorkItem::Read(a),
+                WorkItem::Busy(8),
+            ]
+        };
+        let run_once = || {
+            let mut m = machine_with(MachineConfig::flash(4), (0..4).map(mk).collect());
+            match m.run(1_000_000) {
+                RunResult::Completed { exec_cycles } => exec_cycles,
+                r => panic!("{r:?}"),
+            }
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn ideal_never_slower_than_flash() {
+        let a = node_addr(NodeId(1), 0x9000);
+        let mk = |n: u16| {
+            let mut v = Vec::new();
+            for i in 0..50u64 {
+                v.push(WorkItem::Read(node_addr(NodeId(n), i * 128)));
+                v.push(WorkItem::Write(a.offset(((n as u64 * 50 + i) % 64) * 2 * 128)));
+                v.push(WorkItem::Busy(16));
+            }
+            v.push(WorkItem::Barrier);
+            v
+        };
+        let time = |cfg: MachineConfig| {
+            let mut m = machine_with(cfg, (0..4).map(mk).collect());
+            match m.run(10_000_000) {
+                RunResult::Completed { exec_cycles } => exec_cycles,
+                r => panic!("{r:?}"),
+            }
+        };
+        let flash = time(MachineConfig::flash(4));
+        let ideal = time(MachineConfig::ideal(4));
+        assert!(
+            ideal <= flash,
+            "ideal ({ideal}) must not be slower than FLASH ({flash})"
+        );
+    }
+}

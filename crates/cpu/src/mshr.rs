@@ -1,0 +1,182 @@
+//! Miss status holding registers.
+//!
+//! The processor cache "supports up to 4 outstanding cache misses"
+//! (paper §3.2). Each MSHR tracks one outstanding miss or upgrade; the
+//! index-conflict and merge rules of §3.2 are evaluated against this file.
+
+use crate::cache::L2Cache;
+use flash_engine::{Addr, Cycle};
+
+/// The kind of outstanding transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissKind {
+    /// Blocking read miss.
+    Read,
+    /// Non-blocking write miss (needs data + exclusivity).
+    Write,
+    /// Non-blocking upgrade (has data, needs exclusivity).
+    Upgrade,
+}
+
+/// One outstanding miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mshr {
+    /// Line address of the miss.
+    pub line: Addr,
+    /// Transaction kind.
+    pub kind: MissKind,
+    /// Issue time (for latency accounting).
+    pub issued_at: Cycle,
+    /// A write was merged into this read miss; exclusivity must be
+    /// obtained after the data arrives.
+    pub write_merged: bool,
+    /// An invalidation raced past the in-flight reply (the home granted
+    /// this miss, then an invalidating transaction removed the grant): the
+    /// arriving data is consumed once but must not be cached.
+    pub invalidated: bool,
+}
+
+/// The file of (up to 4) outstanding misses.
+///
+/// # Examples
+///
+/// ```
+/// use flash_cpu::{MshrFile, MissKind};
+/// use flash_engine::{Addr, Cycle};
+///
+/// let mut f = MshrFile::new(4);
+/// assert!(f.allocate(Addr::new(0), MissKind::Read, Cycle::ZERO));
+/// assert!(f.find(Addr::new(0x7f)).is_some(), "same line");
+/// assert!(f.find(Addr::new(0x80)).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<Option<Mshr>>,
+}
+
+impl MshrFile {
+    /// Creates a file with `n` registers.
+    pub fn new(n: usize) -> Self {
+        MshrFile {
+            entries: vec![None; n],
+        }
+    }
+
+    /// Allocates an entry. Returns `false` if the file is full.
+    pub fn allocate(&mut self, line: Addr, kind: MissKind, at: Cycle) -> bool {
+        match self.entries.iter_mut().find(|e| e.is_none()) {
+            Some(slot) => {
+                *slot = Some(Mshr {
+                    line: line.line(),
+                    kind,
+                    issued_at: at,
+                    write_merged: false,
+                    invalidated: false,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The outstanding miss covering `addr`'s line, if any.
+    pub fn find(&self, addr: Addr) -> Option<&Mshr> {
+        self.entries
+            .iter()
+            .flatten()
+            .find(|m| m.line.same_line(addr))
+    }
+
+    /// Mutable access to the outstanding miss covering `addr`'s line.
+    pub fn find_mut(&mut self, addr: Addr) -> Option<&mut Mshr> {
+        self.entries
+            .iter_mut()
+            .flatten()
+            .find(|m| m.line.same_line(addr))
+    }
+
+    /// Releases the entry for `addr`'s line, returning it.
+    pub fn release(&mut self, addr: Addr) -> Option<Mshr> {
+        for e in self.entries.iter_mut() {
+            if e.is_some_and(|m| m.line.same_line(addr)) {
+                return e.take();
+            }
+        }
+        None
+    }
+
+    /// Whether all registers are in use.
+    pub fn is_full(&self) -> bool {
+        self.entries.iter().all(Option::is_some)
+    }
+
+    /// Number of registers in use.
+    pub fn in_use(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+
+    /// The paper's index-conflict rule: a new access to `addr` stalls if
+    /// any outstanding miss maps to the same cache index with a different
+    /// tag.
+    pub fn index_conflict(&self, addr: Addr, cache: &L2Cache) -> bool {
+        let idx = cache.index_of(addr);
+        self.entries
+            .iter()
+            .flatten()
+            .any(|m| cache.index_of(m.line) == idx && !m.line.same_line(addr))
+    }
+
+    /// Iterates over outstanding misses.
+    pub fn iter(&self) -> impl Iterator<Item = &Mshr> {
+        self.entries.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_full() {
+        let mut f = MshrFile::new(4);
+        for i in 0..4 {
+            assert!(f.allocate(Addr::new(i * 128), MissKind::Write, Cycle::ZERO));
+        }
+        assert!(f.is_full());
+        assert!(!f.allocate(Addr::new(999 * 128), MissKind::Write, Cycle::ZERO));
+        assert_eq!(f.in_use(), 4);
+    }
+
+    #[test]
+    fn release_frees_slot() {
+        let mut f = MshrFile::new(2);
+        f.allocate(Addr::new(0), MissKind::Read, Cycle::new(5));
+        let m = f.release(Addr::new(0x40)).expect("same line");
+        assert_eq!(m.issued_at, Cycle::new(5));
+        assert_eq!(f.in_use(), 0);
+        assert!(f.release(Addr::new(0)).is_none());
+    }
+
+    #[test]
+    fn index_conflict_detection() {
+        let cache = L2Cache::new(4 << 10); // 16 sets
+        let mut f = MshrFile::new(4);
+        let a = Addr::new(0);
+        f.allocate(a, MissKind::Write, Cycle::ZERO);
+        // Same index (set 0), different tag: conflict.
+        let conflicting = Addr::new(16 * 128);
+        assert!(f.index_conflict(conflicting, &cache));
+        // Same line: merge territory, not a conflict.
+        assert!(!f.index_conflict(Addr::new(0x10), &cache));
+        // Different index: fine.
+        assert!(!f.index_conflict(Addr::new(128), &cache));
+    }
+
+    #[test]
+    fn write_merge_flag() {
+        let mut f = MshrFile::new(2);
+        f.allocate(Addr::new(0), MissKind::Read, Cycle::ZERO);
+        f.find_mut(Addr::new(0)).unwrap().write_merged = true;
+        assert!(f.find(Addr::new(0)).unwrap().write_merged);
+    }
+}

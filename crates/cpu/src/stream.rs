@@ -1,0 +1,98 @@
+//! Per-processor reference streams (the Tango Lite role).
+
+use flash_engine::Addr;
+
+/// One element of a processor's reference stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkItem {
+    /// `n` instructions of pure computation (1 instruction = 1 issue slot
+    /// = a quarter of a 10 ns system cycle at 400 MIPS).
+    Busy(u64),
+    /// A load from `addr`.
+    Read(Addr),
+    /// A store to `addr`.
+    Write(Addr),
+    /// Global barrier: wait until every processor arrives.
+    Barrier,
+    /// Acquire lock `id` (simulation-level; contention counts as sync
+    /// stall).
+    Lock(u32),
+    /// Release lock `id`.
+    Unlock(u32),
+    /// End of the stream.
+    Done,
+}
+
+/// A lazily generated stream of work items for one processor.
+///
+/// Implementations must keep returning [`WorkItem::Done`] once finished.
+pub trait RefStream {
+    /// Produces the next item.
+    fn next_item(&mut self) -> WorkItem;
+}
+
+/// A stream over a fixed slice of items — test workloads and traces.
+///
+/// # Examples
+///
+/// ```
+/// use flash_cpu::{RefStream, SliceStream, WorkItem};
+/// use flash_engine::Addr;
+///
+/// let mut s = SliceStream::new(vec![WorkItem::Busy(8), WorkItem::Read(Addr::new(0))]);
+/// assert_eq!(s.next_item(), WorkItem::Busy(8));
+/// assert_eq!(s.next_item(), WorkItem::Read(Addr::new(0)));
+/// assert_eq!(s.next_item(), WorkItem::Done);
+/// assert_eq!(s.next_item(), WorkItem::Done);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SliceStream {
+    items: Vec<WorkItem>,
+    pos: usize,
+}
+
+impl SliceStream {
+    /// Wraps a vector of items.
+    pub fn new(items: Vec<WorkItem>) -> Self {
+        SliceStream { items, pos: 0 }
+    }
+}
+
+impl RefStream for SliceStream {
+    fn next_item(&mut self) -> WorkItem {
+        match self.items.get(self.pos) {
+            Some(&it) => {
+                self.pos += 1;
+                it
+            }
+            None => WorkItem::Done,
+        }
+    }
+}
+
+impl<F: FnMut() -> WorkItem> RefStream for F {
+    fn next_item(&mut self) -> WorkItem {
+        self()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_streams_work() {
+        let mut n = 0;
+        let mut s = move || {
+            n += 1;
+            if n <= 2 {
+                WorkItem::Busy(n)
+            } else {
+                WorkItem::Done
+            }
+        };
+        assert_eq!(s.next_item(), WorkItem::Busy(1));
+        assert_eq!(s.next_item(), WorkItem::Busy(2));
+        assert_eq!(s.next_item(), WorkItem::Done);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property test: the set-associative cache agrees with a naive reference
+//! model (a map plus per-set LRU lists) under arbitrary operation
+//! sequences.
+
+use flash_cpu::{CpuAccess, L2Cache, LineState};
+use flash_engine::Addr;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const CACHE_BYTES: u64 = 4 << 10; // 16 sets x 2 ways
+const SETS: u64 = CACHE_BYTES / 256;
+
+/// Naive reference: per-set vector of (line_index, state), most recently
+/// used last, capacity 2.
+#[derive(Default)]
+struct RefCache {
+    sets: HashMap<u64, Vec<(u64, LineState)>>,
+}
+
+impl RefCache {
+    fn set_of(line: u64) -> u64 {
+        line % SETS
+    }
+
+    fn probe(&mut self, line: u64, write: bool) -> CpuAccess {
+        let set = self.sets.entry(Self::set_of(line)).or_default();
+        if let Some(pos) = set.iter().position(|(l, _)| *l == line) {
+            let entry = set.remove(pos);
+            let hit = !(write && entry.1 == LineState::Shared);
+            set.push(entry);
+            if hit {
+                CpuAccess::Hit
+            } else {
+                CpuAccess::NeedsUpgrade
+            }
+        } else {
+            CpuAccess::Miss
+        }
+    }
+
+    fn install(&mut self, line: u64, state: LineState) -> Option<(u64, bool)> {
+        let set = self.sets.entry(Self::set_of(line)).or_default();
+        if let Some(pos) = set.iter().position(|(l, _)| *l == line) {
+            set.remove(pos);
+            set.push((line, state));
+            return None;
+        }
+        let victim = if set.len() >= 2 {
+            let v = set.remove(0);
+            Some((v.0, v.1 == LineState::Exclusive))
+        } else {
+            None
+        };
+        set.push((line, state));
+        victim
+    }
+
+    fn invalidate(&mut self, line: u64) -> Option<LineState> {
+        let set = self.sets.entry(Self::set_of(line)).or_default();
+        set.iter()
+            .position(|(l, _)| *l == line)
+            .map(|pos| set.remove(pos).1)
+    }
+
+    fn downgrade(&mut self, line: u64) -> Option<LineState> {
+        let set = self.sets.entry(Self::set_of(line)).or_default();
+        set.iter().position(|(l, _)| *l == line).map(|pos| {
+            let old = set[pos].1;
+            set[pos].1 = LineState::Shared;
+            old
+        })
+    }
+
+    fn state_of(&self, line: u64) -> Option<LineState> {
+        self.sets
+            .get(&Self::set_of(line))
+            .and_then(|s| s.iter().find(|(l, _)| *l == line))
+            .map(|(_, st)| *st)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Probe { line: u64, write: bool },
+    Install { line: u64, excl: bool },
+    Invalidate { line: u64 },
+    Downgrade { line: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = CacheOp> {
+    let line = 0u64..64;
+    prop_oneof![
+        3 => (line.clone(), any::<bool>()).prop_map(|(line, write)| CacheOp::Probe { line, write }),
+        3 => (line.clone(), any::<bool>()).prop_map(|(line, excl)| CacheOp::Install { line, excl }),
+        1 => line.clone().prop_map(|line| CacheOp::Invalidate { line }),
+        1 => line.prop_map(|line| CacheOp::Downgrade { line }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cache_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut real = L2Cache::new(CACHE_BYTES);
+        let mut reference = RefCache::default();
+        for op in &ops {
+            match *op {
+                CacheOp::Probe { line, write } => {
+                    let a = real.probe(Addr::from_line_index(line), write);
+                    let b = reference.probe(line, write);
+                    prop_assert_eq!(a, b, "probe({}, {}) diverged", line, write);
+                }
+                CacheOp::Install { line, excl } => {
+                    let st = if excl { LineState::Exclusive } else { LineState::Shared };
+                    let a = real.install(Addr::from_line_index(line), st);
+                    let b = reference.install(line, st);
+                    match (a, b) {
+                        (None, None) => {}
+                        (Some(v), Some((bl, bd))) => {
+                            prop_assert_eq!(v.addr.line_index(), bl, "victim line diverged");
+                            prop_assert_eq!(v.dirty, bd, "victim dirtiness diverged");
+                        }
+                        (a, b) => prop_assert!(false, "install({}) diverged: {:?} vs {:?}", line, a, b),
+                    }
+                }
+                CacheOp::Invalidate { line } => {
+                    let a = real.invalidate(Addr::from_line_index(line));
+                    let b = reference.invalidate(line);
+                    prop_assert_eq!(a, b, "invalidate({}) diverged", line);
+                }
+                CacheOp::Downgrade { line } => {
+                    let a = real.downgrade(Addr::from_line_index(line));
+                    let b = reference.downgrade(line);
+                    prop_assert_eq!(a, b, "downgrade({}) diverged", line);
+                }
+            }
+        }
+        // Final state agreement over the whole line space.
+        for line in 0..64u64 {
+            prop_assert_eq!(
+                real.state_of(Addr::from_line_index(line)),
+                reference.state_of(line),
+                "final state diverged for line {}", line
+            );
+        }
+    }
+}

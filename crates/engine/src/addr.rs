@@ -1,0 +1,116 @@
+//! Physical addresses.
+//!
+//! FLASH uses 128-byte cache lines everywhere: the processor cache, the
+//! coherence unit, and the MAGIC caches all operate on 128-byte lines.
+
+use std::fmt;
+
+/// Bytes per cache line (both machines, per paper §3.2).
+pub const LINE_BYTES: u64 = 128;
+
+/// `log2(LINE_BYTES)`.
+pub const LINE_SHIFT: u32 = 7;
+
+/// A physical byte address in the machine's shared address space.
+///
+/// # Examples
+///
+/// ```
+/// use flash_engine::Addr;
+///
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.line().raw(), 0x1200);
+/// assert_eq!(a.line_index(), 0x1234 >> 7);
+/// assert_eq!(a.offset_in_line(), 0x34);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Creates the address of the line with the given line index.
+    #[inline]
+    pub const fn from_line_index(idx: u64) -> Self {
+        Addr(idx << LINE_SHIFT)
+    }
+
+    /// The raw byte address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The address rounded down to its 128-byte line.
+    #[inline]
+    pub const fn line(self) -> Addr {
+        Addr(self.0 & !(LINE_BYTES - 1))
+    }
+
+    /// Global index of the 128-byte line containing this address.
+    #[inline]
+    pub const fn line_index(self) -> u64 {
+        self.0 >> LINE_SHIFT
+    }
+
+    /// Byte offset of this address within its line.
+    #[inline]
+    pub const fn offset_in_line(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+
+    /// Whether two addresses fall in the same 128-byte line.
+    #[inline]
+    pub const fn same_line(self, other: Addr) -> bool {
+        self.line_index() == other.line_index()
+    }
+
+    /// This address displaced by `bytes`.
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math() {
+        let a = Addr::new(0x0123_4567);
+        assert_eq!(a.line().raw() % LINE_BYTES, 0);
+        assert_eq!(a.line_index(), a.raw() / LINE_BYTES);
+        assert_eq!(a.line().offset(a.offset_in_line()), a);
+    }
+
+    #[test]
+    fn same_line_detection() {
+        let a = Addr::new(0x1000);
+        assert!(a.same_line(Addr::new(0x107f)));
+        assert!(!a.same_line(Addr::new(0x1080)));
+    }
+
+    #[test]
+    fn from_line_index_round_trips() {
+        for idx in [0u64, 1, 977, 1 << 30] {
+            assert_eq!(Addr::from_line_index(idx).line_index(), idx);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The time-ordered event queue at the heart of the simulator.
+
+use crate::time::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A deterministic discrete-event queue.
+///
+/// Events are delivered in nondecreasing time order; events scheduled for
+/// the same cycle are delivered in the order they were pushed (FIFO), which
+/// makes simulations reproducible regardless of heap internals.
+///
+/// # Examples
+///
+/// ```
+/// use flash_engine::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle::new(3), 'b');
+/// q.push(Cycle::new(3), 'c'); // same time: FIFO after 'b'
+/// q.push(Cycle::new(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ['a', 'b', 'c']);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    pushed: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Schedules `ev` to fire at absolute time `at`.
+    pub fn push(&mut self, at: Cycle, ev: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.pushed += 1;
+        self.heap.push(Entry { at, seq, ev });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.at, e.ev))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever pushed (for throughput statistics).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(10), 1);
+        q.push(Cycle::new(5), 2);
+        q.push(Cycle::new(7), 3);
+        assert_eq!(q.pop(), Some((Cycle::new(5), 2)));
+        assert_eq!(q.pop(), Some((Cycle::new(7), 3)));
+        assert_eq!(q.pop(), Some((Cycle::new(10), 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_same_cycle() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle::new(42), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle::new(42), i)));
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Cycle::new(3), ());
+        q.push(Cycle::new(1), ());
+        assert_eq!(q.peek_time(), Some(Cycle::new(1)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_pushed(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(1), 'a');
+        q.push(Cycle::new(4), 'd');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        q.push(Cycle::new(2), 'b');
+        q.push(Cycle::new(3), 'c');
+        assert_eq!(q.pop().unwrap().1, 'b');
+        assert_eq!(q.pop().unwrap().1, 'c');
+        assert_eq!(q.pop().unwrap().1, 'd');
+    }
+}

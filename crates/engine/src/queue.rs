@@ -1,0 +1,167 @@
+//! Bounded queues modelling the MAGIC resource limits of paper Table 3.1.
+
+use std::collections::VecDeque;
+
+/// A FIFO queue with an optional capacity limit and backpressure accounting.
+///
+/// The MAGIC chip has several queues whose exhaustion stalls an upstream
+/// unit (paper Table 3.1): e.g. the memory controller queue holds a single
+/// request, and the PP stalls if an outgoing network queue is full. The
+/// ideal machine instead assumes "an infinite depth for all network and
+/// memory system queues" (§3.1), which is modelled by `capacity = None`.
+///
+/// # Examples
+///
+/// ```
+/// use flash_engine::BoundedQueue;
+///
+/// let mut q = BoundedQueue::bounded(1);
+/// assert!(q.try_push(10).is_ok());
+/// assert_eq!(q.try_push(11), Err(11)); // full: upstream must stall
+/// assert_eq!(q.pop(), Some(10));
+/// assert!(q.try_push(11).is_ok());
+/// assert_eq!(q.rejected(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: Option<usize>,
+    rejected: u64,
+    peak: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    pub fn bounded(capacity: usize) -> Self {
+        BoundedQueue {
+            items: VecDeque::new(),
+            capacity: Some(capacity),
+            rejected: 0,
+            peak: 0,
+        }
+    }
+
+    /// Creates a queue with no capacity limit (the ideal machine).
+    pub fn unbounded() -> Self {
+        BoundedQueue {
+            items: VecDeque::new(),
+            capacity: None,
+            rejected: 0,
+            peak: 0,
+        }
+    }
+
+    /// Attempts to enqueue `item`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` (handing the item back) if the queue is full, and
+    /// counts the rejection; the caller models the resulting stall.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.peak = self.peak.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// A reference to the oldest item without dequeuing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Whether the queue has reached its capacity.
+    pub fn is_full(&self) -> bool {
+        match self.capacity {
+            Some(cap) => self.items.len() >= cap,
+            None => false,
+        }
+    }
+
+    /// Whether the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Free slots remaining (`usize::MAX` when unbounded).
+    pub fn free_slots(&self) -> usize {
+        match self.capacity {
+            Some(cap) => cap.saturating_sub(self.items.len()),
+            None => usize::MAX,
+        }
+    }
+
+    /// Number of pushes rejected because the queue was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Maximum occupancy ever observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Iterates over queued items, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_rejects_when_full() {
+        let mut q = BoundedQueue::bounded(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.rejected(), 1);
+        assert_eq!(q.free_slots(), 0);
+        q.pop();
+        assert_eq!(q.free_slots(), 1);
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn unbounded_never_rejects() {
+        let mut q = BoundedQueue::unbounded();
+        for i in 0..10_000 {
+            assert!(q.try_push(i).is_ok());
+        }
+        assert!(!q.is_full());
+        assert_eq!(q.rejected(), 0);
+        assert_eq!(q.peak(), 10_000);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::bounded(16);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.front(), Some(&0));
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut q = BoundedQueue::bounded(0);
+        assert_eq!(q.try_push('x'), Err('x'));
+        assert!(q.is_empty() && q.is_full());
+    }
+}

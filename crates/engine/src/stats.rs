@@ -1,0 +1,292 @@
+//! Statistics primitives: counters, occupancy trackers, histograms.
+
+use crate::time::Cycle;
+
+/// A named event counter.
+///
+/// # Examples
+///
+/// ```
+/// use flash_engine::Counter;
+///
+/// let mut misses = Counter::default();
+/// misses.add(3);
+/// misses.incr();
+/// assert_eq!(misses.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// This count as a fraction of `total` (0.0 if `total` is zero).
+    pub fn fraction_of(self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total as f64
+        }
+    }
+}
+
+/// Tracks the busy time of a serially reusable resource.
+///
+/// The paper reports "Avg. PP Occupancy" and "Avg. Mem Occupancy" (Tables
+/// 4.1/4.2) as the fraction of total execution time the resource spent
+/// busy. A resource is used by calling [`OccupancyTracker::acquire`], which
+/// returns when the resource is next free and books the busy interval.
+///
+/// # Examples
+///
+/// ```
+/// use flash_engine::{Cycle, OccupancyTracker};
+///
+/// let mut pp = OccupancyTracker::new();
+/// // A handler arriving at cycle 10 that needs 11 cycles:
+/// let start = pp.acquire(Cycle::new(10), 11);
+/// assert_eq!(start, Cycle::new(10));
+/// // A second handler arriving at cycle 15 queues behind it:
+/// let start = pp.acquire(Cycle::new(15), 5);
+/// assert_eq!(start, Cycle::new(21));
+/// assert_eq!(pp.busy_cycles(), 16);
+/// assert_eq!(pp.occupancy(Cycle::new(32)), 0.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyTracker {
+    free_at: Cycle,
+    busy: u64,
+    uses: u64,
+    queue_delay: u64,
+}
+
+impl OccupancyTracker {
+    /// Creates a tracker with the resource free at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests the resource at time `at` for `duration` cycles.
+    ///
+    /// Returns the time service actually starts (≥ `at`; later if the
+    /// resource is still busy with earlier work).
+    pub fn acquire(&mut self, at: Cycle, duration: u64) -> Cycle {
+        let start = at.max(self.free_at);
+        self.queue_delay += start - at;
+        self.free_at = start + duration;
+        self.busy += duration;
+        self.uses += 1;
+        start
+    }
+
+    /// Books a busy interval without queueing semantics (used when the
+    /// caller has already serialized access, e.g. the emulated PP).
+    pub fn record_busy(&mut self, duration: u64) {
+        self.busy += duration;
+        self.uses += 1;
+    }
+
+    /// Next time the resource is free.
+    pub fn free_at(&self) -> Cycle {
+        self.free_at
+    }
+
+    /// Total busy cycles accumulated.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy
+    }
+
+    /// Number of acquisitions.
+    pub fn uses(&self) -> u64 {
+        self.uses
+    }
+
+    /// Total cycles requests spent waiting for the resource.
+    pub fn queue_delay_cycles(&self) -> u64 {
+        self.queue_delay
+    }
+
+    /// Busy fraction over a run that ended at `end` (0.0 for an empty run).
+    pub fn occupancy(&self, end: Cycle) -> f64 {
+        if end.raw() == 0 {
+            0.0
+        } else {
+            self.busy as f64 / end.raw() as f64
+        }
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples (power-of-two buckets).
+///
+/// Used for latency distributions in the experiment reports.
+///
+/// # Examples
+///
+/// ```
+/// use flash_engine::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(24);
+/// h.record(143);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.mean(), (24.0 + 143.0) / 2.0);
+/// assert_eq!(h.max(), 143);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let b = 64 - sample.leading_zeros() as usize; // 0 for sample==0
+        self.buckets[b.min(63)] += 1;
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_fraction() {
+        let mut c = Counter::default();
+        c.add(25);
+        assert_eq!(c.fraction_of(100), 0.25);
+        assert_eq!(c.fraction_of(0), 0.0);
+    }
+
+    #[test]
+    fn occupancy_serializes_back_to_back() {
+        let mut t = OccupancyTracker::new();
+        assert_eq!(t.acquire(Cycle::new(0), 10), Cycle::new(0));
+        // Arrives while busy: queues.
+        assert_eq!(t.acquire(Cycle::new(4), 10), Cycle::new(10));
+        assert_eq!(t.queue_delay_cycles(), 6);
+        // Arrives after idle gap: no queueing.
+        assert_eq!(t.acquire(Cycle::new(100), 1), Cycle::new(100));
+        assert_eq!(t.busy_cycles(), 21);
+        assert_eq!(t.uses(), 3);
+    }
+
+    #[test]
+    fn occupancy_fraction() {
+        let mut t = OccupancyTracker::new();
+        t.acquire(Cycle::new(0), 25);
+        assert_eq!(t.occupancy(Cycle::new(100)), 0.25);
+        assert_eq!(OccupancyTracker::new().occupancy(Cycle::ZERO), 0.0);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for s in [1u64, 2, 3, 4] {
+            h.record(s);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), 2.5);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 4);
+        let mut h2 = Histogram::new();
+        h2.record(100);
+        h.merge(&h2);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn histogram_zero_sample() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 0);
+    }
+}

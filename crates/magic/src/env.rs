@@ -1,0 +1,89 @@
+//! PP execution environment with MAGIC data cache modelling.
+
+use flash_mem::{Access, MagicCache};
+use flash_pp::emu::{Env, MdcMiss};
+use flash_pp::isa::MemSize;
+use flash_protocol::ProtoMem;
+
+/// An [`Env`] over a node's protocol memory that consults the MDC tag
+/// store on every PP load/store, reporting misses (with dirty-victim
+/// writebacks) as timing effects.
+#[derive(Debug)]
+pub struct MdcEnv<'a> {
+    mem: &'a mut ProtoMem,
+    mdc: Option<&'a mut MagicCache>,
+    fields: [u64; 16],
+}
+
+impl<'a> MdcEnv<'a> {
+    /// Creates an environment for one handler run. `mdc = None` models a
+    /// perfect (penalty-free) MDC, used by the §5.2 counterfactual.
+    pub fn new(mem: &'a mut ProtoMem, mdc: Option<&'a mut MagicCache>, fields: [u64; 16]) -> Self {
+        MdcEnv { mem, mdc, fields }
+    }
+
+    fn tag_access(&mut self, addr: u64, write: bool) -> Option<MdcMiss> {
+        match self.mdc.as_deref_mut()?.access(addr, write) {
+            Access::Hit => None,
+            Access::Miss { victim_writeback } => Some(MdcMiss {
+                line: addr & !127,
+                write,
+                victim_writeback,
+            }),
+        }
+    }
+}
+
+impl Env for MdcEnv<'_> {
+    fn load(&mut self, addr: u64, size: MemSize) -> (u64, Option<MdcMiss>) {
+        let v = match size {
+            MemSize::Double => self.mem.load64(addr),
+            MemSize::Word => self.mem.load32(addr) as u64,
+        };
+        (v, self.tag_access(addr, false))
+    }
+
+    fn store(&mut self, addr: u64, val: u64, size: MemSize) -> Option<MdcMiss> {
+        match size {
+            MemSize::Double => self.mem.store64(addr, val),
+            MemSize::Word => self.mem.store32(addr, val as u32),
+        }
+        self.tag_access(addr, true)
+    }
+
+    fn msg_field(&mut self, field: u8) -> u64 {
+        self.fields[field as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_mem::CacheGeometry;
+
+    #[test]
+    fn reports_misses_then_hits() {
+        let mut mem = ProtoMem::new();
+        let mut mdc = MagicCache::new(CacheGeometry::mdc());
+        let mut env = MdcEnv::new(&mut mem, Some(&mut mdc), [0; 16]);
+        let (_, m1) = env.load(0x1000, MemSize::Double);
+        assert!(m1.is_some());
+        let (_, m2) = env.load(0x1008, MemSize::Double);
+        assert!(m2.is_none(), "same MDC line");
+        let m3 = env.store(0x1010, 7, MemSize::Double);
+        assert!(m3.is_none());
+        drop(env);
+        assert_eq!(mem.load64(0x1010), 7);
+        assert_eq!(mdc.read_misses(), 1);
+    }
+
+    #[test]
+    fn no_mdc_means_no_misses() {
+        let mut mem = ProtoMem::new();
+        let mut env = MdcEnv::new(&mut mem, None, [0; 16]);
+        for i in 0..100u64 {
+            let (_, m) = env.load(i * 0x1000, MemSize::Double);
+            assert!(m.is_none());
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! 2-D mesh topology.
+
+use flash_engine::NodeId;
+
+/// A 2-D mesh of nodes, as square as possible for the node count.
+///
+/// # Examples
+///
+/// ```
+/// use flash_net::Mesh;
+/// use flash_engine::NodeId;
+///
+/// let m = Mesh::for_nodes(16);
+/// assert_eq!(m.dims(), (4, 4));
+/// assert_eq!(m.hops(NodeId(0), NodeId(15)), 6);
+/// // The paper's 16-node average: ~2.6 hops of transit.
+/// assert!((m.average_hops() - 2.5).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    cols: u16,
+    rows: u16,
+    nodes: u16,
+}
+
+impl Mesh {
+    /// Builds the most-square mesh holding `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn for_nodes(nodes: u16) -> Self {
+        assert!(nodes > 0, "a mesh needs at least one node");
+        let mut cols = (nodes as f64).sqrt().ceil() as u16;
+        while nodes % cols != 0 && cols < nodes {
+            cols += 1;
+        }
+        let rows = nodes / cols;
+        Mesh { cols, rows, nodes }
+    }
+
+    /// (columns, rows).
+    pub fn dims(&self) -> (u16, u16) {
+        (self.cols, self.rows)
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// (x, y) coordinates of a node.
+    pub fn coords(&self, n: NodeId) -> (u16, u16) {
+        (n.0 % self.cols, n.0 / self.cols)
+    }
+
+    /// Manhattan hop count between two nodes.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u16 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// Mean Manhattan distance over all ordered pairs of distinct nodes.
+    pub fn average_hops(&self) -> f64 {
+        if self.nodes <= 1 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        for a in 0..self.nodes {
+            for b in 0..self.nodes {
+                if a != b {
+                    total += self.hops(NodeId(a), NodeId(b)) as u64;
+                }
+            }
+        }
+        total as f64 / (self.nodes as f64 * (self.nodes as f64 - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_meshes() {
+        assert_eq!(Mesh::for_nodes(16).dims(), (4, 4));
+        assert_eq!(Mesh::for_nodes(64).dims(), (8, 8));
+        assert_eq!(Mesh::for_nodes(4).dims(), (2, 2));
+        assert_eq!(Mesh::for_nodes(1).dims(), (1, 1));
+    }
+
+    #[test]
+    fn rectangular_meshes() {
+        let m = Mesh::for_nodes(8);
+        let (c, r) = m.dims();
+        assert_eq!(c as u32 * r as u32, 8);
+    }
+
+    #[test]
+    fn hop_symmetry_and_identity() {
+        let m = Mesh::for_nodes(16);
+        for a in 0..16 {
+            assert_eq!(m.hops(NodeId(a), NodeId(a)), 0);
+            for b in 0..16 {
+                assert_eq!(m.hops(NodeId(a), NodeId(b)), m.hops(NodeId(b), NodeId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn average_grows_with_size() {
+        let a16 = Mesh::for_nodes(16).average_hops();
+        let a64 = Mesh::for_nodes(64).average_hops();
+        assert!(a64 > a16);
+        // 8x8 mesh: ~5.3 average hops.
+        assert!((a64 - 16.0 / 3.0).abs() < 0.3, "a64 = {a64}");
+    }
+}

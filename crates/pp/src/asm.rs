@@ -1,0 +1,722 @@
+//! A two-pass assembler for PP assembly source.
+//!
+//! The FLASH project wrote its protocol handlers in C, compiled them with a
+//! gcc port and scheduled them with PPtwine (paper §3.3). This repository
+//! writes the handlers directly in PP assembly; the assembler produces an
+//! unscheduled [`Module`] which [`crate::sched::schedule`] then statically
+//! pairs for the dual-issue PP.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment               # also a comment
+//! .equ NAME, 42           ; named constant
+//! handler_entry:          ; label (all labels are exported symbols)
+//!     mfmsg  r10, F_ADDR
+//!     ld     r11, 0(r10)
+//!     bbs    r11, 3, .done
+//!     addi   r11, r11, 1
+//!     sd     r11, 0(r10)
+//! .done:
+//!     switch
+//! ```
+//!
+//! Mnemonics: `add sub and or xor sll srl sra slt sltu` (+`i` immediate
+//! forms), `lui`, field immediates `andfi andcfi orfi xorfi rd, rs, pos,
+//! width`, `bfext bfins rd, rs, pos, width`, `ffs rd, rs`, loads/stores
+//! `ld lw rd, off(rs)` / `sd sw rt, off(rs)`, branches `beq bne rs, rt,
+//! label`, `bltz bgez blez bgtz rs, label`, `bbs bbc rs, bit, label`,
+//! `j label`, MAGIC interface `mfmsg rd, field`, `sendp/sendpd rtype,
+//! raddr, raux`, `sendn/sendnd rtype, rdest, raddr, raux`, `memrd rs`,
+//! `memwr rs`, `switch`, `nop`, and pseudo-instructions `li rd, imm`,
+//! `move rd, rs`, `b label`.
+
+use crate::isa::{AluOp, BrCond, FieldOp, Instr, Label, MemOpKind, MemSize, Reg, SendTarget, TEMP0, TEMP1};
+use crate::prog::Module;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// An assembly failure, carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+type Result<T> = std::result::Result<T, AsmError>;
+
+/// Assembles PP source text into an unscheduled [`Module`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] for unknown mnemonics, malformed operands,
+/// out-of-range immediates, undefined labels, or use of the reserved
+/// assembler temporaries `r29`/`r30`.
+///
+/// # Examples
+///
+/// ```
+/// let m = flash_pp::asm::assemble("entry:\n  addi r1, r0, 5\n  switch\n")?;
+/// assert_eq!(m.instrs.len(), 2);
+/// assert!(m.symbols.contains_key("entry"));
+/// # Ok::<(), flash_pp::asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Module> {
+    let mut asm = Assembler::default();
+    // Pass 1: collect labels and constants so forward references resolve.
+    asm.scan(source)?;
+    // Pass 2: emit instructions.
+    asm.emit(source)?;
+    asm.finish()
+}
+
+#[derive(Default)]
+struct Assembler {
+    module: Module,
+    equs: BTreeMap<String, i64>,
+    /// name → label id
+    label_ids: BTreeMap<String, Label>,
+    /// label ids that were defined (got a position) during emit
+    defined: Vec<bool>,
+}
+
+impl Assembler {
+    fn scan(&mut self, source: &str) -> Result<()> {
+        for (ln, raw) in source.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix(".equ") {
+                let (name, val) = parse_equ(rest, ln + 1, &self.equs)?;
+                self.equs.insert(name, val);
+            } else if let Some(name) = line.strip_suffix(':') {
+                let name = name.trim();
+                if !is_ident(name) {
+                    return Err(err(ln + 1, format!("invalid label name `{name}`")));
+                }
+                if self.label_ids.contains_key(name) {
+                    return Err(err(ln + 1, format!("duplicate label `{name}`")));
+                }
+                let label = self.module.new_label(usize::MAX);
+                self.label_ids.insert(name.to_string(), label);
+                self.defined.push(false);
+            }
+        }
+        Ok(())
+    }
+
+    fn emit(&mut self, source: &str) -> Result<()> {
+        for (ln, raw) in source.lines().enumerate() {
+            let ln = ln + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() || line.starts_with(".equ") {
+                continue;
+            }
+            if let Some(name) = line.strip_suffix(':') {
+                let label = self.label_ids[name.trim()];
+                self.module.labels[label.0 as usize] = self.module.instrs.len();
+                self.defined[label.0 as usize] = true;
+                continue;
+            }
+            self.emit_instr(line, ln)?;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<Module> {
+        for (name, label) in &self.label_ids {
+            if !self.defined[label.0 as usize] {
+                return Err(err(0, format!("label `{name}` was never defined")));
+            }
+        }
+        // Labels at end-of-code point one past the last instruction; that is
+        // only legal if nothing jumps there, which the scheduler checks.
+        self.module.symbols = self.label_ids;
+        Ok(self.module)
+    }
+
+    fn emit_instr(&mut self, line: &str, ln: usize) -> Result<()> {
+        let (mn, rest) = match line.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (line, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let instrs = self.translate(mn, &ops, ln)?;
+        for i in &instrs {
+            check_reserved(i, ln)?;
+        }
+        self.module.instrs.extend(instrs);
+        Ok(())
+    }
+
+    fn translate(&mut self, mn: &str, ops: &[&str], ln: usize) -> Result<Vec<Instr>> {
+        let alu3 = |op: AluOp, s: &Self| -> Result<Vec<Instr>> {
+            expect(ops.len() == 3, ln, "expected `rd, rs, rt`")?;
+            Ok(vec![Instr::Alu {
+                op,
+                rd: s.reg(ops[0], ln)?,
+                rs: s.reg(ops[1], ln)?,
+                rt: s.reg(ops[2], ln)?,
+            }])
+        };
+        let alui = |op: AluOp, s: &Self| -> Result<Vec<Instr>> {
+            expect(ops.len() == 3, ln, "expected `rd, rs, imm`")?;
+            Ok(vec![Instr::AluImm {
+                op,
+                rd: s.reg(ops[0], ln)?,
+                rs: s.reg(ops[1], ln)?,
+                imm: s.imm16(ops[2], ln)?,
+            }])
+        };
+        let fieldi = |op: FieldOp, s: &Self| -> Result<Vec<Instr>> {
+            expect(ops.len() == 4, ln, "expected `rd, rs, pos, width`")?;
+            Ok(vec![Instr::FieldImm {
+                op,
+                rd: s.reg(ops[0], ln)?,
+                rs: s.reg(ops[1], ln)?,
+                pos: s.bitpos(ops[2], ln)?,
+                width: s.bitwidth(ops[3], ln)?,
+            }])
+        };
+        let brz = |cond: BrCond, s: &mut Self| -> Result<Vec<Instr>> {
+            expect(ops.len() == 2, ln, "expected `rs, label`")?;
+            Ok(vec![Instr::Branch {
+                cond,
+                rs: s.reg(ops[0], ln)?,
+                rt: Reg::ZERO,
+                target: s.label(ops[1], ln)?,
+            }])
+        };
+        let br2 = |cond: BrCond, s: &mut Self| -> Result<Vec<Instr>> {
+            expect(ops.len() == 3, ln, "expected `rs, rt, label`")?;
+            Ok(vec![Instr::Branch {
+                cond,
+                rs: s.reg(ops[0], ln)?,
+                rt: s.reg(ops[1], ln)?,
+                target: s.label(ops[2], ln)?,
+            }])
+        };
+        let ldst = |size: MemSize, load: bool, s: &Self| -> Result<Vec<Instr>> {
+            expect(ops.len() == 2, ln, "expected `r, off(rs)`")?;
+            let r = s.reg(ops[0], ln)?;
+            let (off, base) = s.mem_operand(ops[1], ln)?;
+            Ok(vec![if load {
+                Instr::Load {
+                    rd: r,
+                    rs: base,
+                    off,
+                    size,
+                }
+            } else {
+                Instr::Store {
+                    rt: r,
+                    rs: base,
+                    off,
+                    size,
+                }
+            }])
+        };
+        let send = |target: SendTarget, with_data: bool, s: &Self| -> Result<Vec<Instr>> {
+            let (n, what) = match target {
+                SendTarget::Processor => (3, "expected `rtype, raddr, raux`"),
+                SendTarget::Network => (4, "expected `rtype, rdest, raddr, raux`"),
+            };
+            expect(ops.len() == n, ln, what)?;
+            let rtype = s.reg(ops[0], ln)?;
+            let (rdest, rest) = match target {
+                SendTarget::Processor => (Reg::ZERO, &ops[1..]),
+                SendTarget::Network => (s.reg(ops[1], ln)?, &ops[2..]),
+            };
+            Ok(vec![Instr::Send {
+                target,
+                with_data,
+                rtype,
+                rdest,
+                raddr: s.reg(rest[0], ln)?,
+                raux: s.reg(rest[1], ln)?,
+            }])
+        };
+
+        match mn {
+            "nop" => Ok(vec![Instr::Nop]),
+            "add" => alu3(AluOp::Add, self),
+            "sub" => alu3(AluOp::Sub, self),
+            "and" => alu3(AluOp::And, self),
+            "or" => alu3(AluOp::Or, self),
+            "xor" => alu3(AluOp::Xor, self),
+            "sll" => alu3(AluOp::Sll, self),
+            "srl" => alu3(AluOp::Srl, self),
+            "sra" => alu3(AluOp::Sra, self),
+            "slt" => alu3(AluOp::Slt, self),
+            "sltu" => alu3(AluOp::Sltu, self),
+            "addi" => alui(AluOp::Add, self),
+            "andi" => alui(AluOp::And, self),
+            "ori" => alui(AluOp::Or, self),
+            "xori" => alui(AluOp::Xor, self),
+            "slli" => alui(AluOp::Sll, self),
+            "srli" => alui(AluOp::Srl, self),
+            "srai" => alui(AluOp::Sra, self),
+            "slti" => alui(AluOp::Slt, self),
+            "lui" => {
+                expect(ops.len() == 2, ln, "expected `rd, imm`")?;
+                let v = self.value(ops[1], ln)?;
+                let imm = u16::try_from(v).map_err(|_| err(ln, format!("lui immediate {v} out of range")))?;
+                Ok(vec![Instr::Lui {
+                    rd: self.reg(ops[0], ln)?,
+                    imm,
+                }])
+            }
+            "andfi" => fieldi(FieldOp::AndMask, self),
+            "andcfi" => fieldi(FieldOp::AndNotMask, self),
+            "orfi" => fieldi(FieldOp::OrMask, self),
+            "xorfi" => fieldi(FieldOp::XorMask, self),
+            "bfext" | "bfins" => {
+                expect(ops.len() == 4, ln, "expected `rd, rs, pos, width`")?;
+                let rd = self.reg(ops[0], ln)?;
+                let rs = self.reg(ops[1], ln)?;
+                let pos = self.bitpos(ops[2], ln)?;
+                let width = self.bitwidth(ops[3], ln)?;
+                expect(pos as u32 + width as u32 <= 64, ln, "field exceeds 64 bits")?;
+                Ok(vec![if mn == "bfext" {
+                    Instr::BfExt { rd, rs, pos, width }
+                } else {
+                    Instr::BfIns { rd, rs, pos, width }
+                }])
+            }
+            "ffs" => {
+                expect(ops.len() == 2, ln, "expected `rd, rs`")?;
+                Ok(vec![Instr::Ffs {
+                    rd: self.reg(ops[0], ln)?,
+                    rs: self.reg(ops[1], ln)?,
+                }])
+            }
+            "ld" => ldst(MemSize::Double, true, self),
+            "lw" => ldst(MemSize::Word, true, self),
+            "sd" => ldst(MemSize::Double, false, self),
+            "sw" => ldst(MemSize::Word, false, self),
+            "beq" => br2(BrCond::Eq, self),
+            "bne" => br2(BrCond::Ne, self),
+            "bltz" => brz(BrCond::Ltz, self),
+            "bgez" => brz(BrCond::Gez, self),
+            "blez" => brz(BrCond::Lez, self),
+            "bgtz" => brz(BrCond::Gtz, self),
+            "bbs" | "bbc" => {
+                expect(ops.len() == 3, ln, "expected `rs, bit, label`")?;
+                Ok(vec![Instr::BranchBit {
+                    set: mn == "bbs",
+                    rs: self.reg(ops[0], ln)?,
+                    bit: self.bitpos(ops[1], ln)?,
+                    target: self.label(ops[2], ln)?,
+                }])
+            }
+            "j" | "b" => {
+                expect(ops.len() == 1, ln, "expected `label`")?;
+                Ok(vec![Instr::Jump {
+                    target: self.label(ops[0], ln)?,
+                }])
+            }
+            "mfmsg" => {
+                expect(ops.len() == 2, ln, "expected `rd, field`")?;
+                let f = self.value(ops[1], ln)?;
+                expect((0..=15).contains(&f), ln, "message field must be 0..=15")?;
+                Ok(vec![Instr::MfMsg {
+                    rd: self.reg(ops[0], ln)?,
+                    field: f as u8,
+                }])
+            }
+            "sendp" => send(SendTarget::Processor, false, self),
+            "sendpd" => send(SendTarget::Processor, true, self),
+            "sendn" => send(SendTarget::Network, false, self),
+            "sendnd" => send(SendTarget::Network, true, self),
+            "memrd" | "memwr" => {
+                expect(ops.len() == 1, ln, "expected `raddr`")?;
+                Ok(vec![Instr::MemOp {
+                    kind: if mn == "memrd" {
+                        MemOpKind::ReadLine
+                    } else {
+                        MemOpKind::WriteLine
+                    },
+                    raddr: self.reg(ops[0], ln)?,
+                }])
+            }
+            "switch" => {
+                expect(ops.is_empty(), ln, "switch takes no operands")?;
+                Ok(vec![Instr::Switch])
+            }
+            "move" => {
+                expect(ops.len() == 2, ln, "expected `rd, rs`")?;
+                Ok(vec![Instr::Alu {
+                    op: AluOp::Add,
+                    rd: self.reg(ops[0], ln)?,
+                    rs: self.reg(ops[1], ln)?,
+                    rt: Reg::ZERO,
+                }])
+            }
+            "li" => {
+                expect(ops.len() == 2, ln, "expected `rd, imm`")?;
+                let rd = self.reg(ops[0], ln)?;
+                let v = self.value(ops[1], ln)?;
+                expand_li(rd, v, ln)
+            }
+            _ => Err(err(ln, format!("unknown mnemonic `{mn}`"))),
+        }
+    }
+
+    fn reg(&self, tok: &str, ln: usize) -> Result<Reg> {
+        if tok == "zero" {
+            return Ok(Reg::ZERO);
+        }
+        let n = tok
+            .strip_prefix('r')
+            .and_then(|s| s.parse::<u8>().ok())
+            .filter(|&n| n < 32)
+            .ok_or_else(|| err(ln, format!("invalid register `{tok}`")))?;
+        Ok(Reg(n))
+    }
+
+    fn value(&self, tok: &str, ln: usize) -> Result<i64> {
+        parse_value(tok, ln, &self.equs)
+    }
+
+    fn imm16(&self, tok: &str, ln: usize) -> Result<i16> {
+        let v = self.value(tok, ln)?;
+        i16::try_from(v)
+            .or_else(|_| {
+                // Allow unsigned 16-bit constants for logical immediates.
+                u16::try_from(v).map(|u| u as i16)
+            })
+            .map_err(|_| err(ln, format!("immediate {v} does not fit in 16 bits")))
+    }
+
+    fn bitpos(&self, tok: &str, ln: usize) -> Result<u8> {
+        let v = self.value(tok, ln)?;
+        if (0..64).contains(&v) {
+            Ok(v as u8)
+        } else {
+            Err(err(ln, format!("bit position {v} out of range 0..64")))
+        }
+    }
+
+    fn bitwidth(&self, tok: &str, ln: usize) -> Result<u8> {
+        let v = self.value(tok, ln)?;
+        if (1..=64).contains(&v) {
+            Ok(v as u8)
+        } else {
+            Err(err(ln, format!("field width {v} out of range 1..=64")))
+        }
+    }
+
+    fn label(&mut self, tok: &str, ln: usize) -> Result<Label> {
+        self.label_ids
+            .get(tok)
+            .copied()
+            .ok_or_else(|| err(ln, format!("undefined label `{tok}`")))
+    }
+
+    fn mem_operand(&self, tok: &str, ln: usize) -> Result<(i16, Reg)> {
+        let open = tok
+            .find('(')
+            .ok_or_else(|| err(ln, format!("expected `off(reg)`, got `{tok}`")))?;
+        let close = tok
+            .rfind(')')
+            .filter(|&c| c > open)
+            .ok_or_else(|| err(ln, format!("unbalanced parens in `{tok}`")))?;
+        let off_str = tok[..open].trim();
+        let off = if off_str.is_empty() {
+            0
+        } else {
+            self.imm16(off_str, ln)?
+        };
+        let base = self.reg(tok[open + 1..close].trim(), ln)?;
+        Ok((off, base))
+    }
+}
+
+fn expand_li(rd: Reg, v: i64, ln: usize) -> Result<Vec<Instr>> {
+    if let Ok(imm) = i16::try_from(v) {
+        return Ok(vec![Instr::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs: Reg::ZERO,
+            imm,
+        }]);
+    }
+    if let Ok(u) = u32::try_from(v) {
+        let hi = (u >> 16) as u16;
+        let lo = (u & 0xffff) as u16;
+        let mut out = vec![Instr::Lui { rd, imm: hi }];
+        if lo != 0 {
+            out.push(Instr::AluImm {
+                op: AluOp::Or,
+                rd,
+                rs: rd,
+                imm: lo as i16,
+            });
+        }
+        return Ok(out);
+    }
+    Err(err(ln, format!("li immediate {v} wider than 32 bits")))
+}
+
+fn check_reserved(i: &Instr, ln: usize) -> Result<()> {
+    let uses_temp = |r: Reg| r == TEMP0 || r == TEMP1;
+    if i.dest().is_some_and(uses_temp) {
+        return Err(err(ln, "r29/r30 are reserved assembler temporaries"));
+    }
+    let (srcs, n) = i.sources();
+    if srcs[..n].iter().flatten().any(|&r| uses_temp(r)) {
+        return Err(err(ln, "r29/r30 are reserved assembler temporaries"));
+    }
+    Ok(())
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find(|c| c == ';' || c == '#').unwrap_or(line.len());
+    &line[..cut]
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_equ(rest: &str, ln: usize, equs: &BTreeMap<String, i64>) -> Result<(String, i64)> {
+    let (name, val) = rest
+        .split_once(',')
+        .ok_or_else(|| err(ln, "expected `.equ NAME, value`"))?;
+    let name = name.trim();
+    if !is_ident(name) {
+        return Err(err(ln, format!("invalid constant name `{name}`")));
+    }
+    Ok((name.to_string(), parse_value(val.trim(), ln, equs)?))
+}
+
+fn parse_value(tok: &str, ln: usize, equs: &BTreeMap<String, i64>) -> Result<i64> {
+    if let Some(v) = equs.get(tok) {
+        return Ok(*v);
+    }
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let parsed = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2).ok()
+    } else {
+        body.parse::<i64>().ok()
+    };
+    match parsed {
+        Some(v) => Ok(if neg { -v } else { v }),
+        None => Err(err(ln, format!("cannot parse value `{tok}`"))),
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn expect(cond: bool, line: usize, msg: &str) -> Result<()> {
+    if cond {
+        Ok(())
+    } else {
+        Err(err(line, msg.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asm(src: &str) -> Module {
+        assemble(src).expect("assembly failed")
+    }
+
+    #[test]
+    fn basic_program() {
+        let m = asm("start:\n  addi r1, r0, 5\n  add r2, r1, r1\n  switch\n");
+        assert_eq!(m.instrs.len(), 3);
+        assert_eq!(m.label_target(m.symbols["start"]), 0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let m = asm("; header\nstart: # trailing\n\n  nop ; mid\n  switch\n");
+        assert_eq!(m.instrs.len(), 2);
+    }
+
+    #[test]
+    fn equ_constants() {
+        let m = asm(".equ FIVE, 5\n.equ ALSO, FIVE\ns:\n  addi r1, r0, ALSO\n  switch\n");
+        assert_eq!(
+            m.instrs[0],
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs: Reg(0),
+                imm: 5
+            }
+        );
+    }
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let m = asm("s:\n  j end\nmid:\n  bbs r1, 3, s\nend:\n  switch\n");
+        assert_eq!(m.label_target(m.symbols["end"]), 2);
+        match m.instrs[0] {
+            Instr::Jump { target } => assert_eq!(m.label_target(target), 2),
+            ref other => panic!("expected jump, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_operands() {
+        let m = asm("s:\n  ld r4, 8(r2)\n  sd r4, (r2)\n  lw r5, -4(r3)\n  switch\n");
+        assert_eq!(
+            m.instrs[0],
+            Instr::Load {
+                rd: Reg(4),
+                rs: Reg(2),
+                off: 8,
+                size: MemSize::Double
+            }
+        );
+        assert_eq!(
+            m.instrs[1],
+            Instr::Store {
+                rt: Reg(4),
+                rs: Reg(2),
+                off: 0,
+                size: MemSize::Double
+            }
+        );
+        assert_eq!(
+            m.instrs[2],
+            Instr::Load {
+                rd: Reg(5),
+                rs: Reg(3),
+                off: -4,
+                size: MemSize::Word
+            }
+        );
+    }
+
+    #[test]
+    fn li_expansion() {
+        let m = asm("s:\n  li r1, 100\n  li r2, 0x12345\n  li r3, 0x10000\n  switch\n");
+        assert_eq!(
+            m.instrs[0],
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs: Reg(0),
+                imm: 100
+            }
+        );
+        assert_eq!(m.instrs[1], Instr::Lui { rd: Reg(2), imm: 1 });
+        assert_eq!(
+            m.instrs[2],
+            Instr::AluImm {
+                op: AluOp::Or,
+                rd: Reg(2),
+                rs: Reg(2),
+                imm: 0x2345
+            }
+        );
+        // 0x10000 needs no trailing ori.
+        assert_eq!(m.instrs[3], Instr::Lui { rd: Reg(3), imm: 1 });
+        assert_eq!(m.instrs[4], Instr::Switch);
+    }
+
+    #[test]
+    fn sends_and_memops() {
+        let m = asm("s:\n  sendp r1, r2, r3\n  sendnd r1, r4, r2, r3\n  memrd r2\n  switch\n");
+        assert_eq!(
+            m.instrs[0],
+            Instr::Send {
+                target: SendTarget::Processor,
+                with_data: false,
+                rtype: Reg(1),
+                rdest: Reg::ZERO,
+                raddr: Reg(2),
+                raux: Reg(3)
+            }
+        );
+        assert_eq!(
+            m.instrs[1],
+            Instr::Send {
+                target: SendTarget::Network,
+                with_data: true,
+                rtype: Reg(1),
+                rdest: Reg(4),
+                raddr: Reg(2),
+                raux: Reg(3)
+            }
+        );
+        assert_eq!(
+            m.instrs[2],
+            Instr::MemOp {
+                kind: MemOpKind::ReadLine,
+                raddr: Reg(2)
+            }
+        );
+    }
+
+    #[test]
+    fn specials_parse() {
+        let m = asm("s:\n  bfext r1, r2, 4, 8\n  bfins r1, r2, 4, 8\n  ffs r1, r2\n  andfi r1, r2, 0, 12\n  bbs r1, 63, s\n  switch\n");
+        assert!(m.instrs[0].is_special());
+        assert!(m.instrs[1].is_special());
+        assert!(m.instrs[2].is_special());
+        assert!(m.instrs[3].is_special());
+        assert!(m.instrs[4].is_special());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(assemble("s:\n  frobnicate r1\n").is_err());
+        assert!(assemble("s:\n  addi r1, r0, 99999\n").is_err());
+        assert!(assemble("s:\n  j nowhere\n").is_err());
+        assert!(assemble("s:\n  addi r40, r0, 1\n").is_err());
+        assert!(assemble("s:\ns:\n  nop\n").is_err());
+        assert!(assemble("dangling:\n").is_ok()); // label at end is fine
+        let e = assemble("s:\n  addi r29, r0, 1\n").unwrap_err();
+        assert!(e.message.contains("reserved"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unsigned_16bit_logical_immediates() {
+        let m = asm("s:\n  andi r1, r2, 0xffff\n  switch\n");
+        match m.instrs[0] {
+            Instr::AluImm { imm, .. } => assert_eq!(imm as u16, 0xffff),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let e = assemble("s:\n  bogus\n").unwrap_err();
+        assert_eq!(e.to_string(), "line 2: unknown mnemonic `bogus`");
+    }
+}

@@ -1,0 +1,693 @@
+//! The PP instruction-set emulator (the PPsim role).
+//!
+//! "PPsim, the instruction set emulator for the PP, executes the handlers
+//! and reports accurate instruction usage statistics and dynamic cycle
+//! counts" (paper §3.3). [`run`] executes one handler from its entry point
+//! to its `switch` instruction against an [`Env`] that supplies message
+//! header fields and protocol memory, and returns the handler's dynamic
+//! cycle count, its instruction statistics, and a timeline of *effects*
+//! (message sends, memory operations, MAGIC data cache misses) with their
+//! cycle offsets. The machine model replays that timeline on the event
+//! queue, inserting stalls for contended resources.
+
+use crate::isa::{field_mask, AluOp, FieldOp, Instr, MemOpKind, MemSize, Reg, SendTarget, NUM_REGS};
+use crate::prog::Program;
+use std::error::Error;
+use std::fmt;
+
+/// An outgoing message composed by a `send` instruction, in raw register
+/// form. The protocol crate gives meaning to `mtype` and `aux`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutMsg {
+    /// Where the message goes (local processor or network).
+    pub target: SendTarget,
+    /// Whether a data buffer travels with the header.
+    pub with_data: bool,
+    /// Raw message type.
+    pub mtype: u64,
+    /// Destination node (network sends only).
+    pub dest: u64,
+    /// Address carried in the header.
+    pub addr: u64,
+    /// Auxiliary header field (ack counts, forwarding info, ...).
+    pub aux: u64,
+}
+
+/// A MAGIC data cache miss reported by the environment on a PP load/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MdcMiss {
+    /// Protocol-memory line that must be fetched.
+    pub line: u64,
+    /// Whether the access was a store.
+    pub write: bool,
+    /// Dirty victim line that must be written back first, if any.
+    pub victim_writeback: Option<u64>,
+}
+
+/// One externally visible action of a handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectKind {
+    /// An outgoing message.
+    Send(OutMsg),
+    /// A memory operation on a 128-byte data line.
+    MemOp {
+        /// Read into or write from a data buffer.
+        kind: MemOpKind,
+        /// Byte address of the line.
+        addr: u64,
+    },
+    /// A MAGIC data cache miss (stalls the PP; occupies the memory system).
+    Mdc(MdcMiss),
+}
+
+/// An effect annotated with the execution-cycle offset (from handler start)
+/// at which it occurred.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEffect {
+    /// Pairs completed before this effect issued.
+    pub offset: u64,
+    /// The action itself.
+    pub kind: EffectKind,
+}
+
+/// Dynamic instruction statistics for one or more handler runs
+/// (the raw material for paper Table 5.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Dual-issue pairs executed (equals execution cycles).
+    pub pairs: u64,
+    /// Non-NOP instructions executed.
+    pub instrs: u64,
+    /// Special (MAGIC-extension) instructions executed.
+    pub special: u64,
+    /// ALU + branch instructions executed (denominator for special use).
+    pub alu_branch: u64,
+    /// PP loads executed.
+    pub loads: u64,
+    /// PP stores executed.
+    pub stores: u64,
+    /// MDC misses reported by the environment.
+    pub mdc_misses: u64,
+    /// Handler invocations accumulated.
+    pub invocations: u64,
+}
+
+impl RunStats {
+    /// Accumulates another run's statistics.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.pairs += other.pairs;
+        self.instrs += other.instrs;
+        self.special += other.special;
+        self.alu_branch += other.alu_branch;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.mdc_misses += other.mdc_misses;
+        self.invocations += other.invocations;
+    }
+
+    /// Dynamic dual-issue efficiency: non-NOP instructions per pair
+    /// (2.0 would be perfect; the paper reports 1.43–1.54).
+    pub fn dual_issue_efficiency(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / self.pairs as f64
+        }
+    }
+
+    /// Dynamic fraction of ALU and branch instructions that are special.
+    pub fn special_fraction(&self) -> f64 {
+        if self.alu_branch == 0 {
+            0.0
+        } else {
+            self.special as f64 / self.alu_branch as f64
+        }
+    }
+
+    /// Mean instruction pairs per handler invocation.
+    pub fn pairs_per_invocation(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.pairs as f64 / self.invocations as f64
+        }
+    }
+}
+
+/// The result of emulating one handler.
+#[derive(Debug, Clone, Default)]
+pub struct HandlerRun {
+    /// Externally visible actions, in issue order with cycle offsets.
+    pub effects: Vec<TimedEffect>,
+    /// Pure execution cycles (pairs executed); resource stalls are added by
+    /// the machine model when replaying `effects`.
+    pub exec_cycles: u64,
+    /// Instruction statistics for this run.
+    pub stats: RunStats,
+}
+
+/// The environment a handler executes against: message header fields and
+/// protocol memory (directory headers, pointer store), with MDC modelling.
+pub trait Env {
+    /// Loads `size` bytes at `addr` from protocol memory. Also reports an
+    /// MDC miss if the access missed.
+    fn load(&mut self, addr: u64, size: MemSize) -> (u64, Option<MdcMiss>);
+
+    /// Stores `size` bytes at `addr` to protocol memory, reporting an MDC
+    /// miss if the access missed.
+    fn store(&mut self, addr: u64, val: u64, size: MemSize) -> Option<MdcMiss>;
+
+    /// Reads a field of the message header being processed.
+    fn msg_field(&mut self, field: u8) -> u64;
+}
+
+/// An emulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// The handler executed more than the configured pair budget without
+    /// reaching `switch` — almost certainly an infinite loop.
+    RanAway {
+        /// The pair budget that was exhausted.
+        budget: u64,
+    },
+    /// Control transferred outside the program.
+    BadPc {
+        /// The offending pair index.
+        pc: usize,
+    },
+    /// A load or store used an address not aligned to its size.
+    Unaligned {
+        /// The offending byte address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::RanAway { budget } => write!(f, "handler exceeded {budget} pairs without switch"),
+            EmuError::BadPc { pc } => write!(f, "control transfer to invalid pc {pc}"),
+            EmuError::Unaligned { addr } => write!(f, "unaligned protocol memory access at {addr:#x}"),
+        }
+    }
+}
+
+impl Error for EmuError {}
+
+/// Default pair budget for [`run`]; generous compared to real handlers
+/// (tens of pairs, hundreds when walking long sharer lists).
+pub const DEFAULT_PAIR_BUDGET: u64 = 1_000_000;
+
+enum Ctl {
+    Jump(usize),
+    Switch,
+}
+
+/// Executes the handler at pair index `entry` until its `switch`.
+///
+/// # Errors
+///
+/// Returns an [`EmuError`] on runaway execution, a control transfer outside
+/// the program, or an unaligned memory access.
+///
+/// # Examples
+///
+/// ```
+/// use flash_pp::{asm, sched, emu};
+///
+/// let module = asm::assemble("h:\n  addi r1, r0, 2\n  addi r2, r0, 3\n  switch\n")?;
+/// let prog = sched::schedule(&module, sched::SchedOptions::default());
+/// let mut env = emu::FlatEnv::new(256);
+/// let run = emu::run(&prog, prog.entry("h").unwrap(), &mut env, emu::DEFAULT_PAIR_BUDGET)?;
+/// assert_eq!(run.exec_cycles, 2); // (addi,addi) + (switch,nop)
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run(
+    program: &Program,
+    entry: usize,
+    env: &mut impl Env,
+    pair_budget: u64,
+) -> Result<HandlerRun, EmuError> {
+    let mut regs = [0u64; NUM_REGS];
+    let mut out = HandlerRun {
+        stats: RunStats {
+            invocations: 1,
+            ..RunStats::default()
+        },
+        ..HandlerRun::default()
+    };
+    let mut pc = entry;
+    loop {
+        if out.stats.pairs >= pair_budget {
+            return Err(EmuError::RanAway { budget: pair_budget });
+        }
+        let pair = *program.pairs.get(pc).ok_or(EmuError::BadPc { pc })?;
+        let offset = out.stats.pairs;
+        out.stats.pairs += 1;
+
+        let mut ctl = None;
+        for instr in [pair.a, pair.b] {
+            if instr == Instr::Nop {
+                continue;
+            }
+            if let Some(c) = exec(instr, &mut regs, env, program, offset, &mut out)? {
+                ctl = Some(c);
+            }
+        }
+        match ctl {
+            Some(Ctl::Switch) => {
+                out.exec_cycles = out.stats.pairs;
+                return Ok(out);
+            }
+            Some(Ctl::Jump(target)) => pc = target,
+            None => pc += 1,
+        }
+    }
+}
+
+fn exec(
+    instr: Instr,
+    regs: &mut [u64; NUM_REGS],
+    env: &mut impl Env,
+    program: &Program,
+    offset: u64,
+    out: &mut HandlerRun,
+) -> Result<Option<Ctl>, EmuError> {
+    out.stats.instrs += 1;
+    if instr.is_special() {
+        out.stats.special += 1;
+    }
+    if instr.is_alu_or_branch() {
+        out.stats.alu_branch += 1;
+    }
+    let w = |regs: &mut [u64; NUM_REGS], rd: Reg, v: u64| {
+        if rd != Reg::ZERO {
+            regs[rd.index()] = v;
+        }
+    };
+    match instr {
+        Instr::Nop => {}
+        Instr::Alu { op, rd, rs, rt } => {
+            let v = op.apply(regs[rs.index()], regs[rt.index()]);
+            w(regs, rd, v);
+        }
+        Instr::AluImm { op, rd, rs, imm } => {
+            // Logical immediates zero-extend; arithmetic immediates
+            // sign-extend (DLX convention).
+            let b = match op {
+                AluOp::And | AluOp::Or | AluOp::Xor => imm as u16 as u64,
+                _ => imm as i64 as u64,
+            };
+            let v = op.apply(regs[rs.index()], b);
+            w(regs, rd, v);
+        }
+        Instr::Lui { rd, imm } => w(regs, rd, (imm as u64) << 16),
+        Instr::FieldImm { op, rd, rs, pos, width } => {
+            let m = field_mask(pos, width);
+            let a = regs[rs.index()];
+            let v = match op {
+                FieldOp::AndMask => a & m,
+                FieldOp::AndNotMask => a & !m,
+                FieldOp::OrMask => a | m,
+                FieldOp::XorMask => a ^ m,
+            };
+            w(regs, rd, v);
+        }
+        Instr::BfExt { rd, rs, pos, width } => {
+            let v = (regs[rs.index()] >> pos) & field_mask(0, width);
+            w(regs, rd, v);
+        }
+        Instr::BfIns { rd, rs, pos, width } => {
+            let m = field_mask(pos, width);
+            let v = (regs[rd.index()] & !m) | ((regs[rs.index()] << pos) & m);
+            w(regs, rd, v);
+        }
+        Instr::Ffs { rd, rs } => {
+            let v = regs[rs.index()];
+            let pos = if v == 0 { 64 } else { v.trailing_zeros() as u64 };
+            w(regs, rd, pos);
+        }
+        Instr::Load { rd, rs, off, size } => {
+            out.stats.loads += 1;
+            let addr = regs[rs.index()].wrapping_add(off as i64 as u64);
+            if addr % size.bytes() != 0 {
+                return Err(EmuError::Unaligned { addr });
+            }
+            let (v, miss) = env.load(addr, size);
+            if let Some(m) = miss {
+                out.stats.mdc_misses += 1;
+                out.effects.push(TimedEffect {
+                    offset,
+                    kind: EffectKind::Mdc(m),
+                });
+            }
+            w(regs, rd, v);
+        }
+        Instr::Store { rt, rs, off, size } => {
+            out.stats.stores += 1;
+            let addr = regs[rs.index()].wrapping_add(off as i64 as u64);
+            if addr % size.bytes() != 0 {
+                return Err(EmuError::Unaligned { addr });
+            }
+            if let Some(m) = env.store(addr, regs[rt.index()], size) {
+                out.stats.mdc_misses += 1;
+                out.effects.push(TimedEffect {
+                    offset,
+                    kind: EffectKind::Mdc(m),
+                });
+            }
+        }
+        Instr::Branch { cond, rs, rt, target } => {
+            if cond.taken(regs[rs.index()], regs[rt.index()]) {
+                return Ok(Some(Ctl::Jump(program.label_pc(target))));
+            }
+        }
+        Instr::BranchBit { set, rs, bit, target } => {
+            let bitval = (regs[rs.index()] >> bit) & 1 == 1;
+            if bitval == set {
+                return Ok(Some(Ctl::Jump(program.label_pc(target))));
+            }
+        }
+        Instr::Jump { target } => return Ok(Some(Ctl::Jump(program.label_pc(target)))),
+        Instr::MfMsg { rd, field } => {
+            let v = env.msg_field(field);
+            w(regs, rd, v);
+        }
+        Instr::Send {
+            target,
+            with_data,
+            rtype,
+            rdest,
+            raddr,
+            raux,
+        } => {
+            out.effects.push(TimedEffect {
+                offset,
+                kind: EffectKind::Send(OutMsg {
+                    target,
+                    with_data,
+                    mtype: regs[rtype.index()],
+                    dest: regs[rdest.index()],
+                    addr: regs[raddr.index()],
+                    aux: regs[raux.index()],
+                }),
+            });
+        }
+        Instr::MemOp { kind, raddr } => {
+            out.effects.push(TimedEffect {
+                offset,
+                kind: EffectKind::MemOp {
+                    kind,
+                    addr: regs[raddr.index()],
+                },
+            });
+        }
+        Instr::Switch => return Ok(Some(Ctl::Switch)),
+    }
+    Ok(None)
+}
+
+/// A simple [`Env`] over a flat byte array with no MDC (every access hits):
+/// the workhorse for unit tests and for measuring pure handler occupancies.
+#[derive(Debug, Clone)]
+pub struct FlatEnv {
+    mem: Vec<u8>,
+    /// Message header fields returned by `mfmsg`.
+    pub fields: [u64; 16],
+}
+
+impl FlatEnv {
+    /// Creates an environment with `bytes` of zeroed protocol memory.
+    pub fn new(bytes: usize) -> Self {
+        FlatEnv {
+            mem: vec![0; bytes],
+            fields: [0; 16],
+        }
+    }
+
+    /// Reads back a 64-bit value (for assertions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + 8` exceeds the memory size.
+    pub fn peek64(&self, addr: u64) -> u64 {
+        let a = addr as usize;
+        u64::from_le_bytes(self.mem[a..a + 8].try_into().expect("in range"))
+    }
+
+    /// Writes a 64-bit value (for test setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr + 8` exceeds the memory size.
+    pub fn poke64(&mut self, addr: u64, val: u64) {
+        let a = addr as usize;
+        self.mem[a..a + 8].copy_from_slice(&val.to_le_bytes());
+    }
+}
+
+impl Env for FlatEnv {
+    fn load(&mut self, addr: u64, size: MemSize) -> (u64, Option<MdcMiss>) {
+        let a = addr as usize;
+        let v = match size {
+            MemSize::Double => u64::from_le_bytes(self.mem[a..a + 8].try_into().expect("in range")),
+            MemSize::Word => u32::from_le_bytes(self.mem[a..a + 4].try_into().expect("in range")) as u64,
+        };
+        (v, None)
+    }
+
+    fn store(&mut self, addr: u64, val: u64, size: MemSize) -> Option<MdcMiss> {
+        let a = addr as usize;
+        match size {
+            MemSize::Double => self.mem[a..a + 8].copy_from_slice(&val.to_le_bytes()),
+            MemSize::Word => self.mem[a..a + 4].copy_from_slice(&(val as u32).to_le_bytes()),
+        }
+        None
+    }
+
+    fn msg_field(&mut self, field: u8) -> u64 {
+        self.fields[field as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::sched::{schedule, SchedOptions};
+
+    fn exec_src(src: &str, env: &mut FlatEnv) -> HandlerRun {
+        let m = assemble(src).unwrap();
+        let p = schedule(&m, SchedOptions::default());
+        run(&p, 0, env, DEFAULT_PAIR_BUDGET).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_store() {
+        let mut env = FlatEnv::new(64);
+        let r = exec_src(
+            "h:\n  addi r1, r0, 6\n  addi r2, r0, 7\n  add r3, r1, r2\n  addi r4, r0, 8\n  sd r3, 0(r4)\n  switch\n",
+            &mut env,
+        );
+        assert_eq!(env.peek64(8), 13);
+        assert_eq!(r.stats.stores, 1);
+        assert!(r.effects.is_empty());
+    }
+
+    #[test]
+    fn loop_with_branch() {
+        // Sum 1..=5 by looping.
+        let src = "h:
+  addi r1, r0, 5
+  addi r2, r0, 0
+loop:
+  add r2, r2, r1
+  addi r1, r1, -1
+  bgtz r1, loop
+  addi r3, r0, 16
+  sd r2, 0(r3)
+  switch
+";
+        let mut env = FlatEnv::new(64);
+        exec_src(src, &mut env);
+        assert_eq!(env.peek64(16), 15);
+    }
+
+    #[test]
+    fn bitfield_instructions() {
+        let src = "h:
+  li r1, 0x1234
+  bfext r2, r1, 4, 8      ; (0x1234 >> 4) & 0xff = 0x23
+  li r3, 0xff
+  bfins r1, r3, 8, 4      ; insert 0xf at bits 8..12
+  ffs r4, r1
+  addi r5, r0, 0
+  ffs r6, r5              ; ffs(0) = 64
+  switch
+";
+        let mut env = FlatEnv::new(0);
+        let m = assemble(src).unwrap();
+        let p = schedule(&m, SchedOptions::default());
+        // Verify by re-running and storing results via a tweaked source
+        // instead: simpler to check register effects through memory.
+        let src2 = "h:
+  li r1, 0x1234
+  bfext r2, r1, 4, 8
+  addi r9, r0, 0
+  sd r2, 0(r9)
+  li r3, 0xff
+  bfins r1, r3, 8, 4
+  sd r1, 8(r9)
+  ffs r4, r1
+  sd r4, 16(r9)
+  addi r5, r0, 0
+  ffs r6, r5
+  sd r6, 24(r9)
+  switch
+";
+        let mut env2 = FlatEnv::new(64);
+        exec_src(src2, &mut env2);
+        assert_eq!(env2.peek64(0), 0x23);
+        assert_eq!(env2.peek64(8), 0x1f34); // bits 8..12 set to 0xf
+        assert_eq!(env2.peek64(16), 2); // lowest set bit of 0x1f34
+        assert_eq!(env2.peek64(24), 64);
+        let _ = (p, &mut env); // silence unused in first half
+    }
+
+    #[test]
+    fn field_immediates() {
+        let src = "h:
+  li r1, 0xabcd
+  andfi r2, r1, 4, 8
+  andcfi r3, r1, 4, 8
+  orfi r4, r0, 2, 3
+  addi r9, r0, 0
+  sd r2, 0(r9)
+  sd r3, 8(r9)
+  sd r4, 16(r9)
+  switch
+";
+        let mut env = FlatEnv::new(64);
+        exec_src(src, &mut env);
+        assert_eq!(env.peek64(0), 0xabcd & 0xff0);
+        assert_eq!(env.peek64(8), 0xabcd & !0xff0u64);
+        assert_eq!(env.peek64(16), 0b11100);
+    }
+
+    #[test]
+    fn branch_on_bit() {
+        let src = "h:
+  li r1, 0b1000
+  addi r2, r0, 1
+  bbs r1, 3, set
+  addi r2, r0, 99
+set:
+  bbc r1, 0, clear
+  addi r2, r0, 98
+clear:
+  addi r9, r0, 0
+  sd r2, 0(r9)
+  switch
+";
+        let mut env = FlatEnv::new(16);
+        exec_src(src, &mut env);
+        assert_eq!(env.peek64(0), 1);
+    }
+
+    #[test]
+    fn send_and_memop_effects_in_order() {
+        let src = "h:
+  addi r1, r0, 5    ; type
+  addi r2, r0, 3    ; dest
+  li r3, 0x1000     ; addr
+  addi r4, r0, 0
+  memrd r3
+  sendnd r1, r2, r3, r4
+  switch
+";
+        let mut env = FlatEnv::new(0);
+        let r = exec_src(src, &mut env);
+        assert_eq!(r.effects.len(), 2);
+        match r.effects[0].kind {
+            EffectKind::MemOp { kind, addr } => {
+                assert_eq!(kind, MemOpKind::ReadLine);
+                assert_eq!(addr, 0x1000);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+        match r.effects[1].kind {
+            EffectKind::Send(m) => {
+                assert_eq!(m.mtype, 5);
+                assert_eq!(m.dest, 3);
+                assert_eq!(m.addr, 0x1000);
+                assert!(m.with_data);
+                assert_eq!(m.target, SendTarget::Network);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+        assert!(r.effects[0].offset <= r.effects[1].offset);
+    }
+
+    #[test]
+    fn msg_fields_visible() {
+        let src = "h:\n  mfmsg r1, 2\n  addi r9, r0, 0\n  sd r1, 0(r9)\n  switch\n";
+        let mut env = FlatEnv::new(16);
+        env.fields[2] = 0xdead;
+        exec_src(src, &mut env);
+        assert_eq!(env.peek64(0), 0xdead);
+    }
+
+    #[test]
+    fn runaway_detection() {
+        let m = assemble("h:\n  j h\n").unwrap();
+        let p = schedule(&m, SchedOptions::default());
+        let mut env = FlatEnv::new(0);
+        assert_eq!(run(&p, 0, &mut env, 100).unwrap_err(), EmuError::RanAway { budget: 100 });
+    }
+
+    #[test]
+    fn unaligned_access_rejected() {
+        let m = assemble("h:\n  addi r1, r0, 3\n  ld r2, 0(r1)\n  switch\n").unwrap();
+        let p = schedule(&m, SchedOptions::default());
+        let mut env = FlatEnv::new(64);
+        assert_eq!(
+            run(&p, 0, &mut env, 100).unwrap_err(),
+            EmuError::Unaligned { addr: 3 }
+        );
+    }
+
+    #[test]
+    fn word_accesses() {
+        let src = "h:\n  li r1, 0x11223344\n  addi r9, r0, 0\n  sw r1, 4(r9)\n  lw r2, 4(r9)\n  sd r2, 8(r9)\n  switch\n";
+        let mut env = FlatEnv::new(32);
+        exec_src(src, &mut env);
+        assert_eq!(env.peek64(8), 0x11223344);
+    }
+
+    #[test]
+    fn stats_counting() {
+        let src = "h:\n  addi r1, r0, 1\n  bfext r2, r1, 0, 1\n  ld r3, 0(r0)\n  switch\n";
+        let mut env = FlatEnv::new(16);
+        let r = exec_src(src, &mut env);
+        assert_eq!(r.stats.instrs, 4);
+        assert_eq!(r.stats.special, 1);
+        assert_eq!(r.stats.loads, 1);
+        assert_eq!(r.stats.invocations, 1);
+        assert!(r.stats.dual_issue_efficiency() > 1.0);
+        assert!(r.stats.special_fraction() > 0.0);
+    }
+
+    #[test]
+    fn single_issue_costs_more_cycles() {
+        let src = "h:\n  addi r1, r0, 1\n  addi r2, r0, 2\n  addi r3, r0, 3\n  addi r4, r0, 4\n  switch\n";
+        let m = assemble(src).unwrap();
+        let dual = schedule(&m, SchedOptions::default());
+        let single = schedule(&m, SchedOptions::single_issue());
+        let mut env = FlatEnv::new(0);
+        let rd = run(&dual, 0, &mut env, 100).unwrap();
+        let rs = run(&single, 0, &mut env, 100).unwrap();
+        assert!(rs.exec_cycles == 0 || rd.exec_cycles < rs.exec_cycles || rd.exec_cycles <= 3);
+        assert_eq!(rs.exec_cycles, 5);
+        assert_eq!(rd.exec_cycles, 3); // (1,2)(3,4)(switch,nop)
+    }
+}

@@ -1,0 +1,451 @@
+//! The protocol processor instruction set.
+//!
+//! The PP is "a general purpose microprocessor core" whose "instruction
+//! set, based on DLX, has been extended to include bitfield insert/extract
+//! and branch on bit set/clear instructions" (paper §2). Per §5.3 the
+//! special instructions fall into four categories: find first set bit,
+//! branch on bit set/clear, ALU field immediates (an immediate operand that
+//! is a string of consecutive ones or zeros), and field insertion.
+//!
+//! Registers are 64 bits wide (directory headers are 8 bytes). `r0` is
+//! hardwired to zero; `r29`/`r30` are reserved as assembler temporaries for
+//! the DLX substitution sequences of [`crate::dlx`] and may not be used by
+//! handler code.
+
+use std::fmt;
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 32;
+
+/// Bytes occupied by one encoded instruction (for static code-size
+/// accounting, paper Table 5.2).
+pub const INSTR_BYTES: u64 = 4;
+
+/// First assembler-reserved temporary register.
+pub const TEMP0: Reg = Reg(29);
+/// Second assembler-reserved temporary register.
+pub const TEMP1: Reg = Reg(30);
+
+/// A PP register, `r0`–`r31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hardwired-zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Index into a register file array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A branch-target label. Labels are allocated by the assembler and
+/// resolved to instruction (then pair) indices late, so that program
+/// transformations such as DLX substitution can splice code freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Three-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+}
+
+impl AluOp {
+    /// Applies the operation to two 64-bit values.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        let sh = (b & 63) as u32;
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl(sh),
+            AluOp::Srl => a.wrapping_shr(sh),
+            AluOp::Sra => (a as i64).wrapping_shr(sh) as u64,
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+        }
+    }
+}
+
+/// Field-immediate flavours (the special "ALU field immediate" class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldOp {
+    /// AND with the field mask (keeps the field, e.g. extract-in-place).
+    AndMask,
+    /// AND with the complement of the field mask (clears the field).
+    AndNotMask,
+    /// OR with the field mask (sets the field).
+    OrMask,
+    /// XOR with the field mask (toggles the field).
+    XorMask,
+}
+
+/// Branch conditions against zero or a second register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrCond {
+    /// `rs == rt`
+    Eq,
+    /// `rs != rt`
+    Ne,
+    /// `rs < 0` (signed; `rt` ignored)
+    Ltz,
+    /// `rs >= 0` (signed; `rt` ignored)
+    Gez,
+    /// `rs <= 0` (signed; `rt` ignored)
+    Lez,
+    /// `rs > 0` (signed; `rt` ignored)
+    Gtz,
+}
+
+impl BrCond {
+    /// Evaluates the condition.
+    pub fn taken(self, rs: u64, rt: u64) -> bool {
+        match self {
+            BrCond::Eq => rs == rt,
+            BrCond::Ne => rs != rt,
+            BrCond::Ltz => (rs as i64) < 0,
+            BrCond::Gez => (rs as i64) >= 0,
+            BrCond::Lez => (rs as i64) <= 0,
+            BrCond::Gtz => (rs as i64) > 0,
+        }
+    }
+}
+
+/// Memory access widths for PP loads/stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemSize {
+    /// 4 bytes.
+    Word,
+    /// 8 bytes.
+    Double,
+}
+
+impl MemSize {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemSize::Word => 4,
+            MemSize::Double => 8,
+        }
+    }
+}
+
+/// Destination of an outgoing message composed by a `send` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTarget {
+    /// To the local compute processor through the PI.
+    Processor,
+    /// To a remote node through the NI (destination node in a register).
+    Network,
+}
+
+/// Memory operations the PP can initiate on the node's memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOpKind {
+    /// Read the 128-byte line into a data buffer (for an outgoing reply).
+    ReadLine,
+    /// Write the message's data buffer back to the 128-byte line.
+    WriteLine,
+}
+
+/// One PP instruction.
+///
+/// The variants marked *special* are the MAGIC ISA extensions evaluated in
+/// paper §5.3 / Tables 5.2–5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// No operation (also used as an empty issue slot).
+    Nop,
+    /// `rd = rs op rt`
+    Alu { op: AluOp, rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs op imm` — the immediate is limited to 16 bits signed, as in
+    /// DLX; wider constants require `lui`/`ori` sequences or the special
+    /// field-immediate forms.
+    AluImm { op: AluOp, rd: Reg, rs: Reg, imm: i16 },
+    /// `rd = imm << 16` (load upper immediate).
+    Lui { rd: Reg, imm: u16 },
+    /// *Special:* ALU with a field-mask immediate of `width` consecutive
+    /// ones starting at bit `pos`.
+    FieldImm { op: FieldOp, rd: Reg, rs: Reg, pos: u8, width: u8 },
+    /// *Special:* `rd = (rs >> pos) & ones(width)` — bitfield extract.
+    BfExt { rd: Reg, rs: Reg, pos: u8, width: u8 },
+    /// *Special:* insert the low `width` bits of `rs` into `rd` at `pos`.
+    BfIns { rd: Reg, rs: Reg, pos: u8, width: u8 },
+    /// *Special:* `rd` = index of the lowest set bit of `rs`, or 64 if
+    /// `rs == 0`.
+    Ffs { rd: Reg, rs: Reg },
+    /// `rd = mem[rs + off]`
+    Load { rd: Reg, rs: Reg, off: i16, size: MemSize },
+    /// `mem[rs + off] = rt`
+    Store { rt: Reg, rs: Reg, off: i16, size: MemSize },
+    /// Conditional branch.
+    Branch { cond: BrCond, rs: Reg, rt: Reg, target: Label },
+    /// *Special:* branch if bit `bit` of `rs` is set (`set = true`) or
+    /// clear (`set = false`).
+    BranchBit { set: bool, rs: Reg, bit: u8, target: Label },
+    /// Unconditional jump.
+    Jump { target: Label },
+    /// Read a field of the incoming message header: `rd = msg[field]`.
+    MfMsg { rd: Reg, field: u8 },
+    /// Compose and issue an outgoing message. `rdest` is only meaningful
+    /// for [`SendTarget::Network`].
+    Send {
+        target: SendTarget,
+        with_data: bool,
+        rtype: Reg,
+        rdest: Reg,
+        raddr: Reg,
+        raux: Reg,
+    },
+    /// Initiate a memory operation on the line addressed by `raddr`.
+    MemOp { kind: MemOpKind, raddr: Reg },
+    /// End of handler: return control to the inbox.
+    Switch,
+}
+
+impl Instr {
+    /// Whether this is one of the MAGIC ISA extensions (Table 5.2's
+    /// "special instruction use").
+    pub fn is_special(&self) -> bool {
+        matches!(
+            self,
+            Instr::FieldImm { .. }
+                | Instr::BfExt { .. }
+                | Instr::BfIns { .. }
+                | Instr::Ffs { .. }
+                | Instr::BranchBit { .. }
+        )
+    }
+
+    /// Whether this instruction counts in the "ALU and branch" population
+    /// used as the denominator for special-instruction use in Table 5.2.
+    pub fn is_alu_or_branch(&self) -> bool {
+        matches!(
+            self,
+            Instr::Alu { .. }
+                | Instr::AluImm { .. }
+                | Instr::Lui { .. }
+                | Instr::FieldImm { .. }
+                | Instr::BfExt { .. }
+                | Instr::BfIns { .. }
+                | Instr::Ffs { .. }
+                | Instr::Branch { .. }
+                | Instr::BranchBit { .. }
+                | Instr::Jump { .. }
+        )
+    }
+
+    /// Whether this instruction may transfer control.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. } | Instr::BranchBit { .. } | Instr::Jump { .. } | Instr::Switch
+        )
+    }
+
+    /// Destination register written, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        match *self {
+            Instr::Alu { rd, .. }
+            | Instr::AluImm { rd, .. }
+            | Instr::Lui { rd, .. }
+            | Instr::FieldImm { rd, .. }
+            | Instr::BfExt { rd, .. }
+            | Instr::BfIns { rd, .. }
+            | Instr::Ffs { rd, .. }
+            | Instr::Load { rd, .. }
+            | Instr::MfMsg { rd, .. } => {
+                if rd == Reg::ZERO {
+                    None
+                } else {
+                    Some(rd)
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Source registers read.
+    pub fn sources(&self) -> ([Option<Reg>; 4], usize) {
+        let mut out = [None; 4];
+        let mut n = 0;
+        let mut push = |r: Reg| {
+            out[n] = Some(r);
+            n += 1;
+        };
+        match *self {
+            Instr::Alu { rs, rt, .. } => {
+                push(rs);
+                push(rt);
+            }
+            Instr::AluImm { rs, .. }
+            | Instr::FieldImm { rs, .. }
+            | Instr::BfExt { rs, .. }
+            | Instr::Ffs { rs, .. }
+            | Instr::Load { rs, .. } => push(rs),
+            Instr::BfIns { rd, rs, .. } => {
+                push(rd);
+                push(rs);
+            }
+            Instr::Store { rt, rs, .. } => {
+                push(rt);
+                push(rs);
+            }
+            Instr::Branch { rs, rt, cond, .. } => {
+                push(rs);
+                if matches!(cond, BrCond::Eq | BrCond::Ne) {
+                    push(rt);
+                }
+            }
+            Instr::BranchBit { rs, .. } => push(rs),
+            Instr::Send {
+                rtype,
+                rdest,
+                raddr,
+                raux,
+                target,
+                ..
+            } => {
+                push(rtype);
+                if target == SendTarget::Network {
+                    push(rdest);
+                }
+                push(raddr);
+                push(raux);
+            }
+            Instr::MemOp { raddr, .. } => push(raddr),
+            _ => {}
+        }
+        (out, n)
+    }
+}
+
+/// A contiguous mask of `width` ones starting at bit `pos`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(flash_pp::isa::field_mask(4, 8), 0xff0);
+/// assert_eq!(flash_pp::isa::field_mask(0, 64), u64::MAX);
+/// ```
+#[inline]
+pub fn field_mask(pos: u8, width: u8) -> u64 {
+    if width == 0 {
+        return 0;
+    }
+    let ones = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+    ones << pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(3, u64::MAX), 2);
+        assert_eq!(AluOp::Sub.apply(3, 5), (-2i64) as u64);
+        assert_eq!(AluOp::Sll.apply(1, 63), 1 << 63);
+        assert_eq!(AluOp::Sra.apply(u64::MAX, 5), u64::MAX);
+        assert_eq!(AluOp::Srl.apply(u64::MAX, 63), 1);
+        assert_eq!(AluOp::Slt.apply((-1i64) as u64, 0), 1);
+        assert_eq!(AluOp::Sltu.apply((-1i64) as u64, 0), 0);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BrCond::Eq.taken(5, 5));
+        assert!(!BrCond::Eq.taken(5, 6));
+        assert!(BrCond::Ltz.taken((-3i64) as u64, 0));
+        assert!(BrCond::Gez.taken(0, 0));
+        assert!(BrCond::Lez.taken(0, 99));
+        assert!(BrCond::Gtz.taken(1, 0));
+    }
+
+    #[test]
+    fn field_mask_edges() {
+        assert_eq!(field_mask(0, 1), 1);
+        assert_eq!(field_mask(63, 1), 1 << 63);
+        assert_eq!(field_mask(8, 0), 0);
+        assert_eq!(field_mask(32, 32), 0xffff_ffff_0000_0000);
+    }
+
+    #[test]
+    fn special_classification() {
+        let special = Instr::BfExt {
+            rd: Reg(1),
+            rs: Reg(2),
+            pos: 0,
+            width: 4,
+        };
+        assert!(special.is_special());
+        assert!(special.is_alu_or_branch());
+        let plain = Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs: Reg(2),
+            imm: 1,
+        };
+        assert!(!plain.is_special());
+        assert!(plain.is_alu_or_branch());
+        assert!(!Instr::Switch.is_alu_or_branch());
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(3),
+            rs: Reg(4),
+            rt: Reg(5),
+        };
+        assert_eq!(i.dest(), Some(Reg(3)));
+        let (srcs, n) = i.sources();
+        assert_eq!(n, 2);
+        assert_eq!(srcs[0], Some(Reg(4)));
+        // Writes to r0 are discarded, so there is no dependence-relevant dest.
+        let z = Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs: Reg(4),
+            imm: 0,
+        };
+        assert_eq!(z.dest(), None);
+        // bfins reads its destination too.
+        let b = Instr::BfIns {
+            rd: Reg(7),
+            rs: Reg(8),
+            pos: 4,
+            width: 4,
+        };
+        let (srcs, n) = b.sources();
+        assert_eq!(n, 2);
+        assert_eq!(srcs[0], Some(Reg(7)));
+    }
+}

@@ -1,0 +1,129 @@
+//! The MAGIC protocol processor (PP) toolchain and emulator.
+//!
+//! The PP is the programmable core inside MAGIC that runs the
+//! cache-coherence protocol *handlers* (paper §2). This crate is the Rust
+//! equivalent of the FLASH project's PP software stack:
+//!
+//! | FLASH tool | This crate |
+//! |---|---|
+//! | gcc port (handlers in C) | [`asm`] — handlers in PP assembly |
+//! | PPtwine (static dual-issue scheduling) | [`sched`] |
+//! | PPsim (IS emulator, cycle counts, statistics) | [`emu`] |
+//! | "no special instructions" compiler mode (§5.3) | [`dlx`] |
+//!
+//! The crate is protocol-agnostic: message types, directory layouts and
+//! handler code live in `flash-protocol`, which drives this crate.
+//!
+//! # Examples
+//!
+//! Assemble, schedule, and run a two-instruction handler:
+//!
+//! ```
+//! use flash_pp::{asm, sched, emu};
+//!
+//! let module = asm::assemble("handler:\n  addi r1, r0, 41\n  addi r1, r1, 1\n  switch\n")?;
+//! let program = sched::schedule(&module, sched::SchedOptions::magic());
+//! let mut env = emu::FlatEnv::new(64);
+//! let run = emu::run(&program, program.entry("handler").unwrap(), &mut env,
+//!                    emu::DEFAULT_PAIR_BUDGET)?;
+//! assert!(run.exec_cycles >= 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod asm;
+pub mod dlx;
+pub mod emu;
+pub mod isa;
+pub mod prog;
+pub mod sched;
+
+pub use asm::{assemble, AsmError};
+pub use emu::{run, Env, HandlerRun, OutMsg, RunStats};
+pub use isa::{Instr, MemOpKind, MemSize, Reg, SendTarget};
+pub use prog::{Module, Pair, Program};
+pub use sched::{schedule, SchedOptions};
+
+/// Code-generation options bundling the §5.3 de-optimization knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodegenOptions {
+    /// Keep the MAGIC special instructions (bitfield, branch-on-bit, ffs,
+    /// field immediates). `false` applies [`dlx::expand_specials`].
+    pub special_instrs: bool,
+    /// Schedule for the dual-issue PP. `false` schedules single-issue.
+    pub dual_issue: bool,
+}
+
+impl Default for CodegenOptions {
+    fn default() -> Self {
+        CodegenOptions {
+            special_instrs: true,
+            dual_issue: true,
+        }
+    }
+}
+
+impl CodegenOptions {
+    /// The production MAGIC configuration.
+    pub fn magic() -> Self {
+        Self::default()
+    }
+
+    /// The paper's §5.3 "standard embedded RISC" configuration: no special
+    /// instructions, single issue.
+    pub fn deoptimized() -> Self {
+        CodegenOptions {
+            special_instrs: false,
+            dual_issue: false,
+        }
+    }
+}
+
+/// Assembles and schedules `source` under `options` in one step.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] if the source fails to assemble.
+///
+/// # Examples
+///
+/// ```
+/// let fast = flash_pp::build("h:\n  bfext r1, r2, 4, 8\n  switch\n",
+///                            flash_pp::CodegenOptions::magic())?;
+/// let slow = flash_pp::build("h:\n  bfext r1, r2, 4, 8\n  switch\n",
+///                            flash_pp::CodegenOptions::deoptimized())?;
+/// assert!(slow.pairs.len() > fast.pairs.len());
+/// # Ok::<(), flash_pp::AsmError>(())
+/// ```
+pub fn build(source: &str, options: CodegenOptions) -> Result<Program, AsmError> {
+    let module = asm::assemble(source)?;
+    let module = if options.special_instrs {
+        module
+    } else {
+        dlx::expand_specials(&module)
+    };
+    let sched_opts = if options.dual_issue {
+        SchedOptions::magic()
+    } else {
+        SchedOptions::single_issue()
+    };
+    Ok(sched::schedule(&module, sched_opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_pipeline_end_to_end() {
+        let src = "h:\n  li r1, 0xff\n  bbs r1, 0, done\n  addi r2, r0, 1\ndone:\n  switch\n";
+        let p = build(src, CodegenOptions::magic()).unwrap();
+        let mut env = emu::FlatEnv::new(0);
+        let r = emu::run(&p, p.entry("h").unwrap(), &mut env, 1000).unwrap();
+        assert!(r.exec_cycles > 0);
+
+        let d = build(src, CodegenOptions::deoptimized()).unwrap();
+        let rd = emu::run(&d, d.entry("h").unwrap(), &mut env, 1000).unwrap();
+        assert!(rd.exec_cycles >= r.exec_cycles);
+        assert_eq!(rd.stats.special, 0);
+    }
+}

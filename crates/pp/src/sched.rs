@@ -1,0 +1,328 @@
+//! Static dual-issue scheduling (the PPtwine role).
+//!
+//! "The PP is a dual-issue machine, executing a pair of instructions every
+//! cycle. To simplify implementation, the PP does not include support for
+//! resource conflict detection; all instruction pairs must be statically
+//! scheduled to avoid dependencies" (paper §2). This module packs an
+//! assembled [`Module`] into issue pairs under those rules:
+//!
+//! * no intra-pair register dependence (RAW or WAW);
+//! * control transfers (branches, jumps, `switch`) may only occupy the
+//!   second slot of a pair, so the whole pair completes before control
+//!   moves — a lone control instruction is padded with a trailing NOP;
+//! * at most one memory-port instruction (load/store) and at most one
+//!   MAGIC-unit instruction (`send`/`memop`/`mfmsg`/`switch`) per pair;
+//! * pairs never straddle basic-block boundaries (labels).
+//!
+//! Within a basic block the scheduler may hoist a later instruction into
+//! an earlier pair when doing so breaks no dependence (a window-limited
+//! list schedule), which is what pushes the dynamic dual-issue efficiency
+//! towards the paper's reported 1.53.
+
+use crate::isa::Instr;
+use crate::prog::{Module, Pair, Program};
+use std::collections::BTreeMap;
+
+/// Scheduling options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedOptions {
+    /// Pack two instructions per cycle. `false` models the single-issue PP
+    /// of the paper's §5.3 de-optimization experiment.
+    pub dual_issue: bool,
+    /// How many instructions ahead the scheduler may look when filling the
+    /// second slot (0 = adjacent pairing only).
+    pub window: usize,
+}
+
+impl Default for SchedOptions {
+    fn default() -> Self {
+        SchedOptions {
+            dual_issue: true,
+            window: 3,
+        }
+    }
+}
+
+impl SchedOptions {
+    /// The production configuration used on MAGIC.
+    pub fn magic() -> Self {
+        Self::default()
+    }
+
+    /// Single-issue scheduling for the §5.3 comparison.
+    pub fn single_issue() -> Self {
+        SchedOptions {
+            dual_issue: false,
+            window: 0,
+        }
+    }
+}
+
+/// Statically schedules `module` into an executable [`Program`].
+///
+/// # Panics
+///
+/// Panics if a label points past the end of the instruction stream while
+/// also being a branch target (the assembler prevents this for programs it
+/// produces).
+pub fn schedule(module: &Module, opts: SchedOptions) -> Program {
+    // Basic-block leaders: entry, every label target, every instruction
+    // following a control transfer.
+    let n = module.instrs.len();
+    let mut leader = vec![false; n + 1];
+    leader[0] = true;
+    for &t in &module.labels {
+        if t <= n {
+            leader[t] = true;
+        }
+    }
+    for (i, instr) in module.instrs.iter().enumerate() {
+        if instr.is_control() && i + 1 <= n {
+            leader[i + 1] = true;
+        }
+    }
+
+    let mut pairs: Vec<Pair> = Vec::with_capacity(n);
+    // instr index -> pair index where it was placed
+    let mut placement = vec![usize::MAX; n];
+    let mut consumed = vec![false; n];
+
+    let mut i = 0;
+    while i < n {
+        if consumed[i] {
+            i += 1;
+            continue;
+        }
+        let a = module.instrs[i];
+        consumed[i] = true;
+        placement[i] = pairs.len();
+
+        let mut b = Instr::Nop;
+        if opts.dual_issue && !a.is_control() {
+            // Look for a partner in the same basic block within the window.
+            let mut moved_over: Vec<Instr> = Vec::new();
+            let mut j = i + 1;
+            let mut dist = 0;
+            while j < n && dist <= opts.window {
+                if leader[j] {
+                    break; // block boundary
+                }
+                let cand = module.instrs[j];
+                if !consumed[j] && can_pair(&a, &cand) && moved_over.iter().all(|m| independent(m, &cand)) {
+                    // Hoisting `cand` over `moved_over` is safe only if the
+                    // candidate is not a control transfer when instructions
+                    // remain between i and j (control must stay last), and
+                    // none of the skipped instructions is itself control.
+                    let skipped_control = moved_over.iter().any(|m| m.is_control());
+                    if !(cand.is_control() && !moved_over.is_empty()) && !skipped_control {
+                        b = cand;
+                        consumed[j] = true;
+                        placement[j] = pairs.len();
+                        break;
+                    }
+                }
+                if !consumed[j] {
+                    moved_over.push(cand);
+                    dist += 1;
+                }
+                j += 1;
+            }
+        }
+        pairs.push(Pair { a, b });
+        i += 1;
+    }
+
+    // Resolve labels to pair indices. A label at instruction k maps to the
+    // pair containing the first unconsumed-at-or-after-k instruction; since
+    // labels are leaders, instruction k starts its own pair.
+    let label_pc: Vec<usize> = module
+        .labels
+        .iter()
+        .map(|&t| {
+            if t >= n {
+                pairs.len()
+            } else {
+                placement[t]
+            }
+        })
+        .collect();
+
+    let symbols: BTreeMap<String, usize> = module
+        .symbols
+        .iter()
+        .map(|(name, l)| (name.clone(), label_pc[l.0 as usize]))
+        .collect();
+
+    Program {
+        pairs,
+        label_pc,
+        symbols,
+    }
+}
+
+/// Whether `b` may share an issue pair with `a` (with `a` first).
+fn can_pair(a: &Instr, b: &Instr) -> bool {
+    if *a == Instr::Nop || *b == Instr::Nop {
+        return false; // never pair with explicit NOPs; padding is implicit
+    }
+    if a.is_control() {
+        return false;
+    }
+    if !independent(a, b) {
+        return false;
+    }
+    // Structural hazards: one memory port, one MAGIC-interface unit.
+    let mem = |i: &Instr| matches!(i, Instr::Load { .. } | Instr::Store { .. });
+    let unit = |i: &Instr| {
+        matches!(
+            i,
+            Instr::Send { .. } | Instr::MemOp { .. } | Instr::MfMsg { .. } | Instr::Switch
+        )
+    };
+    if mem(a) && mem(b) {
+        return false;
+    }
+    if unit(a) && unit(b) {
+        return false;
+    }
+    true
+}
+
+/// No RAW, WAR, or WAW dependence between `x` (earlier) and `y` (later).
+fn independent(x: &Instr, y: &Instr) -> bool {
+    let reads = |i: &Instr, r| {
+        let (srcs, k) = i.sources();
+        srcs[..k].iter().flatten().any(|&s| s == r)
+    };
+    if let Some(d) = x.dest() {
+        if reads(y, d) || y.dest() == Some(d) {
+            return false; // RAW or WAW
+        }
+    }
+    if let Some(d) = y.dest() {
+        if reads(x, d) {
+            return false; // WAR (matters when hoisting y over x)
+        }
+    }
+    // Memory disambiguation is not attempted: a store may not pass a load
+    // or store, and vice versa.
+    let mem = |i: &Instr| matches!(i, Instr::Load { .. } | Instr::Store { .. });
+    let sideeff = |i: &Instr| matches!(i, Instr::Send { .. } | Instr::MemOp { .. });
+    if (mem(x) && mem(y)) && (matches!(x, Instr::Store { .. }) || matches!(y, Instr::Store { .. })) {
+        return false;
+    }
+    // Side-effecting MAGIC ops keep their program order relative to each
+    // other and to stores.
+    if sideeff(x) && (sideeff(y) || matches!(y, Instr::Store { .. })) {
+        return false;
+    }
+    if sideeff(y) && matches!(x, Instr::Store { .. }) {
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn sched(src: &str) -> Program {
+        schedule(&assemble(src).unwrap(), SchedOptions::default())
+    }
+
+    #[test]
+    fn independent_instrs_pair() {
+        let p = sched("s:\n  addi r1, r0, 1\n  addi r2, r0, 2\n  switch\n");
+        // (addi, addi), (switch, nop)
+        assert_eq!(p.pairs.len(), 2);
+        assert_eq!(p.pairs[0].useful(), 2);
+    }
+
+    #[test]
+    fn raw_dependence_blocks_pairing() {
+        let p = sched("s:\n  addi r1, r0, 1\n  addi r2, r1, 2\n  switch\n");
+        // The dependent addi cannot share the first pair; the switch pairs
+        // with the second addi instead.
+        assert_eq!(p.pairs[0].useful(), 1);
+        assert_eq!(p.pairs.len(), 2);
+        assert_eq!(p.pairs[1].useful(), 2);
+    }
+
+    #[test]
+    fn control_only_in_second_slot() {
+        let p = sched("s:\n  addi r1, r0, 1\n  beq r2, r3, s\n  switch\n");
+        // beq can pair after addi.
+        assert_eq!(p.pairs[0].useful(), 2);
+        assert!(p.pairs[0].b.is_control());
+    }
+
+    #[test]
+    fn window_hoists_independent_later_instruction() {
+        // r2 depends on r1, but the third instruction is independent and
+        // should be hoisted into the first pair.
+        let p = sched("s:\n  addi r1, r0, 1\n  addi r2, r1, 2\n  addi r3, r0, 3\n  switch\n");
+        assert_eq!(p.pairs[0].useful(), 2);
+        match p.pairs[0].b {
+            Instr::AluImm { rd, .. } => assert_eq!(rd.0, 3),
+            ref other => panic!("unexpected slot b: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hoisting_respects_war() {
+        // Cannot hoist `addi r1, r0, 9` (writes r1) over `addi r2, r1, 2`
+        // (reads r1) into the first pair with `addi r1, r0, 1` (WAW with it
+        // anyway); ensure r2's value computation stays correct by blocking.
+        let p = sched("s:\n  addi r1, r0, 1\n  addi r2, r1, 2\n  addi r1, r0, 9\n  switch\n");
+        // First pair must not contain the second write to r1.
+        assert_eq!(p.pairs[0].useful(), 1);
+    }
+
+    #[test]
+    fn labels_break_blocks() {
+        let p = sched("s:\n  addi r1, r0, 1\nmid:\n  addi r2, r0, 2\n  switch\n");
+        assert_eq!(p.pairs[0].useful(), 1, "pairing across a label is illegal");
+        assert_eq!(p.symbols["mid"], 1);
+    }
+
+    #[test]
+    fn single_issue_never_pairs() {
+        let p = schedule(
+            &assemble("s:\n  addi r1, r0, 1\n  addi r2, r0, 2\n  switch\n").unwrap(),
+            SchedOptions::single_issue(),
+        );
+        assert!(p.pairs.iter().all(|pr| pr.useful() <= 1));
+        assert_eq!(p.pairs.len(), 3);
+    }
+
+    #[test]
+    fn two_loads_do_not_share_a_pair() {
+        let p = sched("s:\n  ld r1, 0(r4)\n  ld r2, 8(r4)\n  switch\n");
+        assert_eq!(p.pairs[0].useful(), 1);
+    }
+
+    #[test]
+    fn store_does_not_pass_store() {
+        let p = sched("s:\n  sd r1, 0(r4)\n  sd r2, 8(r4)\n  switch\n");
+        assert_eq!(p.pairs[0].useful(), 1);
+    }
+
+    #[test]
+    fn alu_pairs_with_load() {
+        let p = sched("s:\n  ld r1, 0(r4)\n  addi r2, r0, 7\n  switch\n");
+        assert_eq!(p.pairs[0].useful(), 2);
+    }
+
+    #[test]
+    fn sends_keep_program_order() {
+        let p = sched("s:\n  sendp r1, r2, r3\n  sendp r4, r5, r6\n  switch\n");
+        assert_eq!(p.pairs[0].useful(), 1);
+    }
+
+    #[test]
+    fn label_at_end_maps_past_last_pair() {
+        let p = sched("s:\n  nop\nend:\n");
+        assert_eq!(p.symbols["end"], p.pairs.len());
+    }
+}

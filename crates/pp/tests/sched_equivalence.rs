@@ -1,0 +1,167 @@
+//! Property test: static dual-issue scheduling preserves program
+//! semantics. For random (terminating) PP programs, the dual-issue
+//! schedule must leave memory, effects, and message output identical to
+//! the single-issue schedule — the PP has no interlocks, so any pairing
+//! the scheduler emits must already be hazard-free.
+
+use flash_pp::asm::assemble;
+use flash_pp::emu::{run, FlatEnv, DEFAULT_PAIR_BUDGET};
+use flash_pp::sched::{schedule, SchedOptions};
+use proptest::prelude::*;
+
+/// One random instruction in a forward-branching (always terminating)
+/// program.
+#[derive(Debug, Clone)]
+enum RandInstr {
+    AluImm { op: &'static str, rd: u8, rs: u8, imm: i16 },
+    Alu { op: &'static str, rd: u8, rs: u8, rt: u8 },
+    Field { op: &'static str, rd: u8, rs: u8, pos: u8, width: u8 },
+    Ffs { rd: u8, rs: u8 },
+    Load { rd: u8, base_slot: u8 },
+    Store { rt: u8, base_slot: u8 },
+    BranchFwd { rs: u8, rt: u8, eq: bool },
+    BranchBitFwd { rs: u8, bit: u8, set: bool },
+    MfMsg { rd: u8, field: u8 },
+    Send { rtype: u8, raddr: u8, raux: u8 },
+}
+
+fn reg_strategy() -> impl Strategy<Value = u8> {
+    // r0..r27 (r29/r30 reserved; leave r28 for the base pointer).
+    0u8..27
+}
+
+fn instr_strategy() -> impl Strategy<Value = RandInstr> {
+    prop_oneof![
+        4 => ("add|and|or|xor|slt", reg_strategy(), reg_strategy(), -200i16..200)
+            .prop_map(|(op, rd, rs, imm)| RandInstr::AluImm { op: leak(op), rd, rs, imm }),
+        3 => ("add|sub|and|or|xor|sll|srl", reg_strategy(), reg_strategy(), reg_strategy())
+            .prop_map(|(op, rd, rs, rt)| RandInstr::Alu { op: leak(op), rd, rs, rt }),
+        2 => ("andfi|andcfi|orfi|xorfi|bfext|bfins", reg_strategy(), reg_strategy(), 0u8..50, 1u8..14)
+            .prop_map(|(op, rd, rs, pos, width)| RandInstr::Field { op: leak(op), rd, rs, pos, width }),
+        1 => (reg_strategy(), reg_strategy()).prop_map(|(rd, rs)| RandInstr::Ffs { rd, rs }),
+        2 => (reg_strategy(), 0u8..8).prop_map(|(rd, base_slot)| RandInstr::Load { rd, base_slot }),
+        2 => (reg_strategy(), 0u8..8).prop_map(|(rt, base_slot)| RandInstr::Store { rt, base_slot }),
+        1 => (reg_strategy(), reg_strategy(), any::<bool>())
+            .prop_map(|(rs, rt, eq)| RandInstr::BranchFwd { rs, rt, eq }),
+        1 => (reg_strategy(), 0u8..63, any::<bool>())
+            .prop_map(|(rs, bit, set)| RandInstr::BranchBitFwd { rs, bit, set }),
+        1 => (reg_strategy(), 0u8..8).prop_map(|(rd, field)| RandInstr::MfMsg { rd, field }),
+        1 => (reg_strategy(), reg_strategy(), reg_strategy())
+            .prop_map(|(rtype, raddr, raux)| RandInstr::Send { rtype, raddr, raux }),
+    ]
+}
+
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+/// Renders the random program as assembly. Branches always jump to the
+/// next numbered label (strictly forward), so the program terminates.
+fn render(prog: &[RandInstr]) -> String {
+    let mut s = String::from("entry:\n");
+    // r28 = aligned base pointer for loads/stores (slots 0..8 at 8-byte
+    // alignment inside a 128-byte scratch area).
+    s.push_str("  addi r28, r0, 256\n");
+    for (i, ins) in prog.iter().enumerate() {
+        use std::fmt::Write;
+        match ins {
+            RandInstr::AluImm { op, rd, rs, imm } => {
+                let _ = writeln!(s, "  {op}i r{rd}, r{rs}, {imm}");
+            }
+            RandInstr::Alu { op, rd, rs, rt } => {
+                let _ = writeln!(s, "  {op} r{rd}, r{rs}, r{rt}");
+            }
+            RandInstr::Field { op, rd, rs, pos, width } => {
+                let _ = writeln!(s, "  {op} r{rd}, r{rs}, {pos}, {width}");
+            }
+            RandInstr::Ffs { rd, rs } => {
+                let _ = writeln!(s, "  ffs r{rd}, r{rs}");
+            }
+            RandInstr::Load { rd, base_slot } => {
+                let _ = writeln!(s, "  ld r{rd}, {}(r28)", base_slot * 8);
+            }
+            RandInstr::Store { rt, base_slot } => {
+                let _ = writeln!(s, "  sd r{rt}, {}(r28)", base_slot * 8);
+            }
+            RandInstr::BranchFwd { rs, rt, eq } => {
+                let m = if *eq { "beq" } else { "bne" };
+                let _ = writeln!(s, "  {m} r{rs}, r{rt}, l{i}");
+                let _ = writeln!(s, "l{i}:");
+            }
+            RandInstr::BranchBitFwd { rs, bit, set } => {
+                let m = if *set { "bbs" } else { "bbc" };
+                let _ = writeln!(s, "  {m} r{rs}, {bit}, l{i}");
+                let _ = writeln!(s, "l{i}:");
+            }
+            RandInstr::MfMsg { rd, field } => {
+                let _ = writeln!(s, "  mfmsg r{rd}, {field}");
+            }
+            RandInstr::Send { rtype, raddr, raux } => {
+                let _ = writeln!(s, "  sendp r{rtype}, r{raddr}, r{raux}");
+            }
+        }
+    }
+    // Dump every register to memory so the comparison sees all state.
+    for r in 0..27 {
+        use std::fmt::Write;
+        let _ = writeln!(s, "  sd r{r}, {}(r28)", 64 + r * 8);
+    }
+    s.push_str("  switch\n");
+    s
+}
+
+fn run_schedule(src: &str, opts: SchedOptions) -> (Vec<u8>, Vec<String>, u64) {
+    let module = assemble(src).expect("random program assembles");
+    let program = schedule(&module, opts);
+    let mut env = FlatEnv::new(1024);
+    for f in 0..16 {
+        env.fields[f] = (f as u64) * 0x1111;
+    }
+    let out = run(&program, program.entry("entry").unwrap(), &mut env, DEFAULT_PAIR_BUDGET)
+        .expect("random program runs");
+    let mem: Vec<u8> = (0..1024 / 8).map(|i| env.peek64(i * 8) as u8).collect();
+    let effects: Vec<String> = out.effects.iter().map(|e| format!("{:?}", e.kind)).collect();
+    (mem, effects, out.exec_cycles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dual_issue_schedule_preserves_semantics(
+        prog in proptest::collection::vec(instr_strategy(), 1..40),
+    ) {
+        let src = render(&prog);
+        let (mem_s, eff_s, cyc_s) = run_schedule(&src, SchedOptions::single_issue());
+        let (mem_d, eff_d, cyc_d) = run_schedule(&src, SchedOptions::magic());
+        prop_assert_eq!(mem_s, mem_d, "memory state diverged\n{}", src);
+        prop_assert_eq!(eff_s, eff_d, "effect stream diverged\n{}", src);
+        prop_assert!(cyc_d <= cyc_s, "dual-issue slower than single-issue");
+    }
+
+    #[test]
+    fn dlx_expansion_preserves_semantics_on_random_programs(
+        prog in proptest::collection::vec(instr_strategy(), 1..30),
+    ) {
+        let src = render(&prog);
+        let module = assemble(&src).unwrap();
+        let expanded = flash_pp::dlx::expand_specials(&module);
+        prop_assert!(!flash_pp::dlx::has_specials(&expanded));
+        let p1 = schedule(&module, SchedOptions::magic());
+        let p2 = schedule(&expanded, SchedOptions::single_issue());
+        let mut run_one = |p: &flash_pp::Program| {
+            let mut env = FlatEnv::new(1024);
+            for f in 0..16 {
+                env.fields[f] = (f as u64) * 0x2222;
+            }
+            let out = run(p, p.entry("entry").unwrap(), &mut env, DEFAULT_PAIR_BUDGET).unwrap();
+            let mem: Vec<u64> = (0..1024 / 8).map(|i| env.peek64(i * 8)).collect();
+            let eff: Vec<String> = out.effects.iter().map(|e| format!("{:?}", e.kind)).collect();
+            (mem, eff)
+        };
+        let (m1, e1) = run_one(&p1);
+        let (m2, e2) = run_one(&p2);
+        prop_assert_eq!(m1, m2, "expansion changed memory state\n{}", src);
+        prop_assert_eq!(e1, e2, "expansion changed effects\n{}", src);
+    }
+}

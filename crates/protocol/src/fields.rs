@@ -1,0 +1,179 @@
+//! Message-register fields, aux-word packing, and the generated assembly
+//! prologue.
+//!
+//! The inbox "preprocesses the header and passes it to the protocol
+//! processor" (paper §2); handlers then read header fields with the
+//! `mfmsg` instruction. This module fixes the field numbering, the packing
+//! of the 64-bit auxiliary word used to thread transaction context through
+//! forwarded messages and interventions, and — crucially — emits the `.equ`
+//! prologue that gives PP assembly the *same* constants, so the Rust oracle
+//! and the handler code can never disagree about layouts.
+
+use crate::dir::{bits, FREE_HEAD_ADDR, PS_BASE};
+use crate::msg::MsgType;
+use flash_engine::NodeId;
+
+/// `mfmsg` field indices.
+pub mod field {
+    /// Raw message type.
+    pub const TYPE: u8 = 0;
+    /// Source node of the message.
+    pub const SRC: u8 = 1;
+    /// Line address.
+    pub const ADDR: u8 = 2;
+    /// Precomputed protocol-memory address of the directory header.
+    pub const DIRADDR: u8 = 3;
+    /// Auxiliary word.
+    pub const AUX: u8 = 4;
+    /// 1 if the inbox issued a speculative memory read for this message.
+    pub const SPEC: u8 = 5;
+    /// This node's id.
+    pub const SELF: u8 = 6;
+    /// Home node of the address.
+    pub const HOME: u8 = 7;
+}
+
+/// Packing of the auxiliary word.
+pub mod aux {
+    use super::*;
+
+    /// Bit position of the requester node id (16 bits).
+    pub const REQ_POS: u8 = 0;
+    /// Bit position of the original request type (8 bits).
+    pub const TYPE_POS: u8 = 16;
+    /// Bit position of the home node id (16 bits).
+    pub const HOME_POS: u8 = 24;
+
+    /// Packs transaction context into an aux word.
+    pub fn pack(requester: NodeId, orig: MsgType, home: NodeId) -> u64 {
+        (requester.0 as u64) | (orig.raw() << TYPE_POS) | ((home.0 as u64) << HOME_POS)
+    }
+
+    /// Requester node recorded in `a`.
+    pub fn requester(a: u64) -> NodeId {
+        NodeId(a as u16)
+    }
+
+    /// Original request type recorded in `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field does not decode to a known message type.
+    pub fn orig_type(a: u64) -> MsgType {
+        MsgType::from_raw((a >> TYPE_POS) & 0xff).expect("valid packed type")
+    }
+
+    /// Home node recorded in `a`.
+    pub fn home(a: u64) -> NodeId {
+        NodeId((a >> HOME_POS) as u16)
+    }
+}
+
+/// Emits the `.equ` prologue shared by every handler source file: message
+/// types (`MT_*`), field indices (`F_*`), directory bit positions (`B_*`,
+/// `OWNER_POS`, ...), aux packing (`AX_*`), and memory-layout constants.
+///
+/// # Examples
+///
+/// ```
+/// let p = flash_protocol::fields::asm_prologue();
+/// assert!(p.contains(".equ MT_NGET,"));
+/// assert!(p.contains(".equ F_DIRADDR, 3"));
+/// ```
+pub fn asm_prologue() -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(4096);
+    let mut equ = |name: &str, val: u64| {
+        writeln!(s, ".equ {name}, {val}").expect("write to string");
+    };
+
+    // Message types.
+    for t in MsgType::INCOMING {
+        equ(&format!("MT_{}", type_tag(t)), t.raw());
+    }
+    for t in [
+        MsgType::PPut,
+        MsgType::PPutX,
+        MsgType::PUpgAck,
+        MsgType::PInval,
+        MsgType::PIntervGet,
+        MsgType::PIntervGetX,
+        MsgType::PNackRetry,
+        MsgType::PIoData,
+    ] {
+        equ(&format!("MT_{}", type_tag(t)), t.raw());
+    }
+
+    // Message-register fields.
+    equ("F_TYPE", field::TYPE as u64);
+    equ("F_SRC", field::SRC as u64);
+    equ("F_ADDR", field::ADDR as u64);
+    equ("F_DIRADDR", field::DIRADDR as u64);
+    equ("F_AUX", field::AUX as u64);
+    equ("F_SPEC", field::SPEC as u64);
+    equ("F_SELF", field::SELF as u64);
+    equ("F_HOME", field::HOME as u64);
+
+    // Directory header / pointer entry layout.
+    equ("B_DIRTY", bits::DIRTY as u64);
+    equ("B_PENDING", bits::PENDING as u64);
+    equ("B_LOCAL", bits::LOCAL as u64);
+    equ("OWNER_POS", bits::OWNER_POS as u64);
+    equ("HEAD_POS", bits::HEAD_POS as u64);
+    equ("ACKS_POS", bits::ACKS_POS as u64);
+    equ("ENODE_POS", bits::ENODE_POS as u64);
+    equ("ENEXT_POS", bits::ENEXT_POS as u64);
+    equ("FIELD_W", bits::FIELD_W as u64);
+
+    // Aux packing.
+    equ("AX_REQ_POS", aux::REQ_POS as u64);
+    equ("AX_TYPE_POS", aux::TYPE_POS as u64);
+    equ("AX_HOME_POS", aux::HOME_POS as u64);
+
+    // Memory layout.
+    equ("PS_BASE", PS_BASE);
+    equ("FREE_HEAD", FREE_HEAD_ADDR);
+    s
+}
+
+/// Upper-snake tag for a message type (`NGet` → `NGET`).
+fn type_tag(t: MsgType) -> String {
+    format!("{t:?}").to_uppercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aux_round_trip() {
+        let a = aux::pack(NodeId(300), MsgType::NGetX, NodeId(12));
+        assert_eq!(aux::requester(a), NodeId(300));
+        assert_eq!(aux::orig_type(a), MsgType::NGetX);
+        assert_eq!(aux::home(a), NodeId(12));
+    }
+
+    #[test]
+    fn prologue_assembles() {
+        let src = format!("{}\nentry:\n  li r1, MT_NPUT\n  switch\n", asm_prologue());
+        let m = flash_pp::asm::assemble(&src).expect("prologue must assemble");
+        assert!(!m.instrs.is_empty());
+    }
+
+    #[test]
+    fn prologue_values_match_rust_constants() {
+        let p = asm_prologue();
+        for (name, val) in [
+            ("MT_PIGET", MsgType::PiGet.raw()),
+            ("MT_NPUT", MsgType::NPut.raw()),
+            ("MT_PINVAL", MsgType::PInval.raw()),
+            ("B_DIRTY", bits::DIRTY as u64),
+            ("HEAD_POS", bits::HEAD_POS as u64),
+            ("PS_BASE", PS_BASE),
+            ("FREE_HEAD", FREE_HEAD_ADDR),
+        ] {
+            let needle = format!(".equ {name}, {val}\n");
+            assert!(p.contains(&needle), "missing `{needle}`");
+        }
+    }
+}

@@ -1,0 +1,1037 @@
+; ===================================================================
+; FLASH dynamic pointer allocation protocol -- PP handler code
+; (constants are prepended from flash_protocol::fields::asm_prologue)
+; ===================================================================
+
+; ---- local read miss ----------------------------------------------
+pi_get_local:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    mfmsg  r13, F_ADDR
+    bbs    r12, B_PENDING, pgl_pending
+    bbs    r12, B_DIRTY, pgl_dirty
+pgl_clean:
+    orfi   r12, r12, B_LOCAL, 1
+    sd     r12, 0(r11)
+    mfmsg  r1, F_SPEC
+    bne    r1, r0, pgl_reply
+    memrd  r13
+pgl_reply:
+    li     r10, MT_PPUT
+    sendpd r10, r13, r0
+    switch
+pgl_pending:
+    li     r10, MT_PNACKRETRY
+    sendp  r10, r13, r0
+    switch
+pgl_dirty:
+    bfext  r18, r12, OWNER_POS, FIELD_W
+    mfmsg  r15, F_SELF
+    beq    r18, r15, pgl_selfown
+    orfi   r12, r12, B_PENDING, 1
+    sd     r12, 0(r11)
+    li     r19, MT_NGET
+    slli   r19, r19, AX_TYPE_POS
+    or     r14, r15, r19
+    slli   r20, r15, AX_HOME_POS
+    or     r14, r14, r20
+    li     r10, MT_NFWDGET
+    sendn  r10, r18, r13, r14
+    switch
+pgl_selfown:
+    ; the local processor is re-requesting a line recorded dirty here:
+    ; its copy is gone; self-repair and serve from memory
+    andcfi r12, r12, B_DIRTY, 1
+    j      pgl_clean
+
+; ---- remote-read forward -------------------------------------------
+pi_get_remote:
+    mfmsg  r13, F_ADDR
+    mfmsg  r15, F_SELF
+    mfmsg  r16, F_HOME
+    li     r19, MT_NGET
+    slli   r14, r19, AX_TYPE_POS
+    or     r14, r14, r15
+    slli   r20, r16, AX_HOME_POS
+    or     r14, r14, r20
+    sendn  r19, r16, r13, r14
+    switch
+
+; ---- local write miss ----------------------------------------------
+pi_getx_local:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    mfmsg  r13, F_ADDR
+    mfmsg  r15, F_SELF
+    bbs    r12, B_PENDING, pxl_pending
+    bbs    r12, B_DIRTY, pxl_dirty
+pxl_clean:
+    li     r19, MT_NINVAL
+    slli   r19, r19, AX_TYPE_POS
+    or     r19, r19, r15
+    slli   r1, r15, AX_HOME_POS
+    or     r19, r19, r1
+    move   r28, r0
+    bfext  r23, r12, HEAD_POS, FIELD_W
+pxl_loop:
+    beq    r23, r0, pxl_done
+    slli   r24, r23, 3
+    li     r25, PS_BASE
+    add    r24, r24, r25
+    ld     r25, 0(r24)
+    bfext  r26, r25, ENODE_POS, FIELD_W
+    bfext  r27, r25, ENEXT_POS, FIELD_W
+    li     r22, FREE_HEAD
+    ld     r1, 0(r22)
+    move   r2, r0
+    bfins  r2, r1, ENEXT_POS, FIELD_W
+    sd     r2, 0(r24)
+    sd     r23, 0(r22)
+    beq    r26, r15, pxl_skip
+    li     r10, MT_NINVAL
+    sendn  r10, r26, r13, r19
+    addi   r28, r28, 1
+pxl_skip:
+    move   r23, r27
+    j      pxl_loop
+pxl_done:
+    move   r1, r0
+    bfins  r12, r1, HEAD_POS, FIELD_W
+    orfi   r12, r12, B_DIRTY, 1
+    bfins  r12, r15, OWNER_POS, FIELD_W
+    orfi   r12, r12, B_LOCAL, 1
+    bfins  r12, r28, ACKS_POS, FIELD_W
+    andcfi r12, r12, B_PENDING, 1
+    beq    r28, r0, pxl_store
+    orfi   r12, r12, B_PENDING, 1
+pxl_store:
+    sd     r12, 0(r11)
+    mfmsg  r1, F_SPEC
+    bne    r1, r0, pxl_reply
+    memrd  r13
+pxl_reply:
+    li     r10, MT_PPUTX
+    sendpd r10, r13, r0
+    switch
+pxl_pending:
+    li     r10, MT_PNACKRETRY
+    sendp  r10, r13, r0
+    switch
+pxl_dirty:
+    bfext  r18, r12, OWNER_POS, FIELD_W
+    beq    r18, r15, pxl_selfown
+    orfi   r12, r12, B_PENDING, 1
+    sd     r12, 0(r11)
+    li     r19, MT_NGETX
+    slli   r19, r19, AX_TYPE_POS
+    or     r14, r15, r19
+    slli   r20, r15, AX_HOME_POS
+    or     r14, r14, r20
+    li     r10, MT_NFWDGETX
+    sendn  r10, r18, r13, r14
+    switch
+pxl_selfown:
+    andcfi r12, r12, B_DIRTY, 1
+    j      pxl_clean
+
+pi_getx_remote:
+    mfmsg  r13, F_ADDR
+    mfmsg  r15, F_SELF
+    mfmsg  r16, F_HOME
+    li     r19, MT_NGETX
+    slli   r14, r19, AX_TYPE_POS
+    or     r14, r14, r15
+    slli   r20, r16, AX_HOME_POS
+    or     r14, r14, r20
+    sendn  r19, r16, r13, r14
+    switch
+
+; ---- local upgrade ---------------------------------------------------
+pi_upgrade_local:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    mfmsg  r13, F_ADDR
+    mfmsg  r15, F_SELF
+    bbs    r12, B_PENDING, pul_pending
+    bbs    r12, B_DIRTY, pul_dirty
+pul_clean:
+    li     r19, MT_NINVAL
+    slli   r19, r19, AX_TYPE_POS
+    or     r19, r19, r15
+    slli   r1, r15, AX_HOME_POS
+    or     r19, r19, r1
+    move   r28, r0
+    bfext  r23, r12, HEAD_POS, FIELD_W
+pul_loop:
+    beq    r23, r0, pul_done
+    slli   r24, r23, 3
+    li     r25, PS_BASE
+    add    r24, r24, r25
+    ld     r25, 0(r24)
+    bfext  r26, r25, ENODE_POS, FIELD_W
+    bfext  r27, r25, ENEXT_POS, FIELD_W
+    li     r22, FREE_HEAD
+    ld     r1, 0(r22)
+    move   r2, r0
+    bfins  r2, r1, ENEXT_POS, FIELD_W
+    sd     r2, 0(r24)
+    sd     r23, 0(r22)
+    beq    r26, r15, pul_skip
+    li     r10, MT_NINVAL
+    sendn  r10, r26, r13, r19
+    addi   r28, r28, 1
+pul_skip:
+    move   r23, r27
+    j      pul_loop
+pul_done:
+    bbc    r12, B_LOCAL, pul_lost
+    move   r1, r0
+    bfins  r12, r1, HEAD_POS, FIELD_W
+    orfi   r12, r12, B_DIRTY, 1
+    bfins  r12, r15, OWNER_POS, FIELD_W
+    orfi   r12, r12, B_LOCAL, 1
+    bfins  r12, r28, ACKS_POS, FIELD_W
+    andcfi r12, r12, B_PENDING, 1
+    beq    r28, r0, pul_store
+    orfi   r12, r12, B_PENDING, 1
+pul_store:
+    sd     r12, 0(r11)
+    li     r10, MT_PUPGACK
+    sendp  r10, r13, r0
+    switch
+pul_lost:
+    move   r1, r0
+    bfins  r12, r1, HEAD_POS, FIELD_W
+    orfi   r12, r12, B_DIRTY, 1
+    bfins  r12, r15, OWNER_POS, FIELD_W
+    orfi   r12, r12, B_LOCAL, 1
+    bfins  r12, r28, ACKS_POS, FIELD_W
+    andcfi r12, r12, B_PENDING, 1
+    beq    r28, r0, pul_lost_store
+    orfi   r12, r12, B_PENDING, 1
+pul_lost_store:
+    sd     r12, 0(r11)
+    memrd  r13
+    li     r10, MT_PPUTX
+    sendpd r10, r13, r0
+    switch
+pul_pending:
+    li     r10, MT_PNACKRETRY
+    sendp  r10, r13, r0
+    switch
+pul_dirty:
+    bfext  r18, r12, OWNER_POS, FIELD_W
+    beq    r18, r15, pul_selfown
+    orfi   r12, r12, B_PENDING, 1
+    sd     r12, 0(r11)
+    li     r19, MT_NGETX
+    slli   r19, r19, AX_TYPE_POS
+    or     r14, r15, r19
+    slli   r20, r15, AX_HOME_POS
+    or     r14, r14, r20
+    li     r10, MT_NFWDGETX
+    sendn  r10, r18, r13, r14
+    switch
+pul_selfown:
+    ; the local processor is upgrading a line recorded dirty here: its
+    ; copy is gone; self-repair and grant data from memory
+    andcfi r12, r12, B_DIRTY, 1
+    sd     r12, 0(r11)
+    j      pul_clean
+
+pi_upgrade_remote:
+    mfmsg  r13, F_ADDR
+    mfmsg  r15, F_SELF
+    mfmsg  r16, F_HOME
+    li     r19, MT_NUPGRADE
+    slli   r14, r19, AX_TYPE_POS
+    or     r14, r14, r15
+    slli   r20, r16, AX_HOME_POS
+    or     r14, r14, r20
+    sendn  r19, r16, r13, r14
+    switch
+
+; ---- local writeback -------------------------------------------------
+pi_wb_local:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    mfmsg  r13, F_ADDR
+    memwr  r13
+    andcfi r12, r12, B_DIRTY, 1
+    andcfi r12, r12, B_LOCAL, 1
+    andcfi r12, r12, B_PENDING, 1
+    sd     r12, 0(r11)
+    switch
+
+pi_wb_remote:
+    mfmsg  r13, F_ADDR
+    mfmsg  r15, F_SELF
+    mfmsg  r16, F_HOME
+    li     r19, MT_NWRITEBACK
+    slli   r14, r19, AX_TYPE_POS
+    or     r14, r14, r15
+    slli   r20, r16, AX_HOME_POS
+    or     r14, r14, r20
+    sendnd r19, r16, r13, r14
+    switch
+
+; ---- local replacement hint ------------------------------------------
+pi_hint_local:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    andcfi r12, r12, B_LOCAL, 1
+    sd     r12, 0(r11)
+    switch
+
+pi_hint_remote:
+    mfmsg  r13, F_ADDR
+    mfmsg  r15, F_SELF
+    mfmsg  r16, F_HOME
+    li     r19, MT_NRPLHINT
+    slli   r14, r19, AX_TYPE_POS
+    or     r14, r14, r15
+    slli   r20, r16, AX_HOME_POS
+    or     r14, r14, r20
+    sendn  r19, r16, r13, r14
+    switch
+
+; ---- intervention reply (data retrieved from processor cache) --------
+pi_interv_reply:
+    mfmsg  r14, F_AUX
+    bfext  r21, r14, AX_REQ_POS, FIELD_W
+    bfext  r22, r14, AX_TYPE_POS, 8
+    bfext  r16, r14, AX_HOME_POS, FIELD_W
+    mfmsg  r15, F_SELF
+    mfmsg  r13, F_ADDR
+    li     r1, MT_NGETX
+    beq    r22, r1, pir_getx
+    bne    r16, r15, pir_third
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    memwr  r13
+    andcfi r12, r12, B_DIRTY, 1
+    andcfi r12, r12, B_PENDING, 1
+    orfi   r12, r12, B_LOCAL, 1
+    li     r23, FREE_HEAD
+    ld     r24, 0(r23)
+    beq    r24, r0, pir_exhaust
+    slli   r25, r24, 3
+    li     r26, PS_BASE
+    add    r25, r25, r26
+    ld     r26, 0(r25)
+    bfext  r27, r26, ENEXT_POS, FIELD_W
+    sd     r27, 0(r23)
+    bfext  r27, r12, HEAD_POS, FIELD_W
+    move   r2, r0
+    bfins  r2, r21, ENODE_POS, FIELD_W
+    bfins  r2, r27, ENEXT_POS, FIELD_W
+    sd     r2, 0(r25)
+    bfins  r12, r24, HEAD_POS, FIELD_W
+    sd     r12, 0(r11)
+    li     r10, MT_NPUT
+    sendnd r10, r21, r13, r14
+    switch
+pir_exhaust:
+    orfi   r12, r12, B_DIRTY, 1
+    bfins  r12, r21, OWNER_POS, FIELD_W
+    andcfi r12, r12, B_LOCAL, 1
+    sd     r12, 0(r11)
+    li     r10, MT_PINVAL
+    sendp  r10, r13, r0
+    li     r10, MT_NPUTX
+    sendnd r10, r21, r13, r14
+    switch
+pir_third:
+    li     r10, MT_NPUT
+    sendnd r10, r21, r13, r14
+    li     r10, MT_NSWB
+    sendnd r10, r16, r13, r14
+    switch
+pir_getx:
+    bne    r16, r15, pir_getx_third
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    bfins  r12, r21, OWNER_POS, FIELD_W
+    andcfi r12, r12, B_LOCAL, 1
+    andcfi r12, r12, B_PENDING, 1
+    sd     r12, 0(r11)
+    li     r10, MT_NPUTX
+    sendnd r10, r21, r13, r14
+    switch
+pir_getx_third:
+    li     r10, MT_NPUTX
+    sendnd r10, r21, r13, r14
+    li     r10, MT_NOWNX
+    sendn  r10, r16, r13, r14
+    switch
+
+; ---- intervention missed (owner no longer holds the line) -------------
+pi_interv_miss:
+    mfmsg  r14, F_AUX
+    bfext  r21, r14, AX_REQ_POS, FIELD_W
+    bfext  r16, r14, AX_HOME_POS, FIELD_W
+    mfmsg  r13, F_ADDR
+    li     r10, MT_NNACK
+    sendn  r10, r21, r13, r14
+    li     r10, MT_NINTERVMISS
+    sendn  r10, r16, r13, r14
+    switch
+
+; ---- intervention-miss notice at the home ------------------------------
+ni_interv_miss:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    bbc    r12, B_PENDING, nim_done
+    bbc    r12, B_DIRTY, nim_done
+    bfext  r18, r12, OWNER_POS, FIELD_W
+    mfmsg  r17, F_SRC
+    bne    r18, r17, nim_done
+    andcfi r12, r12, B_PENDING, 1
+    andcfi r12, r12, B_DIRTY, 1
+    sd     r12, 0(r11)
+nim_done:
+    switch
+
+; ---- DMA --------------------------------------------------------------
+io_dma_write:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    mfmsg  r13, F_ADDR
+    mfmsg  r15, F_SELF
+    li     r19, MT_NINVAL
+    slli   r19, r19, AX_TYPE_POS
+    or     r19, r19, r15
+    slli   r1, r15, AX_HOME_POS
+    or     r19, r19, r1
+    move   r28, r0
+    bfext  r23, r12, HEAD_POS, FIELD_W
+dmw_loop:
+    beq    r23, r0, dmw_done
+    slli   r24, r23, 3
+    li     r25, PS_BASE
+    add    r24, r24, r25
+    ld     r25, 0(r24)
+    bfext  r26, r25, ENODE_POS, FIELD_W
+    bfext  r27, r25, ENEXT_POS, FIELD_W
+    li     r22, FREE_HEAD
+    ld     r1, 0(r22)
+    move   r2, r0
+    bfins  r2, r1, ENEXT_POS, FIELD_W
+    sd     r2, 0(r24)
+    sd     r23, 0(r22)
+    li     r10, MT_NINVAL
+    sendn  r10, r26, r13, r19
+    addi   r28, r28, 1
+    move   r23, r27
+    j      dmw_loop
+dmw_done:
+    bbc    r12, B_DIRTY, dmw_nodirty
+    bfext  r18, r12, OWNER_POS, FIELD_W
+    beq    r18, r15, dmw_nodirty
+    li     r10, MT_NINVAL
+    sendn  r10, r18, r13, r19
+    addi   r28, r28, 1
+dmw_nodirty:
+    bbc    r12, B_LOCAL, dmw_nolocal
+    li     r10, MT_PINVAL
+    sendp  r10, r13, r0
+dmw_nolocal:
+    move   r1, r0
+    bfins  r12, r1, HEAD_POS, FIELD_W
+    andcfi r12, r12, B_DIRTY, 1
+    andcfi r12, r12, B_LOCAL, 1
+    bfins  r12, r28, ACKS_POS, FIELD_W
+    andcfi r12, r12, B_PENDING, 1
+    beq    r28, r0, dmw_store
+    orfi   r12, r12, B_PENDING, 1
+dmw_store:
+    sd     r12, 0(r11)
+    memwr  r13
+    switch
+
+io_dma_read:
+    mfmsg  r13, F_ADDR
+    memrd  r13
+    li     r10, MT_PIODATA
+    sendpd r10, r13, r0
+    switch
+
+; ---- network read request at home --------------------------------------
+ni_get:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    mfmsg  r14, F_AUX
+    bfext  r21, r14, AX_REQ_POS, FIELD_W
+    mfmsg  r13, F_ADDR
+    bbs    r12, B_PENDING, ng_nack
+    bbs    r12, B_DIRTY, ng_dirty
+ng_clean:
+    mfmsg  r15, F_SELF
+    beq    r21, r15, ng_self
+    li     r22, FREE_HEAD
+    ld     r23, 0(r22)
+    beq    r23, r0, ng_exhaust
+    slli   r24, r23, 3
+    li     r25, PS_BASE
+    add    r24, r24, r25
+    ld     r25, 0(r24)
+    bfext  r26, r25, ENEXT_POS, FIELD_W
+    sd     r26, 0(r22)
+    bfext  r26, r12, HEAD_POS, FIELD_W
+    move   r27, r0
+    bfins  r27, r21, ENODE_POS, FIELD_W
+    bfins  r27, r26, ENEXT_POS, FIELD_W
+    sd     r27, 0(r24)
+    bfins  r12, r23, HEAD_POS, FIELD_W
+    sd     r12, 0(r11)
+    mfmsg  r1, F_SPEC
+    bne    r1, r0, ng_reply
+    memrd  r13
+ng_reply:
+    li     r10, MT_NPUT
+    sendnd r10, r21, r13, r14
+    switch
+ng_self:
+    orfi   r12, r12, B_LOCAL, 1
+    sd     r12, 0(r11)
+    mfmsg  r1, F_SPEC
+    bne    r1, r0, ng_reply
+    memrd  r13
+    j      ng_reply
+ng_nack:
+    li     r10, MT_NNACK
+    sendn  r10, r21, r13, r14
+    switch
+ng_dirty:
+    bfext  r18, r12, OWNER_POS, FIELD_W
+    beq    r18, r21, ng_selfown
+    orfi   r12, r12, B_PENDING, 1
+    sd     r12, 0(r11)
+    mfmsg  r15, F_SELF
+    li     r19, MT_NGET
+    slli   r19, r19, AX_TYPE_POS
+    or     r20, r21, r19
+    slli   r1, r15, AX_HOME_POS
+    or     r20, r20, r1
+    beq    r18, r15, ng_local_dirty
+    li     r10, MT_NFWDGET
+    sendn  r10, r18, r13, r20
+    switch
+ng_local_dirty:
+    li     r10, MT_PINTERVGET
+    sendp  r10, r13, r20
+    switch
+ng_selfown:
+    ; the recorded owner is re-requesting: self-repair, serve from memory
+    andcfi r12, r12, B_DIRTY, 1
+    sd     r12, 0(r11)
+    j      ng_clean
+ng_exhaust:
+    li     r19, MT_NINVAL
+    slli   r19, r19, AX_TYPE_POS
+    or     r19, r19, r15
+    slli   r1, r15, AX_HOME_POS
+    or     r19, r19, r1
+    move   r28, r0
+    bfext  r23, r12, HEAD_POS, FIELD_W
+ngx_loop:
+    beq    r23, r0, ngx_done
+    slli   r24, r23, 3
+    li     r25, PS_BASE
+    add    r24, r24, r25
+    ld     r25, 0(r24)
+    bfext  r26, r25, ENODE_POS, FIELD_W
+    bfext  r27, r25, ENEXT_POS, FIELD_W
+    li     r22, FREE_HEAD
+    ld     r1, 0(r22)
+    move   r2, r0
+    bfins  r2, r1, ENEXT_POS, FIELD_W
+    sd     r2, 0(r24)
+    sd     r23, 0(r22)
+    beq    r26, r21, ngx_skip
+    li     r10, MT_NINVAL
+    sendn  r10, r26, r13, r19
+    addi   r28, r28, 1
+ngx_skip:
+    move   r23, r27
+    j      ngx_loop
+ngx_done:
+    bbc    r12, B_LOCAL, ngx_nolocal
+    li     r10, MT_PINVAL
+    sendp  r10, r13, r0
+    andcfi r12, r12, B_LOCAL, 1
+ngx_nolocal:
+    move   r1, r0
+    bfins  r12, r1, HEAD_POS, FIELD_W
+    orfi   r12, r12, B_DIRTY, 1
+    bfins  r12, r21, OWNER_POS, FIELD_W
+    bfins  r12, r28, ACKS_POS, FIELD_W
+    andcfi r12, r12, B_PENDING, 1
+    beq    r28, r0, ngx_store
+    orfi   r12, r12, B_PENDING, 1
+ngx_store:
+    sd     r12, 0(r11)
+    mfmsg  r1, F_SPEC
+    bne    r1, r0, ngx_reply
+    memrd  r13
+ngx_reply:
+    li     r10, MT_NPUTX
+    sendnd r10, r21, r13, r14
+    switch
+
+; ---- network write request at home -------------------------------------
+ni_getx:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    mfmsg  r14, F_AUX
+    bfext  r21, r14, AX_REQ_POS, FIELD_W
+    mfmsg  r13, F_ADDR
+    bbs    r12, B_PENDING, nx_nack
+    bbs    r12, B_DIRTY, nx_dirty
+nx_clean:
+    mfmsg  r15, F_SELF
+    li     r19, MT_NINVAL
+    slli   r19, r19, AX_TYPE_POS
+    or     r19, r19, r15
+    slli   r1, r15, AX_HOME_POS
+    or     r19, r19, r1
+    move   r28, r0
+    bfext  r23, r12, HEAD_POS, FIELD_W
+nx_loop:
+    beq    r23, r0, nx_done
+    slli   r24, r23, 3
+    li     r25, PS_BASE
+    add    r24, r24, r25
+    ld     r25, 0(r24)
+    bfext  r26, r25, ENODE_POS, FIELD_W
+    bfext  r27, r25, ENEXT_POS, FIELD_W
+    li     r22, FREE_HEAD
+    ld     r1, 0(r22)
+    move   r2, r0
+    bfins  r2, r1, ENEXT_POS, FIELD_W
+    sd     r2, 0(r24)
+    sd     r23, 0(r22)
+    beq    r26, r21, nx_skip
+    li     r10, MT_NINVAL
+    sendn  r10, r26, r13, r19
+    addi   r28, r28, 1
+nx_skip:
+    move   r23, r27
+    j      nx_loop
+nx_done:
+    bbc    r12, B_LOCAL, nx_nolocal
+    beq    r21, r15, nx_nolocal
+    li     r10, MT_PINVAL
+    sendp  r10, r13, r0
+nx_nolocal:
+    move   r1, r0
+    bfins  r12, r1, HEAD_POS, FIELD_W
+    orfi   r12, r12, B_DIRTY, 1
+    bfins  r12, r21, OWNER_POS, FIELD_W
+    andcfi r12, r12, B_LOCAL, 1
+    bne    r21, r15, nx_acks
+    orfi   r12, r12, B_LOCAL, 1
+nx_acks:
+    bfins  r12, r28, ACKS_POS, FIELD_W
+    andcfi r12, r12, B_PENDING, 1
+    beq    r28, r0, nx_store
+    orfi   r12, r12, B_PENDING, 1
+nx_store:
+    sd     r12, 0(r11)
+    mfmsg  r1, F_SPEC
+    bne    r1, r0, nx_reply
+    memrd  r13
+nx_reply:
+    li     r10, MT_NPUTX
+    sendnd r10, r21, r13, r14
+    switch
+nx_nack:
+    li     r10, MT_NNACK
+    sendn  r10, r21, r13, r14
+    switch
+nx_dirty:
+    bfext  r18, r12, OWNER_POS, FIELD_W
+    beq    r18, r21, nx_selfown
+    orfi   r12, r12, B_PENDING, 1
+    sd     r12, 0(r11)
+    mfmsg  r15, F_SELF
+    li     r19, MT_NGETX
+    slli   r19, r19, AX_TYPE_POS
+    or     r20, r21, r19
+    slli   r1, r15, AX_HOME_POS
+    or     r20, r20, r1
+    beq    r18, r15, nx_local_dirty
+    li     r10, MT_NFWDGETX
+    sendn  r10, r18, r13, r20
+    switch
+nx_local_dirty:
+    li     r10, MT_PINTERVGETX
+    sendp  r10, r13, r20
+    switch
+nx_selfown:
+    andcfi r12, r12, B_DIRTY, 1
+    sd     r12, 0(r11)
+    j      nx_clean
+
+; ---- network upgrade request at home ------------------------------------
+ni_upgrade:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    mfmsg  r14, F_AUX
+    bfext  r21, r14, AX_REQ_POS, FIELD_W
+    mfmsg  r13, F_ADDR
+    bbs    r12, B_PENDING, nu_nack
+    bbs    r12, B_DIRTY, nu_dirty
+nu_clean:
+    mfmsg  r15, F_SELF
+    li     r19, MT_NINVAL
+    slli   r19, r19, AX_TYPE_POS
+    or     r19, r19, r15
+    slli   r1, r15, AX_HOME_POS
+    or     r19, r19, r1
+    move   r28, r0
+    move   r20, r0
+    bfext  r23, r12, HEAD_POS, FIELD_W
+nu_loop:
+    beq    r23, r0, nu_done
+    slli   r24, r23, 3
+    li     r25, PS_BASE
+    add    r24, r24, r25
+    ld     r25, 0(r24)
+    bfext  r26, r25, ENODE_POS, FIELD_W
+    bfext  r27, r25, ENEXT_POS, FIELD_W
+    li     r22, FREE_HEAD
+    ld     r1, 0(r22)
+    move   r2, r0
+    bfins  r2, r1, ENEXT_POS, FIELD_W
+    sd     r2, 0(r24)
+    sd     r23, 0(r22)
+    bne    r26, r21, nu_inval
+    addi   r20, r0, 1
+    j      nu_next
+nu_inval:
+    li     r10, MT_NINVAL
+    sendn  r10, r26, r13, r19
+    addi   r28, r28, 1
+nu_next:
+    move   r23, r27
+    j      nu_loop
+nu_done:
+    bbc    r12, B_LOCAL, nu_nolocal
+    li     r10, MT_PINVAL
+    sendp  r10, r13, r0
+nu_nolocal:
+    move   r1, r0
+    bfins  r12, r1, HEAD_POS, FIELD_W
+    orfi   r12, r12, B_DIRTY, 1
+    bfins  r12, r21, OWNER_POS, FIELD_W
+    andcfi r12, r12, B_LOCAL, 1
+    bfins  r12, r28, ACKS_POS, FIELD_W
+    andcfi r12, r12, B_PENDING, 1
+    beq    r28, r0, nu_store
+    orfi   r12, r12, B_PENDING, 1
+nu_store:
+    sd     r12, 0(r11)
+    beq    r20, r0, nu_data
+    li     r10, MT_NUPGACK
+    sendn  r10, r21, r13, r14
+    switch
+nu_data:
+    memrd  r13
+    li     r10, MT_NPUTX
+    sendnd r10, r21, r13, r14
+    switch
+nu_nack:
+    li     r10, MT_NNACK
+    sendn  r10, r21, r13, r14
+    switch
+nu_dirty:
+    bfext  r18, r12, OWNER_POS, FIELD_W
+    beq    r18, r21, nu_selfown
+    orfi   r12, r12, B_PENDING, 1
+    sd     r12, 0(r11)
+    mfmsg  r15, F_SELF
+    li     r19, MT_NGETX
+    slli   r19, r19, AX_TYPE_POS
+    or     r20, r21, r19
+    slli   r1, r15, AX_HOME_POS
+    or     r20, r20, r1
+    beq    r18, r15, nu_local_dirty
+    li     r10, MT_NFWDGETX
+    sendn  r10, r18, r13, r20
+    switch
+nu_local_dirty:
+    li     r10, MT_PINTERVGETX
+    sendp  r10, r13, r20
+    switch
+nu_selfown:
+    andcfi r12, r12, B_DIRTY, 1
+    sd     r12, 0(r11)
+    j      nu_clean
+
+; ---- forwarded requests at the owner -------------------------------------
+ni_fwd_get:
+    mfmsg  r13, F_ADDR
+    mfmsg  r14, F_AUX
+    li     r10, MT_PINTERVGET
+    sendp  r10, r13, r14
+    switch
+
+ni_fwd_getx:
+    mfmsg  r13, F_ADDR
+    mfmsg  r14, F_AUX
+    li     r10, MT_PINTERVGETX
+    sendp  r10, r13, r14
+    switch
+
+; ---- invalidation at a sharer ---------------------------------------------
+ni_inval:
+    mfmsg  r13, F_ADDR
+    mfmsg  r14, F_AUX
+    li     r10, MT_PINVAL
+    sendp  r10, r13, r0
+    bfext  r16, r14, AX_HOME_POS, FIELD_W
+    li     r10, MT_NINVALACK
+    sendn  r10, r16, r13, r14
+    switch
+
+; ---- invalidation ack at the home -----------------------------------------
+ni_inval_ack:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    bfext  r18, r12, ACKS_POS, FIELD_W
+    beq    r18, r0, nia_done
+    addi   r18, r18, -1
+    bfins  r12, r18, ACKS_POS, FIELD_W
+    andcfi r12, r12, B_PENDING, 1
+    beq    r18, r0, nia_store
+    orfi   r12, r12, B_PENDING, 1
+nia_store:
+    sd     r12, 0(r11)
+nia_done:
+    switch
+
+; ---- replies forwarded to the processor ------------------------------------
+ni_put:
+    mfmsg  r13, F_ADDR
+    mfmsg  r14, F_AUX
+    li     r10, MT_PPUT
+    sendpd r10, r13, r14
+    switch
+
+ni_putx:
+    mfmsg  r13, F_ADDR
+    mfmsg  r14, F_AUX
+    li     r10, MT_PPUTX
+    sendpd r10, r13, r14
+    switch
+
+ni_upgack:
+    mfmsg  r13, F_ADDR
+    mfmsg  r14, F_AUX
+    li     r10, MT_PUPGACK
+    sendp  r10, r13, r14
+    switch
+
+; ---- NACK at the requester: retry -------------------------------------------
+ni_nack:
+    mfmsg  r13, F_ADDR
+    mfmsg  r14, F_AUX
+    bfext  r22, r14, AX_TYPE_POS, 8
+    bfext  r16, r14, AX_HOME_POS, FIELD_W
+    sendn  r22, r16, r13, r14
+    switch
+
+; ---- sharing writeback at the home -------------------------------------------
+ni_swb:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    mfmsg  r13, F_ADDR
+    mfmsg  r14, F_AUX
+    mfmsg  r15, F_SELF
+    mfmsg  r17, F_SRC
+    bfext  r21, r14, AX_REQ_POS, FIELD_W
+    bbc    r12, B_PENDING, nsw_stale
+    bbc    r12, B_DIRTY, nsw_stale
+    bfext  r18, r12, OWNER_POS, FIELD_W
+    bne    r18, r17, nsw_stale
+    andcfi r12, r12, B_DIRTY, 1
+    andcfi r12, r12, B_PENDING, 1
+    memwr  r13
+    move   r18, r21
+    beq    r18, r15, nsw_local1
+    li     r22, FREE_HEAD
+    ld     r23, 0(r22)
+    beq    r23, r0, nsw_drop1
+    slli   r24, r23, 3
+    li     r25, PS_BASE
+    add    r24, r24, r25
+    ld     r25, 0(r24)
+    bfext  r26, r25, ENEXT_POS, FIELD_W
+    sd     r26, 0(r22)
+    bfext  r26, r12, HEAD_POS, FIELD_W
+    move   r27, r0
+    bfins  r27, r18, ENODE_POS, FIELD_W
+    bfins  r27, r26, ENEXT_POS, FIELD_W
+    sd     r27, 0(r24)
+    bfins  r12, r23, HEAD_POS, FIELD_W
+    j      nsw_two
+nsw_local1:
+    orfi   r12, r12, B_LOCAL, 1
+    j      nsw_two
+nsw_drop1:
+    li     r19, MT_NINVAL
+    slli   r19, r19, AX_TYPE_POS
+    or     r19, r19, r15
+    slli   r1, r15, AX_HOME_POS
+    or     r19, r19, r1
+    li     r10, MT_NINVAL
+    sendn  r10, r18, r13, r19
+nsw_two:
+    move   r18, r17
+    beq    r18, r15, nsw_local2
+    li     r22, FREE_HEAD
+    ld     r23, 0(r22)
+    beq    r23, r0, nsw_drop2
+    slli   r24, r23, 3
+    li     r25, PS_BASE
+    add    r24, r24, r25
+    ld     r25, 0(r24)
+    bfext  r26, r25, ENEXT_POS, FIELD_W
+    sd     r26, 0(r22)
+    bfext  r26, r12, HEAD_POS, FIELD_W
+    move   r27, r0
+    bfins  r27, r18, ENODE_POS, FIELD_W
+    bfins  r27, r26, ENEXT_POS, FIELD_W
+    sd     r27, 0(r24)
+    bfins  r12, r23, HEAD_POS, FIELD_W
+    j      nsw_store
+nsw_local2:
+    orfi   r12, r12, B_LOCAL, 1
+    j      nsw_store
+nsw_drop2:
+    li     r19, MT_NINVAL
+    slli   r19, r19, AX_TYPE_POS
+    or     r19, r19, r15
+    slli   r1, r15, AX_HOME_POS
+    or     r19, r19, r1
+    li     r10, MT_NINVAL
+    sendn  r10, r18, r13, r19
+nsw_store:
+    sd     r12, 0(r11)
+    switch
+nsw_stale:
+    ; superseded transaction: drop the data, invalidate rogue copies
+    li     r19, MT_NINVAL
+    slli   r19, r19, AX_TYPE_POS
+    or     r19, r19, r15
+    slli   r1, r15, AX_HOME_POS
+    or     r19, r19, r1
+    beq    r21, r15, nsw_stale_req_local
+    li     r10, MT_NINVAL
+    sendn  r10, r21, r13, r19
+    j      nsw_stale_owner
+nsw_stale_req_local:
+    li     r10, MT_PINVAL
+    sendp  r10, r13, r0
+nsw_stale_owner:
+    beq    r17, r15, nsw_stale_owner_local
+    li     r10, MT_NINVAL
+    sendn  r10, r17, r13, r19
+    switch
+nsw_stale_owner_local:
+    li     r10, MT_PINVAL
+    sendp  r10, r13, r0
+    switch
+
+; ---- ownership transfer at the home --------------------------------------
+ni_ownx:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    mfmsg  r14, F_AUX
+    mfmsg  r15, F_SELF
+    mfmsg  r17, F_SRC
+    mfmsg  r13, F_ADDR
+    bfext  r21, r14, AX_REQ_POS, FIELD_W
+    bbc    r12, B_PENDING, nox_stale
+    bbc    r12, B_DIRTY, nox_stale
+    bfext  r18, r12, OWNER_POS, FIELD_W
+    bne    r18, r17, nox_stale
+    orfi   r12, r12, B_DIRTY, 1
+    bfins  r12, r21, OWNER_POS, FIELD_W
+    andcfi r12, r12, B_LOCAL, 1
+    bne    r21, r15, nox_nolocal
+    orfi   r12, r12, B_LOCAL, 1
+nox_nolocal:
+    andcfi r12, r12, B_PENDING, 1
+    sd     r12, 0(r11)
+    switch
+nox_stale:
+    ; superseded ownership transfer: invalidate the rogue exclusive copy
+    beq    r21, r15, nox_stale_local
+    li     r19, MT_NINVAL
+    slli   r19, r19, AX_TYPE_POS
+    or     r19, r19, r15
+    slli   r1, r15, AX_HOME_POS
+    or     r19, r19, r1
+    li     r10, MT_NINVAL
+    sendn  r10, r21, r13, r19
+    switch
+nox_stale_local:
+    li     r10, MT_PINVAL
+    sendp  r10, r13, r0
+    switch
+
+; ---- remote writeback at the home ------------------------------------------
+ni_wb:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    bbc    r12, B_DIRTY, nwb_done
+    bfext  r18, r12, OWNER_POS, FIELD_W
+    mfmsg  r17, F_SRC
+    bne    r18, r17, nwb_done
+    mfmsg  r13, F_ADDR
+    memwr  r13
+    andcfi r12, r12, B_DIRTY, 1
+    andcfi r12, r12, B_PENDING, 1
+    sd     r12, 0(r11)
+nwb_done:
+    switch
+
+; ---- remote replacement hint at the home -----------------------------------
+ni_hint:
+    mfmsg  r11, F_DIRADDR
+    ld     r12, 0(r11)
+    mfmsg  r17, F_SRC
+    bfext  r23, r12, HEAD_POS, FIELD_W
+    move   r28, r0
+nh_loop:
+    beq    r23, r0, nh_done
+    slli   r24, r23, 3
+    li     r25, PS_BASE
+    add    r24, r24, r25
+    ld     r25, 0(r24)
+    bfext  r26, r25, ENODE_POS, FIELD_W
+    bfext  r27, r25, ENEXT_POS, FIELD_W
+    beq    r26, r17, nh_found
+    move   r28, r24
+    move   r23, r27
+    j      nh_loop
+nh_found:
+    beq    r28, r0, nh_head
+    ld     r1, 0(r28)
+    bfins  r1, r27, ENEXT_POS, FIELD_W
+    sd     r1, 0(r28)
+    j      nh_free
+nh_head:
+    bfins  r12, r27, HEAD_POS, FIELD_W
+    sd     r12, 0(r11)
+nh_free:
+    li     r22, FREE_HEAD
+    ld     r1, 0(r22)
+    move   r2, r0
+    bfins  r2, r1, ENEXT_POS, FIELD_W
+    sd     r2, 0(r24)
+    sd     r23, 0(r22)
+nh_done:
+    switch

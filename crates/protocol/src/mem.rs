@@ -1,0 +1,146 @@
+//! Per-node protocol memory.
+//!
+//! "In FLASH all protocol code and data are maintained in main memory"
+//! (paper §2). Each node's directory headers and pointer store live in a
+//! sparse byte-addressed memory that the PP reaches through the MAGIC data
+//! cache. The sparse paging keeps multi-gigabyte directory spans cheap to
+//! host.
+
+use std::collections::HashMap;
+
+const PAGE_BYTES: u64 = 4096;
+
+/// A sparse, byte-addressable protocol memory (zero-initialized).
+///
+/// # Examples
+///
+/// ```
+/// use flash_protocol::mem::ProtoMem;
+///
+/// let mut m = ProtoMem::new();
+/// assert_eq!(m.load64(0x1_0000), 0);
+/// m.store64(0x1_0000, 0xdead_beef);
+/// assert_eq!(m.load64(0x1_0000), 0xdead_beef);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProtoMem {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+}
+
+impl ProtoMem {
+    /// Creates an empty (all-zero) protocol memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn load64(&self, addr: u64) -> u64 {
+        assert_eq!(addr % 8, 0, "unaligned load64 at {addr:#x}");
+        match self.pages.get(&(addr / PAGE_BYTES)) {
+            Some(p) => {
+                let o = (addr % PAGE_BYTES) as usize;
+                u64::from_le_bytes(p[o..o + 8].try_into().expect("in page"))
+            }
+            None => 0,
+        }
+    }
+
+    /// Stores a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn store64(&mut self, addr: u64, val: u64) {
+        assert_eq!(addr % 8, 0, "unaligned store64 at {addr:#x}");
+        let page = self.pages.entry(addr / PAGE_BYTES).or_insert_with(|| Box::new([0; PAGE_BYTES as usize]));
+        let o = (addr % PAGE_BYTES) as usize;
+        page[o..o + 8].copy_from_slice(&val.to_le_bytes());
+    }
+
+    /// Loads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-byte aligned.
+    pub fn load32(&self, addr: u64) -> u32 {
+        assert_eq!(addr % 4, 0, "unaligned load32 at {addr:#x}");
+        match self.pages.get(&(addr / PAGE_BYTES)) {
+            Some(p) => {
+                let o = (addr % PAGE_BYTES) as usize;
+                u32::from_le_bytes(p[o..o + 4].try_into().expect("in page"))
+            }
+            None => 0,
+        }
+    }
+
+    /// Stores a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 4-byte aligned.
+    pub fn store32(&mut self, addr: u64, val: u32) {
+        assert_eq!(addr % 4, 0, "unaligned store32 at {addr:#x}");
+        let page = self.pages.entry(addr / PAGE_BYTES).or_insert_with(|| Box::new([0; PAGE_BYTES as usize]));
+        let o = (addr % PAGE_BYTES) as usize;
+        page[o..o + 4].copy_from_slice(&val.to_le_bytes());
+    }
+
+    /// Number of 4 KB pages materialized (for footprint diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = ProtoMem::new();
+        assert_eq!(m.load64(0), 0);
+        assert_eq!(m.load32(0xfff0), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut m = ProtoMem::new();
+        m.store64(8, u64::MAX);
+        m.store32(16, 0x1234_5678);
+        assert_eq!(m.load64(8), u64::MAX);
+        assert_eq!(m.load32(16), 0x1234_5678);
+        assert_eq!(m.load32(8), 0xffff_ffff);
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn page_boundaries() {
+        let mut m = ProtoMem::new();
+        m.store64(4096 - 8, 7);
+        m.store64(4096, 9);
+        assert_eq!(m.load64(4096 - 8), 7);
+        assert_eq!(m.load64(4096), 9);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_panics() {
+        ProtoMem::new().load64(4);
+    }
+
+    #[test]
+    fn distant_addresses_stay_sparse() {
+        let mut m = ProtoMem::new();
+        m.store64(0x0100_0000, 1);
+        m.store64(0x4000_0000, 2);
+        assert_eq!(m.resident_pages(), 2);
+        assert_eq!(m.load64(0x0100_0000), 1);
+        assert_eq!(m.load64(0x4000_0000), 2);
+    }
+}

@@ -1,0 +1,301 @@
+//! Message types and header formats.
+//!
+//! "We refer to any inter- or intra-node communication as a *message*"
+//! (paper §2). A single type space covers messages arriving from the
+//! processor interface (PI), the network interface (NI) and the I/O
+//! subsystem, as well as messages MAGIC sends to the local processor. The
+//! raw discriminants are stable because PP handler code composes them as
+//! immediates (via the generated `.equ` prologue, see
+//! [`crate::fields::asm_prologue`]).
+
+use flash_engine::{Addr, NodeId};
+
+/// Every message type in the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MsgType {
+    // ---- processor → MAGIC (PI incoming) ----
+    /// Read miss from the local processor.
+    PiGet = 0,
+    /// Write miss from the local processor (needs data).
+    PiGetX = 1,
+    /// Write hit on a Shared line: exclusivity without data.
+    PiUpgrade = 2,
+    /// Eviction of a Dirty line, with data.
+    PiWriteback = 3,
+    /// Eviction of a Shared line (replacement hint).
+    PiRplHint = 4,
+    /// Intervention reply: the processor cache had the line; data attached.
+    PiIntervReply = 5,
+    /// Intervention reply: the processor cache no longer holds the line.
+    PiIntervMiss = 6,
+
+    // ---- I/O subsystem → MAGIC ----
+    /// DMA write of a full line into this node's memory.
+    IoDmaWrite = 7,
+    /// DMA read of a line from this node's memory.
+    IoDmaRead = 8,
+
+    // ---- network → MAGIC (NI incoming) ----
+    /// Read request arriving at the home node.
+    NGet = 9,
+    /// Write request arriving at the home node.
+    NGetX = 10,
+    /// Upgrade request arriving at the home node.
+    NUpgrade = 11,
+    /// Home forwarded a read request to the owning (dirty) node.
+    NFwdGet = 12,
+    /// Home forwarded a write request to the owning (dirty) node.
+    NFwdGetX = 13,
+    /// Invalidate a shared copy.
+    NInval = 14,
+    /// Invalidation acknowledgement (collected at the home node).
+    NInvalAck = 15,
+    /// Data reply, shared.
+    NPut = 16,
+    /// Data reply, exclusive.
+    NPutX = 17,
+    /// Upgrade acknowledgement (exclusivity granted, no data).
+    NUpgAck = 18,
+    /// Negative acknowledgement: retry the request.
+    NNack = 19,
+    /// Sharing writeback: owner → home after a forwarded read, with data.
+    NSwb = 20,
+    /// Ownership transfer: old owner → home after a forwarded write.
+    NOwnx = 21,
+    /// Dirty eviction arriving at the home node, with data.
+    NWriteback = 22,
+    /// Replacement hint arriving at the home node.
+    NRplHint = 23,
+    /// An intervention found nothing at the recorded owner: the home
+    /// abandons the pending transaction (the requester was NACKed).
+    NIntervMiss = 24,
+
+    // ---- MAGIC → processor (PI outgoing; never jump-table dispatched) ----
+    /// Data reply to the processor (read).
+    PPut = 32,
+    /// Data reply to the processor (write, exclusive).
+    PPutX = 33,
+    /// Upgrade acknowledgement to the processor.
+    PUpgAck = 34,
+    /// Invalidate a line in the processor cache.
+    PInval = 35,
+    /// Intervention: read the line from the processor cache, downgrading
+    /// Dirty → Shared.
+    PIntervGet = 36,
+    /// Intervention: read and invalidate the line in the processor cache.
+    PIntervGetX = 37,
+    /// The request was NACKed at dispatch; the processor bus retries.
+    PNackRetry = 38,
+    /// Data reply to the I/O subsystem (DMA read completion).
+    PIoData = 39,
+}
+
+impl MsgType {
+    /// All jump-table-dispatched (incoming) message types.
+    pub const INCOMING: [MsgType; 25] = [
+        MsgType::PiGet,
+        MsgType::PiGetX,
+        MsgType::PiUpgrade,
+        MsgType::PiWriteback,
+        MsgType::PiRplHint,
+        MsgType::PiIntervReply,
+        MsgType::PiIntervMiss,
+        MsgType::IoDmaWrite,
+        MsgType::IoDmaRead,
+        MsgType::NGet,
+        MsgType::NGetX,
+        MsgType::NUpgrade,
+        MsgType::NFwdGet,
+        MsgType::NFwdGetX,
+        MsgType::NInval,
+        MsgType::NInvalAck,
+        MsgType::NPut,
+        MsgType::NPutX,
+        MsgType::NUpgAck,
+        MsgType::NNack,
+        MsgType::NSwb,
+        MsgType::NOwnx,
+        MsgType::NWriteback,
+        MsgType::NRplHint,
+        MsgType::NIntervMiss,
+    ];
+
+    /// Raw discriminant, as seen by PP handler code.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self as u64
+    }
+
+    /// Decodes a raw discriminant.
+    pub fn from_raw(raw: u64) -> Option<MsgType> {
+        use MsgType::*;
+        Some(match raw {
+            0 => PiGet,
+            1 => PiGetX,
+            2 => PiUpgrade,
+            3 => PiWriteback,
+            4 => PiRplHint,
+            5 => PiIntervReply,
+            6 => PiIntervMiss,
+            7 => IoDmaWrite,
+            8 => IoDmaRead,
+            9 => NGet,
+            10 => NGetX,
+            11 => NUpgrade,
+            12 => NFwdGet,
+            13 => NFwdGetX,
+            14 => NInval,
+            15 => NInvalAck,
+            16 => NPut,
+            17 => NPutX,
+            18 => NUpgAck,
+            19 => NNack,
+            20 => NSwb,
+            21 => NOwnx,
+            22 => NWriteback,
+            23 => NRplHint,
+            24 => NIntervMiss,
+            32 => PPut,
+            33 => PPutX,
+            34 => PUpgAck,
+            35 => PInval,
+            36 => PIntervGet,
+            37 => PIntervGetX,
+            38 => PNackRetry,
+            39 => PIoData,
+            _ => return None,
+        })
+    }
+
+    /// Whether a data buffer travels with this message type.
+    pub fn carries_data(self) -> bool {
+        use MsgType::*;
+        matches!(
+            self,
+            PiWriteback | PiIntervReply | IoDmaWrite | NPut | NPutX | NSwb | NWriteback | PPut | PPutX | PIoData
+        )
+    }
+
+    /// Whether this type arrives from the network (an NI message).
+    pub fn is_network(self) -> bool {
+        (9..=24).contains(&(self as u8))
+    }
+
+    /// Whether this type arrives from the local processor (a PI message).
+    pub fn is_processor(self) -> bool {
+        (0..=6).contains(&(self as u8))
+    }
+
+    /// Whether this is a *reply*-class network message. MAGIC drains reply
+    /// queues with priority to preserve deadlock freedom (request/reply
+    /// virtual channels).
+    pub fn is_reply_class(self) -> bool {
+        use MsgType::*;
+        matches!(
+            self,
+            NPut | NPutX | NUpgAck | NNack | NInvalAck | NSwb | NOwnx
+        )
+    }
+}
+
+/// A message travelling between nodes (or looped back to the local node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg {
+    /// Message type.
+    pub mtype: MsgType,
+    /// Node that sent this hop of the transaction.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Line address the transaction concerns.
+    pub addr: Addr,
+    /// Packed auxiliary field (see [`crate::fields::aux`]).
+    pub aux: u64,
+    /// Whether a 128-byte data buffer travels with the header.
+    pub with_data: bool,
+}
+
+/// A message from MAGIC to its local compute processor (or I/O).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcMsg {
+    /// One of the `P*` message types.
+    pub mtype: MsgType,
+    /// Line address.
+    pub addr: Addr,
+    /// Packed auxiliary field (carried back on intervention replies).
+    pub aux: u64,
+    /// Whether data accompanies the message.
+    pub with_data: bool,
+}
+
+/// An incoming message as preprocessed by the inbox: the raw header plus
+/// the fields the inbox derives for the PP (directory address, home node,
+/// whether a speculative memory operation was issued).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InMsg {
+    /// Message type.
+    pub mtype: MsgType,
+    /// Sending node (for PI/IO messages, the local node).
+    pub src: NodeId,
+    /// Line address.
+    pub addr: Addr,
+    /// Packed auxiliary field.
+    pub aux: u64,
+    /// Whether the inbox issued a speculative memory read for `addr`.
+    pub spec: bool,
+    /// The node this MAGIC chip lives in.
+    pub self_node: NodeId,
+    /// Home node of `addr`.
+    pub home: NodeId,
+    /// Local protocol-memory address of the directory header for `addr`
+    /// (only meaningful when `home == self_node`).
+    pub diraddr: u64,
+    /// Whether the incoming message carried data.
+    pub with_data: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip() {
+        for t in MsgType::INCOMING {
+            assert_eq!(MsgType::from_raw(t.raw()), Some(t));
+        }
+        for t in [
+            MsgType::PPut,
+            MsgType::PPutX,
+            MsgType::PUpgAck,
+            MsgType::PInval,
+            MsgType::PIntervGet,
+            MsgType::PIntervGetX,
+            MsgType::PNackRetry,
+            MsgType::PIoData,
+        ] {
+            assert_eq!(MsgType::from_raw(t.raw()), Some(t));
+        }
+        assert_eq!(MsgType::from_raw(99), None);
+        assert_eq!(MsgType::from_raw(25), None);
+    }
+
+    #[test]
+    fn data_carriage() {
+        assert!(MsgType::NPut.carries_data());
+        assert!(MsgType::NWriteback.carries_data());
+        assert!(!MsgType::NGet.carries_data());
+        assert!(!MsgType::NInval.carries_data());
+        assert!(MsgType::PPut.carries_data());
+        assert!(!MsgType::PInval.carries_data());
+    }
+
+    #[test]
+    fn interface_classification() {
+        assert!(MsgType::PiGet.is_processor());
+        assert!(!MsgType::PiGet.is_network());
+        assert!(MsgType::NGet.is_network());
+        assert!(MsgType::NNack.is_reply_class());
+        assert!(!MsgType::NGet.is_reply_class());
+    }
+}

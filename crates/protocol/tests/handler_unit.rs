@@ -1,0 +1,450 @@
+//! Per-handler unit tests of the PP-assembly protocol: each handler is
+//! executed on the emulator against a crafted directory state and its
+//! exact directory mutation and message output are checked. (The
+//! differential suite checks native/emulated agreement; these tests pin
+//! the *intended* behaviour itself.)
+
+use flash_engine::{Addr, NodeId};
+use flash_pp::emu::DEFAULT_PAIR_BUDGET;
+use flash_pp::CodegenOptions;
+use flash_protocol::dir::{dir_addr, DirHeader, Directory, PtrEntry, DEFAULT_PS_CAPACITY};
+use flash_protocol::fields::aux;
+use flash_protocol::handlers::{compile, effect_to_outgoing, MemEnv};
+use flash_protocol::msg::{InMsg, MsgType};
+use flash_protocol::native::Outgoing;
+use flash_protocol::ProtoMem;
+
+const ADDR: u64 = 0x6000;
+
+struct Rig {
+    program: flash_pp::Program,
+    mem: ProtoMem,
+}
+
+impl Rig {
+    fn new() -> Self {
+        let mut mem = ProtoMem::new();
+        Directory::init_free_list(&mut mem, DEFAULT_PS_CAPACITY);
+        Rig {
+            program: compile(CodegenOptions::magic()).expect("compiles"),
+            mem,
+        }
+    }
+
+    fn header(&self) -> DirHeader {
+        DirHeader(self.mem.load64(dir_addr(Addr::new(ADDR))))
+    }
+
+    fn set_header(&mut self, h: DirHeader) {
+        self.mem.store64(dir_addr(Addr::new(ADDR)), h.0);
+    }
+
+    fn add_sharers(&mut self, nodes: &[u16]) {
+        let mut d = Directory::new(&mut self.mem);
+        let da = dir_addr(Addr::new(ADDR));
+        let mut h = d.header(da);
+        for &n in nodes {
+            let idx = d.alloc_entry().unwrap();
+            d.set_entry(idx, PtrEntry::new(NodeId(n), h.head()));
+            h = h.with_head(idx);
+        }
+        d.set_header(da, h);
+    }
+
+    fn sharers(&mut self) -> Vec<u16> {
+        let d = Directory::new(&mut self.mem);
+        d.sharers(dir_addr(Addr::new(ADDR))).iter().map(|n| n.0).collect()
+    }
+
+    /// Runs `handler` for `msg`, returning its outgoing actions.
+    fn run(&mut self, handler: &str, msg: &InMsg) -> Vec<Outgoing> {
+        let entry = self.program.entry(handler).unwrap_or_else(|| panic!("no {handler}"));
+        let run = {
+            let mut env = MemEnv::new(&mut self.mem, msg);
+            flash_pp::emu::run(&self.program, entry, &mut env, DEFAULT_PAIR_BUDGET)
+                .unwrap_or_else(|e| panic!("{handler}: {e}"))
+        };
+        run.effects
+            .iter()
+            .filter_map(|t| effect_to_outgoing(&t.kind, msg.self_node))
+            .collect()
+    }
+}
+
+fn msg(mtype: MsgType, me: u16, home: u16, src: u16, req: u16, orig: MsgType, spec: bool) -> InMsg {
+    InMsg {
+        mtype,
+        src: NodeId(src),
+        addr: Addr::new(ADDR),
+        aux: aux::pack(NodeId(req), orig, NodeId(home)),
+        spec,
+        self_node: NodeId(me),
+        home: NodeId(home),
+        diraddr: dir_addr(Addr::new(ADDR)),
+        with_data: mtype.carries_data(),
+    }
+}
+
+fn net<'a>(out: &'a [Outgoing], mtype: MsgType) -> Vec<&'a flash_protocol::Msg> {
+    out.iter()
+        .filter_map(|o| match o {
+            Outgoing::Net(m) if m.mtype == mtype => Some(m),
+            _ => None,
+        })
+        .collect()
+}
+
+fn procs<'a>(out: &'a [Outgoing], mtype: MsgType) -> Vec<&'a flash_protocol::ProcMsg> {
+    out.iter()
+        .filter_map(|o| match o {
+            Outgoing::Proc(m) if m.mtype == mtype => Some(m),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn ni_get_clean_records_sharer_and_replies() {
+    let mut r = Rig::new();
+    let out = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true));
+    assert_eq!(net(&out, MsgType::NPut).len(), 1);
+    assert_eq!(net(&out, MsgType::NPut)[0].dst, NodeId(3));
+    assert!(net(&out, MsgType::NPut)[0].with_data);
+    assert_eq!(r.sharers(), vec![3]);
+    assert!(!r.header().dirty());
+}
+
+#[test]
+fn ni_get_without_spec_reads_memory() {
+    let mut r = Rig::new();
+    let out = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, false));
+    assert!(out.iter().any(|o| matches!(o, Outgoing::MemRead(_))));
+    let out2 = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 5, 5, MsgType::NGet, true));
+    assert!(!out2.iter().any(|o| matches!(o, Outgoing::MemRead(_))));
+}
+
+#[test]
+fn ni_get_dirty_remote_sets_pending_and_forwards() {
+    let mut r = Rig::new();
+    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(7)));
+    let out = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true));
+    let fwd = net(&out, MsgType::NFwdGet);
+    assert_eq!(fwd.len(), 1);
+    assert_eq!(fwd[0].dst, NodeId(7));
+    assert_eq!(aux::requester(fwd[0].aux), NodeId(3));
+    assert_eq!(aux::home(fwd[0].aux), NodeId(0));
+    assert!(r.header().pending());
+    assert!(out.iter().all(|o| !matches!(o, Outgoing::MemRead(_) | Outgoing::MemWrite(_))),
+        "no reply data while forwarded");
+}
+
+#[test]
+fn ni_get_dirty_local_intervenes() {
+    let mut r = Rig::new();
+    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(0)).with_local(true));
+    let out = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true));
+    assert_eq!(procs(&out, MsgType::PIntervGet).len(), 1);
+    assert!(r.header().pending());
+}
+
+#[test]
+fn ni_get_owner_rerequest_self_repairs() {
+    let mut r = Rig::new();
+    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(3)));
+    let out = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true));
+    // Served from memory, not forwarded to itself.
+    assert_eq!(net(&out, MsgType::NPut).len(), 1);
+    assert!(net(&out, MsgType::NFwdGet).is_empty());
+    assert!(!r.header().dirty());
+    assert_eq!(r.sharers(), vec![3]);
+}
+
+#[test]
+fn ni_get_pending_nacks() {
+    let mut r = Rig::new();
+    r.set_header(DirHeader::default().with_pending(true));
+    let out = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true));
+    assert_eq!(net(&out, MsgType::NNack).len(), 1);
+    assert_eq!(net(&out, MsgType::NNack)[0].dst, NodeId(3));
+}
+
+#[test]
+fn ni_getx_invalidates_all_other_sharers() {
+    let mut r = Rig::new();
+    r.add_sharers(&[1, 2, 4]);
+    let out = r.run("ni_getx", &msg(MsgType::NGetX, 0, 0, 2, 2, MsgType::NGetX, true));
+    let invals: Vec<NodeId> = net(&out, MsgType::NInval).iter().map(|m| m.dst).collect();
+    assert_eq!(invals.len(), 2);
+    assert!(invals.contains(&NodeId(1)) && invals.contains(&NodeId(4)));
+    let h = r.header();
+    assert!(h.dirty() && h.pending());
+    assert_eq!(h.owner(), NodeId(2));
+    assert_eq!(h.acks(), 2);
+    assert!(r.sharers().is_empty());
+    // All entries returned to the free list.
+    let d = Directory::new(&mut r.mem);
+    assert_eq!(d.free_entries(), DEFAULT_PS_CAPACITY as usize);
+}
+
+#[test]
+fn ni_getx_with_local_copy_invalidates_processor() {
+    let mut r = Rig::new();
+    r.set_header(DirHeader::default().with_local(true));
+    let out = r.run("ni_getx", &msg(MsgType::NGetX, 0, 0, 2, 2, MsgType::NGetX, true));
+    assert_eq!(procs(&out, MsgType::PInval).len(), 1);
+    assert!(!r.header().local());
+}
+
+#[test]
+fn ni_upgrade_with_listed_requester_acks_without_data() {
+    let mut r = Rig::new();
+    r.add_sharers(&[2, 5]);
+    let out = r.run("ni_upgrade", &msg(MsgType::NUpgrade, 0, 0, 5, 5, MsgType::NUpgrade, false));
+    assert_eq!(net(&out, MsgType::NUpgAck).len(), 1);
+    assert!(net(&out, MsgType::NPutX).is_empty());
+    assert_eq!(net(&out, MsgType::NInval).len(), 1);
+    assert_eq!(net(&out, MsgType::NInval)[0].dst, NodeId(2));
+    assert_eq!(r.header().owner(), NodeId(5));
+}
+
+#[test]
+fn ni_upgrade_with_lost_copy_sends_data() {
+    let mut r = Rig::new();
+    let out = r.run("ni_upgrade", &msg(MsgType::NUpgrade, 0, 0, 5, 5, MsgType::NUpgrade, false));
+    assert_eq!(net(&out, MsgType::NPutX).len(), 1);
+    assert!(out.iter().any(|o| matches!(o, Outgoing::MemRead(_))));
+}
+
+#[test]
+fn ni_inval_ack_drains_pending() {
+    let mut r = Rig::new();
+    r.set_header(DirHeader::default().with_pending(true).with_acks(2));
+    r.run("ni_inval_ack", &msg(MsgType::NInvalAck, 0, 0, 1, 1, MsgType::NGetX, false));
+    assert!(r.header().pending());
+    assert_eq!(r.header().acks(), 1);
+    r.run("ni_inval_ack", &msg(MsgType::NInvalAck, 0, 0, 2, 2, MsgType::NGetX, false));
+    assert!(!r.header().pending());
+    assert_eq!(r.header().acks(), 0);
+}
+
+#[test]
+fn ni_inval_ack_ignores_strays() {
+    let mut r = Rig::new();
+    r.set_header(DirHeader::default().with_acks(0));
+    r.run("ni_inval_ack", &msg(MsgType::NInvalAck, 0, 0, 1, 1, MsgType::NGetX, false));
+    assert_eq!(r.header().acks(), 0, "stray ack must not underflow");
+}
+
+#[test]
+fn ni_wb_accepts_only_current_owner() {
+    let mut r = Rig::new();
+    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(4)).with_pending(true));
+    // Stale writeback from node 2: dropped, no memory write.
+    let out = r.run("ni_wb", &msg(MsgType::NWriteback, 0, 0, 2, 2, MsgType::NGetX, false));
+    assert!(out.is_empty());
+    assert!(r.header().dirty());
+    // Real writeback from the owner clears dirty and pending.
+    let out = r.run("ni_wb", &msg(MsgType::NWriteback, 0, 0, 4, 4, MsgType::NGetX, false));
+    assert!(out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))));
+    assert!(!r.header().dirty());
+    assert!(!r.header().pending());
+}
+
+#[test]
+fn ni_swb_live_transaction_records_both_sharers() {
+    let mut r = Rig::new();
+    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(7)).with_pending(true));
+    let out = r.run("ni_swb", &msg(MsgType::NSwb, 0, 0, 7, 3, MsgType::NGet, false));
+    assert!(out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))));
+    let h = r.header();
+    assert!(!h.dirty() && !h.pending());
+    let s = r.sharers();
+    assert!(s.contains(&3) && s.contains(&7));
+}
+
+#[test]
+fn ni_swb_stale_invalidates_rogue_copies() {
+    let mut r = Rig::new();
+    // Not pending: the transaction was abandoned.
+    r.set_header(DirHeader::default());
+    let out = r.run("ni_swb", &msg(MsgType::NSwb, 0, 0, 7, 3, MsgType::NGet, false));
+    assert!(!out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))), "stale data not written");
+    let invals: Vec<NodeId> = net(&out, MsgType::NInval).iter().map(|m| m.dst).collect();
+    assert!(invals.contains(&NodeId(3)) && invals.contains(&NodeId(7)));
+    assert!(r.sharers().is_empty());
+}
+
+#[test]
+fn ni_ownx_live_transfers_ownership() {
+    let mut r = Rig::new();
+    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(7)).with_pending(true));
+    r.run("ni_ownx", &msg(MsgType::NOwnx, 0, 0, 7, 3, MsgType::NGetX, false));
+    let h = r.header();
+    assert!(h.dirty() && !h.pending());
+    assert_eq!(h.owner(), NodeId(3));
+}
+
+#[test]
+fn ni_ownx_stale_invalidates_rogue_exclusive() {
+    let mut r = Rig::new();
+    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(5)).with_pending(true));
+    // Transfer claims to come from node 7, but the live owner is node 5.
+    let out = r.run("ni_ownx", &msg(MsgType::NOwnx, 0, 0, 7, 3, MsgType::NGetX, false));
+    assert_eq!(net(&out, MsgType::NInval).len(), 1);
+    assert_eq!(net(&out, MsgType::NInval)[0].dst, NodeId(3));
+    assert_eq!(r.header().owner(), NodeId(5), "live ownership untouched");
+}
+
+#[test]
+fn ni_interv_miss_abandons_matching_transaction() {
+    let mut r = Rig::new();
+    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(7)).with_pending(true));
+    r.run("ni_interv_miss", &msg(MsgType::NIntervMiss, 0, 0, 7, 3, MsgType::NGetX, false));
+    let h = r.header();
+    assert!(!h.pending() && !h.dirty());
+    // A notice from the wrong node changes nothing.
+    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(7)).with_pending(true));
+    r.run("ni_interv_miss", &msg(MsgType::NIntervMiss, 0, 0, 2, 3, MsgType::NGetX, false));
+    assert!(r.header().pending());
+}
+
+#[test]
+fn ni_hint_unlinks_middle_of_list() {
+    let mut r = Rig::new();
+    r.add_sharers(&[1, 2, 3]); // head: 3 -> 2 -> 1
+    r.run("ni_hint", &msg(MsgType::NRplHint, 0, 0, 2, 2, MsgType::NRplHint, false));
+    assert_eq!(r.sharers(), vec![3, 1]);
+    let d = Directory::new(&mut r.mem);
+    assert_eq!(d.free_entries(), DEFAULT_PS_CAPACITY as usize - 2);
+}
+
+#[test]
+fn ni_hint_for_absent_node_is_a_no_op() {
+    let mut r = Rig::new();
+    r.add_sharers(&[1, 3]);
+    r.run("ni_hint", &msg(MsgType::NRplHint, 0, 0, 9, 9, MsgType::NRplHint, false));
+    assert_eq!(r.sharers(), vec![3, 1]);
+}
+
+#[test]
+fn pi_wb_local_clears_everything() {
+    let mut r = Rig::new();
+    r.set_header(
+        DirHeader::default().with_dirty(true).with_owner(NodeId(0)).with_local(true).with_pending(true),
+    );
+    let out = r.run("pi_wb_local", &msg(MsgType::PiWriteback, 0, 0, 0, 0, MsgType::NGetX, false));
+    assert!(out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))));
+    let h = r.header();
+    assert!(!h.dirty() && !h.local() && !h.pending());
+}
+
+#[test]
+fn pi_interv_reply_read_at_home_shares() {
+    let mut r = Rig::new();
+    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(0)).with_local(true).with_pending(true));
+    let out = r.run(
+        "pi_interv_reply",
+        &msg(MsgType::PiIntervReply, 0, 0, 0, 4, MsgType::NGet, false),
+    );
+    assert!(out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))), "sharing writeback to memory");
+    assert_eq!(net(&out, MsgType::NPut).len(), 1);
+    let h = r.header();
+    assert!(!h.dirty() && !h.pending() && h.local());
+    assert_eq!(r.sharers(), vec![4]);
+}
+
+#[test]
+fn pi_interv_reply_write_at_third_node_forwards_ownership() {
+    let mut r = Rig::new();
+    let out = r.run(
+        "pi_interv_reply",
+        &msg(MsgType::PiIntervReply, 7, 2, 7, 4, MsgType::NGetX, false),
+    );
+    assert_eq!(net(&out, MsgType::NPutX).len(), 1);
+    assert_eq!(net(&out, MsgType::NPutX)[0].dst, NodeId(4));
+    let ownx = net(&out, MsgType::NOwnx);
+    assert_eq!(ownx.len(), 1);
+    assert_eq!(ownx[0].dst, NodeId(2));
+}
+
+#[test]
+fn io_dma_write_invalidates_and_writes_memory() {
+    let mut r = Rig::new();
+    r.add_sharers(&[1, 2]);
+    let mut h = r.header();
+    h = h.with_local(true);
+    r.set_header(h);
+    let out = r.run("io_dma_write", &msg(MsgType::IoDmaWrite, 0, 0, 0, 0, MsgType::NGetX, false));
+    assert_eq!(net(&out, MsgType::NInval).len(), 2);
+    assert_eq!(procs(&out, MsgType::PInval).len(), 1);
+    assert!(out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))));
+    let h = r.header();
+    assert!(!h.local() && h.pending());
+    assert_eq!(h.acks(), 2);
+}
+
+#[test]
+fn remote_request_forwarding_carries_context() {
+    let mut r = Rig::new();
+    for (handler, mt, nt) in [
+        ("pi_get_remote", MsgType::PiGet, MsgType::NGet),
+        ("pi_getx_remote", MsgType::PiGetX, MsgType::NGetX),
+        ("pi_upgrade_remote", MsgType::PiUpgrade, MsgType::NUpgrade),
+        ("pi_hint_remote", MsgType::PiRplHint, MsgType::NRplHint),
+    ] {
+        let out = r.run(handler, &msg(mt, 2, 6, 2, 2, nt, false));
+        let sent = net(&out, nt);
+        assert_eq!(sent.len(), 1, "{handler}");
+        assert_eq!(sent[0].dst, NodeId(6), "{handler}");
+        assert_eq!(aux::requester(sent[0].aux), NodeId(2), "{handler}");
+        assert_eq!(aux::orig_type(sent[0].aux), nt, "{handler}");
+        assert_eq!(aux::home(sent[0].aux), NodeId(6), "{handler}");
+    }
+}
+
+#[test]
+fn replies_forward_to_the_processor() {
+    let mut r = Rig::new();
+    for (handler, mt, pt, data) in [
+        ("ni_put", MsgType::NPut, MsgType::PPut, true),
+        ("ni_putx", MsgType::NPutX, MsgType::PPutX, true),
+        ("ni_upgack", MsgType::NUpgAck, MsgType::PUpgAck, false),
+    ] {
+        let out = r.run(handler, &msg(mt, 2, 6, 6, 2, MsgType::NGetX, false));
+        let p = procs(&out, pt);
+        assert_eq!(p.len(), 1, "{handler}");
+        assert_eq!(p[0].with_data, data, "{handler}");
+    }
+}
+
+#[test]
+fn nack_retries_the_original_request_type() {
+    let mut r = Rig::new();
+    for orig in [MsgType::NGet, MsgType::NGetX, MsgType::NUpgrade] {
+        let out = r.run("ni_nack", &msg(MsgType::NNack, 2, 6, 6, 2, orig, false));
+        let sent = net(&out, orig);
+        assert_eq!(sent.len(), 1, "{orig:?}");
+        assert_eq!(sent[0].dst, NodeId(6));
+    }
+}
+
+#[test]
+fn pointer_exhaustion_grants_exclusive_with_reclamation() {
+    let mut mem = ProtoMem::new();
+    Directory::init_free_list(&mut mem, 2);
+    let mut r = Rig {
+        program: compile(CodegenOptions::magic()).unwrap(),
+        mem,
+    };
+    r.add_sharers(&[1, 2]); // consumes both entries
+    let out = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 5, 5, MsgType::NGet, true));
+    // The line's own list is reclaimed: sharers invalidated, requester
+    // granted exclusive.
+    assert_eq!(net(&out, MsgType::NInval).len(), 2);
+    assert_eq!(net(&out, MsgType::NPutX).len(), 1);
+    let h = r.header();
+    assert!(h.dirty());
+    assert_eq!(h.owner(), NodeId(5));
+    let d = Directory::new(&mut r.mem);
+    assert_eq!(d.free_entries(), 2, "reclaimed entries returned");
+}

@@ -1,0 +1,25 @@
+use flash::{MachineConfig, RunResult};
+use flash_workloads::{build_machine, by_name};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap();
+    let scale: u32 = std::env::args().nth(2).map(|s| s.parse().unwrap()).unwrap_or(32);
+    let procs: u16 = std::env::args().nth(3).map(|s| s.parse().unwrap()).unwrap_or(4);
+    let w = by_name(&name, procs, scale);
+    let t0 = std::time::Instant::now();
+    let mut m = build_machine(&MachineConfig::flash(procs), w.as_ref());
+    let res = m.run(10_000_000_000);
+    let wall = t0.elapsed();
+    match res {
+        RunResult::Completed { exec_cycles } => {
+            let r = flash::MachineReport::from_machine(&m);
+            println!(
+                "{name} scale{scale} p{procs}: {exec_cycles} cycles in {wall:.1?}, miss {:.2}%, class {:?}, ppocc {:.1}%",
+                r.miss_rate * 100.0,
+                r.class_fractions().map(|f| (f * 100.0).round()),
+                r.pp_occupancy.0 * 100.0
+            );
+        }
+        other => println!("{name}: {other:?}"),
+    }
+}

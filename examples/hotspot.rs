@@ -1,0 +1,56 @@
+//! The paper's §4.3 insight: high PP occupancy hurts FLASH only when the
+//! node's memory occupancy is simultaneously low.
+//!
+//! Two hot-spot experiments:
+//! 1. FFT with every page allocated from node 0 — node 0's PP *and*
+//!    memory are both saturated, so the FLASH/ideal gap stays small.
+//! 2. The OS workload with the original (first-node) page placement —
+//!    protocol traffic (writebacks, hints, kernel migration) loads node
+//!    0's PP without loading its memory proportionally, so FLASH falls
+//!    behind the ideal machine.
+//!
+//! ```sh
+//! cargo run --release --example hotspot
+//! ```
+
+use flash::{compare, MachineConfig, MachineReport, RunResult};
+use flash_workloads::{build_machine, Fft, OsWorkload, Workload};
+
+fn run(cfg: &MachineConfig, w: &dyn Workload) -> (MachineReport, f64, f64) {
+    let mut m = build_machine(cfg, w);
+    let RunResult::Completed { .. } = m.run(flash_workloads::DEFAULT_BUDGET) else {
+        panic!("stuck");
+    };
+    let end = flash_engine::Cycle::new(m.exec_cycles());
+    let pp0 = m.chips()[0].pp_occupancy(end);
+    let mem0 = m.chips()[0].memory().occupancy(end);
+    (MachineReport::from_machine(&m), pp0, mem0)
+}
+
+fn main() {
+    let procs = 16;
+
+    let fft_hot = Fft::hotspot(procs, 2);
+    let cfg_f = MachineConfig::flash(procs).with_cache_bytes(4 << 10);
+    let cfg_i = MachineConfig::ideal(procs).with_cache_bytes(4 << 10);
+    let (rf, pp0, mem0) = run(&cfg_f, &fft_hot);
+    let (ri, _, _) = run(&cfg_i, &fft_hot);
+    let c = compare(&rf, &ri);
+    println!("FFT, all pages on node 0 (4 KB caches):");
+    println!("  node 0: PP occupancy {:.1}%, memory occupancy {:.1}%", pp0 * 100.0, mem0 * 100.0);
+    println!(
+        "  FLASH +{:.1}% over ideal — the PP latency hides behind the busy memory\n  (paper: only 2.6% despite 81.6% PP occupancy, memory at 67.7%)\n",
+        c.slowdown_pct
+    );
+
+    let os = OsWorkload::scaled(8, 4).original_port();
+    let (rf, pp0, mem0) = run(&MachineConfig::flash(8), &os);
+    let (ri, _, _) = run(&MachineConfig::ideal(8), &os);
+    let c = compare(&rf, &ri);
+    println!("OS workload, original first-node page placement (8 processors):");
+    println!("  node 0: PP occupancy {:.1}%, memory occupancy {:.1}%", pp0 * 100.0, mem0 * 100.0);
+    println!(
+        "  FLASH +{:.1}% over ideal — occupancy with nothing to hide behind\n  (paper: 29% degradation; 81% max PP occupancy vs 33% max memory occupancy)",
+        c.slowdown_pct
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a FLASH machine, run a workload, read the report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use flash::{Machine, MachineConfig, MachineReport, RunResult};
+use flash_workloads::{Fft, Workload};
+
+fn main() {
+    // An 8-node FLASH machine: each node has a 400-MIPS processor with a
+    // 1 MB cache, a MAGIC controller running the dynamic-pointer-allocation
+    // coherence protocol on its emulated protocol processor, memory, and a
+    // mesh network port.
+    let procs = 8;
+    let cfg = MachineConfig::flash(procs);
+
+    // A reduced-size FFT (the paper's 64K-point transform at scale 8).
+    let fft = Fft::scaled(procs, 8);
+    let mut machine = Machine::new(cfg, fft.streams());
+
+    let RunResult::Completed { exec_cycles } = machine.run(1_000_000_000) else {
+        panic!("budget exhausted");
+    };
+    let report = MachineReport::from_machine(&machine);
+
+    println!("FFT on {procs}-node FLASH:");
+    println!("  execution time     {exec_cycles} cycles ({} us)", exec_cycles / 100);
+    println!("  cache miss rate    {:.2}%", report.miss_rate * 100.0);
+    let b = report.breakdown;
+    println!(
+        "  time breakdown     busy {:.0}%  cache-contention {:.0}%  read {:.0}%  write {:.0}%  sync {:.0}%",
+        b[0] * 100.0,
+        b[1] * 100.0,
+        b[2] * 100.0,
+        b[3] * 100.0,
+        b[4] * 100.0
+    );
+    println!(
+        "  PP occupancy       {:.1}% avg / {:.1}% max",
+        report.pp_occupancy.0 * 100.0,
+        report.pp_occupancy.1 * 100.0
+    );
+    println!(
+        "  protocol handlers  {} invocations, dual-issue efficiency {:.2}",
+        report.pp_stats.invocations,
+        report.pp_stats.dual_issue_efficiency()
+    );
+    let cf = report.class_fractions();
+    println!(
+        "  read misses        {:.0}% local clean, {:.0}% remote clean, {:.0}% dirty at home",
+        cf[0] * 100.0,
+        cf[2] * 100.0,
+        cf[3] * 100.0
+    );
+}
