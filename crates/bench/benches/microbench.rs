@@ -27,6 +27,121 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(sum)
         })
     });
+
+    // A reference heap-only queue (what EventQueue was before the timing
+    // wheel), so wheel-vs-heap cost is directly comparable under the same
+    // arrival patterns.
+    struct HeapQueue {
+        heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, u64)>>,
+        seq: u64,
+    }
+    impl HeapQueue {
+        fn new() -> Self {
+            HeapQueue {
+                heap: std::collections::BinaryHeap::new(),
+                seq: 0,
+            }
+        }
+        fn push(&mut self, t: u64, e: u64) {
+            self.heap.push(std::cmp::Reverse((t, self.seq, e)));
+            self.seq += 1;
+        }
+        fn pop(&mut self) -> Option<(u64, u64)> {
+            self.heap.pop().map(|std::cmp::Reverse((t, _, e))| (t, e))
+        }
+    }
+
+    // Near-future-heavy: the simulator's dominant pattern. A population
+    // of in-flight events (one per modelled resource: processors, PPs,
+    // memory banks, mesh hops of a 16..64-node machine) each schedules a
+    // successor a handful of cycles ahead, staying inside the 128-cycle
+    // wheel window.
+    const POPULATION: u64 = 256;
+    c.bench_function("event_queue_wheel_near_future_4k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for e in 0..POPULATION {
+                q.push(Cycle::new(e % 24), e);
+            }
+            let mut now = 0u64;
+            let mut sum = 0u64;
+            for _ in 0..4096 {
+                let (t, e) = q.pop().unwrap();
+                now = t.raw();
+                sum += e;
+                q.push(Cycle::new(now + 1 + (e * 7) % 24), e + 1);
+            }
+            black_box((sum, now))
+        })
+    });
+    c.bench_function("event_queue_heap_near_future_4k", |b| {
+        b.iter(|| {
+            let mut q = HeapQueue::new();
+            for e in 0..POPULATION {
+                q.push(e % 24, e);
+            }
+            let mut now = 0u64;
+            let mut sum = 0u64;
+            for _ in 0..4096 {
+                let (t, e) = q.pop().unwrap();
+                now = t;
+                sum += e;
+                q.push(now + 1 + (e * 7) % 24, e + 1);
+            }
+            black_box((sum, now))
+        })
+    });
+
+    // Uniform horizon: pushes spread far beyond the wheel window, so most
+    // traffic overflows to the heap (the wheel's worst case).
+    c.bench_function("event_queue_wheel_uniform_4k", |b| {
+        let mut rng = DetRng::for_stream(7, 7);
+        let times: Vec<u64> = (0..4096).map(|_| rng.below(1 << 16)).collect();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(Cycle::new(t), i as u64);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum += e;
+            }
+            black_box(sum)
+        })
+    });
+    c.bench_function("event_queue_heap_uniform_4k", |b| {
+        let mut rng = DetRng::for_stream(7, 7);
+        let times: Vec<u64> = (0..4096).map(|_| rng.below(1 << 16)).collect();
+        b.iter(|| {
+            let mut q = HeapQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(t, i as u64);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum += e;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // Whole-simulation throughput: one small FFT run per iteration,
+    // uncached (this is the unit of work the run-matrix driver schedules).
+    let mut g = c.benchmark_group("sims_per_second");
+    g.sample_size(10);
+    g.bench_function("fft_2p_scale64_flash", |b| {
+        let w = flash_workloads::by_name("FFT", 2, 64);
+        let cfg = flash::MachineConfig::flash(2);
+        b.iter(|| black_box(flash_workloads::run_workload(&cfg, w.as_ref()).exec_cycles))
+    });
+    g.bench_function("fft_2p_scale64_ideal", |b| {
+        let w = flash_workloads::by_name("FFT", 2, 64);
+        let cfg = flash::MachineConfig::ideal(2);
+        b.iter(|| black_box(flash_workloads::run_workload(&cfg, w.as_ref()).exec_cycles))
+    });
+    g.finish();
 }
 
 fn bench_caches(c: &mut Criterion) {
@@ -122,7 +237,9 @@ fn bench_handlers(c: &mut Criterion) {
         let mut out = Vec::new();
         b.iter(|| {
             out.clear();
-            black_box(flash_protocol::native::handle(&msg, &mut mem, &costs, &mut out))
+            black_box(flash_protocol::native::handle(
+                &msg, &mut mem, &costs, &mut out,
+            ))
         })
     });
 }
@@ -138,6 +255,7 @@ criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_event_queue,
+    bench_end_to_end,
     bench_caches,
     bench_directory,
     bench_pp_toolchain,

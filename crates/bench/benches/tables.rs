@@ -15,7 +15,12 @@ const SCALE: u32 = 32;
 fn bench_table_3_3(c: &mut Criterion) {
     // The no-contention latency measurement behind Table 3.3.
     c.bench_function("table_3_3_latency_measurement", |b| {
-        b.iter(|| black_box(flash_bench::measure_class(ControllerKind::FlashEmulated, MissClass::RemoteClean)))
+        b.iter(|| {
+            black_box(flash_bench::measure_class(
+                ControllerKind::FlashEmulated,
+                MissClass::RemoteClean,
+            ))
+        })
     });
     // Verify the full table once per bench run.
     let t = measure_latency_table(ControllerKind::FlashEmulated);
@@ -51,7 +56,11 @@ fn bench_table_4_2(c: &mut Criterion) {
             b.iter(|| {
                 let w = by_name("FFT", PROCS, SCALE);
                 black_box(
-                    run_workload(&MachineConfig::flash(PROCS).with_cache_bytes(cache), w.as_ref()).miss_rate,
+                    run_workload(
+                        &MachineConfig::flash(PROCS).with_cache_bytes(cache),
+                        w.as_ref(),
+                    )
+                    .miss_rate,
                 )
             })
         });
@@ -67,7 +76,11 @@ fn bench_table_5_1(c: &mut Criterion) {
             b.iter(|| {
                 let w = by_name("FFT", PROCS, SCALE);
                 black_box(
-                    run_workload(&MachineConfig::flash(PROCS).with_speculation(spec), w.as_ref()).exec_cycles,
+                    run_workload(
+                        &MachineConfig::flash(PROCS).with_speculation(spec),
+                        w.as_ref(),
+                    )
+                    .exec_cycles,
                 )
             })
         });
@@ -81,7 +94,8 @@ fn bench_sec_5_3(c: &mut Criterion) {
     g.bench_function("deoptimized_pp", |b| {
         b.iter(|| {
             let w = by_name("FFT", PROCS, SCALE);
-            let cfg = MachineConfig::flash(PROCS).with_codegen(flash_pp::CodegenOptions::deoptimized());
+            let cfg =
+                MachineConfig::flash(PROCS).with_codegen(flash_pp::CodegenOptions::deoptimized());
             black_box(run_workload(&cfg, w.as_ref()).exec_cycles)
         })
     });

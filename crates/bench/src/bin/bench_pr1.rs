@@ -1,0 +1,139 @@
+//! Measures the run-matrix driver's win over the pre-runner serial path
+//! and the timing-wheel event queue's cost profile, then writes the
+//! results to `BENCH_PR1.json` (hand-rolled JSON; the container has no
+//! serde). Usage:
+//!
+//! ```text
+//! cargo run --release -p flash-bench --bin bench_pr1 [output.json]
+//! ```
+//!
+//! Three passes over the identical `repro_all` job matrix:
+//!
+//! 1. `before`: `FLASH_NO_MEMO=1`, serial — every artifact re-simulates
+//!    its own points, as the code did before the runner existed.
+//! 2. `after_serial`: memoized, one worker (`FLASH_JOBS=1` equivalent).
+//! 3. `after_parallel`: memoized, default worker count.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use flash_bench::runner;
+use flash_bench::tables;
+use flash_engine::{Cycle, DetRng, EventQueue};
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+/// Near-future self-scheduling churn over a 256-event population;
+/// returns ns/event.
+fn eventq_near_future_ns() -> f64 {
+    const POP: u64 = 256;
+    const OPS: u64 = 200_000;
+    let mut q = EventQueue::new();
+    for e in 0..POP {
+        q.push(Cycle::new(e % 24), e);
+    }
+    let t0 = Instant::now();
+    let mut sum = 0u64;
+    for _ in 0..OPS {
+        let (t, e) = q.pop().unwrap();
+        sum = sum.wrapping_add(e);
+        q.push(Cycle::new(t.raw() + 1 + (e * 7) % 24), e + 1);
+    }
+    std::hint::black_box(sum);
+    t0.elapsed().as_secs_f64() * 1e9 / OPS as f64
+}
+
+/// Uniform-horizon fill-then-drain (the wheel's worst case); ns/event.
+fn eventq_uniform_ns() -> f64 {
+    const N: u64 = 200_000;
+    let mut rng = DetRng::for_stream(7, 7);
+    let times: Vec<u64> = (0..N).map(|_| rng.below(1 << 16)).collect();
+    let t0 = Instant::now();
+    let mut q = EventQueue::new();
+    for (i, &t) in times.iter().enumerate() {
+        q.push(Cycle::new(t), i as u64);
+    }
+    let mut sum = 0u64;
+    while let Some((_, e)) = q.pop() {
+        sum = sum.wrapping_add(e);
+    }
+    std::hint::black_box(sum);
+    t0.elapsed().as_secs_f64() * 1e9 / (2 * N) as f64
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR1.json".into());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let jobs = tables::repro_all_jobs();
+    let listed = jobs.len();
+
+    // Pass 1: pre-runner behaviour — serial, no memoization, no dedup.
+    std::env::set_var("FLASH_NO_MEMO", "1");
+    let t = Instant::now();
+    for job in &jobs {
+        job.run();
+    }
+    let before_ms = ms(t);
+    std::env::remove_var("FLASH_NO_MEMO");
+
+    // Pass 2: memoized run matrix, one worker.
+    runner::clear_caches();
+    let t = Instant::now();
+    let unique = runner::prefetch_with_jobs(&jobs, 1);
+    let after_serial_ms = ms(t);
+
+    // Pass 3: memoized run matrix, default worker pool.
+    runner::clear_caches();
+    let workers = runner::jobs();
+    let t = Instant::now();
+    runner::prefetch_with_jobs(&jobs, workers);
+    let after_parallel_ms = ms(t);
+
+    let near_ns = eventq_near_future_ns();
+    let uniform_ns = eventq_uniform_ns();
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"pr\": 1,");
+    let _ = writeln!(
+        s,
+        "  \"description\": \"Run-matrix driver + memoized artifacts + timing-wheel event queue\","
+    );
+    let _ = writeln!(
+        s,
+        "  \"host\": {{ \"cores\": {cores}, \"workers_used\": {workers} }},"
+    );
+    let _ = writeln!(s, "  \"run_matrix\": {{");
+    let _ = writeln!(s, "    \"listed_jobs\": {listed},");
+    let _ = writeln!(s, "    \"unique_points\": {unique},");
+    let _ = writeln!(s, "    \"before_no_memo_serial_ms\": {before_ms:.1},");
+    let _ = writeln!(s, "    \"after_memo_serial_ms\": {after_serial_ms:.1},");
+    let _ = writeln!(s, "    \"after_memo_parallel_ms\": {after_parallel_ms:.1},");
+    let _ = writeln!(
+        s,
+        "    \"speedup_serial\": {:.2},",
+        before_ms / after_serial_ms.max(1e-9)
+    );
+    let _ = writeln!(
+        s,
+        "    \"speedup_parallel\": {:.2}",
+        before_ms / after_parallel_ms.max(1e-9)
+    );
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"event_queue\": {{");
+    let _ = writeln!(s, "    \"near_future_pop_push_ns\": {near_ns:.1},");
+    let _ = writeln!(s, "    \"uniform_horizon_per_event_ns\": {uniform_ns:.1}");
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(
+        s,
+        "  \"notes\": \"Passes run the identical repro_all job matrix. 'before' replicates the pre-runner serial path (every artifact re-simulates its own points; FLASH_NO_MEMO=1). On a 1-core host the parallel pass oversubscribes and can regress; the dedup/memoization win is core-count independent. Wheel-vs-heap comparisons: cargo bench -p flash-bench --bench microbench.\""
+    );
+    let _ = writeln!(s, "}}");
+
+    std::fs::write(&out_path, &s).expect("write BENCH_PR1.json");
+    eprintln!("wrote {out_path}:\n{s}");
+}

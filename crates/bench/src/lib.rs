@@ -10,13 +10,18 @@
 //! `FLASH_FULL=1` for the paper's Table 3.5 sizes, or `FLASH_SCALE=n`
 //! for a specific divisor.
 
+pub mod runner;
 pub mod tables;
+
+pub use runner::{
+    cached_latency, cached_run, clear_caches, prefetch, prefetch_with_jobs, Job, RunSpec, WorkSpec,
+};
 
 use flash::config::node_addr;
 use flash::{ControllerKind, LatencyTable, Machine, MachineConfig, MachineReport, RunResult};
 use flash_cpu::{RefStream, SliceStream, WorkItem};
 use flash_engine::NodeId;
-use flash_workloads::{by_name, run_workload, Workload};
+use flash_workloads::{by_name, Workload};
 
 /// Problem-size divisor selected by environment variables.
 pub fn scale() -> u32 {
@@ -31,7 +36,10 @@ pub fn scale() -> u32 {
 
 /// Processor count for the parallel applications (paper: 16).
 pub fn parallel_procs() -> u16 {
-    std::env::var("FLASH_PROCS").ok().and_then(|v| v.parse().ok()).unwrap_or(16)
+    std::env::var("FLASH_PROCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
 }
 
 /// Processor count for the OS workload (paper: 8).
@@ -62,15 +70,36 @@ pub fn small_cache_for(app: &str, cache_bytes: u64) -> u64 {
 
 /// Builds the named workload at the current scale.
 pub fn workload(app: &str) -> Box<dyn Workload> {
-    let procs = if app == "OS" { os_procs() } else { parallel_procs() };
+    let procs = if app == "OS" {
+        os_procs()
+    } else {
+        parallel_procs()
+    };
     by_name(app, procs, scale())
 }
 
-/// Runs one app on one controller kind at a cache size.
-pub fn run_app(app: &str, kind: ControllerKind, cache_bytes: u64) -> MachineReport {
-    let w = workload(app);
-    let cfg = base_cfg(kind, w.procs()).with_cache_bytes(small_cache_for(app, cache_bytes));
-    run_workload(&cfg, w.as_ref())
+/// The run-matrix point for one app on one controller kind at a cache
+/// size, capturing the current scale/processor environment.
+pub fn run_spec(app: &'static str, kind: ControllerKind, cache_bytes: u64) -> RunSpec {
+    let procs = if app == "OS" {
+        os_procs()
+    } else {
+        parallel_procs()
+    };
+    RunSpec {
+        work: WorkSpec::Named {
+            app,
+            procs,
+            scale: scale(),
+        },
+        cfg: base_cfg(kind, procs).with_cache_bytes(small_cache_for(app, cache_bytes)),
+    }
+}
+
+/// Runs one app on one controller kind at a cache size (memoized: repeat
+/// calls with the same point return the cached report).
+pub fn run_app(app: &'static str, kind: ControllerKind, cache_bytes: u64) -> MachineReport {
+    cached_run(&run_spec(app, kind, cache_bytes))
 }
 
 /// Standard configuration for a controller kind.
@@ -141,11 +170,18 @@ impl MissClass {
     }
 }
 
+/// Measures the no-contention read-miss latency of one class (memoized:
+/// the ten `(kind, class)` points are shared by Table 3.3, Table 4.1 and
+/// Table 4.2).
+pub fn measure_class(kind: ControllerKind, class: MissClass) -> f64 {
+    cached_latency(kind, class)
+}
+
 /// Measures the no-contention read-miss latency of one class on a 3-node
 /// machine, isolating warm-path latency by differencing against a warm-up
 /// transaction of the same class on an adjacent line (same MDC header
-/// line, same handlers).
-pub fn measure_class(kind: ControllerKind, class: MissClass) -> f64 {
+/// line, same handlers). Uncached; use [`measure_class`].
+pub fn measure_class_uncached(kind: ControllerKind, class: MissClass) -> f64 {
     let (home, writer) = class.roles();
     let line_a = node_addr(NodeId(home), 0x2000);
     let line_b = node_addr(NodeId(home), 0x2080); // adjacent: shares the MDC line
@@ -195,6 +231,19 @@ pub fn measure_class(kind: ControllerKind, class: MissClass) -> f64 {
     run(true) - run(false)
 }
 
+/// The ten Table 3.3 measurement jobs (both controller kinds, all five
+/// miss classes) — prefetch these before calling
+/// [`measure_latency_table`].
+pub fn latency_jobs() -> Vec<Job> {
+    let mut v = Vec::new();
+    for kind in [ControllerKind::FlashEmulated, ControllerKind::Ideal] {
+        for class in MissClass::ALL {
+            v.push(Job::Latency(kind, class));
+        }
+    }
+    v
+}
+
 /// Measures the full Table 3.3 latency column for a controller kind.
 pub fn measure_latency_table(kind: ControllerKind) -> LatencyTable {
     LatencyTable {
@@ -227,7 +276,9 @@ pub fn mdc_stress_stream(data_mb: u64, scale: u32) -> Vec<Box<dyn RefStream>> {
         items.push(WorkItem::Busy(10));
         let b = rng.below(buckets);
         let o = rng.below((lines / buckets).max(1));
-        items.push(WorkItem::Write(region.offset((b * (lines / buckets).max(1) + o) * 128)));
+        items.push(WorkItem::Write(
+            region.offset((b * (lines / buckets).max(1) + o) * 128),
+        ));
     }
     vec![Box::new(SliceStream::new(items))]
 }
@@ -242,7 +293,11 @@ mod tests {
         let paper = LatencyTable::paper_flash();
         for (m, p) in measured.as_array().iter().zip(paper.as_array()) {
             let rel = (m - p).abs() / p;
-            assert!(rel < 0.25, "measured {m:.0} vs paper {p:.0} ({:.0}% off)", rel * 100.0);
+            assert!(
+                rel < 0.25,
+                "measured {m:.0} vs paper {p:.0} ({:.0}% off)",
+                rel * 100.0
+            );
         }
     }
 
@@ -252,7 +307,11 @@ mod tests {
         let paper = LatencyTable::paper_ideal();
         for (m, p) in measured.as_array().iter().zip(paper.as_array()) {
             let rel = (m - p).abs() / p;
-            assert!(rel < 0.25, "measured {m:.0} vs paper {p:.0} ({:.0}% off)", rel * 100.0);
+            assert!(
+                rel < 0.25,
+                "measured {m:.0} vs paper {p:.0} ({:.0}% off)",
+                rel * 100.0
+            );
         }
     }
 

@@ -1,0 +1,355 @@
+//! Parallel run-matrix driver with memoized simulation results.
+//!
+//! The table/figure regeneration functions in [`crate::tables`] share many
+//! simulation points: the Figure 4.x FLASH runs are the same machine
+//! configurations that Table 4.x, Table 5.1 (speculation on) and Table 5.2
+//! re-measure, and the Table 3.3 latency harness is consulted by three
+//! artifacts. This module enumerates every `(workload, config)` point a set
+//! of artifacts needs as a [`Job`], deduplicates the list, executes it
+//! across `std::thread::scope` workers, and memoizes each
+//! [`MachineReport`] in a process-wide cache so every unique point
+//! simulates exactly once per invocation.
+//!
+//! Determinism: each simulation owns its machine, its workload streams and
+//! its [`flash_engine::DetRng`] instances; no simulation state is shared
+//! between worker threads, so a point's report is bit-identical whether it
+//! was computed inline, by one worker, or by eight. Rendering stays on the
+//! caller's thread and reads only the cache, so table output is
+//! byte-identical to the serial path for any worker count.
+//!
+//! Worker count: `FLASH_JOBS=n` forces `n` workers; the default is
+//! [`std::thread::available_parallelism`]. `FLASH_JOBS=1` runs every job
+//! inline on the caller's thread (no threads are spawned).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use flash::{ControllerKind, Machine, MachineConfig, MachineReport, RunResult};
+use flash_workloads::{by_name, run_workload, Fft, OsWorkload};
+
+use crate::{mdc_stress_stream, MissClass};
+
+/// What to simulate: a workload family plus the parameters that pick one
+/// member. Kept `Copy` + `Debug` so a spec both reconstructs the workload
+/// and (via its `Debug` rendering) keys the memo cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkSpec {
+    /// A named application from [`flash_workloads::by_name`].
+    Named {
+        /// Application name ("FFT", "Ocean", "OS", ...).
+        app: &'static str,
+        /// Processor count.
+        procs: u16,
+        /// Problem-size divisor.
+        scale: u32,
+    },
+    /// FFT with an explicit matrix dimension (the §4.5 scaled-data run).
+    FftDim {
+        /// Processor count.
+        procs: u16,
+        /// Matrix dimension.
+        dim: u64,
+    },
+    /// The original first-node IRIX port of the OS workload (§4.3).
+    OsOriginalPort {
+        /// Processor count.
+        procs: u16,
+        /// Problem-size divisor.
+        scale: u32,
+    },
+    /// The §5.2 uniprocessor MDC stress stream.
+    MdcStress {
+        /// Data-set size in MB before scaling.
+        data_mb: u64,
+        /// Problem-size divisor.
+        scale: u32,
+    },
+}
+
+impl WorkSpec {
+    /// Runs this workload under `cfg` to completion.
+    fn execute(&self, cfg: &MachineConfig) -> MachineReport {
+        match *self {
+            WorkSpec::Named { app, procs, scale } => {
+                let w = by_name(app, procs, scale);
+                run_workload(cfg, w.as_ref())
+            }
+            WorkSpec::FftDim { procs, dim } => run_workload(cfg, &Fft::with_dim(procs, dim)),
+            WorkSpec::OsOriginalPort { procs, scale } => {
+                run_workload(cfg, &OsWorkload::scaled(procs, scale).original_port())
+            }
+            WorkSpec::MdcStress { data_mb, scale } => {
+                let mut m = Machine::new(cfg.clone(), mdc_stress_stream(data_mb, scale));
+                let RunResult::Completed { .. } = m.run(flash_workloads::DEFAULT_BUDGET) else {
+                    panic!("mdc stress stuck under {cfg:?}");
+                };
+                MachineReport::from_machine(&m)
+            }
+        }
+    }
+}
+
+/// One point of the run matrix: a workload and the exact machine
+/// configuration to run it under.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Workload selector.
+    pub work: WorkSpec,
+    /// Machine configuration (every knob participates in the memo key).
+    pub cfg: MachineConfig,
+}
+
+impl RunSpec {
+    /// Memo-cache key. `MachineConfig` derives `Debug` over every field,
+    /// so two specs share a key exactly when they would simulate the same
+    /// deterministic machine.
+    pub fn key(&self) -> String {
+        format!("{:?}|{:?}", self.work, self.cfg)
+    }
+}
+
+/// One unit of prefetchable work.
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// A full workload simulation producing a [`MachineReport`].
+    Run(RunSpec),
+    /// One Table 3.3 no-contention latency measurement.
+    Latency(ControllerKind, MissClass),
+}
+
+impl Job {
+    fn key(&self) -> String {
+        match self {
+            Job::Run(s) => s.key(),
+            Job::Latency(kind, class) => format!("lat|{kind:?}|{class:?}"),
+        }
+    }
+
+    fn is_cached(&self, key: &str) -> bool {
+        match self {
+            Job::Run(_) => run_cache().lock().unwrap().contains_key(key),
+            Job::Latency(..) => lat_cache().lock().unwrap().contains_key(key),
+        }
+    }
+
+    /// Executes this job through the memo cache (or uncached when
+    /// `FLASH_NO_MEMO=1`), discarding the result — it is retrievable via
+    /// [`cached_run`] / [`cached_latency`].
+    pub fn run(&self) {
+        match self {
+            Job::Run(spec) => {
+                cached_run(spec);
+            }
+            Job::Latency(kind, class) => {
+                cached_latency(*kind, *class);
+            }
+        }
+    }
+}
+
+fn run_cache() -> &'static Mutex<HashMap<String, MachineReport>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, MachineReport>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lat_cache() -> &'static Mutex<HashMap<String, f64>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, f64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// `FLASH_NO_MEMO=1` disables the memo cache and prefetch deduplication,
+/// recreating the pre-runner behaviour where every artifact re-simulated
+/// its own points. A measurement aid for quantifying the dedup win
+/// (`benches/`, BENCH_PR1.json); not intended for normal use.
+fn memo_disabled() -> bool {
+    std::env::var("FLASH_NO_MEMO").is_ok_and(|v| v == "1")
+}
+
+/// Worker count: `FLASH_JOBS` if set, otherwise the machine's available
+/// parallelism (at least 1).
+pub fn jobs() -> usize {
+    if let Some(n) = std::env::var("FLASH_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Empties both memo caches (used by tests that compare cold serial and
+/// cold parallel execution of the same matrix).
+pub fn clear_caches() {
+    run_cache().lock().unwrap().clear();
+    lat_cache().lock().unwrap().clear();
+}
+
+/// Number of memoized simulation reports currently held.
+pub fn cached_run_count() -> usize {
+    run_cache().lock().unwrap().len()
+}
+
+/// Runs (or recalls) one simulation point. The lock is never held across
+/// the simulation itself, so concurrent callers of *distinct* points
+/// proceed in parallel; concurrent callers of the *same* point both
+/// compute it and the first insertion wins — harmless, because the
+/// simulation is deterministic and both results are identical.
+pub fn cached_run(spec: &RunSpec) -> MachineReport {
+    if memo_disabled() {
+        return spec.work.execute(&spec.cfg);
+    }
+    let key = spec.key();
+    if let Some(r) = run_cache().lock().unwrap().get(&key) {
+        return r.clone();
+    }
+    let report = spec.work.execute(&spec.cfg);
+    run_cache()
+        .lock()
+        .unwrap()
+        .entry(key)
+        .or_insert(report)
+        .clone()
+}
+
+/// Runs (or recalls) one Table 3.3 latency measurement.
+pub fn cached_latency(kind: ControllerKind, class: MissClass) -> f64 {
+    if memo_disabled() {
+        return crate::measure_class_uncached(kind, class);
+    }
+    let key = Job::Latency(kind, class).key();
+    if let Some(v) = lat_cache().lock().unwrap().get(&key) {
+        return *v;
+    }
+    let v = crate::measure_class_uncached(kind, class);
+    *lat_cache().lock().unwrap().entry(key).or_insert(v)
+}
+
+/// Prefetches a job list with the default worker count ([`jobs`]).
+/// Returns the number of points actually simulated.
+pub fn prefetch(list: &[Job]) -> usize {
+    prefetch_with_jobs(list, jobs())
+}
+
+/// Deduplicates `list`, drops already-cached points, and executes the rest
+/// across `workers` scoped threads (inline on the caller's thread when
+/// `workers <= 1`). Returns the number of points actually simulated.
+pub fn prefetch_with_jobs(list: &[Job], workers: usize) -> usize {
+    if memo_disabled() {
+        // Pre-runner behaviour: nothing is prefetched, every artifact
+        // re-simulates its own points at render time.
+        return 0;
+    }
+    let mut seen = HashSet::new();
+    let mut pending: Vec<&Job> = Vec::new();
+    for job in list {
+        let key = job.key();
+        if !job.is_cached(&key) && seen.insert(key) {
+            pending.push(job);
+        }
+    }
+    if pending.is_empty() {
+        return 0;
+    }
+    let workers = workers.max(1).min(pending.len());
+    if workers == 1 {
+        for job in &pending {
+            job.run();
+        }
+        return pending.len();
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = pending.get(i) else { break };
+                job.run();
+            });
+        }
+    });
+    pending.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_distinguish_every_knob() {
+        let a = RunSpec {
+            work: WorkSpec::Named {
+                app: "FFT",
+                procs: 4,
+                scale: 8,
+            },
+            cfg: MachineConfig::flash(4),
+        };
+        let b = RunSpec {
+            cfg: MachineConfig::flash(4).with_speculation(false),
+            ..a.clone()
+        };
+        let c = RunSpec {
+            work: WorkSpec::Named {
+                app: "FFT",
+                procs: 4,
+                scale: 4,
+            },
+            ..a.clone()
+        };
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        assert_eq!(a.key(), a.clone().key());
+    }
+
+    #[test]
+    fn same_cache_default_and_explicit_share_a_key() {
+        // `flash()` defaults to 1 MB caches, so spelling the cache size
+        // explicitly must dedupe against the default — this is what lets
+        // Figure 4.1 share runs with tables that do not set a size.
+        let work = WorkSpec::Named {
+            app: "FFT",
+            procs: 4,
+            scale: 8,
+        };
+        let a = RunSpec {
+            work,
+            cfg: MachineConfig::flash(4),
+        };
+        let b = RunSpec {
+            work,
+            cfg: MachineConfig::flash(4).with_cache_bytes(1 << 20),
+        };
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn prefetch_deduplicates_and_memoizes() {
+        let spec = RunSpec {
+            work: WorkSpec::Named {
+                app: "FFT",
+                procs: 2,
+                scale: 64,
+            },
+            cfg: MachineConfig::flash(2),
+        };
+        let before = cached_run_count();
+        let list = vec![
+            Job::Run(spec.clone()),
+            Job::Run(spec.clone()),
+            Job::Run(spec.clone()),
+        ];
+        let ran = prefetch_with_jobs(&list, 2);
+        assert!(
+            ran <= 1,
+            "duplicates must collapse to at most one run, got {ran}"
+        );
+        assert!(cached_run_count() >= before);
+        // A later call finds everything cached.
+        assert_eq!(prefetch_with_jobs(&list, 2), 0);
+        // And cached_run returns the memoized report without re-simulating.
+        let r1 = cached_run(&spec);
+        let r2 = cached_run(&spec);
+        assert_eq!(r1.exec_cycles, r2.exec_cycles);
+    }
+}

@@ -208,7 +208,10 @@ mod tests {
         assert_eq!(rr.home_of(Addr::new(0), 16), NodeId(0));
         assert_eq!(rr.home_of(Addr::new(4096), 16), NodeId(1));
         assert_eq!(rr.home_of(Addr::new(16 * 4096), 16), NodeId(0));
-        assert_eq!(Placement::FirstNode.home_of(Addr::new(1 << 40), 16), NodeId(0));
+        assert_eq!(
+            Placement::FirstNode.home_of(Addr::new(1 << 40), 16),
+            NodeId(0)
+        );
         assert_eq!(
             Placement::Explicit.home_of(node_addr(NodeId(7), 123), 16),
             NodeId(7)
@@ -227,7 +230,9 @@ mod tests {
         assert_eq!(f.cache_bytes, 1 << 20);
         let i = MachineConfig::ideal(16);
         assert_eq!(i.controller, ControllerKind::Ideal);
-        let c = MachineConfig::flash(16).with_cache_bytes(4 << 10).with_speculation(false);
+        let c = MachineConfig::flash(16)
+            .with_cache_bytes(4 << 10)
+            .with_speculation(false);
         assert_eq!(c.cache_bytes, 4 << 10);
         assert!(!c.speculation);
     }

@@ -115,12 +115,16 @@ impl Machine {
     /// Panics if `streams.len() != cfg.nodes`.
     pub fn new(cfg: MachineConfig, streams: Vec<Box<dyn RefStream>>) -> Self {
         assert_eq!(streams.len(), cfg.nodes as usize, "one stream per node");
+        // Handler modules are immutable once scheduled; they are compiled
+        // at most once per (codegen, monitoring) variant for the whole
+        // process and shared across nodes, machines, and worker threads.
         let program = match (cfg.controller, cfg.monitoring) {
-            (ControllerKind::FlashEmulated, false) => Some(MagicChip::default_program(cfg.codegen)),
-            (ControllerKind::FlashEmulated, true) => Some(std::rc::Rc::new(
-                flash_protocol::handlers::compile_monitoring(cfg.codegen)
-                    .expect("monitoring protocol assembles"),
-            )),
+            (ControllerKind::FlashEmulated, false) => {
+                Some(flash_protocol::handlers::compile_shared(cfg.codegen))
+            }
+            (ControllerKind::FlashEmulated, true) => Some(
+                flash_protocol::handlers::compile_monitoring_shared(cfg.codegen),
+            ),
             _ => None,
         };
         let jump = if cfg.monitoring && cfg.controller == ControllerKind::FlashEmulated {
@@ -329,10 +333,7 @@ impl Machine {
         let active = self.procs.len() - self.done;
         if active > 0 && self.barrier_waiters.len() == active {
             let waiters = std::mem::take(&mut self.barrier_waiters);
-            let release = waiters
-                .iter()
-                .map(|&(_, t)| t)
-                .fold(self.now, Cycle::max);
+            let release = waiters.iter().map(|&(_, t)| t).fold(self.now, Cycle::max);
             for (w, _) in waiters {
                 self.schedule_run(w, release);
             }
@@ -376,7 +377,9 @@ impl Machine {
                 wire.mtype,
                 wire.src,
                 wire.aux,
-                self.chips[home.index()].peek_header(flash_protocol::dir_addr(wire.addr)).0
+                self.chips[home.index()]
+                    .peek_header(flash_protocol::dir_addr(wire.addr))
+                    .0
             );
         }
         let home = self.cfg.placement.home_of(wire.addr, self.cfg.nodes);
@@ -403,7 +406,14 @@ impl Machine {
             match em {
                 Emission::Net { at, msg } => self.post_net(at, msg),
                 Emission::Proc { at, msg } => {
-                    self.events.push(at, Ev::ProcDeliver { node, pm: msg, tries: 0 });
+                    self.events.push(
+                        at,
+                        Ev::ProcDeliver {
+                            node,
+                            pm: msg,
+                            tries: 0,
+                        },
+                    );
                 }
             }
         }
@@ -541,7 +551,11 @@ mod tests {
 
     #[test]
     fn empty_machine_completes() {
-        for cfg in [MachineConfig::flash(4), MachineConfig::ideal(4), MachineConfig::flash_cost_table(4)] {
+        for cfg in [
+            MachineConfig::flash(4),
+            MachineConfig::ideal(4),
+            MachineConfig::flash_cost_table(4),
+        ] {
             let mut m = machine_with(cfg, idle(4));
             match m.run(10_000) {
                 RunResult::Completed { exec_cycles } => assert_eq!(exec_cycles, 1),
@@ -553,7 +567,12 @@ mod tests {
     /// Read stall of the final read in `items` relative to `warm_items`
     /// (which excludes it), isolating warm-path latency from cold MAGIC
     /// cache effects — the paper's Table 3.3 assumes warm steady state.
-    fn marginal_read_stall(cfg: &MachineConfig, procs: u16, warm_items: Vec<WorkItem>, items: Vec<WorkItem>) -> f64 {
+    fn marginal_read_stall(
+        cfg: &MachineConfig,
+        procs: u16,
+        warm_items: Vec<WorkItem>,
+        items: Vec<WorkItem>,
+    ) -> f64 {
         let idle: Vec<WorkItem> = vec![WorkItem::Busy(1)];
         let run = |it: Vec<WorkItem>| {
             let mut streams = vec![it];
@@ -622,7 +641,11 @@ mod tests {
         let a = node_addr(NodeId(0), 0x8000);
         let w = vec![WorkItem::Write(a), WorkItem::Barrier, WorkItem::Busy(4)];
         let r = vec![WorkItem::Barrier, WorkItem::Read(a), WorkItem::Busy(4)];
-        for cfg in [MachineConfig::flash(2), MachineConfig::ideal(2), MachineConfig::flash_cost_table(2)] {
+        for cfg in [
+            MachineConfig::flash(2),
+            MachineConfig::ideal(2),
+            MachineConfig::flash_cost_table(2),
+        ] {
             let kind = cfg.controller;
             let mut m = machine_with(cfg, vec![r.clone(), w.clone()]);
             match m.run(1_000_000) {
@@ -699,15 +722,26 @@ mod tests {
                 r => panic!("{kind:?}: {r:?}"),
             }
             let invals: u64 = m.procs().iter().map(|p| p.stats().invals_received).sum();
-            assert!(invals >= 2, "{kind:?}: sharers must be invalidated, got {invals}");
+            assert!(
+                invals >= 2,
+                "{kind:?}: sharers must be invalidated, got {invals}"
+            );
         }
     }
 
     #[test]
     fn dma_write_invalidates_cached_copies() {
         let a = node_addr(NodeId(0), 0x3000);
-        let items = vec![WorkItem::Read(a), WorkItem::Busy(40_000), WorkItem::Read(a), WorkItem::Busy(4)];
-        let mut m = machine_with(MachineConfig::flash(2), vec![items, vec![WorkItem::Busy(1)]]);
+        let items = vec![
+            WorkItem::Read(a),
+            WorkItem::Busy(40_000),
+            WorkItem::Read(a),
+            WorkItem::Busy(4),
+        ];
+        let mut m = machine_with(
+            MachineConfig::flash(2),
+            vec![items, vec![WorkItem::Busy(1)]],
+        );
         m.add_dma_write(Cycle::new(2_000), NodeId(0), a);
         let RunResult::Completed { .. } = m.run(1_000_000) else {
             panic!("stuck");
@@ -746,7 +780,9 @@ mod tests {
             let mut v = Vec::new();
             for i in 0..50u64 {
                 v.push(WorkItem::Read(node_addr(NodeId(n), i * 128)));
-                v.push(WorkItem::Write(a.offset(((n as u64 * 50 + i) % 64) * 2 * 128)));
+                v.push(WorkItem::Write(
+                    a.offset(((n as u64 * 50 + i) % 64) * 2 * 128),
+                ));
                 v.push(WorkItem::Busy(16));
             }
             v.push(WorkItem::Barrier);

@@ -57,7 +57,7 @@ impl LatencyTable {
 }
 
 /// MDC summary statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MdcSummary {
     /// Total MDC accesses.
     pub accesses: u64,
@@ -72,7 +72,11 @@ pub struct MdcSummary {
 }
 
 /// Everything a paper table needs from one run.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so determinism tests can assert that a point
+/// simulated serially and a point simulated on a worker thread produce
+/// field-for-field identical reports.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineReport {
     /// Controller kind of the machine.
     pub controller: ControllerKind,
@@ -156,7 +160,10 @@ impl MachineReport {
             mem_occ.push(c.memory().occupancy(end));
             mdc.stall_cycles += s.mdc_stall_cycles;
             if let Some(cache) = c.mdc() {
-                let acc = cache.read_hits() + cache.read_misses() + cache.write_hits() + cache.write_misses();
+                let acc = cache.read_hits()
+                    + cache.read_misses()
+                    + cache.write_hits()
+                    + cache.write_misses();
                 let miss = cache.read_misses() + cache.write_misses();
                 mdc.accesses += acc;
                 mdc.misses += miss;
@@ -317,7 +324,10 @@ mod tests {
         let r = small_run(MachineConfig::flash(2));
         assert!(r.exec_cycles > 0);
         let sum: f64 = r.breakdown.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-9, "breakdown must sum to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "breakdown must sum to 1, got {sum}"
+        );
         assert_eq!(r.references, 4);
         assert_eq!(r.read_class.total(), 4);
         assert_eq!(r.read_class.local_clean, 2);

@@ -81,7 +81,10 @@ impl L2Cache {
     /// Panics unless the resulting set count is a power of two.
     pub fn new(size_bytes: u64) -> Self {
         let sets = size_bytes / (LINE_BYTES * ASSOC as u64);
-        assert!(sets.is_power_of_two() && sets > 0, "bad cache size {size_bytes}");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "bad cache size {size_bytes}"
+        );
         L2Cache {
             sets,
             ways: vec![Way::default(); sets as usize * ASSOC],
@@ -148,7 +151,13 @@ impl L2Cache {
         let victim_i = (0..ASSOC)
             .map(|i| set * ASSOC + i)
             .filter(|&w| !self.ways[w].locked)
-            .min_by_key(|&w| if self.ways[w].valid { self.ways[w].lru } else { 0 })
+            .min_by_key(|&w| {
+                if self.ways[w].valid {
+                    self.ways[w].lru
+                } else {
+                    0
+                }
+            })
             .expect("install with every way locked");
         let old = self.ways[victim_i];
         self.ways[victim_i] = Way {

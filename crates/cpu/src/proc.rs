@@ -231,7 +231,12 @@ impl Processor {
         }
     }
 
-    fn victim_actions(&mut self, victim: Option<Victim>, at: Cycle, out: &mut Vec<(Cycle, CpuOut)>) {
+    fn victim_actions(
+        &mut self,
+        victim: Option<Victim>,
+        at: Cycle,
+        out: &mut Vec<(Cycle, CpuOut)>,
+    ) {
         if let Some(v) = victim {
             if v.dirty {
                 self.stats.writebacks += 1;
@@ -327,7 +332,9 @@ impl Processor {
                                 self.stats.merges += 1;
                                 self.stats.busy_q += 1;
                                 self.qtime += 1;
-                            } else if self.mshrs.is_full() || self.mshrs.index_conflict(a, &self.cache) {
+                            } else if self.mshrs.is_full()
+                                || self.mshrs.index_conflict(a, &self.cache)
+                            {
                                 self.pending = Some(item);
                                 self.block(BlockKind::Write);
                                 return RunOutcome::BlockedWrite;
@@ -352,7 +359,9 @@ impl Processor {
                                 self.stats.merges += 1;
                                 self.stats.busy_q += 1;
                                 self.qtime += 1;
-                            } else if self.mshrs.is_full() || self.mshrs.index_conflict(a, &self.cache) {
+                            } else if self.mshrs.is_full()
+                                || self.mshrs.index_conflict(a, &self.cache)
+                            {
                                 self.pending = Some(item);
                                 self.block(BlockKind::Write);
                                 return RunOutcome::BlockedWrite;
@@ -409,7 +418,13 @@ impl Processor {
     /// the MSHR, and emits any eviction traffic. If a write was merged
     /// into the miss and the data arrived shared, an upgrade is issued
     /// immediately.
-    pub fn complete_read(&mut self, addr: Addr, exclusive: bool, now: Cycle, out: &mut Vec<(Cycle, CpuOut)>) {
+    pub fn complete_read(
+        &mut self,
+        addr: Addr,
+        exclusive: bool,
+        now: Cycle,
+        out: &mut Vec<(Cycle, CpuOut)>,
+    ) {
         let Some(m) = self.mshrs.release(addr) else {
             return; // stale reply (e.g. after an intervening invalidation)
         };
@@ -463,7 +478,13 @@ impl Processor {
 
     /// Delivers any coherence reply (`PPut`, `PPutX`, `PUpgAck`), routing
     /// it to the outstanding miss's completion path by MSHR kind.
-    pub fn deliver_reply(&mut self, addr: Addr, exclusive: bool, now: Cycle, out: &mut Vec<(Cycle, CpuOut)>) {
+    pub fn deliver_reply(
+        &mut self,
+        addr: Addr,
+        exclusive: bool,
+        now: Cycle,
+        out: &mut Vec<(Cycle, CpuOut)>,
+    ) {
         match self.mshrs.find(addr).map(|m| m.kind) {
             Some(MissKind::Read) => self.complete_read(addr, exclusive, now, out),
             Some(MissKind::Write) | Some(MissKind::Upgrade) => self.complete_write(addr, now, out),
@@ -558,7 +579,11 @@ mod tests {
     #[test]
     fn read_miss_blocks_and_completes() {
         let a = Addr::new(0x1000);
-        let mut p = proc(vec![WorkItem::Read(a), WorkItem::Read(a), WorkItem::Busy(4)]);
+        let mut p = proc(vec![
+            WorkItem::Read(a),
+            WorkItem::Read(a),
+            WorkItem::Busy(4),
+        ]);
         let mut out = Vec::new();
         assert_eq!(p.run(Cycle::ZERO, &mut out), RunOutcome::BlockedRead);
         assert_eq!(out, vec![(Cycle::ZERO, CpuOut::Get(a))]);
@@ -599,7 +624,9 @@ mod tests {
     #[test]
     fn mshr_exhaustion_stalls_writes() {
         // 5 write misses to distinct sets with 4 MSHRs.
-        let items: Vec<WorkItem> = (0..5).map(|i| WorkItem::Write(Addr::new(i * 128))).collect();
+        let items: Vec<WorkItem> = (0..5)
+            .map(|i| WorkItem::Write(Addr::new(i * 128)))
+            .collect();
         let mut p = proc(items);
         let mut out = Vec::new();
         assert_eq!(p.run(Cycle::ZERO, &mut out), RunOutcome::BlockedWrite);
@@ -643,7 +670,9 @@ mod tests {
         p.complete_read(a, false, Cycle::new(24), &mut out); // shared data
         assert_eq!(p.run(Cycle::new(24), &mut out), RunOutcome::Finished);
         // First write needed an upgrade; second merged into it.
-        assert!(out.iter().any(|(_, o)| matches!(o, CpuOut::Upgrade(x) if x.same_line(a))));
+        assert!(out
+            .iter()
+            .any(|(_, o)| matches!(o, CpuOut::Upgrade(x) if x.same_line(a))));
         assert_eq!(p.stats().upgrades, 1);
         assert_eq!(p.stats().merges, 1);
         let mut out2 = Vec::new();
@@ -657,7 +686,11 @@ mod tests {
         let a = Addr::new(0);
         let b = Addr::new(stride);
         let c = Addr::new(2 * stride);
-        let mut p = proc(vec![WorkItem::Read(a), WorkItem::Read(b), WorkItem::Read(c)]);
+        let mut p = proc(vec![
+            WorkItem::Read(a),
+            WorkItem::Read(b),
+            WorkItem::Read(c),
+        ]);
         let mut out = Vec::new();
         p.run(Cycle::ZERO, &mut out);
         p.complete_read(a, true, Cycle::new(24), &mut out); // exclusive (dirty-equivalent)
@@ -666,13 +699,19 @@ mod tests {
         p.run(Cycle::new(48), &mut out);
         out.clear();
         p.complete_read(c, false, Cycle::new(72), &mut out); // evicts a (dirty)
-        assert!(out.iter().any(|(_, o)| matches!(o, CpuOut::Writeback(x) if x.same_line(a))));
+        assert!(out
+            .iter()
+            .any(|(_, o)| matches!(o, CpuOut::Writeback(x) if x.same_line(a))));
         assert_eq!(p.stats().writebacks, 1);
     }
 
     #[test]
     fn barrier_and_sync_accounting() {
-        let mut p = proc(vec![WorkItem::Busy(4), WorkItem::Barrier, WorkItem::Busy(4)]);
+        let mut p = proc(vec![
+            WorkItem::Busy(4),
+            WorkItem::Barrier,
+            WorkItem::Busy(4),
+        ]);
         let mut out = Vec::new();
         assert_eq!(p.run(Cycle::ZERO, &mut out), RunOutcome::Barrier);
         // Released 10 cycles later.
@@ -696,7 +735,10 @@ mod tests {
         assert!(p.intervention(a, false, Cycle::new(24)));
         assert_eq!(p.cache().state_of(a), Some(LineState::Shared));
         assert_eq!(p.run(Cycle::new(24), &mut out), RunOutcome::Finished);
-        assert!(p.stats().cont_q > 0, "contention while the bus held the cache");
+        assert!(
+            p.stats().cont_q > 0,
+            "contention while the bus held the cache"
+        );
     }
 
     #[test]

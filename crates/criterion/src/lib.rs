@@ -1,0 +1,262 @@
+//! Minimal, dependency-free benchmarking shim.
+//!
+//! This workspace builds in fully offline environments where the real
+//! `criterion` crate cannot be fetched from a registry. This crate
+//! implements the API subset the workspace's benches use:
+//!
+//! * `black_box`,
+//! * `Criterion::default().sample_size(n)`, `bench_function`,
+//!   `benchmark_group` (with `sample_size`, `bench_function`, `finish`),
+//! * `Bencher::iter`,
+//! * `criterion_group! { name = ..; config = ..; targets = .. }` (and the
+//!   positional form) plus `criterion_main!`.
+//!
+//! Measurement model: each benchmark closure is auto-calibrated to a
+//! per-sample batch of iterations (~5 ms), then `sample_size` samples are
+//! timed and the median/min/mean ns-per-iteration are printed in a
+//! stable, machine-greppable one-line format:
+//!
+//! ```text
+//! bench: <id> ... median 123 ns/iter (min 120, mean 125, N=20x438)
+//! ```
+//!
+//! Set `CRITERION_QUICK=1` to cap calibration so CI smoke runs stay fast.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    /// Target wall-clock per sample during calibration.
+    target_sample: Duration,
+}
+
+impl Settings {
+    fn new() -> Self {
+        let quick = std::env::var("CRITERION_QUICK")
+            .map(|v| v != "0")
+            .unwrap_or(false);
+        Settings {
+            sample_size: 20,
+            target_sample: if quick {
+                Duration::from_micros(500)
+            } else {
+                Duration::from_millis(5)
+            },
+        }
+    }
+}
+
+/// One benchmark measurement result (also returned for programmatic use
+/// by in-repo tools that shell into the bench binaries).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub id: String,
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub mean_ns: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, mut f: F) -> Measurement {
+    // Calibrate: grow the per-sample iteration count until one sample
+    // takes at least `target_sample` (or growth caps out).
+    let mut iters = 1u64;
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        b.iters = iters;
+        f(&mut b);
+        if b.elapsed >= settings.target_sample || iters >= 1 << 24 {
+            break;
+        }
+        // Aim directly at the target using the observed rate, growing at
+        // least 2x to escape timer-resolution noise.
+        let per_iter = b.elapsed.as_nanos().max(1) as f64 / iters as f64;
+        let want = (settings.target_sample.as_nanos() as f64 / per_iter).ceil() as u64;
+        iters = want.max(iters * 2).min(1 << 24);
+    }
+    let iters_per_sample = b.iters;
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        b.iters = iters_per_sample;
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = per_iter_ns[0];
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let m = Measurement {
+        id: id.to_string(),
+        median_ns: median,
+        min_ns: min,
+        mean_ns: mean,
+        samples: per_iter_ns.len(),
+        iters_per_sample,
+    };
+    println!(
+        "bench: {:<44} median {:>12.1} ns/iter (min {:.1}, mean {:.1}, N={}x{})",
+        m.id, m.median_ns, m.min_ns, m.mean_ns, m.samples, m.iters_per_sample
+    );
+    m
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    settings: Settings,
+    pub measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            settings: Settings::new(),
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder-style sample-size override (matches criterion's
+    /// by-value signature on `Criterion`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let m = run_bench(&id, self.settings, f);
+        self.measurements.push(m);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            settings_override: None,
+        }
+    }
+}
+
+/// Named group of related benchmarks; ids are printed as `group/id`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    settings_override: Option<Settings>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Mutating sample-size override (matches criterion's `&mut self`
+    /// signature on `BenchmarkGroup`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        let mut s = self.settings_override.unwrap_or(self.parent.settings);
+        s.sample_size = n;
+        self.settings_override = Some(s);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let settings = self.settings_override.unwrap_or(self.parent.settings);
+        let id = format!("{}/{}", self.name, id.into());
+        let m = run_bench(&id, settings, f);
+        self.parent.measurements.push(m);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, in either the named-field or the
+/// positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_and_groups_run() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("trivial_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                black_box(x)
+            })
+        });
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_function(format!("{}_fmt", "id"), |b| b.iter(|| black_box(3u32 + 4)));
+            g.finish();
+        }
+        assert_eq!(c.measurements.len(), 2);
+        assert_eq!(c.measurements[1].id, "grp/id_fmt");
+        assert!(c.measurements[0].median_ns >= 0.0);
+    }
+}

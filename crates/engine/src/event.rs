@@ -1,14 +1,27 @@
 //! The time-ordered event queue at the heart of the simulator.
+//!
+//! Layout: a 128-slot timing wheel absorbs the near future — in this
+//! simulator almost every event schedules a handful of cycles out (DRAM
+//! access 14, PP handler occupancies, per-hop mesh latencies) — and a
+//! binary heap catches the overflow (far-future events such as watchdog
+//! budgets and DMA arrivals, plus any event scheduled behind the wheel's
+//! window base). Delivery order is identical to a plain heap keyed by
+//! `(time, push sequence)`: nondecreasing time, FIFO within a cycle.
 
 use crate::time::Cycle;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Number of slots in the near-future wheel. Power of two so the
+/// slot-index and occupancy-rotation math stays branch-free.
+const WHEEL_SLOTS: usize = 128;
+const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
 
 /// A deterministic discrete-event queue.
 ///
 /// Events are delivered in nondecreasing time order; events scheduled for
 /// the same cycle are delivered in the order they were pushed (FIFO), which
-/// makes simulations reproducible regardless of heap internals.
+/// makes simulations reproducible regardless of container internals.
 ///
 /// # Examples
 ///
@@ -24,9 +37,23 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
+    /// Near-future buckets. Slot `t & WHEEL_MASK` holds the events for
+    /// absolute time `t` while `t` lies in `[cursor, cursor + 128)`;
+    /// within the window each slot maps to exactly one absolute time, so
+    /// entries store only their FIFO sequence number.
+    slots: Vec<VecDeque<(u64, E)>>,
+    /// Bit `i` set iff `slots[i]` is non-empty.
+    occupied: u128,
+    /// Number of events currently resident in the wheel.
+    wheel_len: usize,
+    /// Base of the wheel window: the time of the most recently delivered
+    /// event. Monotonically nondecreasing, so no resident wheel event is
+    /// ever behind it.
+    cursor: u64,
+    /// Far-future (and, defensively, behind-the-window) overflow.
     heap: BinaryHeap<Entry<E>>,
+    /// Total pushes ever; doubles as the next FIFO sequence number.
     seq: u64,
-    pushed: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -58,49 +85,138 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
+            slots: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: 0,
+            wheel_len: 0,
+            cursor: 0,
             heap: BinaryHeap::new(),
             seq: 0,
-            pushed: 0,
         }
     }
 
     /// Schedules `ev` to fire at absolute time `at`.
+    #[inline]
     pub fn push(&mut self, at: Cycle, ev: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.pushed += 1;
-        self.heap.push(Entry { at, seq, ev });
+        let t = at.raw();
+        if t >= self.cursor && t - self.cursor < WHEEL_SLOTS as u64 {
+            let slot = (t & WHEEL_MASK) as usize;
+            self.slots[slot].push_back((seq, ev));
+            self.occupied |= 1u128 << slot;
+            self.wheel_len += 1;
+        } else {
+            self.heap.push(Entry { at, seq, ev });
+        }
+    }
+
+    /// `(time, seq)` of the earliest wheel-resident event, if any. O(1):
+    /// rotate the occupancy bitmap so the window base lands on bit 0,
+    /// then count trailing zeros.
+    #[inline]
+    fn wheel_front(&self) -> Option<(u64, u64)> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let rot = self
+            .occupied
+            .rotate_right((self.cursor & WHEEL_MASK) as u32);
+        let offset = rot.trailing_zeros() as u64;
+        debug_assert!(offset < WHEEL_SLOTS as u64);
+        let t = self.cursor + offset;
+        let slot = (t & WHEEL_MASK) as usize;
+        let seq = self.slots[slot]
+            .front()
+            .expect("occupancy bit set on empty slot")
+            .0;
+        Some((t, seq))
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        self.heap.pop().map(|e| (e.at, e.ev))
+        let wheel = self.wheel_front();
+        let heap = self.heap.peek().map(|e| (e.at.raw(), e.seq));
+        let take_wheel = match (wheel, heap) {
+            (Some(w), Some(h)) => w <= h,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_wheel {
+            let (t, _) = wheel.unwrap();
+            let slot = (t & WHEEL_MASK) as usize;
+            let (_, ev) = self.slots[slot].pop_front().expect("wheel front vanished");
+            if self.slots[slot].is_empty() {
+                self.occupied &= !(1u128 << slot);
+            }
+            self.wheel_len -= 1;
+            self.cursor = self.cursor.max(t);
+            Some((Cycle::new(t), ev))
+        } else {
+            let e = self.heap.pop().expect("heap peeked non-empty");
+            self.cursor = self.cursor.max(e.at.raw());
+            Some((e.at, e.ev))
+        }
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.at)
+        let wheel = self.wheel_front();
+        let heap = self.heap.peek().map(|e| (e.at.raw(), e.seq));
+        match (wheel, heap) {
+            (Some(w), Some(h)) => Some(Cycle::new(w.min(h).0)),
+            (Some((t, _)), None) | (None, Some((t, _))) => Some(Cycle::new(t)),
+            (None, None) => None,
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel_len + self.heap.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever pushed (for throughput statistics).
     pub fn total_pushed(&self) -> u64 {
-        self.pushed
+        self.seq
+    }
+
+    /// Drops every pending event, resetting the wheel window to time
+    /// zero. `total_pushed()` is preserved.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            s.clear();
+        }
+        self.occupied = 0;
+        self.wheel_len = 0;
+        self.cursor = 0;
+        self.heap.clear();
     }
 }
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<E> Extend<(Cycle, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (Cycle, E)>>(&mut self, iter: I) {
+        for (at, ev) in iter {
+            self.push(at, ev);
+        }
+    }
+}
+
+impl<E> FromIterator<(Cycle, E)> for EventQueue<E> {
+    fn from_iter<I: IntoIterator<Item = (Cycle, E)>>(iter: I) -> Self {
+        let mut q = Self::new();
+        q.extend(iter);
+        q
     }
 }
 
@@ -154,5 +270,94 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 'b');
         assert_eq!(q.pop().unwrap().1, 'c');
         assert_eq!(q.pop().unwrap().1, 'd');
+    }
+
+    #[test]
+    fn wheel_and_heap_interleave_at_the_same_cycle() {
+        // Far-future pushes land in the heap; once the cursor catches up,
+        // same-cycle pushes land in the wheel with later sequence
+        // numbers. FIFO order across the two containers must hold.
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(1_000), "heap-first"); // > 128 out: heap
+        q.push(Cycle::new(1), "warm");
+        assert_eq!(q.pop().unwrap().1, "warm"); // cursor -> 1
+        q.push(Cycle::new(999), "heap-too"); // still > cursor+128
+        assert_eq!(q.pop().unwrap().1, "heap-too"); // cursor -> 999
+        q.push(Cycle::new(1_000), "wheel-second"); // in window now
+        assert_eq!(q.pop().unwrap().1, "heap-first");
+        assert_eq!(q.pop().unwrap().1, "wheel-second");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn window_boundary_routing() {
+        let mut q = EventQueue::new();
+        // Exactly the last wheel slot vs first heap time.
+        q.push(Cycle::new(127), 'w');
+        q.push(Cycle::new(128), 'h');
+        assert_eq!(q.wheel_len, 1);
+        assert_eq!(q.heap.len(), 1);
+        assert_eq!(q.pop(), Some((Cycle::new(127), 'w')));
+        assert_eq!(q.pop(), Some((Cycle::new(128), 'h')));
+    }
+
+    #[test]
+    fn push_behind_cursor_still_delivers() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(50), 'a');
+        assert_eq!(q.pop().unwrap().1, 'a'); // cursor -> 50
+                                             // Behind the window base: routed to the heap, still delivered
+                                             // before later events.
+        q.push(Cycle::new(10), 'b');
+        q.push(Cycle::new(51), 'c');
+        assert_eq!(q.pop(), Some((Cycle::new(10), 'b')));
+        assert_eq!(q.pop(), Some((Cycle::new(51), 'c')));
+    }
+
+    #[test]
+    fn clear_and_extend() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(5), 1);
+        q.push(Cycle::new(500), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.total_pushed(), 2, "clear keeps the push statistic");
+        q.extend([
+            (Cycle::new(3), 30),
+            (Cycle::new(2), 20),
+            (Cycle::new(2), 21),
+        ]);
+        assert_eq!(q.total_pushed(), 5);
+        assert_eq!(q.pop(), Some((Cycle::new(2), 20)));
+        assert_eq!(q.pop(), Some((Cycle::new(2), 21)));
+        assert_eq!(q.pop(), Some((Cycle::new(3), 30)));
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let q: EventQueue<u32> = [(Cycle::new(9), 9), (Cycle::new(4), 4)]
+            .into_iter()
+            .collect();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycle::new(4)));
+    }
+
+    #[test]
+    fn long_monotone_stream_stays_in_wheel() {
+        // The steady-state pattern of the simulator: pop at t, push a few
+        // events a handful of cycles out. Everything should ride the
+        // wheel (the heap stays empty).
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(0), 0u64);
+        let mut delivered = Vec::new();
+        while let Some((t, v)) = q.pop() {
+            delivered.push((t.raw(), v));
+            if v < 300 {
+                q.push(t + 14, v + 1); // DRAM-ish
+                assert_eq!(q.heap.len(), 0, "near-future push leaked to heap");
+            }
+        }
+        assert_eq!(delivered.len(), 301);
+        assert!(delivered.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 }

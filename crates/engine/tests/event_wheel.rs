@@ -1,0 +1,166 @@
+//! Property test: the wheel-backed `EventQueue` delivers the exact
+//! `(time, FIFO)` order of a reference binary heap on random push/pop
+//! traces.
+//!
+//! The reference is the pre-wheel implementation: a `BinaryHeap` keyed by
+//! `(time, push sequence)` with inverted ordering. Any divergence in the
+//! delivered `(time, payload)` stream, in `peek_time`, or in `len` after
+//! every operation is a bug in the wheel's window routing.
+
+use flash_engine::{Cycle, EventQueue};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The pre-wheel queue: plain heap on (time, seq).
+#[derive(Default)]
+struct RefQueue {
+    heap: BinaryHeap<Reverse<(Cycle, u64, u32)>>,
+    seq: u64,
+}
+
+impl RefQueue {
+    fn push(&mut self, at: Cycle, ev: u32) {
+        self.heap.push(Reverse((at, self.seq, ev)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(Cycle, u32)> {
+        self.heap.pop().map(|Reverse((at, _, ev))| (at, ev))
+    }
+
+    fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum TraceOp {
+    /// Push at `now + delta` where `now` is the time of the last popped
+    /// event (the simulator's invariant: schedules are relative to the
+    /// current cycle). Small deltas exercise the wheel, large ones the
+    /// heap overflow, and `SameSlot` aliasing (delta = 128/256) the
+    /// window-boundary routing.
+    PushNear(u8),
+    PushFar(u16),
+    PushAliased(bool), // false: +128, true: +256 (same slot, out of window)
+    Pop,
+    PopMany(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = TraceOp> {
+    prop_oneof![
+        6 => (0u8..=130).prop_map(TraceOp::PushNear),
+        2 => (120u16..2000).prop_map(TraceOp::PushFar),
+        1 => any::<bool>().prop_map(TraceOp::PushAliased),
+        4 => Just(TraceOp::Pop),
+        1 => (1u8..8).prop_map(TraceOp::PopMany),
+    ]
+}
+
+fn run_trace(ops: &[TraceOp]) {
+    let mut real: EventQueue<u32> = EventQueue::new();
+    let mut reference = RefQueue::default();
+    let mut now = 0u64;
+    let mut payload = 0u32;
+    let do_pop = |real: &mut EventQueue<u32>, reference: &mut RefQueue, now: &mut u64| {
+        let a = real.pop();
+        let b = reference.pop();
+        assert_eq!(a, b, "pop diverged at now={now}");
+        if let Some((t, _)) = a {
+            *now = t.raw();
+        }
+    };
+    for op in ops {
+        match *op {
+            TraceOp::PushNear(d) => {
+                let at = Cycle::new(now + d as u64);
+                real.push(at, payload);
+                reference.push(at, payload);
+                payload += 1;
+            }
+            TraceOp::PushFar(d) => {
+                let at = Cycle::new(now + d as u64);
+                real.push(at, payload);
+                reference.push(at, payload);
+                payload += 1;
+            }
+            TraceOp::PushAliased(far) => {
+                let at = Cycle::new(now + if far { 256 } else { 128 });
+                real.push(at, payload);
+                reference.push(at, payload);
+                payload += 1;
+            }
+            TraceOp::Pop => do_pop(&mut real, &mut reference, &mut now),
+            TraceOp::PopMany(n) => {
+                for _ in 0..n {
+                    do_pop(&mut real, &mut reference, &mut now);
+                }
+            }
+        }
+        assert_eq!(real.len(), reference.len(), "len diverged");
+        assert_eq!(
+            real.peek_time(),
+            reference.peek_time(),
+            "peek_time diverged"
+        );
+        assert_eq!(real.is_empty(), reference.len() == 0);
+    }
+    // Drain both completely: the tails must agree element-for-element.
+    loop {
+        let a = real.pop();
+        let b = reference.pop();
+        assert_eq!(a, b, "drain diverged");
+        if a.is_none() {
+            break;
+        }
+    }
+    assert_eq!(real.total_pushed(), payload as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn wheel_matches_reference_heap(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        run_trace(&ops);
+    }
+}
+
+#[test]
+fn dense_same_cycle_burst_stays_fifo() {
+    // The worst case for slot bookkeeping: hundreds of events on one
+    // cycle interleaved with a far-future backlog.
+    let mut real: EventQueue<u32> = EventQueue::new();
+    let mut reference = RefQueue::default();
+    for i in 0..400u32 {
+        let at = Cycle::new(if i % 5 == 0 { 10_000 } else { 64 });
+        real.push(at, i);
+        reference.push(at, i);
+    }
+    loop {
+        let a = real.pop();
+        let b = reference.pop();
+        assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn clear_resets_window_for_reuse() {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    q.push(Cycle::new(1_000_000), 1);
+    while q.pop().is_some() {}
+    q.clear();
+    // After clear the window base is back at zero: a time-0 push must be
+    // wheel-resident and delivered first.
+    q.extend([(Cycle::new(5), 50), (Cycle::new(0), 0)]);
+    assert_eq!(q.pop(), Some((Cycle::new(0), 0)));
+    assert_eq!(q.pop(), Some((Cycle::new(5), 50)));
+}

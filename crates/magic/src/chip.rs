@@ -10,7 +10,7 @@ use flash_protocol::handlers::{effect_to_outgoing, fields_of};
 use flash_protocol::native::{self, Outgoing};
 use flash_protocol::{CostTable, Directory, InMsg, JumpTable, Msg, ProcMsg, ProtoMem};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which controller sits at the heart of the node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,7 +139,7 @@ pub struct MagicStats {
 }
 
 /// Read-miss classification counts (paper Tables 4.1/4.2 rows).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReadClassCounts {
     /// Local address, clean at home.
     pub local_clean: u64,
@@ -156,7 +156,11 @@ pub struct ReadClassCounts {
 impl ReadClassCounts {
     /// Total classified read misses.
     pub fn total(&self) -> u64 {
-        self.local_clean + self.local_dirty_remote + self.remote_clean + self.remote_dirty_home + self.remote_dirty_remote
+        self.local_clean
+            + self.local_dirty_remote
+            + self.remote_clean
+            + self.remote_dirty_home
+            + self.remote_dirty_remote
     }
 }
 
@@ -165,7 +169,7 @@ pub struct MagicChip {
     kind: ControllerKind,
     node: NodeId,
     timings: MagicTimings,
-    program: Option<Rc<Program>>,
+    program: Option<Arc<Program>>,
     jump: JumpTable,
     proto: ProtoMem,
     mdc: Option<MagicCache>,
@@ -193,12 +197,13 @@ impl MagicChip {
     /// Builds a controller of the given kind.
     ///
     /// `program` must be provided for [`ControllerKind::FlashEmulated`]
-    /// (compile it once with [`flash_protocol::handlers::compile`] and
-    /// share it across nodes).
+    /// (obtain it from [`flash_protocol::handlers::compile_shared`], which
+    /// compiles once per codegen variant and shares it across nodes,
+    /// machines, and worker threads).
     pub fn new(
         kind: ControllerKind,
         node: NodeId,
-        program: Option<Rc<Program>>,
+        program: Option<Arc<Program>>,
         jump: JumpTable,
         mem_timing: MemTiming,
         speculation: bool,
@@ -225,7 +230,8 @@ impl MagicChip {
             program,
             jump,
             proto,
-            mdc: (mdc_enabled && kind == ControllerKind::FlashEmulated).then(|| MagicCache::new(CacheGeometry::mdc())),
+            mdc: (mdc_enabled && kind == ControllerKind::FlashEmulated)
+                .then(|| MagicCache::new(CacheGeometry::mdc())),
             icache: MagicCache::new(CacheGeometry::micache()),
             mem: MemController::new(mem_timing, mem_queue),
             pp: OccupancyTracker::new(),
@@ -237,9 +243,10 @@ impl MagicChip {
         }
     }
 
-    /// Compiles the default handler program for emulated controllers.
-    pub fn default_program(options: CodegenOptions) -> Rc<Program> {
-        Rc::new(flash_protocol::handlers::compile(options).expect("protocol handlers assemble"))
+    /// The default handler program for emulated controllers, compiled at
+    /// most once per codegen variant for the whole process.
+    pub fn default_program(options: CodegenOptions) -> Arc<Program> {
+        flash_protocol::handlers::compile_shared(options)
     }
 
     /// The directory header at a protocol-memory address (classification
@@ -251,7 +258,8 @@ impl MagicChip {
     /// The request count recorded by the monitoring protocol for a
     /// directory header (see `flash_protocol::handlers::MONITORING_SOURCE`).
     pub fn monitor_count(&self, diraddr: u64) -> u64 {
-        self.proto.load64(diraddr + (1 << flash_protocol::handlers::MON_SHIFT))
+        self.proto
+            .load64(diraddr + (1 << flash_protocol::handlers::MON_SHIFT))
     }
 
     /// The sharer list recorded for a directory header (test inspection).
@@ -264,7 +272,8 @@ impl MagicChip {
         let mut idx = self.peek_header(diraddr).head();
         let mut guard = 0;
         while idx != 0 {
-            let e = flash_protocol::PtrEntry(self.proto.load64(flash_protocol::dir::entry_addr(idx)));
+            let e =
+                flash_protocol::PtrEntry(self.proto.load64(flash_protocol::dir::entry_addr(idx)));
             out.push(e.node());
             idx = e.next();
             guard += 1;
@@ -321,7 +330,9 @@ impl MagicChip {
         }
 
         match self.kind {
-            ControllerKind::Ideal => self.process_native(msg, t_ready, Cycle::ZERO, data_mem, entry.handler, true),
+            ControllerKind::Ideal => {
+                self.process_native(msg, t_ready, Cycle::ZERO, data_mem, entry.handler, true)
+            }
             ControllerKind::FlashCostTable => {
                 let start = t_ready.max(self.pp_free);
                 let wait = start - t_ready;
@@ -329,7 +340,9 @@ impl MagicChip {
                 self.stats.inbox_wait_max = self.stats.inbox_wait_max.max(wait);
                 self.process_native(msg, start, start, data_mem, entry.handler, false)
             }
-            ControllerKind::FlashEmulated => self.process_emulated(msg, arrival, t_ready, data_mem, entry.handler),
+            ControllerKind::FlashEmulated => {
+                self.process_emulated(msg, arrival, t_ready, data_mem, entry.handler)
+            }
         }
     }
 
@@ -372,7 +385,13 @@ impl MagicChip {
                     self.mem.request(effect_time);
                 }
                 Outgoing::Net(m) => {
-                    let data = self.data_ready(m.with_data, msg.with_data, start, data_mem, &mut used_mem_data);
+                    let data = self.data_ready(
+                        m.with_data,
+                        msg.with_data,
+                        start,
+                        data_mem,
+                        &mut used_mem_data,
+                    );
                     let header = effect_time + self.timings.outbox + self.timings.ni_out;
                     let at = match data {
                         Some(d) => header.max(d + self.timings.buffer_stage),
@@ -381,7 +400,13 @@ impl MagicChip {
                     emissions.push(Emission::Net { at, msg: m });
                 }
                 Outgoing::Proc(pm) => {
-                    let data = self.data_ready(pm.with_data, msg.with_data, start, data_mem, &mut used_mem_data);
+                    let data = self.data_ready(
+                        pm.with_data,
+                        msg.with_data,
+                        start,
+                        data_mem,
+                        &mut used_mem_data,
+                    );
                     let header = effect_time + self.timings.outbox + self.timings.pi_out;
                     let at = match data {
                         Some(d) => header.max(d + self.timings.buffer_stage),
@@ -419,7 +444,10 @@ impl MagicChip {
         // Instruction fetch: only cold misses are possible (the handler
         // set fits the 32 KB MAGIC instruction cache, paper §5.3).
         let mut pre_drift = 0u64;
-        if matches!(self.icache.access(entry_pc as u64 * 8, false), flash_mem::Access::Miss { .. }) {
+        if matches!(
+            self.icache.access(entry_pc as u64 * 8, false),
+            flash_mem::Access::Miss { .. }
+        ) {
             self.stats.icache_cold_misses += 1;
             let r = self.mem.request(pp_start);
             pre_drift += (r.first_dword - pp_start) + self.timings.mdc_fill_extra;
@@ -482,8 +510,13 @@ impl MagicChip {
                             drift += r.accept - t_e;
                         }
                         Outgoing::Net(m) => {
-                            let data =
-                                self.data_ready(m.with_data, msg.with_data, arrival, data_mem, &mut used_mem_data);
+                            let data = self.data_ready(
+                                m.with_data,
+                                msg.with_data,
+                                arrival,
+                                data_mem,
+                                &mut used_mem_data,
+                            );
                             let header = t_e + self.timings.outbox + self.timings.ni_out;
                             let at = match data {
                                 Some(d) => header.max(d + self.timings.buffer_stage),
@@ -492,8 +525,13 @@ impl MagicChip {
                             emissions.push(Emission::Net { at, msg: m });
                         }
                         Outgoing::Proc(pm) => {
-                            let data =
-                                self.data_ready(pm.with_data, msg.with_data, arrival, data_mem, &mut used_mem_data);
+                            let data = self.data_ready(
+                                pm.with_data,
+                                msg.with_data,
+                                arrival,
+                                data_mem,
+                                &mut used_mem_data,
+                            );
                             let header = t_e + self.timings.outbox + self.timings.pi_out;
                             let at = match data {
                                 Some(d) => header.max(d + self.timings.buffer_stage),
@@ -602,7 +640,9 @@ mod tests {
 
     fn mk_chip(kind: ControllerKind) -> MagicChip {
         let program = match kind {
-            ControllerKind::FlashEmulated => Some(MagicChip::default_program(CodegenOptions::magic())),
+            ControllerKind::FlashEmulated => {
+                Some(MagicChip::default_program(CodegenOptions::magic()))
+            }
             _ => None,
         };
         MagicChip::new(
@@ -677,7 +717,12 @@ mod tests {
         let da = flash_protocol::dir_addr(Addr::new(0x2000));
         {
             let mut d = Directory::new(chip.proto_mem_mut());
-            d.set_header(da, flash_protocol::DirHeader::default().with_dirty(true).with_owner(NodeId(3)));
+            d.set_header(
+                da,
+                flash_protocol::DirHeader::default()
+                    .with_dirty(true)
+                    .with_owner(NodeId(3)),
+            );
         }
         let ems = chip.process(local_get(0x2000), Cycle::new(7));
         assert!(matches!(ems[0], Emission::Net { msg, .. } if msg.mtype == MsgType::NFwdGet));
@@ -720,7 +765,12 @@ mod tests {
         let da = flash_protocol::dir_addr(Addr::new(0x2000));
         {
             let mut d = Directory::new(chip.proto_mem_mut());
-            d.set_header(da, flash_protocol::DirHeader::default().with_dirty(true).with_owner(NodeId(3)));
+            d.set_header(
+                da,
+                flash_protocol::DirHeader::default()
+                    .with_dirty(true)
+                    .with_owner(NodeId(3)),
+            );
         }
         let m2 = local_get(0x2000);
         chip.classify_read(&m2, NodeId(5));
@@ -733,7 +783,11 @@ mod tests {
     fn inbox_wait_accumulates_when_pp_is_busy() {
         let mut chip = mk_chip(ControllerKind::FlashEmulated);
         chip.process(local_get(0x1000), Cycle::new(7));
-        assert_eq!(chip.stats().inbox_wait_cycles, 0, "first message never waits");
+        assert_eq!(
+            chip.stats().inbox_wait_cycles,
+            0,
+            "first message never waits"
+        );
         // Arrives while the PP is still busy with the first.
         chip.process(local_get(0x5000), Cycle::new(7));
         assert!(chip.stats().inbox_wait_cycles > 0);

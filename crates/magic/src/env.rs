@@ -72,7 +72,6 @@ mod tests {
         assert!(m2.is_none(), "same MDC line");
         let m3 = env.store(0x1010, 7, MemSize::Double);
         assert!(m3.is_none());
-        drop(env);
         assert_eq!(mem.load64(0x1010), 7);
         assert_eq!(mdc.read_misses(), 1);
     }

@@ -97,7 +97,10 @@ impl MagicCache {
     /// Panics if the geometry does not yield a power-of-two set count.
     pub fn new(geom: CacheGeometry) -> Self {
         let sets = geom.sets();
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         MagicCache {
             geom,
             ways: vec![Way::default(); (sets * geom.ways as u64) as usize],
@@ -236,7 +239,12 @@ mod tests {
     #[test]
     fn hit_after_install() {
         let mut c = MagicCache::new(CacheGeometry::mdc());
-        assert!(matches!(c.access(0x1234, false), Access::Miss { victim_writeback: None }));
+        assert!(matches!(
+            c.access(0x1234, false),
+            Access::Miss {
+                victim_writeback: None
+            }
+        ));
         assert_eq!(c.access(0x1200, false), Access::Hit, "same 128-byte line");
         assert_eq!(c.read_hits(), 1);
         assert_eq!(c.read_misses(), 1);
@@ -264,7 +272,12 @@ mod tests {
         c.access(0, true); // dirty
         c.access(set_stride, false);
         let r = c.access(2 * set_stride, false); // evicts line 0
-        assert_eq!(r, Access::Miss { victim_writeback: Some(0) });
+        assert_eq!(
+            r,
+            Access::Miss {
+                victim_writeback: Some(0)
+            }
+        );
         assert_eq!(c.writebacks(), 1);
     }
 
@@ -277,7 +290,12 @@ mod tests {
         c.access(0, true); // read-modify-write pattern of directory ops
         c.access(set_stride, false);
         let r = c.access(2 * set_stride, false);
-        assert!(matches!(r, Access::Miss { victim_writeback: Some(0) }));
+        assert!(matches!(
+            r,
+            Access::Miss {
+                victim_writeback: Some(0)
+            }
+        ));
     }
 
     #[test]

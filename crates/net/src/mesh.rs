@@ -32,7 +32,7 @@ impl Mesh {
     pub fn for_nodes(nodes: u16) -> Self {
         assert!(nodes > 0, "a mesh needs at least one node");
         let mut cols = (nodes as f64).sqrt().ceil() as u16;
-        while nodes % cols != 0 && cols < nodes {
+        while !nodes.is_multiple_of(cols) && cols < nodes {
             cols += 1;
         }
         let rows = nodes / cols;

@@ -130,7 +130,11 @@ mod tests {
         let n16 = NetModel::new(Mesh::for_nodes(16), NetConfig::default());
         let n64 = NetModel::new(Mesh::for_nodes(64), NetConfig::default());
         assert!(n64.fixed_transit() > n16.fixed_transit());
-        assert!((30..40).contains(&n64.fixed_transit()), "{}", n64.fixed_transit());
+        assert!(
+            (30..40).contains(&n64.fixed_transit()),
+            "{}",
+            n64.fixed_transit()
+        );
     }
 
     #[test]

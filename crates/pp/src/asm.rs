@@ -31,7 +31,9 @@
 //! `memwr rs`, `switch`, `nop`, and pseudo-instructions `li rd, imm`,
 //! `move rd, rs`, `b label`.
 
-use crate::isa::{AluOp, BrCond, FieldOp, Instr, Label, MemOpKind, MemSize, Reg, SendTarget, TEMP0, TEMP1};
+use crate::isa::{
+    AluOp, BrCond, FieldOp, Instr, Label, MemOpKind, MemSize, Reg, SendTarget, TEMP0, TEMP1,
+};
 use crate::prog::Module;
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -276,7 +278,8 @@ impl Assembler {
             "lui" => {
                 expect(ops.len() == 2, ln, "expected `rd, imm`")?;
                 let v = self.value(ops[1], ln)?;
-                let imm = u16::try_from(v).map_err(|_| err(ln, format!("lui immediate {v} out of range")))?;
+                let imm = u16::try_from(v)
+                    .map_err(|_| err(ln, format!("lui immediate {v} out of range")))?;
                 Ok(vec![Instr::Lui {
                     rd: self.reg(ops[0], ln)?,
                     imm,
@@ -487,14 +490,17 @@ fn check_reserved(i: &Instr, ln: usize) -> Result<()> {
 }
 
 fn strip_comment(line: &str) -> &str {
-    let cut = line.find(|c| c == ';' || c == '#').unwrap_or(line.len());
+    let cut = line.find([';', '#']).unwrap_or(line.len());
     &line[..cut]
 }
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 fn parse_equ(rest: &str, ln: usize, equs: &BTreeMap<String, i64>) -> Result<(String, i64)> {

@@ -88,7 +88,13 @@ fn expand_one(ins: Instr, out: &mut Module) {
             emit(out, alu(AluOp::And, rd, rd, TEMP1));
             emit(out, alu(AluOp::Or, rd, rd, TEMP0));
         }
-        Instr::FieldImm { op, rd, rs, pos, width } => {
+        Instr::FieldImm {
+            op,
+            rd,
+            rs,
+            pos,
+            width,
+        } => {
             let fits_imm = pos as u32 + width as u32 <= 15;
             match (op, fits_imm) {
                 (FieldOp::AndMask, true) => emit(out, alui(AluOp::And, rd, rs, mask16(pos, width))),
@@ -161,7 +167,12 @@ fn expand_one(ins: Instr, out: &mut Module) {
             emit(out, Instr::Jump { target: l_loop });
             out.labels[l_done.0 as usize] = out.instrs.len();
         }
-        Instr::BranchBit { set, rs, bit, target } => {
+        Instr::BranchBit {
+            set,
+            rs,
+            bit,
+            target,
+        } => {
             let cond = if set { BrCond::Ne } else { BrCond::Eq };
             if bit <= 14 {
                 emit(out, alui(AluOp::And, TEMP0, rs, 1 << bit));
@@ -342,8 +353,19 @@ b:
         assert_eq!(hi, 3);
         // field immediates: 1..=5.
         for (pos, width) in [(0u8, 8u8), (4, 8), (8, 40), (30, 20)] {
-            for op in [FieldOp::AndMask, FieldOp::OrMask, FieldOp::XorMask, FieldOp::AndNotMask] {
-                let n = expansion_len(I::FieldImm { op, rd: r, rs: s, pos, width });
+            for op in [
+                FieldOp::AndMask,
+                FieldOp::OrMask,
+                FieldOp::XorMask,
+                FieldOp::AndNotMask,
+            ] {
+                let n = expansion_len(I::FieldImm {
+                    op,
+                    rd: r,
+                    rs: s,
+                    pos,
+                    width,
+                });
                 assert!((1..=6).contains(&n), "{op:?} {pos}/{width} took {n}");
             }
         }
@@ -351,7 +373,12 @@ b:
         let f = expansion_len(I::Ffs { rd: r, rs: s });
         assert!((6..=9).contains(&f), "ffs expansion was {f}");
         // insert field: two field immediates + or territory.
-        let b = expansion_len(I::BfIns { rd: r, rs: s, pos: 8, width: 4 });
+        let b = expansion_len(I::BfIns {
+            rd: r,
+            rs: s,
+            pos: 8,
+            width: 4,
+        });
         assert!((6..=10).contains(&b), "bfins expansion was {b}");
     }
 

@@ -10,7 +10,9 @@
 //! cycle offsets. The machine model replays that timeline on the event
 //! queue, inserting stalls for contended resources.
 
-use crate::isa::{field_mask, AluOp, FieldOp, Instr, MemOpKind, MemSize, Reg, SendTarget, NUM_REGS};
+use crate::isa::{
+    field_mask, AluOp, FieldOp, Instr, MemOpKind, MemSize, Reg, SendTarget, NUM_REGS,
+};
 use crate::prog::Program;
 use std::error::Error;
 use std::fmt;
@@ -185,9 +187,13 @@ pub enum EmuError {
 impl fmt::Display for EmuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EmuError::RanAway { budget } => write!(f, "handler exceeded {budget} pairs without switch"),
+            EmuError::RanAway { budget } => {
+                write!(f, "handler exceeded {budget} pairs without switch")
+            }
             EmuError::BadPc { pc } => write!(f, "control transfer to invalid pc {pc}"),
-            EmuError::Unaligned { addr } => write!(f, "unaligned protocol memory access at {addr:#x}"),
+            EmuError::Unaligned { addr } => {
+                write!(f, "unaligned protocol memory access at {addr:#x}")
+            }
         }
     }
 }
@@ -239,11 +245,21 @@ pub fn run(
     let mut pc = entry;
     loop {
         if out.stats.pairs >= pair_budget {
-            return Err(EmuError::RanAway { budget: pair_budget });
+            return Err(EmuError::RanAway {
+                budget: pair_budget,
+            });
         }
         let pair = *program.pairs.get(pc).ok_or(EmuError::BadPc { pc })?;
         let offset = out.stats.pairs;
         out.stats.pairs += 1;
+        // Pre-decoded at schedule time: both slots of a pair always
+        // execute (control applies after the pair), so per-pair counts
+        // are exact and the hot loop skips three per-instruction
+        // classification matches.
+        let meta = program.pair_meta(pc);
+        out.stats.instrs += meta.instrs as u64;
+        out.stats.special += meta.special as u64;
+        out.stats.alu_branch += meta.alu_branch as u64;
 
         let mut ctl = None;
         for instr in [pair.a, pair.b] {
@@ -273,13 +289,6 @@ fn exec(
     offset: u64,
     out: &mut HandlerRun,
 ) -> Result<Option<Ctl>, EmuError> {
-    out.stats.instrs += 1;
-    if instr.is_special() {
-        out.stats.special += 1;
-    }
-    if instr.is_alu_or_branch() {
-        out.stats.alu_branch += 1;
-    }
     let w = |regs: &mut [u64; NUM_REGS], rd: Reg, v: u64| {
         if rd != Reg::ZERO {
             regs[rd.index()] = v;
@@ -302,7 +311,13 @@ fn exec(
             w(regs, rd, v);
         }
         Instr::Lui { rd, imm } => w(regs, rd, (imm as u64) << 16),
-        Instr::FieldImm { op, rd, rs, pos, width } => {
+        Instr::FieldImm {
+            op,
+            rd,
+            rs,
+            pos,
+            width,
+        } => {
             let m = field_mask(pos, width);
             let a = regs[rs.index()];
             let v = match op {
@@ -324,13 +339,17 @@ fn exec(
         }
         Instr::Ffs { rd, rs } => {
             let v = regs[rs.index()];
-            let pos = if v == 0 { 64 } else { v.trailing_zeros() as u64 };
+            let pos = if v == 0 {
+                64
+            } else {
+                v.trailing_zeros() as u64
+            };
             w(regs, rd, pos);
         }
         Instr::Load { rd, rs, off, size } => {
             out.stats.loads += 1;
             let addr = regs[rs.index()].wrapping_add(off as i64 as u64);
-            if addr % size.bytes() != 0 {
+            if !addr.is_multiple_of(size.bytes()) {
                 return Err(EmuError::Unaligned { addr });
             }
             let (v, miss) = env.load(addr, size);
@@ -346,7 +365,7 @@ fn exec(
         Instr::Store { rt, rs, off, size } => {
             out.stats.stores += 1;
             let addr = regs[rs.index()].wrapping_add(off as i64 as u64);
-            if addr % size.bytes() != 0 {
+            if !addr.is_multiple_of(size.bytes()) {
                 return Err(EmuError::Unaligned { addr });
             }
             if let Some(m) = env.store(addr, regs[rt.index()], size) {
@@ -357,12 +376,22 @@ fn exec(
                 });
             }
         }
-        Instr::Branch { cond, rs, rt, target } => {
+        Instr::Branch {
+            cond,
+            rs,
+            rt,
+            target,
+        } => {
             if cond.taken(regs[rs.index()], regs[rt.index()]) {
                 return Ok(Some(Ctl::Jump(program.label_pc(target))));
             }
         }
-        Instr::BranchBit { set, rs, bit, target } => {
+        Instr::BranchBit {
+            set,
+            rs,
+            bit,
+            target,
+        } => {
             let bitval = (regs[rs.index()] >> bit) & 1 == 1;
             if bitval == set {
                 return Ok(Some(Ctl::Jump(program.label_pc(target))));
@@ -451,7 +480,9 @@ impl Env for FlatEnv {
         let a = addr as usize;
         let v = match size {
             MemSize::Double => u64::from_le_bytes(self.mem[a..a + 8].try_into().expect("in range")),
-            MemSize::Word => u32::from_le_bytes(self.mem[a..a + 4].try_into().expect("in range")) as u64,
+            MemSize::Word => {
+                u32::from_le_bytes(self.mem[a..a + 4].try_into().expect("in range")) as u64
+            }
         };
         (v, None)
     }
@@ -642,7 +673,10 @@ clear:
         let m = assemble("h:\n  j h\n").unwrap();
         let p = schedule(&m, SchedOptions::default());
         let mut env = FlatEnv::new(0);
-        assert_eq!(run(&p, 0, &mut env, 100).unwrap_err(), EmuError::RanAway { budget: 100 });
+        assert_eq!(
+            run(&p, 0, &mut env, 100).unwrap_err(),
+            EmuError::RanAway { budget: 100 }
+        );
     }
 
     #[test]

@@ -183,32 +183,78 @@ pub enum Instr {
     /// No operation (also used as an empty issue slot).
     Nop,
     /// `rd = rs op rt`
-    Alu { op: AluOp, rd: Reg, rs: Reg, rt: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// `rd = rs op imm` — the immediate is limited to 16 bits signed, as in
     /// DLX; wider constants require `lui`/`ori` sequences or the special
     /// field-immediate forms.
-    AluImm { op: AluOp, rd: Reg, rs: Reg, imm: i16 },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        rs: Reg,
+        imm: i16,
+    },
     /// `rd = imm << 16` (load upper immediate).
     Lui { rd: Reg, imm: u16 },
     /// *Special:* ALU with a field-mask immediate of `width` consecutive
     /// ones starting at bit `pos`.
-    FieldImm { op: FieldOp, rd: Reg, rs: Reg, pos: u8, width: u8 },
+    FieldImm {
+        op: FieldOp,
+        rd: Reg,
+        rs: Reg,
+        pos: u8,
+        width: u8,
+    },
     /// *Special:* `rd = (rs >> pos) & ones(width)` — bitfield extract.
-    BfExt { rd: Reg, rs: Reg, pos: u8, width: u8 },
+    BfExt {
+        rd: Reg,
+        rs: Reg,
+        pos: u8,
+        width: u8,
+    },
     /// *Special:* insert the low `width` bits of `rs` into `rd` at `pos`.
-    BfIns { rd: Reg, rs: Reg, pos: u8, width: u8 },
+    BfIns {
+        rd: Reg,
+        rs: Reg,
+        pos: u8,
+        width: u8,
+    },
     /// *Special:* `rd` = index of the lowest set bit of `rs`, or 64 if
     /// `rs == 0`.
     Ffs { rd: Reg, rs: Reg },
     /// `rd = mem[rs + off]`
-    Load { rd: Reg, rs: Reg, off: i16, size: MemSize },
+    Load {
+        rd: Reg,
+        rs: Reg,
+        off: i16,
+        size: MemSize,
+    },
     /// `mem[rs + off] = rt`
-    Store { rt: Reg, rs: Reg, off: i16, size: MemSize },
+    Store {
+        rt: Reg,
+        rs: Reg,
+        off: i16,
+        size: MemSize,
+    },
     /// Conditional branch.
-    Branch { cond: BrCond, rs: Reg, rt: Reg, target: Label },
+    Branch {
+        cond: BrCond,
+        rs: Reg,
+        rt: Reg,
+        target: Label,
+    },
     /// *Special:* branch if bit `bit` of `rs` is set (`set = true`) or
     /// clear (`set = false`).
-    BranchBit { set: bool, rs: Reg, bit: u8, target: Label },
+    BranchBit {
+        set: bool,
+        rs: Reg,
+        bit: u8,
+        target: Label,
+    },
     /// Unconditional jump.
     Jump { target: Label },
     /// Read a field of the incoming message header: `rd = msg[field]`.
@@ -359,7 +405,11 @@ pub fn field_mask(pos: u8, width: u8) -> u64 {
     if width == 0 {
         return 0;
     }
-    let ones = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let ones = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     ones << pos
 }
 

@@ -40,11 +40,11 @@ pub mod sched;
 pub use asm::{assemble, AsmError};
 pub use emu::{run, Env, HandlerRun, OutMsg, RunStats};
 pub use isa::{Instr, MemOpKind, MemSize, Reg, SendTarget};
-pub use prog::{Module, Pair, Program};
+pub use prog::{Module, Pair, PairMeta, Program};
 pub use sched::{schedule, SchedOptions};
 
 /// Code-generation options bundling the §5.3 de-optimization knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CodegenOptions {
     /// Keep the MAGIC special instructions (bitfield, branch-on-bit, ffs,
     /// field immediates). `false` applies [`dlx::expand_specials`].

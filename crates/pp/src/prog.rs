@@ -58,6 +58,40 @@ impl Pair {
     }
 }
 
+/// Pre-decoded per-pair statistics, computed once at schedule time so the
+/// emulator's hot loop does not re-classify instruction words on every
+/// executed pair. The counts are exact because both issue slots of a pair
+/// always execute (control transfers apply *after* the pair completes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PairMeta {
+    /// Non-NOP instructions in the pair.
+    pub instrs: u8,
+    /// Special (MAGIC-extension) instructions in the pair.
+    pub special: u8,
+    /// ALU + branch instructions in the pair.
+    pub alu_branch: u8,
+}
+
+impl PairMeta {
+    /// Classifies one pair.
+    pub fn of(pair: &Pair) -> Self {
+        let mut m = PairMeta::default();
+        for i in [pair.a, pair.b] {
+            if i == Instr::Nop {
+                continue;
+            }
+            m.instrs += 1;
+            if i.is_special() {
+                m.special += 1;
+            }
+            if i.is_alu_or_branch() {
+                m.alu_branch += 1;
+            }
+        }
+        m
+    }
+}
+
 /// A scheduled, executable PP program: a sequence of issue pairs with
 /// labels resolved to pair indices.
 #[derive(Debug, Clone, Default)]
@@ -68,9 +102,33 @@ pub struct Program {
     pub label_pc: Vec<usize>,
     /// Entry-point name → pair index.
     pub symbols: BTreeMap<String, usize>,
+    /// Pre-decoded statistics, index-parallel with `pairs`. Private so
+    /// construction through [`Program::new`] keeps it consistent.
+    meta: Vec<PairMeta>,
 }
 
 impl Program {
+    /// Builds an executable program, pre-decoding per-pair statistics.
+    pub fn new(pairs: Vec<Pair>, label_pc: Vec<usize>, symbols: BTreeMap<String, usize>) -> Self {
+        let meta = pairs.iter().map(PairMeta::of).collect();
+        Program {
+            pairs,
+            label_pc,
+            symbols,
+            meta,
+        }
+    }
+
+    /// Pre-decoded statistics for the pair at `pc`. Falls back to on-line
+    /// classification for programs assembled without [`Program::new`]
+    /// (e.g. `Default`-built test fixtures).
+    #[inline]
+    pub fn pair_meta(&self, pc: usize) -> PairMeta {
+        match self.meta.get(pc) {
+            Some(m) => *m,
+            None => self.pairs.get(pc).map(PairMeta::of).unwrap_or_default(),
+        }
+    }
     /// Pair index of a named entry point.
     pub fn entry(&self, name: &str) -> Option<usize> {
         self.symbols.get(name).copied()
@@ -121,7 +179,14 @@ mod tests {
             imm: 1,
         };
         assert_eq!(Pair { a: add, b: add }.useful(), 2);
-        assert_eq!(Pair { a: add, b: Instr::Nop }.useful(), 1);
+        assert_eq!(
+            Pair {
+                a: add,
+                b: Instr::Nop
+            }
+            .useful(),
+            1
+        );
         assert_eq!(
             Pair {
                 a: Instr::Nop,
@@ -140,12 +205,19 @@ mod tests {
             rs: Reg(0),
             imm: 1,
         };
-        let p = Program {
-            pairs: vec![Pair { a: add, b: Instr::Nop }],
-            label_pc: vec![],
-            symbols: BTreeMap::new(),
-        };
+        let p = Program::new(
+            vec![Pair {
+                a: add,
+                b: Instr::Nop,
+            }],
+            vec![],
+            BTreeMap::new(),
+        );
         assert_eq!(p.static_bytes(), 8);
         assert_eq!(p.static_useful_instrs(), 1);
+        let m = p.pair_meta(0);
+        assert_eq!((m.instrs, m.special, m.alu_branch), (1, 0, 1));
+        // Out-of-range pcs fall back to the zero meta.
+        assert_eq!(p.pair_meta(99), PairMeta::default());
     }
 }

@@ -77,7 +77,7 @@ pub fn schedule(module: &Module, opts: SchedOptions) -> Program {
         }
     }
     for (i, instr) in module.instrs.iter().enumerate() {
-        if instr.is_control() && i + 1 <= n {
+        if instr.is_control() && i < n {
             leader[i + 1] = true;
         }
     }
@@ -108,13 +108,16 @@ pub fn schedule(module: &Module, opts: SchedOptions) -> Program {
                     break; // block boundary
                 }
                 let cand = module.instrs[j];
-                if !consumed[j] && can_pair(&a, &cand) && moved_over.iter().all(|m| independent(m, &cand)) {
+                if !consumed[j]
+                    && can_pair(&a, &cand)
+                    && moved_over.iter().all(|m| independent(m, &cand))
+                {
                     // Hoisting `cand` over `moved_over` is safe only if the
                     // candidate is not a control transfer when instructions
                     // remain between i and j (control must stay last), and
                     // none of the skipped instructions is itself control.
                     let skipped_control = moved_over.iter().any(|m| m.is_control());
-                    if !(cand.is_control() && !moved_over.is_empty()) && !skipped_control {
+                    if (!cand.is_control() || moved_over.is_empty()) && !skipped_control {
                         b = cand;
                         consumed[j] = true;
                         placement[j] = pairs.len();
@@ -138,13 +141,7 @@ pub fn schedule(module: &Module, opts: SchedOptions) -> Program {
     let label_pc: Vec<usize> = module
         .labels
         .iter()
-        .map(|&t| {
-            if t >= n {
-                pairs.len()
-            } else {
-                placement[t]
-            }
-        })
+        .map(|&t| if t >= n { pairs.len() } else { placement[t] })
         .collect();
 
     let symbols: BTreeMap<String, usize> = module
@@ -153,11 +150,7 @@ pub fn schedule(module: &Module, opts: SchedOptions) -> Program {
         .map(|(name, l)| (name.clone(), label_pc[l.0 as usize]))
         .collect();
 
-    Program {
-        pairs,
-        label_pc,
-        symbols,
-    }
+    Program::new(pairs, label_pc, symbols)
 }
 
 /// Whether `b` may share an issue pair with `a` (with `a` first).
@@ -208,7 +201,8 @@ fn independent(x: &Instr, y: &Instr) -> bool {
     // or store, and vice versa.
     let mem = |i: &Instr| matches!(i, Instr::Load { .. } | Instr::Store { .. });
     let sideeff = |i: &Instr| matches!(i, Instr::Send { .. } | Instr::MemOp { .. });
-    if (mem(x) && mem(y)) && (matches!(x, Instr::Store { .. }) || matches!(y, Instr::Store { .. })) {
+    if (mem(x) && mem(y)) && (matches!(x, Instr::Store { .. }) || matches!(y, Instr::Store { .. }))
+    {
         return false;
     }
     // Side-effecting MAGIC ops keep their program order relative to each

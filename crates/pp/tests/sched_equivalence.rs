@@ -13,16 +13,56 @@ use proptest::prelude::*;
 /// program.
 #[derive(Debug, Clone)]
 enum RandInstr {
-    AluImm { op: &'static str, rd: u8, rs: u8, imm: i16 },
-    Alu { op: &'static str, rd: u8, rs: u8, rt: u8 },
-    Field { op: &'static str, rd: u8, rs: u8, pos: u8, width: u8 },
-    Ffs { rd: u8, rs: u8 },
-    Load { rd: u8, base_slot: u8 },
-    Store { rt: u8, base_slot: u8 },
-    BranchFwd { rs: u8, rt: u8, eq: bool },
-    BranchBitFwd { rs: u8, bit: u8, set: bool },
-    MfMsg { rd: u8, field: u8 },
-    Send { rtype: u8, raddr: u8, raux: u8 },
+    AluImm {
+        op: &'static str,
+        rd: u8,
+        rs: u8,
+        imm: i16,
+    },
+    Alu {
+        op: &'static str,
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Field {
+        op: &'static str,
+        rd: u8,
+        rs: u8,
+        pos: u8,
+        width: u8,
+    },
+    Ffs {
+        rd: u8,
+        rs: u8,
+    },
+    Load {
+        rd: u8,
+        base_slot: u8,
+    },
+    Store {
+        rt: u8,
+        base_slot: u8,
+    },
+    BranchFwd {
+        rs: u8,
+        rt: u8,
+        eq: bool,
+    },
+    BranchBitFwd {
+        rs: u8,
+        bit: u8,
+        set: bool,
+    },
+    MfMsg {
+        rd: u8,
+        field: u8,
+    },
+    Send {
+        rtype: u8,
+        raddr: u8,
+        raux: u8,
+    },
 }
 
 fn reg_strategy() -> impl Strategy<Value = u8> {
@@ -71,7 +111,13 @@ fn render(prog: &[RandInstr]) -> String {
             RandInstr::Alu { op, rd, rs, rt } => {
                 let _ = writeln!(s, "  {op} r{rd}, r{rs}, r{rt}");
             }
-            RandInstr::Field { op, rd, rs, pos, width } => {
+            RandInstr::Field {
+                op,
+                rd,
+                rs,
+                pos,
+                width,
+            } => {
                 let _ = writeln!(s, "  {op} r{rd}, r{rs}, {pos}, {width}");
             }
             RandInstr::Ffs { rd, rs } => {
@@ -117,10 +163,19 @@ fn run_schedule(src: &str, opts: SchedOptions) -> (Vec<u8>, Vec<String>, u64) {
     for f in 0..16 {
         env.fields[f] = (f as u64) * 0x1111;
     }
-    let out = run(&program, program.entry("entry").unwrap(), &mut env, DEFAULT_PAIR_BUDGET)
-        .expect("random program runs");
+    let out = run(
+        &program,
+        program.entry("entry").unwrap(),
+        &mut env,
+        DEFAULT_PAIR_BUDGET,
+    )
+    .expect("random program runs");
     let mem: Vec<u8> = (0..1024 / 8).map(|i| env.peek64(i * 8) as u8).collect();
-    let effects: Vec<String> = out.effects.iter().map(|e| format!("{:?}", e.kind)).collect();
+    let effects: Vec<String> = out
+        .effects
+        .iter()
+        .map(|e| format!("{:?}", e.kind))
+        .collect();
     (mem, effects, out.exec_cycles)
 }
 
@@ -149,7 +204,7 @@ proptest! {
         prop_assert!(!flash_pp::dlx::has_specials(&expanded));
         let p1 = schedule(&module, SchedOptions::magic());
         let p2 = schedule(&expanded, SchedOptions::single_issue());
-        let mut run_one = |p: &flash_pp::Program| {
+        let run_one = |p: &flash_pp::Program| {
             let mut env = FlatEnv::new(1024);
             for f in 0..16 {
                 env.fields[f] = (f as u64) * 0x2222;

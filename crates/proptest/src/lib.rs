@@ -1,0 +1,500 @@
+//! Minimal, dependency-free property-testing shim.
+//!
+//! This workspace builds in fully offline environments where the real
+//! `proptest` crate cannot be fetched from a registry. This crate
+//! re-implements exactly the API subset the workspace's tests use:
+//!
+//! * `proptest!` with an optional `#![proptest_config(..)]` header and
+//!   any number of `#[test] fn name(x in strategy, ..) { .. }` items,
+//! * `prop_assert!` / `prop_assert_eq!` (panic-based, no shrinking),
+//! * `prop_oneof!` (weighted and unweighted),
+//! * `Strategy` (`type Value`, `prop_map`, `boxed`), `Just`, `any::<T>()`,
+//! * integer range strategies, `&str` alternation strategies
+//!   (`"add|or|xor"` picks one literal, `Value = String`),
+//! * tuple strategies up to arity 6,
+//! * `proptest::collection::vec(strategy, size)` with exact, `a..b` and
+//!   `a..=b` size specs,
+//! * `ProptestConfig::with_cases(n)`.
+//!
+//! Semantics differences from the real crate: generation is a simple
+//! deterministic splitmix64 stream seeded from the test name and case
+//! index (reproducible across runs and platforms), and failures panic
+//! immediately without input shrinking. For the differential/model-based
+//! tests in this repo, that trade-off keeps determinism while removing
+//! the network dependency.
+
+pub mod test_runner {
+    /// Run configuration. Only `cases` is consulted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic generator: splitmix64 over a seed derived from the
+    /// test's fully qualified name and the case index.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(GOLDEN);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Seed for one named test case: FNV-1a over the name, mixed with
+        /// the case index through splitmix64.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            let mut h = 0xCBF2_9CE4_8422_2325u64;
+            for b in name.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x100_0000_01B3);
+            }
+            let mut s = h ^ (case as u64).wrapping_mul(GOLDEN);
+            // One warm-up round decorrelates nearby case indices.
+            let _ = splitmix64(&mut s);
+            TestRng { state: s }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+
+        /// Uniform value in `0..bound` (`bound > 0`). Modulo bias is
+        /// irrelevant at test-generation quality.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of values. No value trees / shrinking: `generate`
+    /// produces a fresh value from the RNG stream.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                gen: Rc::new(move |rng| self.generate(rng)),
+            }
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Type-erased strategy (used by `prop_oneof!` arms).
+    pub struct BoxedStrategy<V> {
+        gen: Rc<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a default "any value" strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = *self.start() as i128;
+                    let hi = *self.end() as i128;
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// `"add|and|or"` picks one of the `|`-separated literals.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let parts: Vec<&str> = self.split('|').collect();
+            parts[rng.below(parts.len() as u64) as usize].to_string()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Weighted union over same-valued strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        total: u32,
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { total, arms }
+        }
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union {
+                total: self.total,
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total as u64) as u32;
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= *w;
+            }
+            unreachable!("weight accounting broke")
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specification for `collection::vec`: an exact `usize`, `a..b`,
+    /// or `a..=b`.
+    pub trait IntoSizeRange {
+        /// (inclusive lo, inclusive hi)
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { element, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.lo == self.hi {
+                self.lo
+            } else {
+                self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Panic-based stand-in for proptest's early-return assertion.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted (or unweighted) choice between strategies with a common
+/// `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// The test-wrapping macro: expands each contained
+/// `#[test] fn name(pat in strategy, ..) { body }` into a plain `#[test]`
+/// that loops over `cases` deterministic generations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($param:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $param = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Toy {
+        A(u8),
+        B(bool),
+        C,
+    }
+
+    fn toy() -> impl Strategy<Value = Toy> {
+        prop_oneof![
+            2 => (0u8..10).prop_map(Toy::A),
+            1 => any::<bool>().prop_map(Toy::B),
+            1 => Just(Toy::C),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 0u8..10,
+            b in -5i16..5,
+            c in 1usize..=4,
+            v in crate::collection::vec(toy(), 1..8),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((1..=4).contains(&c));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            for t in &v {
+                if let Toy::A(x) = t {
+                    prop_assert!(*x < 10);
+                }
+            }
+        }
+
+        #[test]
+        fn strings_pick_alternatives(op in "add|sub|xor") {
+            prop_assert!(["add", "sub", "xor"].contains(&op.as_str()));
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 4usize);
+        let mut r1 = crate::test_runner::TestRng::for_case("x", 7);
+        let mut r2 = crate::test_runner::TestRng::for_case("x", 7);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        let mut r3 = crate::test_runner::TestRng::for_case("x", 8);
+        assert_ne!(s.generate(&mut r3), s.generate(&mut r2));
+    }
+}

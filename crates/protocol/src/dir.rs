@@ -267,7 +267,11 @@ mod tests {
         let h = h.with_dirty(false).with_acks(0);
         assert!(!h.dirty());
         assert_eq!(h.acks(), 0);
-        assert_eq!(h.owner(), NodeId(513), "clearing bits must not clobber fields");
+        assert_eq!(
+            h.owner(),
+            NodeId(513),
+            "clearing bits must not clobber fields"
+        );
     }
 
     #[test]

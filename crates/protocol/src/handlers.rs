@@ -17,6 +17,8 @@ use crate::mem::ProtoMem;
 use flash_pp::emu::{Env as PpEnv, MdcMiss};
 use flash_pp::isa::MemSize;
 use flash_pp::{AsmError, CodegenOptions, Program};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Every handler entry symbol, in dispatch order.
 pub const HANDLER_NAMES: [&str; 28] = [
@@ -120,7 +122,12 @@ mon_pi_getx_local:
 /// # Ok::<(), flash_pp::AsmError>(())
 /// ```
 pub fn compile(options: CodegenOptions) -> Result<Program, AsmError> {
-    let src = format!("{}\n.equ MON_SHIFT, {}\n{}", asm_prologue(), MON_SHIFT, SOURCE);
+    let src = format!(
+        "{}\n.equ MON_SHIFT, {}\n{}",
+        asm_prologue(),
+        MON_SHIFT,
+        SOURCE
+    );
     flash_pp::build(&src, options)
 }
 
@@ -139,6 +146,56 @@ pub fn compile_monitoring(options: CodegenOptions) -> Result<Program, AsmError> 
         MONITORING_SOURCE
     );
     flash_pp::build(&src, options)
+}
+
+/// Process-wide cache of compiled handler modules, keyed by
+/// `(CodegenOptions, monitoring?)`.
+///
+/// Assembling and dual-issue-scheduling the protocol costs milliseconds —
+/// invisible for one simulation, but the evaluation matrix builds
+/// hundreds of `Machine`s, most sharing a handful of codegen variants.
+/// The scheduled [`Program`] is immutable, so every machine (and every
+/// worker thread of the run-matrix driver) can share one `Arc`.
+type ProgramCache = Mutex<HashMap<(CodegenOptions, bool), Arc<Program>>>;
+
+fn program_cache() -> &'static ProgramCache {
+    static CACHE: OnceLock<ProgramCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn compile_cached(options: CodegenOptions, monitoring: bool) -> Arc<Program> {
+    let mut cache = program_cache().lock().expect("program cache poisoned");
+    if let Some(p) = cache.get(&(options, monitoring)) {
+        return Arc::clone(p);
+    }
+    let compiled = if monitoring {
+        compile_monitoring(options)
+    } else {
+        compile(options)
+    };
+    let p = Arc::new(compiled.expect("protocol handlers assemble"));
+    cache.insert((options, monitoring), Arc::clone(&p));
+    p
+}
+
+/// Shared, process-wide compilation of the protocol: compiles on first
+/// use per `options`, then hands out the same immutable program.
+///
+/// # Examples
+///
+/// ```
+/// let a = flash_protocol::handlers::compile_shared(flash_pp::CodegenOptions::magic());
+/// let b = flash_protocol::handlers::compile_shared(flash_pp::CodegenOptions::magic());
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// ```
+pub fn compile_shared(options: CodegenOptions) -> Arc<Program> {
+    compile_cached(options, false)
+}
+
+/// Shared compilation of the protocol plus the monitoring wrappers (see
+/// [`compile_monitoring`]).
+pub fn compile_monitoring_shared(options: CodegenOptions) -> Arc<Program> {
+    compile_cached(options, true)
 }
 
 /// A PP execution environment over a node's protocol memory with no MDC
@@ -284,8 +341,13 @@ mod tests {
             with_data: false,
         };
         let mut env = MemEnv::new(&mut mem, &msg);
-        let run = flash_pp::emu::run(&p, p.entry("pi_get_local").unwrap(), &mut env, DEFAULT_PAIR_BUDGET)
-            .expect("handler runs");
+        let run = flash_pp::emu::run(
+            &p,
+            p.entry("pi_get_local").unwrap(),
+            &mut env,
+            DEFAULT_PAIR_BUDGET,
+        )
+        .expect("handler runs");
         // A speculative local clean read: one PPut send, no memrd.
         assert_eq!(run.effects.len(), 1);
         let out = effect_to_outgoing(&run.effects[0].kind, NodeId(0)).unwrap();

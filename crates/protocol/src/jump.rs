@@ -40,21 +40,93 @@ impl JumpTable {
             handler: &'static str,
             spec: bool,
         ) {
-            entries.insert((t, true), JumpEntry { handler, speculative: spec });
-            entries.insert((t, false), JumpEntry { handler, speculative: false });
+            entries.insert(
+                (t, true),
+                JumpEntry {
+                    handler,
+                    speculative: spec,
+                },
+            );
+            entries.insert(
+                (t, false),
+                JumpEntry {
+                    handler,
+                    speculative: false,
+                },
+            );
         }
         use MsgType::*;
         // PI requests split on home locality.
-        entries.insert((PiGet, true), JumpEntry { handler: "pi_get_local", speculative: true });
-        entries.insert((PiGet, false), JumpEntry { handler: "pi_get_remote", speculative: false });
-        entries.insert((PiGetX, true), JumpEntry { handler: "pi_getx_local", speculative: true });
-        entries.insert((PiGetX, false), JumpEntry { handler: "pi_getx_remote", speculative: false });
-        entries.insert((PiUpgrade, true), JumpEntry { handler: "pi_upgrade_local", speculative: false });
-        entries.insert((PiUpgrade, false), JumpEntry { handler: "pi_upgrade_remote", speculative: false });
-        entries.insert((PiWriteback, true), JumpEntry { handler: "pi_wb_local", speculative: false });
-        entries.insert((PiWriteback, false), JumpEntry { handler: "pi_wb_remote", speculative: false });
-        entries.insert((PiRplHint, true), JumpEntry { handler: "pi_hint_local", speculative: false });
-        entries.insert((PiRplHint, false), JumpEntry { handler: "pi_hint_remote", speculative: false });
+        entries.insert(
+            (PiGet, true),
+            JumpEntry {
+                handler: "pi_get_local",
+                speculative: true,
+            },
+        );
+        entries.insert(
+            (PiGet, false),
+            JumpEntry {
+                handler: "pi_get_remote",
+                speculative: false,
+            },
+        );
+        entries.insert(
+            (PiGetX, true),
+            JumpEntry {
+                handler: "pi_getx_local",
+                speculative: true,
+            },
+        );
+        entries.insert(
+            (PiGetX, false),
+            JumpEntry {
+                handler: "pi_getx_remote",
+                speculative: false,
+            },
+        );
+        entries.insert(
+            (PiUpgrade, true),
+            JumpEntry {
+                handler: "pi_upgrade_local",
+                speculative: false,
+            },
+        );
+        entries.insert(
+            (PiUpgrade, false),
+            JumpEntry {
+                handler: "pi_upgrade_remote",
+                speculative: false,
+            },
+        );
+        entries.insert(
+            (PiWriteback, true),
+            JumpEntry {
+                handler: "pi_wb_local",
+                speculative: false,
+            },
+        );
+        entries.insert(
+            (PiWriteback, false),
+            JumpEntry {
+                handler: "pi_wb_remote",
+                speculative: false,
+            },
+        );
+        entries.insert(
+            (PiRplHint, true),
+            JumpEntry {
+                handler: "pi_hint_local",
+                speculative: false,
+            },
+        );
+        entries.insert(
+            (PiRplHint, false),
+            JumpEntry {
+                handler: "pi_hint_remote",
+                speculative: false,
+            },
+        );
         both(&mut entries, PiIntervReply, "pi_interv_reply", false);
         both(&mut entries, PiIntervMiss, "pi_interv_miss", false);
         both(&mut entries, IoDmaWrite, "io_dma_write", false);
@@ -97,12 +169,54 @@ impl JumpTable {
     /// [`crate::handlers::compile_monitoring`]).
     pub fn dpa_with_monitoring() -> Self {
         let mut t = Self::dpa_protocol();
-        t.reprogram(MsgType::NGet, true, JumpEntry { handler: "mon_ni_get", speculative: true });
-        t.reprogram(MsgType::NGet, false, JumpEntry { handler: "mon_ni_get", speculative: false });
-        t.reprogram(MsgType::NGetX, true, JumpEntry { handler: "mon_ni_getx", speculative: true });
-        t.reprogram(MsgType::NGetX, false, JumpEntry { handler: "mon_ni_getx", speculative: false });
-        t.reprogram(MsgType::PiGet, true, JumpEntry { handler: "mon_pi_get_local", speculative: true });
-        t.reprogram(MsgType::PiGetX, true, JumpEntry { handler: "mon_pi_getx_local", speculative: true });
+        t.reprogram(
+            MsgType::NGet,
+            true,
+            JumpEntry {
+                handler: "mon_ni_get",
+                speculative: true,
+            },
+        );
+        t.reprogram(
+            MsgType::NGet,
+            false,
+            JumpEntry {
+                handler: "mon_ni_get",
+                speculative: false,
+            },
+        );
+        t.reprogram(
+            MsgType::NGetX,
+            true,
+            JumpEntry {
+                handler: "mon_ni_getx",
+                speculative: true,
+            },
+        );
+        t.reprogram(
+            MsgType::NGetX,
+            false,
+            JumpEntry {
+                handler: "mon_ni_getx",
+                speculative: false,
+            },
+        );
+        t.reprogram(
+            MsgType::PiGet,
+            true,
+            JumpEntry {
+                handler: "mon_pi_get_local",
+                speculative: true,
+            },
+        );
+        t.reprogram(
+            MsgType::PiGetX,
+            true,
+            JumpEntry {
+                handler: "mon_pi_getx_local",
+                speculative: true,
+            },
+        );
         t
     }
 
@@ -152,11 +266,20 @@ mod tests {
     fn speculation_policy_matches_paper() {
         let t = JumpTable::dpa_protocol();
         assert!(t.lookup(MsgType::PiGet, true).speculative);
-        assert!(!t.lookup(MsgType::PiGet, false).speculative, "no spec for remote homes");
+        assert!(
+            !t.lookup(MsgType::PiGet, false).speculative,
+            "no spec for remote homes"
+        );
         assert!(t.lookup(MsgType::NGet, true).speculative);
         assert!(t.lookup(MsgType::NGetX, true).speculative);
-        assert!(!t.lookup(MsgType::NFwdGet, true).speculative, "data comes from a cache");
-        assert!(!t.lookup(MsgType::PiUpgrade, true).speculative, "no data needed");
+        assert!(
+            !t.lookup(MsgType::NFwdGet, true).speculative,
+            "data comes from a cache"
+        );
+        assert!(
+            !t.lookup(MsgType::PiUpgrade, true).speculative,
+            "no data needed"
+        );
         assert!(!t.lookup(MsgType::NWriteback, true).speculative);
     }
 
@@ -174,7 +297,10 @@ mod tests {
         t.reprogram(
             MsgType::NGet,
             true,
-            JumpEntry { handler: "my_custom_get", speculative: false },
+            JumpEntry {
+                handler: "my_custom_get",
+                speculative: false,
+            },
         );
         assert_eq!(t.lookup(MsgType::NGet, true).handler, "my_custom_get");
         // The remote-home slot is untouched.

@@ -56,7 +56,10 @@ impl ProtoMem {
     /// Panics if `addr` is not 8-byte aligned.
     pub fn store64(&mut self, addr: u64, val: u64) {
         assert_eq!(addr % 8, 0, "unaligned store64 at {addr:#x}");
-        let page = self.pages.entry(addr / PAGE_BYTES).or_insert_with(|| Box::new([0; PAGE_BYTES as usize]));
+        let page = self
+            .pages
+            .entry(addr / PAGE_BYTES)
+            .or_insert_with(|| Box::new([0; PAGE_BYTES as usize]));
         let o = (addr % PAGE_BYTES) as usize;
         page[o..o + 8].copy_from_slice(&val.to_le_bytes());
     }
@@ -84,7 +87,10 @@ impl ProtoMem {
     /// Panics if `addr` is not 4-byte aligned.
     pub fn store32(&mut self, addr: u64, val: u32) {
         assert_eq!(addr % 4, 0, "unaligned store32 at {addr:#x}");
-        let page = self.pages.entry(addr / PAGE_BYTES).or_insert_with(|| Box::new([0; PAGE_BYTES as usize]));
+        let page = self
+            .pages
+            .entry(addr / PAGE_BYTES)
+            .or_insert_with(|| Box::new([0; PAGE_BYTES as usize]));
         let o = (addr % PAGE_BYTES) as usize;
         page[o..o + 4].copy_from_slice(&val.to_le_bytes());
     }

@@ -173,7 +173,16 @@ impl MsgType {
         use MsgType::*;
         matches!(
             self,
-            PiWriteback | PiIntervReply | IoDmaWrite | NPut | NPutX | NSwb | NWriteback | PPut | PPutX | PIoData
+            PiWriteback
+                | PiIntervReply
+                | IoDmaWrite
+                | NPut
+                | NPutX
+                | NSwb
+                | NWriteback
+                | PPut
+                | PPutX
+                | PIoData
         )
     }
 

@@ -53,7 +53,12 @@ pub struct NativeResult {
 ///
 /// The function is deterministic and synchronous: timing is entirely the
 /// caller's concern.
-pub fn handle(msg: &InMsg, mem: &mut ProtoMem, costs: &CostTable, out: &mut Vec<Outgoing>) -> NativeResult {
+pub fn handle(
+    msg: &InMsg,
+    mem: &mut ProtoMem,
+    costs: &CostTable,
+    out: &mut Vec<Outgoing>,
+) -> NativeResult {
     let mut ctx = Ctx {
         dir: Directory::new(mem),
         costs,
@@ -79,7 +84,9 @@ impl Ctx<'_> {
             (MsgType::PiGetX, true) => self.pi_getx_local(),
             (MsgType::PiGetX, false) => self.forward_request(MsgType::NGetX, "pi_getx_remote"),
             (MsgType::PiUpgrade, true) => self.pi_upgrade_local(),
-            (MsgType::PiUpgrade, false) => self.forward_request(MsgType::NUpgrade, "pi_upgrade_remote"),
+            (MsgType::PiUpgrade, false) => {
+                self.forward_request(MsgType::NUpgrade, "pi_upgrade_remote")
+            }
             (MsgType::PiWriteback, true) => self.pi_wb_local(),
             (MsgType::PiWriteback, false) => self.forward_data(MsgType::NWriteback, "pi_wb_remote"),
             (MsgType::PiRplHint, true) => self.pi_hint_local(),
@@ -358,8 +365,10 @@ impl Ctx<'_> {
         self.out.push(Outgoing::MemWrite(self.msg.addr));
         // A pending forward racing with this writeback resolves via the
         // intervention-miss NACK; clearing pending here lets the retry win.
-        self.dir
-            .set_header(da, h.with_dirty(false).with_local(false).with_pending(false));
+        self.dir.set_header(
+            da,
+            h.with_dirty(false).with_local(false).with_pending(false),
+        );
         self.result("pi_wb_local", self.costs.local_writeback, 0)
     }
 
@@ -379,7 +388,12 @@ impl Ctx<'_> {
             if home == self.me() {
                 // Dirty in the home's own cache: share it.
                 let da = self.diraddr();
-                let mut h = self.dir.header(da).with_dirty(false).with_pending(false).with_local(true);
+                let mut h = self
+                    .dir
+                    .header(da)
+                    .with_dirty(false)
+                    .with_pending(false)
+                    .with_local(true);
                 self.out.push(Outgoing::MemWrite(self.msg.addr));
                 if self.add_sharer(&mut h, req) {
                     self.dir.set_header(da, h);
@@ -431,7 +445,8 @@ impl Ctx<'_> {
         if h.pending() && h.dirty() && h.owner() == self.msg.src {
             // Abandon: the recorded owner has no copy; serve future
             // retries from memory.
-            self.dir.set_header(da, h.with_pending(false).with_dirty(false));
+            self.dir
+                .set_header(da, h.with_pending(false).with_dirty(false));
         }
         self.result("ni_interv_miss", self.costs.nack_retry, 0)
     }
@@ -488,13 +503,22 @@ impl Ctx<'_> {
                 h = h.with_dirty(false);
                 self.dir.set_header(da, h);
             } else {
-            self.dir.set_header(da, h.with_pending(true));
-            if h.owner() == self.me() {
-                self.send_proc(MsgType::PIntervGet, aux::pack(req, MsgType::NGet, self.me()), false);
-            } else {
-                self.send(MsgType::NFwdGet, h.owner(), aux::pack(req, MsgType::NGet, self.me()), false);
-            }
-            return self.result("ni_get", self.costs.forward_to_dirty, 0);
+                self.dir.set_header(da, h.with_pending(true));
+                if h.owner() == self.me() {
+                    self.send_proc(
+                        MsgType::PIntervGet,
+                        aux::pack(req, MsgType::NGet, self.me()),
+                        false,
+                    );
+                } else {
+                    self.send(
+                        MsgType::NFwdGet,
+                        h.owner(),
+                        aux::pack(req, MsgType::NGet, self.me()),
+                        false,
+                    );
+                }
+                return self.result("ni_get", self.costs.forward_to_dirty, 0);
             }
         }
         if req == self.me() {
@@ -515,7 +539,11 @@ impl Ctx<'_> {
             // invalidating its sharers and granting the requester an
             // exclusive copy.
             let invals = self.inval_sharers(h, Some(req), self.me());
-            let mut h = h.with_head(0).with_dirty(true).with_owner(req).with_acks(invals as u16);
+            let mut h = h
+                .with_head(0)
+                .with_dirty(true)
+                .with_owner(req)
+                .with_acks(invals as u16);
             if h.local() {
                 self.send_proc(MsgType::PInval, 0, false);
                 h = h.with_local(false);
@@ -546,9 +574,18 @@ impl Ctx<'_> {
             } else {
                 self.dir.set_header(da, h.with_pending(true));
                 if h.owner() == self.me() {
-                    self.send_proc(MsgType::PIntervGetX, aux::pack(req, MsgType::NGetX, self.me()), false);
+                    self.send_proc(
+                        MsgType::PIntervGetX,
+                        aux::pack(req, MsgType::NGetX, self.me()),
+                        false,
+                    );
                 } else {
-                    self.send(MsgType::NFwdGetX, h.owner(), aux::pack(req, MsgType::NGetX, self.me()), false);
+                    self.send(
+                        MsgType::NFwdGetX,
+                        h.owner(),
+                        aux::pack(req, MsgType::NGetX, self.me()),
+                        false,
+                    );
                 }
                 return self.result("ni_getx", self.costs.forward_to_dirty, 0);
             }
@@ -588,9 +625,18 @@ impl Ctx<'_> {
             } else {
                 self.dir.set_header(da, h.with_pending(true));
                 if h.owner() == self.me() {
-                    self.send_proc(MsgType::PIntervGetX, aux::pack(req, MsgType::NGetX, self.me()), false);
+                    self.send_proc(
+                        MsgType::PIntervGetX,
+                        aux::pack(req, MsgType::NGetX, self.me()),
+                        false,
+                    );
                 } else {
-                    self.send(MsgType::NFwdGetX, h.owner(), aux::pack(req, MsgType::NGetX, self.me()), false);
+                    self.send(
+                        MsgType::NFwdGetX,
+                        h.owner(),
+                        aux::pack(req, MsgType::NGetX, self.me()),
+                        false,
+                    );
                 }
                 return self.result("ni_upgrade", self.costs.forward_to_dirty, 0);
             }
@@ -722,7 +768,8 @@ impl Ctx<'_> {
         let h = self.dir.header(da);
         if h.dirty() && h.owner() == self.msg.src {
             self.out.push(Outgoing::MemWrite(self.msg.addr));
-            self.dir.set_header(da, h.with_dirty(false).with_pending(false));
+            self.dir
+                .set_header(da, h.with_dirty(false).with_pending(false));
         }
         // Otherwise ownership already moved on: the data is stale; drop it.
         self.result("ni_wb", self.costs.remote_writeback, 0)
@@ -840,7 +887,10 @@ mod tests {
         {
             let mut d = Directory::new(&mut mem);
             let da = dir_addr(Addr::new(0x2000));
-            d.set_header(da, DirHeader::default().with_dirty(true).with_owner(NodeId(7)));
+            d.set_header(
+                da,
+                DirHeader::default().with_dirty(true).with_owner(NodeId(7)),
+            );
         }
         let mut m = msg(MsgType::NGet, 3, 3, 0x2000);
         m.aux = aux::pack(NodeId(1), MsgType::NGet, NodeId(3));
@@ -863,7 +913,10 @@ mod tests {
         let mut mem = mk_mem();
         {
             let mut d = Directory::new(&mut mem);
-            d.set_header(dir_addr(Addr::new(0x2000)), DirHeader::default().with_pending(true));
+            d.set_header(
+                dir_addr(Addr::new(0x2000)),
+                DirHeader::default().with_pending(true),
+            );
         }
         let mut m = msg(MsgType::NGet, 3, 3, 0x2000);
         m.aux = aux::pack(NodeId(1), MsgType::NGet, NodeId(3));
@@ -941,7 +994,10 @@ mod tests {
         let da = dir_addr(Addr::new(0x5000));
         {
             let mut d = Directory::new(&mut mem);
-            d.set_header(da, DirHeader::default().with_dirty(true).with_owner(NodeId(5)));
+            d.set_header(
+                da,
+                DirHeader::default().with_dirty(true).with_owner(NodeId(5)),
+            );
         }
         // Stale writeback from node 4: ignored.
         let mut m = msg(MsgType::NWriteback, 3, 3, 0x5000);
@@ -964,7 +1020,10 @@ mod tests {
             let mut d = Directory::new(&mut mem);
             d.set_header(
                 da,
-                DirHeader::default().with_dirty(true).with_owner(NodeId(7)).with_pending(true),
+                DirHeader::default()
+                    .with_dirty(true)
+                    .with_owner(NodeId(7))
+                    .with_pending(true),
             );
         }
         let mut m = msg(MsgType::NSwb, 3, 3, 0x6000);
@@ -1044,8 +1103,12 @@ mod tests {
         m.aux = aux::pack(NodeId(1), MsgType::NGet, NodeId(3));
         let (out, r) = run(&m, &mut mem);
         assert_eq!(r.cost, 38);
-        assert!(matches!(out[0], Outgoing::Net(n) if n.mtype == MsgType::NPut && n.dst == NodeId(1)));
-        assert!(matches!(out[1], Outgoing::Net(n) if n.mtype == MsgType::NSwb && n.dst == NodeId(3)));
+        assert!(
+            matches!(out[0], Outgoing::Net(n) if n.mtype == MsgType::NPut && n.dst == NodeId(1))
+        );
+        assert!(
+            matches!(out[1], Outgoing::Net(n) if n.mtype == MsgType::NSwb && n.dst == NodeId(3))
+        );
     }
 
     #[test]
@@ -1054,7 +1117,9 @@ mod tests {
         let mut m = msg(MsgType::PiIntervMiss, 7, 3, 0x6000);
         m.aux = aux::pack(NodeId(1), MsgType::NGet, NodeId(3));
         let (out, _) = run(&m, &mut mem);
-        assert!(matches!(out[0], Outgoing::Net(n) if n.mtype == MsgType::NNack && n.dst == NodeId(1)));
+        assert!(
+            matches!(out[0], Outgoing::Net(n) if n.mtype == MsgType::NNack && n.dst == NodeId(1))
+        );
     }
 
     #[test]
@@ -1082,7 +1147,9 @@ mod tests {
         let m = msg(MsgType::IoDmaWrite, 3, 3, 0x9000);
         let (out, r) = run(&m, &mut mem);
         assert_eq!(r.invals, 1);
-        assert!(out.iter().any(|o| matches!(o, Outgoing::Proc(p) if p.mtype == MsgType::PInval)));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, Outgoing::Proc(p) if p.mtype == MsgType::PInval)));
         assert!(out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))));
         let d = Directory::new(&mut mem);
         let h = d.header(da);
@@ -1114,7 +1181,10 @@ mod tests {
             let mut d = Directory::new(&mut mem);
             d.set_header(
                 da,
-                DirHeader::default().with_dirty(true).with_owner(NodeId(0)).with_local(true),
+                DirHeader::default()
+                    .with_dirty(true)
+                    .with_owner(NodeId(0))
+                    .with_local(true),
             );
         }
         let m = msg(MsgType::PiWriteback, 0, 0, 0xb000);
@@ -1155,12 +1225,12 @@ mod tests {
         let mut m2 = msg(MsgType::NGet, 3, 3, 0xc000);
         m2.aux = aux::pack(NodeId(2), MsgType::NGet, NodeId(3));
         let (out, _) = run(&m2, &mut mem);
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, Outgoing::Net(n) if n.mtype == MsgType::NInval && n.dst == NodeId(1))));
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, Outgoing::Net(n) if n.mtype == MsgType::NPutX && n.dst == NodeId(2))));
+        assert!(out.iter().any(
+            |o| matches!(o, Outgoing::Net(n) if n.mtype == MsgType::NInval && n.dst == NodeId(1))
+        ));
+        assert!(out.iter().any(
+            |o| matches!(o, Outgoing::Net(n) if n.mtype == MsgType::NPutX && n.dst == NodeId(2))
+        ));
         let d = Directory::new(&mut mem);
         let h = d.header(da);
         assert!(h.dirty());

@@ -27,7 +27,9 @@ fn build_state(addr: Addr, capacity: u16, hdr_seed: u8, sharers: &[u16]) -> Prot
     let mut d = Directory::new(&mut mem);
     let mut h = DirHeader::default();
     if hdr_seed & 1 != 0 {
-        h = h.with_dirty(true).with_owner(NodeId((hdr_seed >> 4) as u16 % 8));
+        h = h
+            .with_dirty(true)
+            .with_owner(NodeId((hdr_seed >> 4) as u16 % 8));
     }
     if hdr_seed & 2 != 0 {
         h = h.with_pending(true).with_acks((hdr_seed >> 5) as u16 % 4);
@@ -52,25 +54,41 @@ fn encode(o: &Outgoing) -> String {
     match o {
         Outgoing::Net(m) => format!(
             "net:{:?}:{}:{}:{:#x}:{:#x}:{}",
-            m.mtype, m.src, m.dst, m.addr.raw(), m.aux, m.with_data
+            m.mtype,
+            m.src,
+            m.dst,
+            m.addr.raw(),
+            m.aux,
+            m.with_data
         ),
-        Outgoing::Proc(p) => format!("proc:{:?}:{:#x}:{:#x}:{}", p.mtype, p.addr.raw(), p.aux, p.with_data),
+        Outgoing::Proc(p) => format!(
+            "proc:{:?}:{:#x}:{:#x}:{}",
+            p.mtype,
+            p.addr.raw(),
+            p.aux,
+            p.with_data
+        ),
         Outgoing::MemRead(a) => format!("memrd:{:#x}", a.raw()),
         Outgoing::MemWrite(a) => format!("memwr:{:#x}", a.raw()),
     }
 }
 
-fn snapshot(mem: &mut ProtoMem, addr: Addr) -> (u64, Vec<NodeId>, usize) {
+/// Directory observation: header word, sharer list, free-entry count.
+type Snapshot = (u64, Vec<NodeId>, usize);
+/// Native vs emulated run: (native out, emulated out, native snap, emulated snap).
+type BothResult = (Vec<String>, Vec<String>, Snapshot, Snapshot);
+
+fn snapshot(mem: &mut ProtoMem, addr: Addr) -> Snapshot {
     let d = Directory::new(mem);
     let da = dir_addr(addr);
     (d.header(da).0, d.sharers(da), d.free_entries())
 }
 
-fn run_both(msg: &InMsg, mem: &ProtoMem) -> (Vec<String>, Vec<String>, (u64, Vec<NodeId>, usize), (u64, Vec<NodeId>, usize)) {
+fn run_both(msg: &InMsg, mem: &ProtoMem) -> BothResult {
     run_with(msg, mem, CodegenOptions::magic())
 }
 
-fn run_both_deopt(msg: &InMsg, mem: &ProtoMem) -> (Vec<String>, Vec<String>, (u64, Vec<NodeId>, usize), (u64, Vec<NodeId>, usize)) {
+fn run_both_deopt(msg: &InMsg, mem: &ProtoMem) -> BothResult {
     run_with(msg, mem, CodegenOptions::deoptimized())
 }
 
@@ -78,11 +96,15 @@ fn compiled(opts: CodegenOptions) -> &'static flash_pp::Program {
     use std::sync::OnceLock;
     static MAGIC: OnceLock<flash_pp::Program> = OnceLock::new();
     static DEOPT: OnceLock<flash_pp::Program> = OnceLock::new();
-    let cell = if opts == CodegenOptions::magic() { &MAGIC } else { &DEOPT };
+    let cell = if opts == CodegenOptions::magic() {
+        &MAGIC
+    } else {
+        &DEOPT
+    };
     cell.get_or_init(|| handlers::compile(opts).expect("protocol compiles"))
 }
 
-fn run_with(msg: &InMsg, mem: &ProtoMem, opts: CodegenOptions) -> (Vec<String>, Vec<String>, (u64, Vec<NodeId>, usize), (u64, Vec<NodeId>, usize)) {
+fn run_with(msg: &InMsg, mem: &ProtoMem, opts: CodegenOptions) -> BothResult {
     let program = compiled(opts);
     let table = flash_protocol::JumpTable::dpa_protocol();
     let entry_name = table.lookup(msg.mtype, msg.home == msg.self_node).handler;
@@ -91,14 +113,19 @@ fn run_with(msg: &InMsg, mem: &ProtoMem, opts: CodegenOptions) -> (Vec<String>, 
     let mut out_n = Vec::new();
     let costs = CostTable::paper();
     let res = native::handle(msg, &mut mem_n, &costs, &mut out_n);
-    assert_eq!(res.handler, entry_name, "jump table and native dispatch must agree");
+    assert_eq!(
+        res.handler, entry_name,
+        "jump table and native dispatch must agree"
+    );
     // Emulated.
     let mut mem_e = mem.clone();
     let run = {
         let mut env = MemEnv::new(&mut mem_e, msg);
         flash_pp::emu::run(
-            &program,
-            program.entry(entry_name).unwrap_or_else(|| panic!("no handler {entry_name}")),
+            program,
+            program
+                .entry(entry_name)
+                .unwrap_or_else(|| panic!("no handler {entry_name}")),
             &mut env,
             DEFAULT_PAIR_BUDGET,
         )
@@ -113,7 +140,12 @@ fn run_with(msg: &InMsg, mem: &ProtoMem, opts: CodegenOptions) -> (Vec<String>, 
     let mut enc_e: Vec<String> = out_e.iter().map(encode).collect();
     enc_n.sort();
     enc_e.sort();
-    (enc_n, enc_e, snapshot(&mut mem_n, msg.addr), snapshot(&mut mem_e, msg.addr))
+    (
+        enc_n,
+        enc_e,
+        snapshot(&mut mem_n, msg.addr),
+        snapshot(&mut mem_e, msg.addr),
+    )
 }
 
 fn check_equiv(msg: &InMsg, mem: &ProtoMem) {
@@ -127,7 +159,11 @@ fn check_equiv(msg: &InMsg, mem: &ProtoMem) {
     let (n, e, sn, se) = run_both_deopt(msg, mem);
     assert_eq!(n, e, "deopt: outgoing actions diverge for {:?}", msg.mtype);
     assert_eq!(sn.0, se.0, "deopt: header diverges for {:?}", msg.mtype);
-    assert_eq!(sn.1, se.1, "deopt: sharer list diverges for {:?}", msg.mtype);
+    assert_eq!(
+        sn.1, se.1,
+        "deopt: sharer list diverges for {:?}",
+        msg.mtype
+    );
     assert_eq!(sn.2, se.2, "deopt: free count diverges for {:?}", msg.mtype);
 }
 
@@ -189,12 +225,26 @@ fn exhaustive_read_write_paths() {
     // Deterministic sweep of the main request handlers over all header
     // shapes with a small sharer set.
     let addr = 0x8000u64;
-    for mtype in [MsgType::PiGet, MsgType::PiGetX, MsgType::PiUpgrade, MsgType::NGet, MsgType::NGetX, MsgType::NUpgrade] {
+    for mtype in [
+        MsgType::PiGet,
+        MsgType::PiGetX,
+        MsgType::PiUpgrade,
+        MsgType::NGet,
+        MsgType::NGetX,
+        MsgType::NUpgrade,
+    ] {
         for hdr_seed in 0u8..32 {
             for spec in [false, true] {
                 let local = !matches!(mtype, MsgType::NGet | MsgType::NGetX | MsgType::NUpgrade);
-                let (me, home) = if local { (2, 2) } else { (2, 2) };
-                let spec = spec && matches!(mtype, MsgType::PiGet | MsgType::PiGetX | MsgType::NGet | MsgType::NGetX);
+                // Requester node 2; the home is node 2 as well so both the
+                // PI (local) and NI (network) handler families are reachable
+                // at one directory state.
+                let (me, home) = (2, 2);
+                let spec = spec
+                    && matches!(
+                        mtype,
+                        MsgType::PiGet | MsgType::PiGetX | MsgType::NGet | MsgType::NGetX
+                    );
                 let msg = mk_msg(mtype, me, home, if local { me } else { 5 }, 5, spec, addr);
                 let mem = build_state(Addr::new(addr), 16, hdr_seed, &[1, 3, 5]);
                 check_equiv(&msg, &mem);

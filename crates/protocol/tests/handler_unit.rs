@@ -53,12 +53,18 @@ impl Rig {
 
     fn sharers(&mut self) -> Vec<u16> {
         let d = Directory::new(&mut self.mem);
-        d.sharers(dir_addr(Addr::new(ADDR))).iter().map(|n| n.0).collect()
+        d.sharers(dir_addr(Addr::new(ADDR)))
+            .iter()
+            .map(|n| n.0)
+            .collect()
     }
 
     /// Runs `handler` for `msg`, returning its outgoing actions.
     fn run(&mut self, handler: &str, msg: &InMsg) -> Vec<Outgoing> {
-        let entry = self.program.entry(handler).unwrap_or_else(|| panic!("no {handler}"));
+        let entry = self
+            .program
+            .entry(handler)
+            .unwrap_or_else(|| panic!("no {handler}"));
         let run = {
             let mut env = MemEnv::new(&mut self.mem, msg);
             flash_pp::emu::run(&self.program, entry, &mut env, DEFAULT_PAIR_BUDGET)
@@ -85,7 +91,7 @@ fn msg(mtype: MsgType, me: u16, home: u16, src: u16, req: u16, orig: MsgType, sp
     }
 }
 
-fn net<'a>(out: &'a [Outgoing], mtype: MsgType) -> Vec<&'a flash_protocol::Msg> {
+fn net(out: &[Outgoing], mtype: MsgType) -> Vec<&flash_protocol::Msg> {
     out.iter()
         .filter_map(|o| match o {
             Outgoing::Net(m) if m.mtype == mtype => Some(m),
@@ -94,7 +100,7 @@ fn net<'a>(out: &'a [Outgoing], mtype: MsgType) -> Vec<&'a flash_protocol::Msg> 
         .collect()
 }
 
-fn procs<'a>(out: &'a [Outgoing], mtype: MsgType) -> Vec<&'a flash_protocol::ProcMsg> {
+fn procs(out: &[Outgoing], mtype: MsgType) -> Vec<&flash_protocol::ProcMsg> {
     out.iter()
         .filter_map(|o| match o {
             Outgoing::Proc(m) if m.mtype == mtype => Some(m),
@@ -106,7 +112,10 @@ fn procs<'a>(out: &'a [Outgoing], mtype: MsgType) -> Vec<&'a flash_protocol::Pro
 #[test]
 fn ni_get_clean_records_sharer_and_replies() {
     let mut r = Rig::new();
-    let out = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true));
+    let out = r.run(
+        "ni_get",
+        &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true),
+    );
     assert_eq!(net(&out, MsgType::NPut).len(), 1);
     assert_eq!(net(&out, MsgType::NPut)[0].dst, NodeId(3));
     assert!(net(&out, MsgType::NPut)[0].with_data);
@@ -117,9 +126,15 @@ fn ni_get_clean_records_sharer_and_replies() {
 #[test]
 fn ni_get_without_spec_reads_memory() {
     let mut r = Rig::new();
-    let out = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, false));
+    let out = r.run(
+        "ni_get",
+        &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, false),
+    );
     assert!(out.iter().any(|o| matches!(o, Outgoing::MemRead(_))));
-    let out2 = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 5, 5, MsgType::NGet, true));
+    let out2 = r.run(
+        "ni_get",
+        &msg(MsgType::NGet, 0, 0, 5, 5, MsgType::NGet, true),
+    );
     assert!(!out2.iter().any(|o| matches!(o, Outgoing::MemRead(_))));
 }
 
@@ -127,22 +142,36 @@ fn ni_get_without_spec_reads_memory() {
 fn ni_get_dirty_remote_sets_pending_and_forwards() {
     let mut r = Rig::new();
     r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(7)));
-    let out = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true));
+    let out = r.run(
+        "ni_get",
+        &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true),
+    );
     let fwd = net(&out, MsgType::NFwdGet);
     assert_eq!(fwd.len(), 1);
     assert_eq!(fwd[0].dst, NodeId(7));
     assert_eq!(aux::requester(fwd[0].aux), NodeId(3));
     assert_eq!(aux::home(fwd[0].aux), NodeId(0));
     assert!(r.header().pending());
-    assert!(out.iter().all(|o| !matches!(o, Outgoing::MemRead(_) | Outgoing::MemWrite(_))),
-        "no reply data while forwarded");
+    assert!(
+        out.iter()
+            .all(|o| !matches!(o, Outgoing::MemRead(_) | Outgoing::MemWrite(_))),
+        "no reply data while forwarded"
+    );
 }
 
 #[test]
 fn ni_get_dirty_local_intervenes() {
     let mut r = Rig::new();
-    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(0)).with_local(true));
-    let out = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true));
+    r.set_header(
+        DirHeader::default()
+            .with_dirty(true)
+            .with_owner(NodeId(0))
+            .with_local(true),
+    );
+    let out = r.run(
+        "ni_get",
+        &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true),
+    );
     assert_eq!(procs(&out, MsgType::PIntervGet).len(), 1);
     assert!(r.header().pending());
 }
@@ -151,7 +180,10 @@ fn ni_get_dirty_local_intervenes() {
 fn ni_get_owner_rerequest_self_repairs() {
     let mut r = Rig::new();
     r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(3)));
-    let out = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true));
+    let out = r.run(
+        "ni_get",
+        &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true),
+    );
     // Served from memory, not forwarded to itself.
     assert_eq!(net(&out, MsgType::NPut).len(), 1);
     assert!(net(&out, MsgType::NFwdGet).is_empty());
@@ -163,7 +195,10 @@ fn ni_get_owner_rerequest_self_repairs() {
 fn ni_get_pending_nacks() {
     let mut r = Rig::new();
     r.set_header(DirHeader::default().with_pending(true));
-    let out = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true));
+    let out = r.run(
+        "ni_get",
+        &msg(MsgType::NGet, 0, 0, 3, 3, MsgType::NGet, true),
+    );
     assert_eq!(net(&out, MsgType::NNack).len(), 1);
     assert_eq!(net(&out, MsgType::NNack)[0].dst, NodeId(3));
 }
@@ -172,7 +207,10 @@ fn ni_get_pending_nacks() {
 fn ni_getx_invalidates_all_other_sharers() {
     let mut r = Rig::new();
     r.add_sharers(&[1, 2, 4]);
-    let out = r.run("ni_getx", &msg(MsgType::NGetX, 0, 0, 2, 2, MsgType::NGetX, true));
+    let out = r.run(
+        "ni_getx",
+        &msg(MsgType::NGetX, 0, 0, 2, 2, MsgType::NGetX, true),
+    );
     let invals: Vec<NodeId> = net(&out, MsgType::NInval).iter().map(|m| m.dst).collect();
     assert_eq!(invals.len(), 2);
     assert!(invals.contains(&NodeId(1)) && invals.contains(&NodeId(4)));
@@ -190,7 +228,10 @@ fn ni_getx_invalidates_all_other_sharers() {
 fn ni_getx_with_local_copy_invalidates_processor() {
     let mut r = Rig::new();
     r.set_header(DirHeader::default().with_local(true));
-    let out = r.run("ni_getx", &msg(MsgType::NGetX, 0, 0, 2, 2, MsgType::NGetX, true));
+    let out = r.run(
+        "ni_getx",
+        &msg(MsgType::NGetX, 0, 0, 2, 2, MsgType::NGetX, true),
+    );
     assert_eq!(procs(&out, MsgType::PInval).len(), 1);
     assert!(!r.header().local());
 }
@@ -199,7 +240,10 @@ fn ni_getx_with_local_copy_invalidates_processor() {
 fn ni_upgrade_with_listed_requester_acks_without_data() {
     let mut r = Rig::new();
     r.add_sharers(&[2, 5]);
-    let out = r.run("ni_upgrade", &msg(MsgType::NUpgrade, 0, 0, 5, 5, MsgType::NUpgrade, false));
+    let out = r.run(
+        "ni_upgrade",
+        &msg(MsgType::NUpgrade, 0, 0, 5, 5, MsgType::NUpgrade, false),
+    );
     assert_eq!(net(&out, MsgType::NUpgAck).len(), 1);
     assert!(net(&out, MsgType::NPutX).is_empty());
     assert_eq!(net(&out, MsgType::NInval).len(), 1);
@@ -210,7 +254,10 @@ fn ni_upgrade_with_listed_requester_acks_without_data() {
 #[test]
 fn ni_upgrade_with_lost_copy_sends_data() {
     let mut r = Rig::new();
-    let out = r.run("ni_upgrade", &msg(MsgType::NUpgrade, 0, 0, 5, 5, MsgType::NUpgrade, false));
+    let out = r.run(
+        "ni_upgrade",
+        &msg(MsgType::NUpgrade, 0, 0, 5, 5, MsgType::NUpgrade, false),
+    );
     assert_eq!(net(&out, MsgType::NPutX).len(), 1);
     assert!(out.iter().any(|o| matches!(o, Outgoing::MemRead(_))));
 }
@@ -219,10 +266,16 @@ fn ni_upgrade_with_lost_copy_sends_data() {
 fn ni_inval_ack_drains_pending() {
     let mut r = Rig::new();
     r.set_header(DirHeader::default().with_pending(true).with_acks(2));
-    r.run("ni_inval_ack", &msg(MsgType::NInvalAck, 0, 0, 1, 1, MsgType::NGetX, false));
+    r.run(
+        "ni_inval_ack",
+        &msg(MsgType::NInvalAck, 0, 0, 1, 1, MsgType::NGetX, false),
+    );
     assert!(r.header().pending());
     assert_eq!(r.header().acks(), 1);
-    r.run("ni_inval_ack", &msg(MsgType::NInvalAck, 0, 0, 2, 2, MsgType::NGetX, false));
+    r.run(
+        "ni_inval_ack",
+        &msg(MsgType::NInvalAck, 0, 0, 2, 2, MsgType::NGetX, false),
+    );
     assert!(!r.header().pending());
     assert_eq!(r.header().acks(), 0);
 }
@@ -231,20 +284,34 @@ fn ni_inval_ack_drains_pending() {
 fn ni_inval_ack_ignores_strays() {
     let mut r = Rig::new();
     r.set_header(DirHeader::default().with_acks(0));
-    r.run("ni_inval_ack", &msg(MsgType::NInvalAck, 0, 0, 1, 1, MsgType::NGetX, false));
+    r.run(
+        "ni_inval_ack",
+        &msg(MsgType::NInvalAck, 0, 0, 1, 1, MsgType::NGetX, false),
+    );
     assert_eq!(r.header().acks(), 0, "stray ack must not underflow");
 }
 
 #[test]
 fn ni_wb_accepts_only_current_owner() {
     let mut r = Rig::new();
-    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(4)).with_pending(true));
+    r.set_header(
+        DirHeader::default()
+            .with_dirty(true)
+            .with_owner(NodeId(4))
+            .with_pending(true),
+    );
     // Stale writeback from node 2: dropped, no memory write.
-    let out = r.run("ni_wb", &msg(MsgType::NWriteback, 0, 0, 2, 2, MsgType::NGetX, false));
+    let out = r.run(
+        "ni_wb",
+        &msg(MsgType::NWriteback, 0, 0, 2, 2, MsgType::NGetX, false),
+    );
     assert!(out.is_empty());
     assert!(r.header().dirty());
     // Real writeback from the owner clears dirty and pending.
-    let out = r.run("ni_wb", &msg(MsgType::NWriteback, 0, 0, 4, 4, MsgType::NGetX, false));
+    let out = r.run(
+        "ni_wb",
+        &msg(MsgType::NWriteback, 0, 0, 4, 4, MsgType::NGetX, false),
+    );
     assert!(out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))));
     assert!(!r.header().dirty());
     assert!(!r.header().pending());
@@ -253,8 +320,16 @@ fn ni_wb_accepts_only_current_owner() {
 #[test]
 fn ni_swb_live_transaction_records_both_sharers() {
     let mut r = Rig::new();
-    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(7)).with_pending(true));
-    let out = r.run("ni_swb", &msg(MsgType::NSwb, 0, 0, 7, 3, MsgType::NGet, false));
+    r.set_header(
+        DirHeader::default()
+            .with_dirty(true)
+            .with_owner(NodeId(7))
+            .with_pending(true),
+    );
+    let out = r.run(
+        "ni_swb",
+        &msg(MsgType::NSwb, 0, 0, 7, 3, MsgType::NGet, false),
+    );
     assert!(out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))));
     let h = r.header();
     assert!(!h.dirty() && !h.pending());
@@ -267,8 +342,14 @@ fn ni_swb_stale_invalidates_rogue_copies() {
     let mut r = Rig::new();
     // Not pending: the transaction was abandoned.
     r.set_header(DirHeader::default());
-    let out = r.run("ni_swb", &msg(MsgType::NSwb, 0, 0, 7, 3, MsgType::NGet, false));
-    assert!(!out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))), "stale data not written");
+    let out = r.run(
+        "ni_swb",
+        &msg(MsgType::NSwb, 0, 0, 7, 3, MsgType::NGet, false),
+    );
+    assert!(
+        !out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))),
+        "stale data not written"
+    );
     let invals: Vec<NodeId> = net(&out, MsgType::NInval).iter().map(|m| m.dst).collect();
     assert!(invals.contains(&NodeId(3)) && invals.contains(&NodeId(7)));
     assert!(r.sharers().is_empty());
@@ -277,8 +358,16 @@ fn ni_swb_stale_invalidates_rogue_copies() {
 #[test]
 fn ni_ownx_live_transfers_ownership() {
     let mut r = Rig::new();
-    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(7)).with_pending(true));
-    r.run("ni_ownx", &msg(MsgType::NOwnx, 0, 0, 7, 3, MsgType::NGetX, false));
+    r.set_header(
+        DirHeader::default()
+            .with_dirty(true)
+            .with_owner(NodeId(7))
+            .with_pending(true),
+    );
+    r.run(
+        "ni_ownx",
+        &msg(MsgType::NOwnx, 0, 0, 7, 3, MsgType::NGetX, false),
+    );
     let h = r.header();
     assert!(h.dirty() && !h.pending());
     assert_eq!(h.owner(), NodeId(3));
@@ -287,9 +376,17 @@ fn ni_ownx_live_transfers_ownership() {
 #[test]
 fn ni_ownx_stale_invalidates_rogue_exclusive() {
     let mut r = Rig::new();
-    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(5)).with_pending(true));
+    r.set_header(
+        DirHeader::default()
+            .with_dirty(true)
+            .with_owner(NodeId(5))
+            .with_pending(true),
+    );
     // Transfer claims to come from node 7, but the live owner is node 5.
-    let out = r.run("ni_ownx", &msg(MsgType::NOwnx, 0, 0, 7, 3, MsgType::NGetX, false));
+    let out = r.run(
+        "ni_ownx",
+        &msg(MsgType::NOwnx, 0, 0, 7, 3, MsgType::NGetX, false),
+    );
     assert_eq!(net(&out, MsgType::NInval).len(), 1);
     assert_eq!(net(&out, MsgType::NInval)[0].dst, NodeId(3));
     assert_eq!(r.header().owner(), NodeId(5), "live ownership untouched");
@@ -298,13 +395,29 @@ fn ni_ownx_stale_invalidates_rogue_exclusive() {
 #[test]
 fn ni_interv_miss_abandons_matching_transaction() {
     let mut r = Rig::new();
-    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(7)).with_pending(true));
-    r.run("ni_interv_miss", &msg(MsgType::NIntervMiss, 0, 0, 7, 3, MsgType::NGetX, false));
+    r.set_header(
+        DirHeader::default()
+            .with_dirty(true)
+            .with_owner(NodeId(7))
+            .with_pending(true),
+    );
+    r.run(
+        "ni_interv_miss",
+        &msg(MsgType::NIntervMiss, 0, 0, 7, 3, MsgType::NGetX, false),
+    );
     let h = r.header();
     assert!(!h.pending() && !h.dirty());
     // A notice from the wrong node changes nothing.
-    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(7)).with_pending(true));
-    r.run("ni_interv_miss", &msg(MsgType::NIntervMiss, 0, 0, 2, 3, MsgType::NGetX, false));
+    r.set_header(
+        DirHeader::default()
+            .with_dirty(true)
+            .with_owner(NodeId(7))
+            .with_pending(true),
+    );
+    r.run(
+        "ni_interv_miss",
+        &msg(MsgType::NIntervMiss, 0, 0, 2, 3, MsgType::NGetX, false),
+    );
     assert!(r.header().pending());
 }
 
@@ -312,7 +425,10 @@ fn ni_interv_miss_abandons_matching_transaction() {
 fn ni_hint_unlinks_middle_of_list() {
     let mut r = Rig::new();
     r.add_sharers(&[1, 2, 3]); // head: 3 -> 2 -> 1
-    r.run("ni_hint", &msg(MsgType::NRplHint, 0, 0, 2, 2, MsgType::NRplHint, false));
+    r.run(
+        "ni_hint",
+        &msg(MsgType::NRplHint, 0, 0, 2, 2, MsgType::NRplHint, false),
+    );
     assert_eq!(r.sharers(), vec![3, 1]);
     let d = Directory::new(&mut r.mem);
     assert_eq!(d.free_entries(), DEFAULT_PS_CAPACITY as usize - 2);
@@ -322,7 +438,10 @@ fn ni_hint_unlinks_middle_of_list() {
 fn ni_hint_for_absent_node_is_a_no_op() {
     let mut r = Rig::new();
     r.add_sharers(&[1, 3]);
-    r.run("ni_hint", &msg(MsgType::NRplHint, 0, 0, 9, 9, MsgType::NRplHint, false));
+    r.run(
+        "ni_hint",
+        &msg(MsgType::NRplHint, 0, 0, 9, 9, MsgType::NRplHint, false),
+    );
     assert_eq!(r.sharers(), vec![3, 1]);
 }
 
@@ -330,9 +449,16 @@ fn ni_hint_for_absent_node_is_a_no_op() {
 fn pi_wb_local_clears_everything() {
     let mut r = Rig::new();
     r.set_header(
-        DirHeader::default().with_dirty(true).with_owner(NodeId(0)).with_local(true).with_pending(true),
+        DirHeader::default()
+            .with_dirty(true)
+            .with_owner(NodeId(0))
+            .with_local(true)
+            .with_pending(true),
     );
-    let out = r.run("pi_wb_local", &msg(MsgType::PiWriteback, 0, 0, 0, 0, MsgType::NGetX, false));
+    let out = r.run(
+        "pi_wb_local",
+        &msg(MsgType::PiWriteback, 0, 0, 0, 0, MsgType::NGetX, false),
+    );
     assert!(out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))));
     let h = r.header();
     assert!(!h.dirty() && !h.local() && !h.pending());
@@ -341,12 +467,21 @@ fn pi_wb_local_clears_everything() {
 #[test]
 fn pi_interv_reply_read_at_home_shares() {
     let mut r = Rig::new();
-    r.set_header(DirHeader::default().with_dirty(true).with_owner(NodeId(0)).with_local(true).with_pending(true));
+    r.set_header(
+        DirHeader::default()
+            .with_dirty(true)
+            .with_owner(NodeId(0))
+            .with_local(true)
+            .with_pending(true),
+    );
     let out = r.run(
         "pi_interv_reply",
         &msg(MsgType::PiIntervReply, 0, 0, 0, 4, MsgType::NGet, false),
     );
-    assert!(out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))), "sharing writeback to memory");
+    assert!(
+        out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))),
+        "sharing writeback to memory"
+    );
     assert_eq!(net(&out, MsgType::NPut).len(), 1);
     let h = r.header();
     assert!(!h.dirty() && !h.pending() && h.local());
@@ -374,7 +509,10 @@ fn io_dma_write_invalidates_and_writes_memory() {
     let mut h = r.header();
     h = h.with_local(true);
     r.set_header(h);
-    let out = r.run("io_dma_write", &msg(MsgType::IoDmaWrite, 0, 0, 0, 0, MsgType::NGetX, false));
+    let out = r.run(
+        "io_dma_write",
+        &msg(MsgType::IoDmaWrite, 0, 0, 0, 0, MsgType::NGetX, false),
+    );
     assert_eq!(net(&out, MsgType::NInval).len(), 2);
     assert_eq!(procs(&out, MsgType::PInval).len(), 1);
     assert!(out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))));
@@ -437,7 +575,10 @@ fn pointer_exhaustion_grants_exclusive_with_reclamation() {
         mem,
     };
     r.add_sharers(&[1, 2]); // consumes both entries
-    let out = r.run("ni_get", &msg(MsgType::NGet, 0, 0, 5, 5, MsgType::NGet, true));
+    let out = r.run(
+        "ni_get",
+        &msg(MsgType::NGet, 0, 0, 5, 5, MsgType::NGet, true),
+    );
     // The line's own list is reclaimed: sharers invalidated, requester
     // granted exclusive.
     assert_eq!(net(&out, MsgType::NInval).len(), 2);

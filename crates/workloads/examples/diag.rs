@@ -3,18 +3,24 @@ use flash_workloads::{build_machine, by_name};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap();
-    let scale: u32 = std::env::args().nth(2).map(|s| s.parse().unwrap()).unwrap_or(1);
+    let scale: u32 = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(1);
     let w = by_name(&name, 16, scale);
     for cfg in [MachineConfig::flash(16), MachineConfig::ideal(16)] {
         let kind = cfg.controller;
         let mut m = build_machine(&cfg, w.as_ref());
-        let RunResult::Completed { exec_cycles } = m.run(flash_workloads::DEFAULT_BUDGET) else { panic!() };
+        let RunResult::Completed { exec_cycles } = m.run(flash_workloads::DEFAULT_BUDGET) else {
+            panic!()
+        };
         let r = MachineReport::from_machine(&m);
         let nacks: u64 = r.handlers.get("ni_nack").map(|x| x.0).unwrap_or(0);
         let gets: u64 = r.handlers.get("ni_getx").map(|x| x.0).unwrap_or(0)
             + r.handlers.get("ni_get").map(|x| x.0).unwrap_or(0);
         if kind == flash::ControllerKind::FlashEmulated {
-            let mut hs: Vec<(&str, u64, u64)> = r.handlers.iter().map(|(k, v)| (*k, v.0, v.1)).collect();
+            let mut hs: Vec<(&str, u64, u64)> =
+                r.handlers.iter().map(|(k, v)| (*k, v.0, v.1)).collect();
             hs.sort_by_key(|x| std::cmp::Reverse(x.2));
             for (name, n, cyc) in hs.iter().take(8) {
                 println!("  {name}: {n} x avg {:.1} cyc", *cyc as f64 / *n as f64);

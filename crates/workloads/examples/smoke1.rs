@@ -3,8 +3,14 @@ use flash_workloads::{build_machine, by_name};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap();
-    let scale: u32 = std::env::args().nth(2).map(|s| s.parse().unwrap()).unwrap_or(32);
-    let procs: u16 = std::env::args().nth(3).map(|s| s.parse().unwrap()).unwrap_or(4);
+    let scale: u32 = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(32);
+    let procs: u16 = std::env::args()
+        .nth(3)
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(4);
     let w = by_name(&name, procs, scale);
     let t0 = std::time::Instant::now();
     let mut m = build_machine(&MachineConfig::flash(procs), w.as_ref());

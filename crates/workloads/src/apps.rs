@@ -125,7 +125,7 @@ impl Fft {
             stride: 1,
             write: true,
             refs_per_line: 16,
-            busy_per_ref: 4 * cs, 
+            busy_per_ref: 4 * cs,
         });
         ph.push(Phase::Barrier);
         // Local FFT / transpose / local FFT / transpose / local FFT.
@@ -143,16 +143,19 @@ impl Fft {
                 stride: 1,
                 write: false,
                 refs_per_line: 24,
-                busy_per_ref: 4 * cs, 
+                busy_per_ref: 4 * cs,
             });
             // Globally shared twiddle coefficients (read-only: remote clean).
             ph.push(Phase::Sweep {
-                base: node_addr(NodeId((p + 1 + step as u16) % self.procs), 0x90_0000 + step * 0x8_0000),
+                base: node_addr(
+                    NodeId((p + 1 + step as u16) % self.procs),
+                    0x90_0000 + step * 0x8_0000,
+                ),
                 lines: own_lines / 5,
                 stride: 1,
                 write: false,
                 refs_per_line: 16,
-                busy_per_ref: 4 * cs, 
+                busy_per_ref: 4 * cs,
             });
             // Row FFTs over own rows: log2(dim) passes of read+write.
             ph.push(Phase::Sweep {
@@ -161,7 +164,7 @@ impl Fft {
                 stride: 1,
                 write: false,
                 refs_per_line: 256,
-                busy_per_ref: 6 * cs, 
+                busy_per_ref: 6 * cs,
             });
             ph.push(Phase::Sweep {
                 base: src(p),
@@ -169,7 +172,7 @@ impl Fft {
                 stride: 1,
                 write: true,
                 refs_per_line: 32,
-                busy_per_ref: 4 * cs, 
+                busy_per_ref: 4 * cs,
             });
             ph.push(Phase::Barrier);
             if step == 2 {
@@ -186,7 +189,7 @@ impl Fft {
                     stride: 1,
                     write: false,
                     refs_per_line: 16,
-                    busy_per_ref: 4 * cs, 
+                    busy_per_ref: 4 * cs,
                 });
                 ph.push(Phase::Sweep {
                     base: dst(p).offset((q as u64 * block_lines % own_lines.max(1)) * LINE_BYTES),
@@ -194,7 +197,7 @@ impl Fft {
                     stride: 1,
                     write: true,
                     refs_per_line: 16,
-                    busy_per_ref: 4 * cs, 
+                    busy_per_ref: 4 * cs,
                 });
             }
             ph.push(Phase::Barrier);
@@ -215,7 +218,11 @@ impl Workload for Fft {
     fn streams(&self) -> Vec<Box<dyn RefStream>> {
         (0..self.procs)
             .map(|p| {
-                Box::new(PhaseStream::new(self.phases_for(p, NodeId), 0xFF7, p as u64)) as Box<dyn RefStream>
+                Box::new(PhaseStream::new(
+                    self.phases_for(p, NodeId),
+                    0xFF7,
+                    p as u64,
+                )) as Box<dyn RefStream>
             })
             .collect()
     }
@@ -265,7 +272,10 @@ fn remap_to_node0(a: Addr, procs: u16) -> Addr {
     let off = a.raw() & 0xffff_ffff;
     // Stagger region bases by an odd multiple of the MDC reach so the 16
     // owners' directory headers do not collide in the same MDC sets.
-    node_addr(NodeId(0), ((owner as u64) << 26) + owner as u64 * 76800 + off)
+    node_addr(
+        NodeId(0),
+        ((owner as u64) << 26) + owner as u64 * 76800 + off,
+    )
 }
 
 fn shift_phase(p: Phase, f: impl Fn(Addr) -> Addr) -> Phase {
@@ -353,7 +363,10 @@ impl Lu {
     fn block_addr(&self, bi: u64, bj: u64) -> Addr {
         let nb = self.n / self.block;
         let idx = bi * nb + bj;
-        node_addr(NodeId(self.owner(bi, bj)), idx * self.block_lines() * LINE_BYTES)
+        node_addr(
+            NodeId(self.owner(bi, bj)),
+            idx * self.block_lines() * LINE_BYTES,
+        )
     }
 }
 
@@ -618,7 +631,8 @@ impl Workload for Ocean {
         let rl = self.row_lines();
         let rpp = self.rows_per_proc();
         let part_lines = rl * rpp;
-        let grid_base = |q: u16, g: u32| node_addr(NodeId(q), g as u64 * (part_lines + 8) * LINE_BYTES);
+        let grid_base =
+            |q: u16, g: u32| node_addr(NodeId(q), g as u64 * (part_lines + 8) * LINE_BYTES);
         (0..self.procs)
             .map(|p| {
                 let mut ph = Vec::new();
@@ -714,7 +728,10 @@ impl Barnes {
         let q = (i % self.procs as u64) as u16;
         // Stagger each node's cell region so corresponding cells do not
         // collide in the same processor-cache set across nodes.
-        node_addr(NodeId(q), 0x100_0000 + (q as u64 * 293 + i / self.procs as u64) * LINE_BYTES)
+        node_addr(
+            NodeId(q),
+            0x100_0000 + (q as u64 * 293 + i / self.procs as u64) * LINE_BYTES,
+        )
     }
 }
 
@@ -742,7 +759,9 @@ impl Workload for Barnes {
                         let q = (p + dq) % self.procs;
                         // Cells in [first, first+cpp) homed on q are
                         // contiguous in q's memory.
-                        let start = first + ((q as u64 + self.procs as u64 - first % self.procs as u64) % self.procs as u64);
+                        let start = first
+                            + ((q as u64 + self.procs as u64 - first % self.procs as u64)
+                                % self.procs as u64);
                         if start >= first + cells_per_proc {
                             continue;
                         }
@@ -862,7 +881,10 @@ impl Workload for Mp3d {
                     let chunks = self.procs as u64;
                     for c in 0..chunks {
                         ph.push(Phase::Sweep {
-                            base: node_addr(NodeId(p), c * (own_lines / chunks).max(1) * LINE_BYTES),
+                            base: node_addr(
+                                NodeId(p),
+                                c * (own_lines / chunks).max(1) * LINE_BYTES,
+                            ),
                             lines: (own_lines / chunks).max(1),
                             stride: 1,
                             write: true,

@@ -49,7 +49,10 @@ pub fn run_workload(cfg: &MachineConfig, workload: &dyn Workload) -> MachineRepo
         RunResult::Completed { .. } => MachineReport::from_machine(&m),
         RunResult::BudgetExhausted => panic!("{} exhausted the cycle budget", workload.name()),
         RunResult::Deadlocked { stuck } => {
-            panic!("{} deadlocked with {stuck} processors unfinished", workload.name())
+            panic!(
+                "{} deadlocked with {stuck} processors unfinished",
+                workload.name()
+            )
         }
     }
 }
@@ -117,7 +120,10 @@ mod tests {
     #[test]
     fn os_workload_has_dma_and_rr_placement() {
         let w = OsWorkload::scaled(8, 4);
-        assert!(matches!(w.placement(), flash::Placement::RoundRobinPages { .. }));
+        assert!(matches!(
+            w.placement(),
+            flash::Placement::RoundRobinPages { .. }
+        ));
         assert!(!w.dma_events().is_empty());
         let orig = w.original_port();
         assert!(matches!(orig.placement(), flash::Placement::FirstNode));

@@ -144,7 +144,11 @@ impl RefStream for PhaseStream {
                         self.r = 0;
                         self.line += 1;
                     }
-                    return if write { WorkItem::Write(a) } else { WorkItem::Read(a) };
+                    return if write {
+                        WorkItem::Write(a)
+                    } else {
+                        WorkItem::Read(a)
+                    };
                 }
                 Phase::Random {
                     base,
@@ -196,7 +200,12 @@ mod tests {
     #[test]
     fn compute_and_sync_phases() {
         let v = drain(PhaseStream::new(
-            vec![Phase::Compute(10), Phase::Barrier, Phase::Lock(1), Phase::Unlock(1)],
+            vec![
+                Phase::Compute(10),
+                Phase::Barrier,
+                Phase::Lock(1),
+                Phase::Unlock(1),
+            ],
             0,
             0,
         ));
@@ -292,7 +301,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(writes > 20 && writes < 80, "write fraction ~0.5, got {writes}");
+        assert!(
+            writes > 20 && writes < 80,
+            "write fraction ~0.5, got {writes}"
+        );
     }
 
     #[test]

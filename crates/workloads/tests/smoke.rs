@@ -2,7 +2,7 @@
 //! every controller kind, with sane statistics.
 
 use flash::{ControllerKind, LatencyTable, MachineConfig};
-use flash_workloads::{build_machine, by_name, run_workload, Fft, OsWorkload, Workload, PARALLEL_APPS};
+use flash_workloads::{build_machine, by_name, run_workload, Fft, OsWorkload, PARALLEL_APPS};
 
 fn cfg(kind: ControllerKind, procs: u16) -> MachineConfig {
     match kind {
@@ -74,7 +74,11 @@ fn hotspot_fft_loads_node_zero() {
     let end = flash_engine::Cycle::new(m.exec_cycles());
     let occ0 = m.chips()[0].pp_occupancy(end);
     let occ_rest: f64 = (1..4).map(|i| m.chips()[i].pp_occupancy(end)).sum::<f64>() / 3.0;
-    println!("hotspot: node0 PP occ {:.1}%, others {:.1}%", occ0 * 100.0, occ_rest * 100.0);
+    println!(
+        "hotspot: node0 PP occ {:.1}%, others {:.1}%",
+        occ0 * 100.0,
+        occ_rest * 100.0
+    );
     assert!(occ0 > 2.0 * occ_rest, "node 0 must be the hot spot");
 }
 
@@ -89,10 +93,16 @@ fn miss_class_shapes_match_the_paper() {
         let w = by_name(name, procs, scale);
         let r = run_workload(&cfg(ControllerKind::FlashEmulated, procs), w.as_ref());
         let cf = r.class_fractions();
-        (0..5).max_by(|&a, &b| cf[a].partial_cmp(&cf[b]).unwrap()).unwrap()
+        (0..5)
+            .max_by(|&a, &b| cf[a].partial_cmp(&cf[b]).unwrap())
+            .unwrap()
     };
     // MP3D: remote dirty remote (paper: 84%).
-    assert_eq!(dominant("MP3D", 8, 16), 4, "MP3D must be RemoteDirtyRemote-dominated");
+    assert_eq!(
+        dominant("MP3D", 8, 16),
+        4,
+        "MP3D must be RemoteDirtyRemote-dominated"
+    );
     // LU: remote-dominated via pivot-block broadcast (paper: 67% remote
     // clean + 32% dirty-at-home; at 8 processors the clean/dirty split
     // shifts, the remote dominance does not).
@@ -100,15 +110,27 @@ fn miss_class_shapes_match_the_paper() {
         let w = by_name("LU", 8, 8);
         let r = run_workload(&cfg(ControllerKind::FlashEmulated, 8), w.as_ref());
         let cf = r.class_fractions();
-        assert!(cf[2] + cf[3] > 0.8, "LU must be remote-dominated, got {cf:?}");
-        assert!(cf[4] < 0.05, "LU has no dirty-third-node pattern, got {cf:?}");
+        assert!(
+            cf[2] + cf[3] > 0.8,
+            "LU must be remote-dominated, got {cf:?}"
+        );
+        assert!(
+            cf[4] < 0.05,
+            "LU has no dirty-third-node pattern, got {cf:?}"
+        );
     }
     // Radix: local classes dominate (paper: 76% local dirty remote).
     let w = by_name("Radix", 8, 16);
     let r = run_workload(&cfg(ControllerKind::FlashEmulated, 8), w.as_ref());
     let cf = r.class_fractions();
-    assert!(cf[0] + cf[1] > 0.6, "Radix must be local-dominated, got {cf:?}");
-    assert!(cf[1] > 0.2, "Radix needs a large local-dirty-remote share, got {cf:?}");
+    assert!(
+        cf[0] + cf[1] > 0.6,
+        "Radix must be local-dominated, got {cf:?}"
+    );
+    assert!(
+        cf[1] > 0.2,
+        "Radix needs a large local-dirty-remote share, got {cf:?}"
+    );
 }
 
 #[test]
@@ -117,12 +139,18 @@ fn fft_transposes_produce_dirty_at_home() {
     let r = run_workload(&cfg(ControllerKind::FlashEmulated, 8), w.as_ref());
     let cf = r.class_fractions();
     // Paper: 62% remote dirty at home from the all-to-all transpose.
-    assert!(cf[3] > 0.25, "FFT transpose must show RemoteDirtyHome, got {cf:?}");
-    assert!(cf[4] < 0.1, "FFT has no dirty-third-node pattern, got {cf:?}");
+    assert!(
+        cf[3] > 0.25,
+        "FFT transpose must show RemoteDirtyHome, got {cf:?}"
+    );
+    assert!(
+        cf[4] < 0.1,
+        "FFT has no dirty-third-node pattern, got {cf:?}"
+    );
 }
 
 #[test]
-fn small_caches_shift_radix_toward_local(){
+fn small_caches_shift_radix_toward_local() {
     // Paper Table 4.2: Radix goes from 2.6% LocalClean at 1 MB to 91%+ at
     // small caches.
     let w = by_name("Radix", 8, 16);

@@ -18,7 +18,7 @@ use flash_mem::MemTiming;
 use flash_pp::CodegenOptions;
 use flash_protocol::fields::{asm_prologue, aux};
 use flash_protocol::{dir_addr, InMsg, JumpEntry, JumpTable, MsgType};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The custom handler: acknowledge the hint without touching the list.
 const LAZY_HINT: &str = "
@@ -26,7 +26,7 @@ lazy_hint:
     switch
 ";
 
-fn chip_with(program: Rc<flash_pp::Program>, jump: JumpTable) -> MagicChip {
+fn chip_with(program: Arc<flash_pp::Program>, jump: JumpTable) -> MagicChip {
     MagicChip::new(
         ControllerKind::FlashEmulated,
         NodeId(0),
@@ -76,7 +76,7 @@ fn main() {
         flash_protocol::handlers::SOURCE,
         LAZY_HINT
     );
-    let program = Rc::new(flash_pp::build(&src, CodegenOptions::magic()).expect("assembles"));
+    let program = Arc::new(flash_pp::build(&src, CodegenOptions::magic()).expect("assembles"));
 
     // Reprogram the jump table: replacement hints now dispatch to
     // `lazy_hint` instead of the list-walking `ni_hint`.
@@ -93,7 +93,10 @@ fn main() {
     // Drive both chips through the same sequence: 8 nodes fetch a line
     // (building an 8-deep sharer list), then send replacement hints.
     for (label, jump) in [
-        ("stock dynamic-pointer-allocation", JumpTable::dpa_protocol()),
+        (
+            "stock dynamic-pointer-allocation",
+            JumpTable::dpa_protocol(),
+        ),
         ("lazy-hints custom protocol", lazy_jump),
     ] {
         let mut chip = chip_with(program.clone(), jump);
@@ -101,12 +104,12 @@ fn main() {
         let addr = 0x4000;
         for req in 1..=8 {
             chip.process(get_msg(req, addr), t);
-            t = t + 400;
+            t += 400;
         }
         let before = chip.pp_busy_cycles();
         for src_node in 1..=8 {
             chip.process(hint_msg(src_node, addr), t);
-            t = t + 400;
+            t += 400;
         }
         let hint_cycles = chip.pp_busy_cycles() - before;
         let sharers_left = {

@@ -36,7 +36,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["App", "FLASH cycles", "Ideal cycles", "Flexibility cost", "PP occupancy"],
+            &[
+                "App",
+                "FLASH cycles",
+                "Ideal cycles",
+                "Flexibility cost",
+                "PP occupancy"
+            ],
             &rows
         )
     );

@@ -37,7 +37,11 @@ fn main() {
     let (ri, _, _) = run(&cfg_i, &fft_hot);
     let c = compare(&rf, &ri);
     println!("FFT, all pages on node 0 (4 KB caches):");
-    println!("  node 0: PP occupancy {:.1}%, memory occupancy {:.1}%", pp0 * 100.0, mem0 * 100.0);
+    println!(
+        "  node 0: PP occupancy {:.1}%, memory occupancy {:.1}%",
+        pp0 * 100.0,
+        mem0 * 100.0
+    );
     println!(
         "  FLASH +{:.1}% over ideal — the PP latency hides behind the busy memory\n  (paper: only 2.6% despite 81.6% PP occupancy, memory at 67.7%)\n",
         c.slowdown_pct
@@ -48,7 +52,11 @@ fn main() {
     let (ri, _, _) = run(&MachineConfig::ideal(8), &os);
     let c = compare(&rf, &ri);
     println!("OS workload, original first-node page placement (8 processors):");
-    println!("  node 0: PP occupancy {:.1}%, memory occupancy {:.1}%", pp0 * 100.0, mem0 * 100.0);
+    println!(
+        "  node 0: PP occupancy {:.1}%, memory occupancy {:.1}%",
+        pp0 * 100.0,
+        mem0 * 100.0
+    );
     println!(
         "  FLASH +{:.1}% over ideal — occupancy with nothing to hide behind\n  (paper: 29% degradation; 81% max PP occupancy vs 33% max memory occupancy)",
         c.slowdown_pct

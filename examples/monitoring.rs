@@ -48,11 +48,14 @@ fn main() {
             }
         }
     }
-    hot.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    hot.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
     println!("\n  hottest lines by home-request count (from protocol memory):");
     for (count, node, off) in hot.iter().take(8) {
         println!("    node {node} offset {off:#8x}: {count} requests");
     }
     let total: u64 = hot.iter().map(|h| h.0).sum();
-    println!("  {} monitored lines, {total} requests counted in-protocol", hot.len());
+    println!(
+        "  {} monitored lines, {total} requests counted in-protocol",
+        hot.len()
+    );
 }

@@ -25,7 +25,10 @@ fn main() {
     let report = MachineReport::from_machine(&machine);
 
     println!("FFT on {procs}-node FLASH:");
-    println!("  execution time     {exec_cycles} cycles ({} us)", exec_cycles / 100);
+    println!(
+        "  execution time     {exec_cycles} cycles ({} us)",
+        exec_cycles / 100
+    );
     println!("  cache miss rate    {:.2}%", report.miss_rate * 100.0);
     let b = report.breakdown;
     println!(

@@ -67,7 +67,12 @@ fn check_coherence(m: &Machine, addrs: &[Addr]) {
     }
 }
 
-fn random_streams(procs: u16, refs: usize, region_lines: u64, seed: u64) -> (Vec<Box<dyn RefStream>>, Vec<Addr>) {
+fn random_streams(
+    procs: u16,
+    refs: usize,
+    region_lines: u64,
+    seed: u64,
+) -> (Vec<Box<dyn RefStream>>, Vec<Addr>) {
     let mut addrs = Vec::new();
     let streams = (0..procs)
         .map(|p| {
@@ -138,13 +143,19 @@ fn hot_line_contention_preserves_coherence() {
 fn small_cache_evictions_preserve_coherence() {
     // Tiny caches force writebacks and replacement hints mid-transaction.
     for seed in 0..4 {
-        run_and_check(MachineConfig::flash(4).with_cache_bytes(4 << 10), 400, 128, 200 + seed);
+        run_and_check(
+            MachineConfig::flash(4).with_cache_bytes(4 << 10),
+            400,
+            128,
+            200 + seed,
+        );
     }
 }
 
 #[test]
 fn round_robin_placement_preserves_coherence() {
-    let cfg = MachineConfig::flash(4).with_placement(Placement::RoundRobinPages { page_bytes: 4096 });
+    let cfg =
+        MachineConfig::flash(4).with_placement(Placement::RoundRobinPages { page_bytes: 4096 });
     let procs = cfg.nodes;
     let mut addrs = Vec::new();
     let streams: Vec<Box<dyn RefStream>> = (0..procs)

@@ -19,7 +19,12 @@ fn flexibility_gap_is_bounded_for_optimized_apps() {
     // machine for optimized applications (paper: 2%-12%; MP3D, the
     // communication stress test, 25%). At reduced scale the gaps widen
     // slightly, so the bounds here are generous but still meaningful.
-    for (app, max_gap_pct) in [("FFT", 30.0), ("LU", 15.0), ("Radix", 35.0), ("MP3D", 120.0)] {
+    for (app, max_gap_pct) in [
+        ("FFT", 30.0),
+        ("LU", 15.0),
+        ("Radix", 35.0),
+        ("MP3D", 120.0),
+    ] {
         let f = run(app, ControllerKind::FlashEmulated, 8, 16);
         let i = run(app, ControllerKind::Ideal, 8, 16);
         let c = compare(&f, &i);
@@ -52,10 +57,17 @@ fn reports_are_internally_consistent() {
         let r = run(app, ControllerKind::FlashEmulated, 4, 32);
         let sum: f64 = r.breakdown.iter().sum();
         assert!((sum - 1.0).abs() < 1e-6, "{app}: breakdown sums to {sum}");
-        assert!(r.miss_rate > 0.0 && r.miss_rate < 0.5, "{app}: miss rate {}", r.miss_rate);
+        assert!(
+            r.miss_rate > 0.0 && r.miss_rate < 0.5,
+            "{app}: miss rate {}",
+            r.miss_rate
+        );
         assert!(r.read_class.total() > 0, "{app}: no classified reads");
         let cf: f64 = r.class_fractions().iter().sum();
-        assert!((cf - 1.0).abs() < 1e-6, "{app}: class fractions sum to {cf}");
+        assert!(
+            (cf - 1.0).abs() < 1e-6,
+            "{app}: class fractions sum to {cf}"
+        );
         assert!(r.pp_stats.invocations > 0, "{app}: no handler runs");
         assert!(
             r.pp_stats.dual_issue_efficiency() > 1.0 && r.pp_stats.dual_issue_efficiency() < 2.0,
@@ -99,9 +111,20 @@ fn deoptimized_pp_is_slower() {
         w.as_ref(),
     );
     let d = slow.exec_cycles as f64 / fast.exec_cycles as f64 - 1.0;
-    assert!(d > 0.0, "de-optimized PP must be slower (got {:.1}%)", d * 100.0);
-    assert!(d < 2.0, "de-optimization cost implausibly large ({:.1}%)", d * 100.0);
-    assert_eq!(slow.pp_stats.special, 0, "special instructions must be gone");
+    assert!(
+        d > 0.0,
+        "de-optimized PP must be slower (got {:.1}%)",
+        d * 100.0
+    );
+    assert!(
+        d < 2.0,
+        "de-optimization cost implausibly large ({:.1}%)",
+        d * 100.0
+    );
+    assert_eq!(
+        slow.pp_stats.special, 0,
+        "special instructions must be gone"
+    );
 }
 
 #[test]
@@ -112,7 +135,10 @@ fn small_caches_raise_miss_rates_and_local_fraction() {
     // larger than the small cache, so capacity misses appear.
     let big = run("Ocean", ControllerKind::FlashEmulated, 4, 4);
     let w = by_name("Ocean", 4, 4);
-    let small = run_workload(&MachineConfig::flash(4).with_cache_bytes(16 << 10), w.as_ref());
+    let small = run_workload(
+        &MachineConfig::flash(4).with_cache_bytes(16 << 10),
+        w.as_ref(),
+    );
     assert!(
         small.miss_rate > big.miss_rate,
         "16 KB miss rate {:.3}% should exceed 1 MB {:.3}%",

@@ -133,7 +133,9 @@ fn dma_and_sync_mix_completes() {
             WorkItem::Busy(4),
         ]
     };
-    let streams: Vec<Box<dyn RefStream>> = (0..4).map(|n| Box::new(SliceStream::new(mk(n))) as _).collect();
+    let streams: Vec<Box<dyn RefStream>> = (0..4)
+        .map(|n| Box::new(SliceStream::new(mk(n))) as _)
+        .collect();
     let mut m = Machine::new(MachineConfig::flash(4), streams);
     m.add_dma_write(flash_engine::Cycle::new(50), NodeId(0), Addr::new(0x100));
     let RunResult::Completed { .. } = m.run(10_000_000) else {
