@@ -1,0 +1,197 @@
+//! The native-vs-PP differential oracle.
+//!
+//! Every time the detailed FLASH machine runs a PP-assembly handler, the
+//! oracle replays the *same* inbound message through the native Rust
+//! protocol on a snapshot of the *same* protocol memory, then diffs:
+//!
+//! 1. the handler the jump table dispatched (names must agree),
+//! 2. the multiset of outgoing actions (messages, memory operations),
+//! 3. every 8-byte word of protocol memory (directory headers, pointer
+//!    store, free list).
+//!
+//! A difference in any of the three is a [`Violation`] pinned to the
+//! handler name and message type — exactly the information needed to
+//! write a minimal regression test.
+
+use crate::Violation;
+use flash_protocol::native::{self, Outgoing};
+use flash_protocol::{CostTable, InMsg, ProtoMem};
+
+/// Per-chip oracle bookkeeping, owned by the MAGIC chip when checked
+/// mode is on.
+#[derive(Debug, Default)]
+pub struct OracleState {
+    /// Handler invocations diffed so far.
+    pub checked: u64,
+    /// Divergences found (empty on a healthy run).
+    pub violations: Vec<Violation>,
+}
+
+/// Normalized encoding of an outgoing action for multiset comparison
+/// (same scheme as the protocol crate's differential test).
+pub fn encode(o: &Outgoing) -> String {
+    match o {
+        Outgoing::Net(m) => format!(
+            "net:{:?}:{}:{}:{:#x}:{:#x}:{}",
+            m.mtype,
+            m.src,
+            m.dst,
+            m.addr.raw(),
+            m.aux,
+            m.with_data
+        ),
+        Outgoing::Proc(p) => format!(
+            "proc:{:?}:{:#x}:{:#x}:{}",
+            p.mtype,
+            p.addr.raw(),
+            p.aux,
+            p.with_data
+        ),
+        Outgoing::MemRead(a) => format!("memrd:{:#x}", a.raw()),
+        Outgoing::MemWrite(a) => format!("memwr:{:#x}", a.raw()),
+    }
+}
+
+/// Diffs one emulated handler invocation against the native oracle.
+///
+/// `pre` is a snapshot of the chip's protocol memory taken *before* the
+/// PP ran (consumed: the oracle mutates it in place); `post` is the
+/// chip's protocol memory after; `emu_out` the actions the PP produced;
+/// `emu_handler` the entry symbol the jump table chose. Returns the
+/// first divergence found, if any.
+pub fn diff_invocation(
+    msg: &InMsg,
+    mut pre: ProtoMem,
+    post: &ProtoMem,
+    emu_out: &[Outgoing],
+    emu_handler: &str,
+    node: u16,
+) -> Option<Violation> {
+    let costs = CostTable::paper();
+    let mut native_out = Vec::new();
+    let res = native::handle(msg, &mut pre, &costs, &mut native_out);
+    let line = msg.addr.line().raw();
+
+    if res.handler != emu_handler {
+        return Some(Violation {
+            kind: "oracle-handler",
+            node,
+            line,
+            detail: format!(
+                "{:?}: native dispatches {} but PP ran {}",
+                msg.mtype, res.handler, emu_handler
+            ),
+        });
+    }
+
+    let mut enc_n: Vec<String> = native_out.iter().map(encode).collect();
+    let mut enc_e: Vec<String> = emu_out.iter().map(encode).collect();
+    enc_n.sort();
+    enc_e.sort();
+    if enc_n != enc_e {
+        return Some(Violation {
+            kind: "oracle-out",
+            node,
+            line,
+            detail: format!(
+                "{} on {:?}: outgoing actions diverge\n  native: {enc_n:?}\n  pp:     {enc_e:?}",
+                emu_handler, msg.mtype
+            ),
+        });
+    }
+
+    if let Some(addr) = pre.first_difference(post) {
+        return Some(Violation {
+            kind: "oracle-mem",
+            node,
+            line,
+            detail: format!(
+                "{} on {:?}: protocol memory diverges at {:#x}: native {:#x} vs pp {:#x}",
+                emu_handler,
+                msg.mtype,
+                addr,
+                pre.load64(addr),
+                post.load64(addr)
+            ),
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_engine::{Addr, NodeId};
+    use flash_protocol::dir::{dir_addr, Directory};
+    use flash_protocol::fields::aux;
+    use flash_protocol::msg::MsgType;
+
+    fn msg(mtype: MsgType, me: u16, home: u16, src: u16, req: u16, addr: Addr) -> InMsg {
+        InMsg {
+            mtype,
+            src: NodeId(src),
+            addr,
+            aux: aux::pack(NodeId(req), mtype, NodeId(home)),
+            spec: false,
+            self_node: NodeId(me),
+            home: NodeId(home),
+            diraddr: dir_addr(addr),
+            with_data: mtype.carries_data(),
+        }
+    }
+
+    /// When "emulated" results are literally the native results, the diff
+    /// must be clean.
+    #[test]
+    fn identical_runs_are_clean() {
+        let mut mem = ProtoMem::new();
+        Directory::init_free_list(&mut mem, 16);
+        let m = msg(MsgType::PiGet, 0, 0, 0, 0, Addr::new(0x1000));
+        let pre = mem.clone();
+        let mut out = Vec::new();
+        let res = native::handle(&m, &mut mem, &CostTable::paper(), &mut out);
+        assert_eq!(diff_invocation(&m, pre, &mem, &out, res.handler, 0), None);
+    }
+
+    #[test]
+    fn dropped_message_is_reported() {
+        let mut mem = ProtoMem::new();
+        Directory::init_free_list(&mut mem, 16);
+        let m = msg(MsgType::PiGet, 0, 0, 0, 0, Addr::new(0x1000));
+        let pre = mem.clone();
+        let mut out = Vec::new();
+        let res = native::handle(&m, &mut mem, &CostTable::paper(), &mut out);
+        assert!(!out.is_empty());
+        out.pop(); // "the PP lost an action"
+        let v = diff_invocation(&m, pre, &mem, &out, res.handler, 0).expect("must diverge");
+        assert_eq!(v.kind, "oracle-out");
+    }
+
+    #[test]
+    fn directory_word_divergence_is_reported() {
+        let mut mem = ProtoMem::new();
+        Directory::init_free_list(&mut mem, 16);
+        let m = msg(MsgType::PiGet, 0, 0, 0, 0, Addr::new(0x1000));
+        let pre = mem.clone();
+        let mut out = Vec::new();
+        let res = native::handle(&m, &mut mem, &CostTable::paper(), &mut out);
+        // Corrupt one header word in the "emulated" post state.
+        let da = dir_addr(Addr::new(0x1000));
+        mem.store64(da, mem.load64(da) ^ 0x4);
+        let v = diff_invocation(&m, pre, &mem, &out, res.handler, 0).expect("must diverge");
+        assert_eq!(v.kind, "oracle-mem");
+        assert!(v.detail.contains("pi_get_local"), "{}", v.detail);
+    }
+
+    #[test]
+    fn wrong_handler_name_is_reported() {
+        let mut mem = ProtoMem::new();
+        Directory::init_free_list(&mut mem, 16);
+        let m = msg(MsgType::PiGet, 0, 0, 0, 0, Addr::new(0x1000));
+        let pre = mem.clone();
+        let mut out = Vec::new();
+        native::handle(&m, &mut mem, &CostTable::paper(), &mut out);
+        let v = diff_invocation(&m, pre, &mem, &out, "ni_get", 0).expect("must diverge");
+        assert_eq!(v.kind, "oracle-handler");
+    }
+}

@@ -116,6 +116,13 @@ pub struct MachineConfig {
     /// accesses per line in protocol memory (a flexibility showcase with
     /// measurable PP overhead).
     pub monitoring: bool,
+    /// Checked mode: run the `flash-check` correctness net (coherence
+    /// invariants, directory audits, and — for emulated controllers
+    /// running the base protocol — the native-vs-PP differential oracle)
+    /// alongside the simulation. Off by default: checked mode never
+    /// perturbs timing, but it costs a protocol-memory snapshot per
+    /// handler invocation.
+    pub check: bool,
     /// Page-placement policy.
     pub placement: Placement,
     /// DRAM timing.
@@ -138,6 +145,7 @@ impl MachineConfig {
             codegen: CodegenOptions::magic(),
             mdc_enabled: true,
             monitoring: false,
+            check: false,
             placement: Placement::Explicit,
             mem_timing: MemTiming::default(),
             net: NetConfig::default(),
@@ -194,6 +202,13 @@ impl MachineConfig {
     /// Returns the config with the monitoring protocol variant enabled.
     pub fn with_monitoring(mut self, on: bool) -> Self {
         self.monitoring = on;
+        self
+    }
+
+    /// Returns the config with checked mode (the `flash-check`
+    /// correctness net) enabled or disabled.
+    pub fn with_check(mut self, on: bool) -> Self {
+        self.check = on;
         self
     }
 }

@@ -44,6 +44,53 @@ struct LockState {
     waiters: VecDeque<(u16, Cycle)>,
 }
 
+/// Checked-mode bookkeeping (allocated only when `cfg.check`).
+#[derive(Debug, Default)]
+struct CheckCtx {
+    /// Every 128-byte line that ever saw protocol activity.
+    touched: std::collections::BTreeSet<u64>,
+    /// Invariant violations detected so far (machine-level checks; the
+    /// per-chip differential oracle keeps its own list).
+    violations: Vec<flash_check::Violation>,
+    /// In-flight `PInval` deliveries, keyed by (node, line address).
+    ///
+    /// The protocol acknowledges an invalidation as soon as the sharer's
+    /// MAGIC processes `NInval` — the bus-side `PInval` rides a later
+    /// `ProcDeliver` event, so the stale copy legitimately outlives the
+    /// directory's PENDING window (the paper's relaxed-consistency
+    /// ordering, §2). A copy with a queued `PInval` is logically dead and
+    /// exempt from the coherence checks; one still queued at quiescence
+    /// is a message-conservation violation.
+    inflight_invals: std::collections::HashMap<(u16, u64), u32>,
+    /// In-flight `PIntervGet`/`PIntervGetX` deliveries, keyed the same
+    /// way. A copy with a queued intervention is mid-handoff: the home
+    /// may have already granted (exclusive) ownership to the requester
+    /// while this bus transaction — possibly deferred for many retries —
+    /// has yet to invalidate or downgrade the old owner's copy. Such a
+    /// copy is exempt from the coherence checks until the intervention
+    /// executes; one still queued at quiescence is a conservation
+    /// violation.
+    inflight_intervs: std::collections::HashMap<(u16, u64), u32>,
+    /// Rogue-copy observations (`shared-under-dirty`, `copy-not-listed`)
+    /// awaiting repair, keyed by (copy node, line address), with the
+    /// cycle of first observation.
+    ///
+    /// The stale-transfer self-repair race (DESIGN.md, race rule 2) makes
+    /// these states legal transiently: a deferred intervention can answer
+    /// a forward the home has since abandoned, granting a rogue shared
+    /// copy via a stale `NPut`; the home's `ni_swb` stale branch repairs
+    /// it with fire-and-forget `NInval`s. Between the rogue copy
+    /// installing and the repair `PInval` reaching the bus there is
+    /// nothing local to exempt on — the header is neither `PENDING` nor
+    /// is a `PInval` queued yet — so the observation is held here as
+    /// *provisional*: discharged when a `PInval` for that (node, line)
+    /// delivers, and promoted to a real violation if it survives to
+    /// quiescence. (Whether the rogue shows up as `shared-under-dirty` or
+    /// `copy-not-listed` depends only on what the header looks like when
+    /// the checker happens to observe the window.)
+    provisional_rogues: std::collections::HashMap<(u16, u64), (Cycle, flash_check::Violation)>,
+}
+
 /// Why [`Machine::run`] stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunResult {
@@ -76,6 +123,7 @@ pub struct Machine {
     done: usize,
     finish: Vec<Cycle>,
     interv_deferrals: u64,
+    check: Option<CheckCtx>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -132,7 +180,7 @@ impl Machine {
         } else {
             JumpTable::dpa_protocol()
         };
-        let chips = (0..cfg.nodes)
+        let mut chips: Vec<MagicChip> = (0..cfg.nodes)
             .map(|i| {
                 MagicChip::new(
                     cfg.controller,
@@ -145,6 +193,15 @@ impl Machine {
                 )
             })
             .collect();
+        // Checked mode: the differential oracle replays every emulated
+        // handler through the native protocol. The monitoring protocol
+        // writes per-line counters the native oracle does not model, so
+        // the oracle stays off there (invariant checks still run).
+        if cfg.check && !cfg.monitoring {
+            for chip in &mut chips {
+                chip.enable_oracle();
+            }
+        }
         let procs: Vec<Processor> = streams
             .into_iter()
             .map(|s| Processor::new(cfg.cache_bytes, cfg.mshrs, s))
@@ -155,6 +212,7 @@ impl Machine {
             events.push(Cycle::ZERO, Ev::ProcRun(i));
         }
         let n = cfg.nodes as usize;
+        let check_enabled = cfg.check;
         Machine {
             cfg,
             procs,
@@ -168,6 +226,7 @@ impl Machine {
             done: 0,
             finish: vec![Cycle::ZERO; n],
             interv_deferrals: 0,
+            check: check_enabled.then(CheckCtx::default),
         }
     }
 
@@ -197,10 +256,20 @@ impl Machine {
             if t.raw() > budget_cycles {
                 return RunResult::BudgetExhausted;
             }
+            let ev_line = match &ev {
+                Ev::ProcRun(_) => None,
+                Ev::MagicIn { wire, .. } => Some(wire.addr.line()),
+                Ev::ProcDeliver { pm, .. } => Some(pm.addr.line()),
+            };
             match ev {
                 Ev::ProcRun(n) => self.ev_proc_run(n),
                 Ev::MagicIn { node, wire } => self.ev_magic_in(node, wire),
                 Ev::ProcDeliver { node, pm, tries } => self.ev_proc_deliver(node, pm, tries),
+            }
+            if self.check.is_some() {
+                if let Some(line) = ev_line {
+                    self.check_line(line);
+                }
             }
             if self.done == self.procs.len() && self.events.is_empty() {
                 break;
@@ -211,8 +280,212 @@ impl Machine {
                 stuck: self.procs.len() - self.done,
             };
         }
+        self.finalize_check();
         RunResult::Completed {
             exec_cycles: self.exec_cycles(),
+        }
+    }
+
+    // ---- checked mode ----------------------------------------------------
+
+    /// Whether checked mode is on.
+    pub fn checked_mode(&self) -> bool {
+        self.check.is_some()
+    }
+
+    /// Handler invocations the differential oracle has diffed so far,
+    /// summed over all chips (0 when checked mode or the oracle is off).
+    pub fn oracle_checked(&self) -> u64 {
+        self.chips.iter().map(|c| c.oracle_checked()).sum()
+    }
+
+    /// All invariant violations detected so far: machine-level checks
+    /// (coherence, directory audits, conservation) plus every chip's
+    /// differential-oracle divergences. Empty on a healthy checked run —
+    /// and always empty when checked mode is off.
+    pub fn check_violations(&self) -> Vec<flash_check::Violation> {
+        let mut out: Vec<flash_check::Violation> = self
+            .check
+            .as_ref()
+            .map(|c| c.violations.clone())
+            .unwrap_or_default();
+        for chip in &self.chips {
+            out.extend(chip.oracle_violations().iter().cloned());
+        }
+        out
+    }
+
+    /// Checks every invariant visible for one line right now: SWMR across
+    /// all processor caches, directory structural audit, and cache/
+    /// directory agreement at the line's home.
+    fn check_line(&mut self, line: Addr) {
+        let Some(ctx) = self.check.as_mut() else {
+            return;
+        };
+        ctx.touched.insert(line.raw());
+        let mut copies = Vec::new();
+        for (i, p) in self.procs.iter().enumerate() {
+            // A copy with a queued `PInval` is logically dead (the
+            // sharer's MAGIC already acknowledged the invalidation), and
+            // one with a queued `PIntervGet`/`PIntervGetX` is mid-handoff
+            // (the requester may install before the bus transaction
+            // lands). Both are exempt from SWMR/agreement.
+            let key = (i as u16, line.raw());
+            let doomed =
+                ctx.inflight_invals.contains_key(&key) || ctx.inflight_intervs.contains_key(&key);
+            if let Some(state) = p.cache().state_of(line) {
+                if !doomed {
+                    copies.push(flash_check::CachedCopy {
+                        node: i as u16,
+                        exclusive: state == flash_cpu::LineState::Exclusive,
+                    });
+                }
+            }
+            let in_use = p.outstanding_misses();
+            if in_use > self.cfg.mshrs {
+                ctx.violations.push(flash_check::Violation {
+                    kind: "mshr-over",
+                    node: i as u16,
+                    line: line.raw(),
+                    detail: format!("{in_use} MSHRs in use, limit {}", self.cfg.mshrs),
+                });
+            }
+        }
+        let home = self.cfg.placement.home_of(line, self.cfg.nodes);
+        let da = dir_addr(line);
+        let mem = self.chips[home.index()].proto_mem();
+        ctx.violations
+            .extend(flash_check::audit_directory(mem, da, home.0, false));
+        if let Ok(sharers) = flash_check::walk_sharers(mem, da) {
+            let h = flash_protocol::DirHeader(mem.load64(da));
+            let now = self.now;
+            for v in flash_check::check_line_coherence(h, &sharers, home.0, &copies, line.raw()) {
+                // Per-copy cache/directory disagreements are legal for a
+                // bounded window (stale-transfer self-repair) and are
+                // attributed to the copy holder; held provisionally until
+                // the copy is invalidated. See
+                // `CheckCtx::provisional_rogues`. Everything else
+                // (aggregate swmr, structural audits) reports
+                // immediately.
+                let provisional = matches!(
+                    v.kind,
+                    "shared-under-dirty"
+                        | "copy-not-listed"
+                        | "excl-wrong-owner"
+                        | "excl-not-dirty"
+                        | "excl-home-not-local"
+                        | "home-copy-not-local"
+                );
+                if provisional {
+                    ctx.provisional_rogues
+                        .entry((v.node, v.line))
+                        .or_insert((now, v));
+                } else {
+                    ctx.violations.push(v);
+                }
+            }
+        }
+    }
+
+    /// End-of-run audits, called once the machine is quiescent (all
+    /// processors done, event queue drained): every touched line must
+    /// have retired its transactions (no `PENDING`, no residual acks,
+    /// caches and directory in agreement), every MSHR must have drained,
+    /// each node's pointer store must conserve entries, and the MAGIC
+    /// cache tag stores must be internally consistent.
+    fn finalize_check(&mut self) {
+        if self.check.is_none() {
+            return;
+        }
+        let touched: Vec<u64> = self
+            .check
+            .as_ref()
+            .map(|c| c.touched.iter().copied().collect())
+            .unwrap_or_default();
+        for &raw in &touched {
+            let line = Addr::new(raw);
+            let home = self.cfg.placement.home_of(line, self.cfg.nodes);
+            let da = dir_addr(line);
+            let mem = self.chips[home.index()].proto_mem();
+            let mut found = flash_check::audit_directory(mem, da, home.0, true);
+            let ctx = self.check.as_mut().expect("checked mode");
+            ctx.violations.append(&mut found);
+            self.check_line(line);
+        }
+        let ctx = self.check.as_mut().expect("checked mode");
+        for (i, p) in self.procs.iter().enumerate() {
+            let n = p.outstanding_misses();
+            if n != 0 {
+                ctx.violations.push(flash_check::Violation {
+                    kind: "mshr-leak",
+                    node: i as u16,
+                    line: 0,
+                    detail: format!("{n} MSHRs still allocated at quiescence"),
+                });
+            }
+        }
+        // Message conservation: every scheduled `PInval` must have been
+        // delivered by the time the event queue drains.
+        let leaked: Vec<((u16, u64), u32)> =
+            ctx.inflight_invals.iter().map(|(&k, &v)| (k, v)).collect();
+        for ((node, l), n) in leaked {
+            ctx.violations.push(flash_check::Violation {
+                kind: "inval-leak",
+                node,
+                line: l,
+                detail: format!("{n} PInval(s) still queued at quiescence"),
+            });
+        }
+        let leaked_intervs: Vec<((u16, u64), u32)> =
+            ctx.inflight_intervs.iter().map(|(&k, &v)| (k, v)).collect();
+        for ((node, l), n) in leaked_intervs {
+            ctx.violations.push(flash_check::Violation {
+                kind: "interv-leak",
+                node,
+                line: l,
+                detail: format!("{n} bus intervention(s) still queued at quiescence"),
+            });
+        }
+        // Provisional rogue-copy observations had to be repaired by an
+        // invalidation before quiescence; any survivor is a real
+        // coherence violation (a rogue copy the protocol never cleaned
+        // up). Sorted for deterministic output.
+        let mut stale: Vec<(Cycle, flash_check::Violation)> =
+            ctx.provisional_rogues.drain().map(|(_, v)| v).collect();
+        stale.sort_by_key(|(at, v)| (*at, v.node, v.line));
+        for (at, mut v) in stale {
+            v.detail = format!("{} (observed at cycle {at}, never invalidated)", v.detail);
+            ctx.violations.push(v);
+        }
+        for node in 0..self.cfg.nodes {
+            let diraddrs: Vec<u64> = touched
+                .iter()
+                .filter(|&&l| self.cfg.placement.home_of(Addr::new(l), self.cfg.nodes).0 == node)
+                .map(|&l| dir_addr(Addr::new(l)))
+                .collect();
+            let mem = self.chips[node as usize].proto_mem();
+            let mut found = flash_check::check_pointer_store(
+                mem,
+                diraddrs.iter(),
+                flash_protocol::dir::DEFAULT_PS_CAPACITY,
+                node,
+            );
+            let ctx = self.check.as_mut().expect("checked mode");
+            ctx.violations.append(&mut found);
+        }
+        for chip in &self.chips {
+            if let Some(mdc) = chip.mdc() {
+                if let Err(e) = mdc.audit() {
+                    let node = chip.node().0;
+                    let ctx = self.check.as_mut().expect("checked mode");
+                    ctx.violations.push(flash_check::Violation {
+                        kind: "mdc-integrity",
+                        node,
+                        line: 0,
+                        detail: e,
+                    });
+                }
+            }
         }
     }
 
@@ -406,6 +679,23 @@ impl Machine {
             match em {
                 Emission::Net { at, msg } => self.post_net(at, msg),
                 Emission::Proc { at, msg } => {
+                    if let Some(ctx) = self.check.as_mut() {
+                        let key = (node, msg.addr.line().raw());
+                        match msg.mtype {
+                            // The copy is logically dead from the moment
+                            // the invalidation is queued on the bus.
+                            MsgType::PInval => {
+                                *ctx.inflight_invals.entry(key).or_insert(0) += 1;
+                            }
+                            // The copy is mid-handoff: the new owner may
+                            // install its (exclusive) copy before this bus
+                            // transaction invalidates or downgrades ours.
+                            MsgType::PIntervGet | MsgType::PIntervGetX => {
+                                *ctx.inflight_intervs.entry(key).or_insert(0) += 1;
+                            }
+                            _ => {}
+                        }
+                    }
                     self.events.push(
                         at,
                         Ev::ProcDeliver {
@@ -455,6 +745,19 @@ impl Machine {
             }
             MsgType::PInval => {
                 self.procs[i].inval(pm.addr, self.now);
+                if let Some(ctx) = self.check.as_mut() {
+                    let key = (node, pm.addr.line().raw());
+                    if let Some(n) = ctx.inflight_invals.get_mut(&key) {
+                        *n -= 1;
+                        if *n == 0 {
+                            ctx.inflight_invals.remove(&key);
+                        }
+                    }
+                    // An invalidation reaching this copy discharges any
+                    // provisional rogue-copy observation: the self-repair
+                    // completed.
+                    ctx.provisional_rogues.remove(&key);
+                }
             }
             MsgType::PIntervGet | MsgType::PIntervGetX => {
                 let excl = pm.mtype == MsgType::PIntervGetX;
@@ -479,6 +782,17 @@ impl Machine {
                     // keeps the eventual grant from caching a stale copy.
                     self.procs[i].poison_pending(pm.addr);
                     give_up = true;
+                }
+                // The intervention is being consumed (not re-deferred):
+                // the copy's handoff window closes here.
+                if let Some(ctx) = self.check.as_mut() {
+                    let key = (node, pm.addr.line().raw());
+                    if let Some(n) = ctx.inflight_intervs.get_mut(&key) {
+                        *n -= 1;
+                        if *n == 0 {
+                            ctx.inflight_intervs.remove(&key);
+                        }
+                    }
                 }
                 let found = !give_up && self.procs[i].intervention(pm.addr, excl, self.now);
                 let (mtype, delay) = if found {

@@ -201,6 +201,12 @@ impl Processor {
         &self.cache
     }
 
+    /// Number of MSHRs currently allocated (checked mode's occupancy and
+    /// drain audits).
+    pub fn outstanding_misses(&self) -> usize {
+        self.mshrs.in_use()
+    }
+
     fn charge_unblock(&mut self, now_q: u64) {
         if let (Some(start), Some(kind)) = (self.block_start_q, self.block_kind) {
             let stall = now_q.saturating_sub(start);
@@ -434,6 +440,14 @@ impl Processor {
             // data once without caching it (an exclusive reply would
             // otherwise resurrect a stale owner). A subsequent reference
             // re-fetches.
+            if m.write_merged {
+                // A store was merged into this read miss; dropping the
+                // grant must not drop the store. Reissue it as a write
+                // miss (the MSHR we just released is free again).
+                self.stats.write_misses += 1;
+                self.mshrs.allocate(addr, MissKind::Write, now);
+                out.push((now, CpuOut::GetX(addr.line())));
+            }
             return;
         }
         let state = if exclusive || m.kind != MissKind::Read {
@@ -619,6 +633,36 @@ mod tests {
         p.run(Cycle::ZERO, &mut out);
         assert_eq!(out.len(), 1, "second write merged");
         assert_eq!(p.stats().merges, 1);
+    }
+
+    #[test]
+    fn invalidated_grant_reissues_merged_write() {
+        // Regression: `complete_read` on a poisoned/invalidated grant used
+        // to drop a merged store on the floor along with the grant — the
+        // line stayed uncached *and* the write was never performed.
+        let a = Addr::new(0x2000);
+        let mut p = proc(vec![WorkItem::Busy(1)]);
+        // A read miss with a store merged in, whose grant is invalidated
+        // while in flight (the request/forward race `poison_pending`
+        // breaks).
+        p.mshrs.allocate(a, MissKind::Read, Cycle::ZERO);
+        p.mshrs.find_mut(a).expect("allocated").write_merged = true;
+        p.poison_pending(a);
+        let mut out = Vec::new();
+        p.complete_read(a, true, Cycle::new(50), &mut out);
+        // The poisoned grant must not be cached...
+        assert_eq!(p.cache.state_of(a), None);
+        // ...but the merged store is reissued as a write miss.
+        assert_eq!(out, vec![(Cycle::new(50), CpuOut::GetX(a.line()))]);
+        let m = p.mshrs.find(a).expect("write miss outstanding");
+        assert_eq!(m.kind, MissKind::Write);
+        assert!(!m.invalidated);
+        assert_eq!(p.stats().write_misses, 1);
+        // Completing the reissued miss installs the line exclusively.
+        out.clear();
+        p.complete_write(a, Cycle::new(80), &mut out);
+        assert_eq!(p.cache.state_of(a), Some(LineState::Exclusive));
+        assert_eq!(p.outstanding_misses(), 0);
     }
 
     #[test]

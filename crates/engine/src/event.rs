@@ -343,6 +343,108 @@ mod tests {
     }
 
     #[test]
+    fn push_at_exactly_now_lands_in_wheel() {
+        // `t == cursor` is the first slot of the window, not "behind" it:
+        // a handler scheduling a zero-latency follow-up at the current
+        // cycle must ride the wheel and fire before anything later.
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(30), 'a');
+        assert_eq!(q.pop().unwrap().1, 'a'); // cursor -> 30
+        q.push(Cycle::new(31), 'c');
+        q.push(Cycle::new(30), 'b'); // exactly at the cursor
+        assert_eq!(q.heap.len(), 0, "t == cursor belongs to the wheel");
+        assert_eq!(q.pop(), Some((Cycle::new(30), 'b')));
+        assert_eq!(q.pop(), Some((Cycle::new(31), 'c')));
+    }
+
+    #[test]
+    fn horizon_tracks_the_cursor() {
+        // The 128-slot window is relative to the *cursor*, not to time
+        // zero: after delivery advances the base, `cursor + 127` is the
+        // last wheel-resident time and `cursor + 128` overflows.
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(5), 'a');
+        assert_eq!(q.pop().unwrap().1, 'a'); // cursor -> 5
+        q.push(Cycle::new(5 + 127), 'w');
+        q.push(Cycle::new(5 + 128), 'h');
+        assert_eq!(q.wheel_len, 1);
+        assert_eq!(q.heap.len(), 1);
+        assert_eq!(q.pop(), Some((Cycle::new(132), 'w')));
+        assert_eq!(q.pop(), Some((Cycle::new(133), 'h')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heap_reentry_preserves_fifo_seq() {
+        // Events for one cycle split across the heap (pushed while the
+        // cycle was beyond the horizon: early sequence numbers) and the
+        // wheel (pushed after the window caught up: later ones). Global
+        // delivery must still follow push order within the cycle.
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(200), 0); // heap, seq 0
+        q.push(Cycle::new(200), 1); // heap, seq 1
+        q.push(Cycle::new(90), 9);
+        assert_eq!(q.pop().unwrap().1, 9); // cursor -> 90; 200 now in window
+        q.push(Cycle::new(200), 2); // wheel, seq 3
+        q.push(Cycle::new(200), 3); // wheel, seq 4
+        assert_eq!(q.heap.len(), 2);
+        assert_eq!(q.wheel_len, 2);
+        for want in 0..4 {
+            assert_eq!(q.pop(), Some((Cycle::new(200), want)));
+        }
+    }
+
+    #[test]
+    fn randomized_differential_against_sorted_reference() {
+        // Drive the wheel+heap queue and a naive (time, seq)-sorted list
+        // with an identical mixed workload — pushes at exactly `now`,
+        // behind the cursor, at both sides of the 128-cycle horizon, and
+        // far future — and demand identical delivery.
+        use crate::DetRng;
+        for stream in 0..4u64 {
+            let mut rng = DetRng::for_stream(0xE7E77, stream);
+            let mut q = EventQueue::new();
+            let mut reference: Vec<(u64, u64)> = Vec::new(); // (t, seq)
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            let pop_both =
+                |q: &mut EventQueue<u64>, reference: &mut Vec<(u64, u64)>, now: &mut u64| {
+                    let (t, id) = q.pop().expect("queue non-empty");
+                    *now = t.raw();
+                    let i = reference
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &e)| e)
+                        .expect("reference non-empty")
+                        .0;
+                    let (rt, rid) = reference.remove(i);
+                    assert_eq!((t.raw(), id), (rt, rid), "stream {stream}");
+                };
+            for _ in 0..2000 {
+                if !q.is_empty() && rng.chance(0.45) {
+                    pop_both(&mut q, &mut reference, &mut now);
+                } else {
+                    let t = match rng.below(6) {
+                        0 => now,
+                        1 => now.saturating_sub(rng.below(20)),
+                        2 => now + 127,
+                        3 => now + 128,
+                        4 => now + rng.below(127),
+                        _ => now + 128 + rng.below(1000),
+                    };
+                    q.push(Cycle::new(t), seq);
+                    reference.push((t, seq));
+                    seq += 1;
+                }
+            }
+            while !q.is_empty() {
+                pop_both(&mut q, &mut reference, &mut now);
+            }
+            assert!(reference.is_empty(), "stream {stream}");
+        }
+    }
+
+    #[test]
     fn long_monotone_stream_stays_in_wheel() {
         // The steady-state pattern of the simulator: pop at t, push a few
         // events a handful of cycles out. Everything should ride the

@@ -181,6 +181,7 @@ pub struct MagicChip {
     speculation: bool,
     stats: MagicStats,
     out_buf: Vec<Outgoing>,
+    oracle: Option<flash_check::OracleState>,
 }
 
 impl std::fmt::Debug for MagicChip {
@@ -240,7 +241,30 @@ impl MagicChip {
             speculation,
             stats: MagicStats::default(),
             out_buf: Vec::new(),
+            oracle: None,
         }
+    }
+
+    /// Turns on the differential native-vs-PP oracle (checked mode): every
+    /// subsequent handler invocation is replayed through the native
+    /// protocol on a snapshot of this chip's protocol memory and diffed.
+    /// Only meaningful for [`ControllerKind::FlashEmulated`] running the
+    /// base coherence protocol (the native oracle does not implement the
+    /// monitoring protocol's counter writes); no-op otherwise.
+    pub fn enable_oracle(&mut self) {
+        if self.kind == ControllerKind::FlashEmulated {
+            self.oracle = Some(flash_check::OracleState::default());
+        }
+    }
+
+    /// Handler invocations the oracle has diffed so far.
+    pub fn oracle_checked(&self) -> u64 {
+        self.oracle.as_ref().map_or(0, |o| o.checked)
+    }
+
+    /// Divergences the oracle has recorded (empty on a healthy run).
+    pub fn oracle_violations(&self) -> &[flash_check::Violation] {
+        self.oracle.as_ref().map_or(&[], |o| &o.violations)
     }
 
     /// The default handler program for emulated controllers, compiled at
@@ -453,6 +477,10 @@ impl MagicChip {
             pre_drift += (r.first_dword - pp_start) + self.timings.mdc_fill_extra;
         }
 
+        // Checked mode: snapshot the protocol memory so the oracle can
+        // replay this invocation through the native protocol afterwards.
+        let pre = self.oracle.as_ref().map(|_| self.proto.clone());
+
         let run = {
             let fields = fields_of(&msg);
             let mut env = MdcEnv::new(&mut self.proto, self.mdc.as_mut(), fields);
@@ -477,6 +505,27 @@ impl MagicChip {
             })
         };
         self.stats.pp.merge(&run.stats);
+
+        if let Some(pre) = pre {
+            let emu_out: Vec<Outgoing> = run
+                .effects
+                .iter()
+                .filter_map(|te| effect_to_outgoing(&te.kind, self.node))
+                .collect();
+            let verdict = flash_check::diff_invocation(
+                &msg,
+                pre,
+                &self.proto,
+                &emu_out,
+                handler,
+                self.node.0,
+            );
+            let st = self.oracle.as_mut().expect("oracle enabled");
+            st.checked += 1;
+            if let Some(v) = verdict {
+                st.violations.push(v);
+            }
+        }
 
         let mut drift = pre_drift;
         let mut emissions = Vec::with_capacity(run.effects.len());
@@ -603,6 +652,11 @@ impl MagicChip {
     /// Total PP busy cycles.
     pub fn pp_busy_cycles(&self) -> u64 {
         self.pp.busy_cycles()
+    }
+
+    /// Protocol memory, read-only (directory audits, checked mode).
+    pub fn proto_mem(&self) -> &ProtoMem {
+        &self.proto
     }
 
     /// Protocol memory (tests and custom setups).

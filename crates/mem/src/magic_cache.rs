@@ -219,6 +219,38 @@ impl MagicCache {
     pub fn geometry(&self) -> CacheGeometry {
         self.geom
     }
+
+    /// Tag-store integrity audit (checked mode): no set may hold the same
+    /// tag in two valid ways (a duplicate would make hit/victim selection
+    /// ambiguous), and no way's LRU stamp may exceed the access tick.
+    pub fn audit(&self) -> Result<(), String> {
+        let ways = self.geom.ways as usize;
+        for set in 0..self.geom.sets() as usize {
+            let base = set * ways;
+            for i in 0..ways {
+                let a = &self.ways[base + i];
+                if !a.valid {
+                    continue;
+                }
+                if a.lru > self.tick {
+                    return Err(format!(
+                        "set {set} way {i}: LRU stamp {} exceeds tick {}",
+                        a.lru, self.tick
+                    ));
+                }
+                for j in i + 1..ways {
+                    let b = &self.ways[base + j];
+                    if b.valid && b.tag == a.tag {
+                        return Err(format!(
+                            "set {set}: tag {:#x} present in ways {i} and {j}",
+                            a.tag
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +338,21 @@ mod tests {
         c.access(0, true); // hit
         assert!((c.miss_rate() - 1.0 / 3.0).abs() < 1e-9);
         assert_eq!(c.read_miss_rate(), 0.5);
+    }
+
+    #[test]
+    fn audit_accepts_all_reachable_states() {
+        let mut c = MagicCache::new(CacheGeometry::mdc());
+        assert_eq!(c.audit(), Ok(()));
+        let g = c.geometry();
+        let set_stride = g.sets() * g.line_bytes;
+        for i in 0..1000u64 {
+            c.access((i % 7) * set_stride + (i % 64) * g.line_bytes, i % 3 == 0);
+            if i % 97 == 0 {
+                assert_eq!(c.audit(), Ok(()));
+            }
+        }
+        assert_eq!(c.audit(), Ok(()));
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! The network-interface (NI) queue: bounded buffering with backpressure
+//! accounting.
+//!
+//! MAGIC's NI holds a fixed number of inbound messages (paper Table 3.1);
+//! when it fills, "messages back up into the network" — nothing is ever
+//! dropped, the upstream link simply stalls until the PP drains a slot.
+//! [`NiQueue`] wraps the engine's [`BoundedQueue`] with the accounting the
+//! correctness net and the reports need: accepted/drained conservation,
+//! rejection counts, and the cycles an upstream producer spent stalled
+//! against a full queue.
+
+use flash_engine::{BoundedQueue, Cycle};
+
+/// A bounded FIFO with stall accounting for the MAGIC network interface.
+///
+/// # Examples
+///
+/// ```
+/// use flash_net::NiQueue;
+/// use flash_engine::Cycle;
+///
+/// let mut ni = NiQueue::bounded(1);
+/// assert!(ni.offer(Cycle::new(0), "a").is_ok());
+/// assert_eq!(ni.offer(Cycle::new(5), "b"), Err("b")); // full: stall starts
+/// assert_eq!(ni.drain(Cycle::new(12)), Some("a"));    // stall ends
+/// assert_eq!(ni.stall_cycles(), 7);
+/// assert!(ni.audit().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NiQueue<T> {
+    q: BoundedQueue<T>,
+    accepted: u64,
+    drained: u64,
+    stall_cycles: u64,
+    /// Cycle the current backpressure episode began (first rejected
+    /// offer), if one is open.
+    stalled_since: Option<u64>,
+}
+
+impl<T> NiQueue<T> {
+    /// A queue holding at most `capacity` messages (the FLASH machine).
+    pub fn bounded(capacity: usize) -> Self {
+        Self::from_inner(BoundedQueue::bounded(capacity))
+    }
+
+    /// A queue with no limit (the ideal machine's "infinite depth",
+    /// paper §3.1). Never rejects, never accumulates stall time.
+    pub fn unbounded() -> Self {
+        Self::from_inner(BoundedQueue::unbounded())
+    }
+
+    fn from_inner(q: BoundedQueue<T>) -> Self {
+        NiQueue {
+            q,
+            accepted: 0,
+            drained: 0,
+            stall_cycles: 0,
+            stalled_since: None,
+        }
+    }
+
+    /// Offers a message at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` — handing the message back, never dropping it —
+    /// when the queue is full. The first rejection opens a backpressure
+    /// episode whose duration is charged to [`NiQueue::stall_cycles`]
+    /// when a slot next frees up.
+    pub fn offer(&mut self, now: Cycle, item: T) -> Result<(), T> {
+        match self.q.try_push(item) {
+            Ok(()) => {
+                self.accepted += 1;
+                Ok(())
+            }
+            Err(item) => {
+                self.stalled_since.get_or_insert(now.raw());
+                Err(item)
+            }
+        }
+    }
+
+    /// Dequeues the oldest message at time `now`, closing any open
+    /// backpressure episode.
+    pub fn drain(&mut self, now: Cycle) -> Option<T> {
+        let item = self.q.pop()?;
+        self.drained += 1;
+        if let Some(start) = self.stalled_since.take() {
+            self.stall_cycles += now.raw().saturating_sub(start);
+        }
+        Some(item)
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the queue holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.q.is_full()
+    }
+
+    /// Messages accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Messages drained so far.
+    pub fn drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// Offers rejected because the queue was full.
+    pub fn rejected(&self) -> u64 {
+        self.q.rejected()
+    }
+
+    /// Peak occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.q.peak()
+    }
+
+    /// Total cycles upstream producers spent stalled against a full
+    /// queue (closed backpressure episodes only).
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Message conservation audit (checked mode): every accepted message
+    /// is either still queued or was drained — the NI never loses or
+    /// duplicates traffic.
+    pub fn audit(&self) -> Result<(), String> {
+        let accounted = self.drained + self.len() as u64;
+        if self.accepted != accounted {
+            return Err(format!(
+                "NI conservation broken: {} accepted != {} drained + {} queued",
+                self.accepted,
+                self.drained,
+                self.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_engine::DetRng;
+
+    #[test]
+    fn fifo_and_conservation() {
+        let mut ni = NiQueue::bounded(4);
+        for i in 0..4 {
+            ni.offer(Cycle::new(i), i).unwrap();
+        }
+        assert!(ni.is_full());
+        assert!(ni.audit().is_ok());
+        assert_eq!(ni.drain(Cycle::new(10)), Some(0));
+        assert_eq!(ni.drain(Cycle::new(11)), Some(1));
+        assert_eq!(ni.len(), 2);
+        assert_eq!(ni.accepted(), 4);
+        assert_eq!(ni.drained(), 2);
+        assert!(ni.audit().is_ok());
+    }
+
+    #[test]
+    fn stall_episode_is_charged_on_next_drain() {
+        let mut ni = NiQueue::bounded(1);
+        ni.offer(Cycle::new(0), 'a').unwrap();
+        // Filling the queue alone is not a stall...
+        assert_eq!(ni.stall_cycles(), 0);
+        // ...a rejected offer opens the episode.
+        assert_eq!(ni.offer(Cycle::new(5), 'b'), Err('b'));
+        assert_eq!(ni.offer(Cycle::new(8), 'b'), Err('b')); // same episode
+        assert_eq!(ni.drain(Cycle::new(12)), Some('a'));
+        assert_eq!(ni.stall_cycles(), 7, "charged from first rejection");
+        // Episode closed: the retry now succeeds and no stall accrues.
+        ni.offer(Cycle::new(12), 'b').unwrap();
+        assert_eq!(ni.drain(Cycle::new(20)), Some('b'));
+        assert_eq!(ni.stall_cycles(), 7);
+        assert_eq!(ni.rejected(), 2);
+        assert!(ni.audit().is_ok());
+    }
+
+    #[test]
+    fn saturation_loses_nothing() {
+        // A producer far faster than the consumer: every message is
+        // eventually delivered, in order, despite constant rejection.
+        let mut ni = NiQueue::bounded(2);
+        let mut delivered = Vec::new();
+        let mut held: Option<u32> = None;
+        let mut next = 0u32;
+        let mut now = 0u64;
+        while delivered.len() < 100 {
+            now += 1;
+            // Upstream: retry the held-back message first, else a new one.
+            if next < 100 || held.is_some() {
+                let m = held.take().unwrap_or_else(|| {
+                    let m = next;
+                    next += 1;
+                    m
+                });
+                if let Err(back) = ni.offer(Cycle::new(now), m) {
+                    held = Some(back); // backed up into the network
+                }
+            }
+            // Downstream: drain one message every 3 cycles.
+            if now.is_multiple_of(3) {
+                if let Some(m) = ni.drain(Cycle::new(now)) {
+                    delivered.push(m);
+                }
+            }
+            assert!(ni.audit().is_ok());
+        }
+        assert_eq!(delivered, (0..100).collect::<Vec<_>>(), "FIFO, no loss");
+        assert!(ni.rejected() > 0, "the queue must actually have saturated");
+        assert!(ni.stall_cycles() > 0, "backpressure time must be charged");
+        assert_eq!(ni.peak(), 2);
+        assert_eq!(ni.accepted(), 100);
+    }
+
+    #[test]
+    fn unbounded_never_stalls() {
+        let mut ni = NiQueue::unbounded();
+        for i in 0..10_000u64 {
+            ni.offer(Cycle::new(i), i).unwrap();
+        }
+        assert_eq!(ni.rejected(), 0);
+        assert_eq!(ni.stall_cycles(), 0);
+        assert!(!ni.is_full());
+        assert!(ni.audit().is_ok());
+    }
+
+    #[test]
+    fn randomized_producer_consumer_conserves_messages() {
+        for stream in 0..4u64 {
+            let mut rng = DetRng::for_stream(0x4E71, stream);
+            let mut ni = NiQueue::bounded(1 + rng.below(4) as usize);
+            let mut pushed = Vec::new();
+            let mut delivered = Vec::new();
+            let mut next = 0u64;
+            for now in 0..5_000u64 {
+                if rng.chance(0.6) {
+                    if ni.offer(Cycle::new(now), next).is_ok() {
+                        pushed.push(next);
+                    }
+                    next += 1;
+                }
+                if rng.chance(0.35) {
+                    if let Some(m) = ni.drain(Cycle::new(now)) {
+                        delivered.push(m);
+                    }
+                }
+                assert!(ni.audit().is_ok(), "stream {stream} cycle {now}");
+            }
+            while let Some(m) = ni.drain(Cycle::new(6_000)) {
+                delivered.push(m);
+            }
+            assert_eq!(delivered, pushed, "stream {stream}");
+            assert_eq!(ni.accepted(), delivered.len() as u64);
+        }
+    }
+}

@@ -308,6 +308,13 @@ pi_interv_reply:
     bne    r16, r15, pir_third
     mfmsg  r11, F_DIRADDR
     ld     r12, 0(r11)
+    ; Guard against the stale local reply: a local writeback racing the
+    ; deferred intervention already resolved this transaction (clearing
+    ; PENDING). PENDING is the only sound discriminator -- DIRTY/LOCAL
+    ; may be stale from a racing replacement hint while the transaction
+    ; is still live; gating on them would livelock the retrying
+    ; requester against a forever-pending line.
+    bbc    r12, B_PENDING, pir_stale
     memwr  r13
     andcfi r12, r12, B_DIRTY, 1
     andcfi r12, r12, B_PENDING, 1
@@ -351,6 +358,9 @@ pir_getx:
     bne    r16, r15, pir_getx_third
     mfmsg  r11, F_DIRADDR
     ld     r12, 0(r11)
+    ; Same stale-local-reply guard as the shared path above
+    ; (PENDING-only, for the same reason).
+    bbc    r12, B_PENDING, pir_stale
     bfins  r12, r21, OWNER_POS, FIELD_W
     andcfi r12, r12, B_LOCAL, 1
     andcfi r12, r12, B_PENDING, 1
@@ -363,6 +373,10 @@ pir_getx_third:
     sendnd r10, r21, r13, r14
     li     r10, MT_NOWNX
     sendn  r10, r16, r13, r14
+    switch
+pir_stale:
+    li     r10, MT_NNACK
+    sendn  r10, r21, r13, r14
     switch
 
 ; ---- intervention missed (owner no longer holds the line) -------------

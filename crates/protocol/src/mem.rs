@@ -99,6 +99,35 @@ impl ProtoMem {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Address of the first 8-byte word whose contents differ between
+    /// `self` and `other`, treating absent pages as zeros. `None` means
+    /// the two memories are observationally identical. Used by the
+    /// differential oracle to pin native-vs-PP directory divergences.
+    pub fn first_difference(&self, other: &ProtoMem) -> Option<u64> {
+        let mut pages: Vec<u64> = self
+            .pages
+            .keys()
+            .chain(other.pages.keys())
+            .copied()
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        const ZEROS: [u8; PAGE_BYTES as usize] = [0; PAGE_BYTES as usize];
+        for p in pages {
+            let a = self.pages.get(&p).map(|b| &b[..]).unwrap_or(&ZEROS);
+            let b = other.pages.get(&p).map(|b| &b[..]).unwrap_or(&ZEROS);
+            if a == b {
+                continue;
+            }
+            for w in 0..(PAGE_BYTES as usize / 8) {
+                if a[w * 8..w * 8 + 8] != b[w * 8..w * 8 + 8] {
+                    return Some(p * PAGE_BYTES + (w as u64) * 8);
+                }
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +167,22 @@ mod tests {
     #[should_panic(expected = "unaligned")]
     fn unaligned_panics() {
         ProtoMem::new().load64(4);
+    }
+
+    #[test]
+    fn first_difference_pins_the_word() {
+        let mut a = ProtoMem::new();
+        let mut b = ProtoMem::new();
+        assert_eq!(a.first_difference(&b), None);
+        a.store64(0x2000, 5);
+        b.store64(0x2000, 5);
+        assert_eq!(a.first_difference(&b), None);
+        b.store64(0x9008, 1);
+        assert_eq!(a.first_difference(&b), Some(0x9008));
+        assert_eq!(b.first_difference(&a), Some(0x9008));
+        // A page materialized with zeros compares equal to an absent page.
+        a.store64(0x20_0000, 0);
+        assert_eq!(a.first_difference(&b), Some(0x9008));
     }
 
     #[test]

@@ -388,12 +388,27 @@ impl Ctx<'_> {
             if home == self.me() {
                 // Dirty in the home's own cache: share it.
                 let da = self.diraddr();
-                let mut h = self
-                    .dir
-                    .header(da)
-                    .with_dirty(false)
-                    .with_pending(false)
-                    .with_local(true);
+                let h0 = self.dir.header(da);
+                if !h0.pending() {
+                    // Stale local intervention reply: a local writeback
+                    // raced the deferred intervention and already
+                    // resolved this transaction (clearing PENDING and
+                    // writing memory), so the copy the intervention
+                    // consumed was a clean re-fetch. Granting now would
+                    // rewrite a header that may already record a newer
+                    // owner. NACK the requester so it retries against
+                    // the current directory state. PENDING is the only
+                    // sound discriminator: while it is set no new request
+                    // is admitted and proc->MAGIC delivery is FIFO, so a
+                    // still-pending header can only belong to this very
+                    // intervention. DIRTY/LOCAL may legitimately be stale
+                    // (a racing replacement hint clears LOCAL without
+                    // resolving the transaction); gating on them livelocks
+                    // the requester against a forever-pending line.
+                    self.send(MsgType::NNack, req, a, false);
+                    return self.result("pi_interv_reply", self.costs.nack_retry, 0);
+                }
+                let mut h = h0.with_dirty(false).with_pending(false).with_local(true);
                 self.out.push(Outgoing::MemWrite(self.msg.addr));
                 if self.add_sharer(&mut h, req) {
                     self.dir.set_header(da, h);
@@ -413,12 +428,14 @@ impl Ctx<'_> {
             // NGetX: ownership moves to the requester.
             if home == self.me() {
                 let da = self.diraddr();
-                let h = self
-                    .dir
-                    .header(da)
-                    .with_owner(req)
-                    .with_local(false)
-                    .with_pending(false);
+                let h0 = self.dir.header(da);
+                if !h0.pending() {
+                    // Same stale-local-reply race as the NGet branch
+                    // (and the same PENDING-only rationale).
+                    self.send(MsgType::NNack, req, a, false);
+                    return self.result("pi_interv_reply", self.costs.nack_retry, 0);
+                }
+                let h = h0.with_owner(req).with_local(false).with_pending(false);
                 self.dir.set_header(da, h);
                 self.send(MsgType::NPutX, req, a, true);
             } else {

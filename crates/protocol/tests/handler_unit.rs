@@ -489,6 +489,96 @@ fn pi_interv_reply_read_at_home_shares() {
 }
 
 #[test]
+fn pi_interv_reply_stale_local_read_nacks() {
+    // A local writeback raced the deferred local intervention and already
+    // resolved the transaction (pi_wb_local cleared PENDING); the
+    // processor then re-fetched the line shared, so the header is
+    // LOCAL-only when the late reply lands. The reply must not rewrite
+    // the header or grant — it NACKs the requester, which retries
+    // against the current directory state.
+    let mut r = Rig::new();
+    let stale = DirHeader::default().with_local(true);
+    r.set_header(stale);
+    let out = r.run(
+        "pi_interv_reply",
+        &msg(MsgType::PiIntervReply, 0, 0, 0, 4, MsgType::NGet, false),
+    );
+    let nacks = net(&out, MsgType::NNack);
+    assert_eq!(nacks.len(), 1, "{out:?}");
+    assert_eq!(nacks[0].dst, NodeId(4));
+    assert!(net(&out, MsgType::NPut).is_empty());
+    assert!(!out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))));
+    assert_eq!(r.header(), stale, "header untouched");
+    assert_eq!(r.sharers(), Vec::<u16>::new());
+}
+
+#[test]
+fn pi_interv_reply_stale_local_write_nacks() {
+    // Worse variant: by the time the stale local reply lands, another
+    // node has legitimately taken exclusive ownership. The unguarded
+    // handler would clobber that owner and hand out a second exclusive
+    // copy.
+    let mut r = Rig::new();
+    let stale = DirHeader::default().with_dirty(true).with_owner(NodeId(2));
+    r.set_header(stale);
+    let out = r.run(
+        "pi_interv_reply",
+        &msg(MsgType::PiIntervReply, 0, 0, 0, 4, MsgType::NGetX, false),
+    );
+    let nacks = net(&out, MsgType::NNack);
+    assert_eq!(nacks.len(), 1, "{out:?}");
+    assert_eq!(nacks[0].dst, NodeId(4));
+    assert!(net(&out, MsgType::NPutX).is_empty());
+    assert_eq!(r.header(), stale, "owner n2 preserved");
+}
+
+#[test]
+fn pi_interv_reply_write_at_home_transfers_ownership() {
+    // The legitimate pending local-dirty transfer still grants.
+    let mut r = Rig::new();
+    r.set_header(
+        DirHeader::default()
+            .with_dirty(true)
+            .with_local(true)
+            .with_pending(true),
+    );
+    let out = r.run(
+        "pi_interv_reply",
+        &msg(MsgType::PiIntervReply, 0, 0, 0, 4, MsgType::NGetX, false),
+    );
+    assert_eq!(net(&out, MsgType::NPutX).len(), 1);
+    assert_eq!(net(&out, MsgType::NPutX)[0].dst, NodeId(4));
+    let h = r.header();
+    assert!(h.dirty() && !h.pending() && !h.local());
+    assert_eq!(h.owner(), NodeId(4));
+}
+
+#[test]
+fn pi_interv_reply_completes_despite_racing_hint() {
+    // A replacement hint from the home's own cache raced the deferred
+    // local intervention and cleared LOCAL, but PENDING still marks the
+    // live transaction and this reply is its only possible resolution
+    // (the home NAKs new requests while pending). The guard must accept
+    // it — NACKing here livelocks the requester against a
+    // forever-pending line (observed as an unbounded NGet/NNack ping-pong
+    // in the checked stress sweep).
+    let mut r = Rig::new();
+    r.set_header(DirHeader::default().with_dirty(true).with_pending(true));
+    let out = r.run(
+        "pi_interv_reply",
+        &msg(MsgType::PiIntervReply, 0, 0, 0, 4, MsgType::NGet, false),
+    );
+    assert!(net(&out, MsgType::NNack).is_empty(), "{out:?}");
+    let puts = net(&out, MsgType::NPut);
+    assert_eq!(puts.len(), 1);
+    assert_eq!(puts[0].dst, NodeId(4));
+    assert!(out.iter().any(|o| matches!(o, Outgoing::MemWrite(_))));
+    let h = r.header();
+    assert!(!h.dirty() && !h.pending(), "transaction resolved");
+    assert_eq!(r.sharers(), vec![4]);
+}
+
+#[test]
 fn pi_interv_reply_write_at_third_node_forwards_ownership() {
     let mut r = Rig::new();
     let out = r.run(
