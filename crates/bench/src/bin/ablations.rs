@@ -1,4 +1,10 @@
 //! Sensitivity ablations of the simulator's design choices.
-fn main() {
-    flash_bench::tables::ablations();
+//!
+//! Simulation points run under the hardened supervisor; if any point
+//! fails every attempt the render is caught at the process boundary,
+//! a failure table is printed, and the exit status is nonzero.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    flash_bench::artifact_main("ablations", flash_bench::tables::ablations)
 }

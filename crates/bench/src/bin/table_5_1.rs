@@ -1,4 +1,10 @@
 //! Regenerates the paper's table_5_1 artifact. See `flash_bench::tables`.
-fn main() {
-    flash_bench::tables::table_5_1();
+//!
+//! Simulation points run under the hardened supervisor; if any point
+//! fails every attempt the render is caught at the process boundary,
+//! a failure table is printed, and the exit status is nonzero.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    flash_bench::artifact_main("table_5_1", flash_bench::tables::table_5_1)
 }

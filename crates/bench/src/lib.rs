@@ -10,11 +10,14 @@
 //! `FLASH_FULL=1` for the paper's Table 3.5 sizes, or `FLASH_SCALE=n`
 //! for a specific divisor.
 
+pub mod harness;
 pub mod runner;
 pub mod tables;
 
+pub use harness::{artifact_main, suite_main};
 pub use runner::{
-    cached_latency, cached_run, clear_caches, prefetch, prefetch_with_jobs, Job, RunSpec, WorkSpec,
+    cached_latency, cached_run, clear_caches, drain_failures, prefetch, prefetch_supervised,
+    prefetch_with_jobs, Job, JobFailure, RunSpec, SuperviseOptions, WorkSpec,
 };
 
 use flash::config::node_addr;
@@ -223,9 +226,16 @@ pub fn measure_class_uncached(kind: ControllerKind, class: MissClass) -> f64 {
             })
             .collect();
         let mut m = Machine::new(cfg, streams);
-        let RunResult::Completed { .. } = m.run(10_000_000) else {
-            panic!("latency scenario stuck for {class:?}");
-        };
+        match m.run(10_000_000) {
+            RunResult::Completed { .. } => {}
+            RunResult::Wedged { report } => {
+                panic!("latency scenario wedged for {class:?}\n{report}")
+            }
+            other => panic!(
+                "latency scenario stuck for {class:?}\n{}",
+                m.diagnose(&format!("{other:?}"))
+            ),
+        }
         m.procs()[0].stats().read_stall_q as f64 / 4.0
     };
     run(true) - run(false)

@@ -21,14 +21,23 @@
 //! [`std::thread::available_parallelism`]. `FLASH_JOBS=1` runs every job
 //! inline on the caller's thread (no threads are spawned).
 
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
 
 use flash::{ControllerKind, Machine, MachineConfig, MachineReport, RunResult};
-use flash_workloads::{by_name, run_workload, Fft, OsWorkload};
+use flash_workloads::{budget, by_name, run_workload, Fft, OsWorkload};
 
 use crate::{mdc_stress_stream, MissClass};
+
+/// Locks a mutex, tolerating poisoning: a panicking job (isolated by the
+/// supervisor's `catch_unwind`) must not take the whole memo cache down
+/// with it. Cache values are only written complete, so the inner state is
+/// always usable.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// What to simulate: a workload family plus the parameters that pick one
 /// member. Kept `Copy` + `Debug` so a spec both reconstructs the workload
@@ -81,10 +90,14 @@ impl WorkSpec {
             }
             WorkSpec::MdcStress { data_mb, scale } => {
                 let mut m = Machine::new(cfg.clone(), mdc_stress_stream(data_mb, scale));
-                let RunResult::Completed { .. } = m.run(flash_workloads::DEFAULT_BUDGET) else {
-                    panic!("mdc stress stuck under {cfg:?}");
-                };
-                MachineReport::from_machine(&m)
+                match m.run(budget()) {
+                    RunResult::Completed { .. } => MachineReport::from_machine(&m),
+                    RunResult::Wedged { report } => panic!("mdc stress wedged\n{report}"),
+                    other => panic!(
+                        "mdc stress stuck under {cfg:?}\n{}",
+                        m.diagnose(&format!("{other:?}"))
+                    ),
+                }
             }
         }
     }
@@ -110,7 +123,11 @@ impl RunSpec {
 }
 
 /// One unit of prefetchable work.
+///
+/// The size skew between variants is deliberate: a job list holds at
+/// most a few hundred entries, so boxing `RunSpec` would buy nothing.
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
 pub enum Job {
     /// A full workload simulation producing a [`MachineReport`].
     Run(RunSpec),
@@ -128,8 +145,8 @@ impl Job {
 
     fn is_cached(&self, key: &str) -> bool {
         match self {
-            Job::Run(_) => run_cache().lock().unwrap().contains_key(key),
-            Job::Latency(..) => lat_cache().lock().unwrap().contains_key(key),
+            Job::Run(_) => lock(run_cache()).contains_key(key),
+            Job::Latency(..) => lock(lat_cache()).contains_key(key),
         }
     }
 
@@ -181,13 +198,13 @@ pub fn jobs() -> usize {
 /// Empties both memo caches (used by tests that compare cold serial and
 /// cold parallel execution of the same matrix).
 pub fn clear_caches() {
-    run_cache().lock().unwrap().clear();
-    lat_cache().lock().unwrap().clear();
+    lock(run_cache()).clear();
+    lock(lat_cache()).clear();
 }
 
 /// Number of memoized simulation reports currently held.
 pub fn cached_run_count() -> usize {
-    run_cache().lock().unwrap().len()
+    lock(run_cache()).len()
 }
 
 /// Runs (or recalls) one simulation point. The lock is never held across
@@ -200,16 +217,13 @@ pub fn cached_run(spec: &RunSpec) -> MachineReport {
         return spec.work.execute(&spec.cfg);
     }
     let key = spec.key();
-    if let Some(r) = run_cache().lock().unwrap().get(&key) {
+    if let Some(r) = lock(run_cache()).get(&key) {
         return r.clone();
     }
+    maybe_inject_panic(&key);
+    maybe_inject_hang(&key);
     let report = spec.work.execute(&spec.cfg);
-    run_cache()
-        .lock()
-        .unwrap()
-        .entry(key)
-        .or_insert(report)
-        .clone()
+    lock(run_cache()).entry(key).or_insert(report).clone()
 }
 
 /// Runs (or recalls) one Table 3.3 latency measurement.
@@ -218,57 +232,322 @@ pub fn cached_latency(kind: ControllerKind, class: MissClass) -> f64 {
         return crate::measure_class_uncached(kind, class);
     }
     let key = Job::Latency(kind, class).key();
-    if let Some(v) = lat_cache().lock().unwrap().get(&key) {
+    if let Some(v) = lock(lat_cache()).get(&key) {
         return *v;
     }
+    maybe_inject_panic(&key);
+    maybe_inject_hang(&key);
     let v = crate::measure_class_uncached(kind, class);
-    *lat_cache().lock().unwrap().entry(key).or_insert(v)
+    *lock(lat_cache()).entry(key).or_insert(v)
 }
 
-/// Prefetches a job list with the default worker count ([`jobs`]).
-/// Returns the number of points actually simulated.
+/// Supervisor self-test hook: `FLASH_INJECT_PANIC=<substring>` panics any
+/// job whose memo key contains the substring, *after* the cache miss is
+/// established (so only a real simulation attempt trips it). Used by the
+/// panic-isolation tests; unset in normal operation.
+fn maybe_inject_panic(key: &str) {
+    if let Ok(pat) = std::env::var("FLASH_INJECT_PANIC") {
+        if !pat.is_empty() && key.contains(&pat) {
+            panic!("FLASH_INJECT_PANIC matched `{key}`");
+        }
+    }
+}
+
+/// Supervisor self-test hook: `FLASH_INJECT_HANG=<substring>` stalls any
+/// job whose memo key contains the substring for an hour — forever, on
+/// test timescales — modelling a runaway simulation that ignores its
+/// cycle budget. Exercises the wall-clock timeout and zombie-abandonment
+/// path; unset in normal operation.
+fn maybe_inject_hang(key: &str) {
+    if let Ok(pat) = std::env::var("FLASH_INJECT_HANG") {
+        if !pat.is_empty() && key.contains(&pat) {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+}
+
+// ---- hardened supervisor ---------------------------------------------------
+
+/// One job the supervisor gave up on: it panicked (or timed out) on every
+/// allowed attempt. The matrix keeps going; failures are drained at the
+/// end and rendered as a tail summary with a nonzero exit.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// The job's memo key (identifies the simulation point).
+    pub key: String,
+    /// First line of the panic payload, or a timeout note.
+    pub error: String,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+}
+
+fn failure_log() -> &'static Mutex<Vec<JobFailure>> {
+    static LOG: OnceLock<Mutex<Vec<JobFailure>>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn record_failure(f: JobFailure) {
+    lock(failure_log()).push(f);
+}
+
+/// Takes (and clears) every job failure recorded since the last drain.
+/// Bins call this after rendering to decide their exit status.
+pub fn drain_failures() -> Vec<JobFailure> {
+    std::mem::take(&mut *lock(failure_log()))
+}
+
+/// Supervisor policy: how patient to be with a job before writing it off.
+#[derive(Debug, Clone, Copy)]
+pub struct SuperviseOptions {
+    /// Wall-clock limit per job *attempt*. `None` (the default) trusts
+    /// the in-simulation cycle budget. Only enforced when jobs run on
+    /// worker threads (`workers > 1`): the inline path cannot abandon its
+    /// own thread.
+    pub timeout: Option<Duration>,
+    /// Extra attempts after a panicked or overdue first attempt.
+    pub retries: u32,
+}
+
+impl SuperviseOptions {
+    /// Policy from the environment: `FLASH_JOB_TIMEOUT` (seconds,
+    /// fractional allowed) and `FLASH_JOB_RETRIES` (default 1).
+    pub fn from_env() -> Self {
+        let timeout = std::env::var("FLASH_JOB_TIMEOUT")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|&s| s > 0.0)
+            .map(Duration::from_secs_f64);
+        let retries = std::env::var("FLASH_JOB_RETRIES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(1);
+        SuperviseOptions { timeout, retries }
+    }
+}
+
+/// Runs one attempt of `job` with panic isolation, returning the panic
+/// payload's first line on failure.
+fn run_attempt(job: &Job) -> Result<(), String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run())).map_err(|payload| {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        msg.lines().next().unwrap_or("panic").to_string()
+    })
+}
+
+/// Prefetches a job list with the default worker count ([`jobs`]) and the
+/// environment's supervision policy. Returns the number of points
+/// actually simulated (attempted points count even if they ultimately
+/// failed — see [`drain_failures`]).
 pub fn prefetch(list: &[Job]) -> usize {
-    prefetch_with_jobs(list, jobs())
+    prefetch_supervised(list, jobs(), &SuperviseOptions::from_env())
+}
+
+/// [`prefetch`] with an explicit worker count (environment policy).
+pub fn prefetch_with_jobs(list: &[Job], workers: usize) -> usize {
+    prefetch_supervised(list, workers, &SuperviseOptions::from_env())
 }
 
 /// Deduplicates `list`, drops already-cached points, and executes the rest
-/// across `workers` scoped threads (inline on the caller's thread when
-/// `workers <= 1`). Returns the number of points actually simulated.
-pub fn prefetch_with_jobs(list: &[Job], workers: usize) -> usize {
+/// under the hardened supervisor: each attempt is `catch_unwind`-isolated,
+/// panicked or overdue attempts are retried per `opts`, and jobs that fail
+/// every attempt are recorded for [`drain_failures`] instead of killing
+/// the matrix. `workers <= 1` runs inline on the caller's thread (no
+/// threads, no wall-clock timeouts). Returns the number of points
+/// actually simulated.
+pub fn prefetch_supervised(list: &[Job], workers: usize, opts: &SuperviseOptions) -> usize {
     if memo_disabled() {
         // Pre-runner behaviour: nothing is prefetched, every artifact
         // re-simulates its own points at render time.
         return 0;
     }
     let mut seen = HashSet::new();
-    let mut pending: Vec<&Job> = Vec::new();
+    let mut pending: Vec<Job> = Vec::new();
     for job in list {
         let key = job.key();
         if !job.is_cached(&key) && seen.insert(key) {
-            pending.push(job);
+            pending.push(job.clone());
         }
     }
     if pending.is_empty() {
         return 0;
     }
     let workers = workers.max(1).min(pending.len());
+    let max_attempts = opts.retries.saturating_add(1);
     if workers == 1 {
         for job in &pending {
-            job.run();
+            let mut attempt = 1;
+            loop {
+                match run_attempt(job) {
+                    Ok(()) => break,
+                    Err(e) if attempt < max_attempts => {
+                        eprintln!("[runner] job panicked (attempt {attempt}): {e}; retrying");
+                        attempt += 1;
+                    }
+                    Err(e) => {
+                        record_failure(JobFailure {
+                            key: job.key(),
+                            error: e,
+                            attempts: attempt,
+                        });
+                        break;
+                    }
+                }
+            }
         }
         return pending.len();
     }
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = pending.get(i) else { break };
-                job.run();
-            });
+    supervise(pending, workers, max_attempts, opts.timeout)
+}
+
+/// Messages from workers to the supervisor.
+enum WorkerMsg {
+    Started {
+        job: usize,
+        attempt: u32,
+    },
+    Finished {
+        job: usize,
+        attempt: u32,
+        result: Result<(), String>,
+    },
+}
+
+fn spawn_worker(
+    jobs: Arc<Vec<Job>>,
+    queue: Arc<Mutex<VecDeque<(usize, u32)>>>,
+    tx: mpsc::Sender<WorkerMsg>,
+) {
+    std::thread::spawn(move || loop {
+        let item = lock(&queue).pop_front();
+        let Some((job, attempt)) = item else { break };
+        if tx.send(WorkerMsg::Started { job, attempt }).is_err() {
+            break;
+        }
+        let result = run_attempt(&jobs[job]);
+        let fin = WorkerMsg::Finished {
+            job,
+            attempt,
+            result,
+        };
+        if tx.send(fin).is_err() {
+            break;
         }
     });
-    pending.len()
+}
+
+/// The threaded supervisor. Worker threads are detached, not scoped: a
+/// worker stuck inside a runaway simulation is *abandoned* (its job is
+/// retried or failed by timeout, and a replacement worker keeps the pool
+/// at strength) rather than joined — a scoped pool would hang the whole
+/// matrix on one wedged job. A late result from an abandoned worker still
+/// counts if its job is unresolved (the memo cache makes duplicates
+/// harmless: simulations are deterministic).
+fn supervise(
+    pending: Vec<Job>,
+    workers: usize,
+    max_attempts: u32,
+    timeout: Option<Duration>,
+) -> usize {
+    let total = pending.len();
+    let jobs = Arc::new(pending);
+    let queue: Arc<Mutex<VecDeque<(usize, u32)>>> =
+        Arc::new(Mutex::new((0..total).map(|i| (i, 1)).collect()));
+    let (tx, rx) = mpsc::channel();
+    for _ in 0..workers {
+        spawn_worker(jobs.clone(), queue.clone(), tx.clone());
+    }
+    let mut resolved = vec![false; total];
+    let mut unresolved = total;
+    // Last started attempt + start time, per in-flight job.
+    let mut in_flight: HashMap<usize, (u32, Instant)> = HashMap::new();
+    let poll = timeout.map_or(Duration::from_millis(200), |t| {
+        (t / 4).max(Duration::from_millis(10))
+    });
+    while unresolved > 0 {
+        match rx.recv_timeout(poll) {
+            Ok(WorkerMsg::Started { job, attempt }) => {
+                in_flight.insert(job, (attempt, Instant::now()));
+            }
+            Ok(WorkerMsg::Finished {
+                job,
+                attempt,
+                result,
+            }) => {
+                // Only clear the in-flight slot if it still belongs to
+                // this attempt (a late result from an abandoned worker
+                // must not clobber the retry's bookkeeping).
+                if in_flight.get(&job).is_some_and(|&(a, _)| a == attempt) {
+                    in_flight.remove(&job);
+                }
+                if resolved[job] {
+                    continue; // late result from an abandoned attempt
+                }
+                match result {
+                    Ok(()) => {
+                        resolved[job] = true;
+                        unresolved -= 1;
+                    }
+                    Err(e) if attempt < max_attempts => {
+                        eprintln!("[runner] job panicked (attempt {attempt}): {e}; retrying");
+                        lock(&queue).push_back((job, attempt + 1));
+                        spawn_worker(jobs.clone(), queue.clone(), tx.clone());
+                    }
+                    Err(e) => {
+                        resolved[job] = true;
+                        unresolved -= 1;
+                        record_failure(JobFailure {
+                            key: jobs[job].key(),
+                            error: e,
+                            attempts: attempt,
+                        });
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                let Some(limit) = timeout else { continue };
+                let now = Instant::now();
+                let overdue: Vec<(usize, u32)> = in_flight
+                    .iter()
+                    .filter(|&(_, &(_, started))| now.duration_since(started) > limit)
+                    .map(|(&job, &(attempt, _))| (job, attempt))
+                    .collect();
+                for (job, attempt) in overdue {
+                    // Abandon the worker stuck on this attempt; a
+                    // replacement keeps the pool at strength.
+                    in_flight.remove(&job);
+                    if resolved[job] {
+                        continue;
+                    }
+                    if attempt < max_attempts {
+                        eprintln!(
+                            "[runner] job overdue after {limit:?} (attempt {attempt}); retrying"
+                        );
+                        lock(&queue).push_back((job, attempt + 1));
+                        spawn_worker(jobs.clone(), queue.clone(), tx.clone());
+                    } else {
+                        resolved[job] = true;
+                        unresolved -= 1;
+                        record_failure(JobFailure {
+                            key: jobs[job].key(),
+                            error: format!("timed out (> {limit:?} wall clock per attempt)"),
+                            attempts: attempt,
+                        });
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // Unreachable while the supervisor holds `tx`; defensive.
+                break;
+            }
+        }
+    }
+    total
 }
 
 #[cfg(test)]

@@ -6,10 +6,18 @@
 //! and the MAGIC sub-operation latencies of Table 3.2.
 
 use flash_engine::{Addr, NodeId};
+use flash_fault::FaultPlan;
 use flash_magic::ControllerKind;
 use flash_mem::MemTiming;
 use flash_net::NetConfig;
 use flash_pp::CodegenOptions;
+
+/// Default forward-progress watchdog window, in cycles. At the paper's
+/// 100 MHz clock this is 20 ms of simulated time with no retirement,
+/// message delivery, or handler invocation — far beyond any legitimate
+/// quiet period in the studied workloads (the worst NACK-retry storms
+/// make progress every few hundred cycles).
+pub const DEFAULT_WATCHDOG_WINDOW: u64 = 2_000_000;
 
 /// How physical pages map to home nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +139,18 @@ pub struct MachineConfig {
     pub net: NetConfig,
     /// Off-chip path latencies.
     pub lat: PathLatencies,
+    /// Deterministic fault-injection plan. [`FaultPlan::none()`] (the
+    /// default) arms nothing and is timing-invisible: no injector is
+    /// constructed and no RNG draw ever happens.
+    pub faults: FaultPlan,
+    /// Forward-progress watchdog window in cycles: if no retirement,
+    /// message delivery, or handler invocation happens for this many
+    /// cycles, the run returns [`RunResult::Wedged`] with a structured
+    /// report instead of spinning to the budget. `0` disables the
+    /// watchdog.
+    ///
+    /// [`RunResult::Wedged`]: crate::machine::RunResult::Wedged
+    pub watchdog_window: u64,
 }
 
 impl MachineConfig {
@@ -150,6 +170,8 @@ impl MachineConfig {
             mem_timing: MemTiming::default(),
             net: NetConfig::default(),
             lat: PathLatencies::default(),
+            faults: FaultPlan::none(),
+            watchdog_window: DEFAULT_WATCHDOG_WINDOW,
         }
     }
 
@@ -209,6 +231,18 @@ impl MachineConfig {
     /// correctness net) enabled or disabled.
     pub fn with_check(mut self, on: bool) -> Self {
         self.check = on;
+        self
+    }
+
+    /// Returns the config with a fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Returns the config with a watchdog window (`0` disables).
+    pub fn with_watchdog(mut self, window: u64) -> Self {
+        self.watchdog_window = window;
         self
     }
 }

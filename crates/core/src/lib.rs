@@ -31,7 +31,8 @@ pub mod config;
 pub mod machine;
 pub mod report;
 
-pub use config::{MachineConfig, PathLatencies, Placement};
+pub use config::{MachineConfig, PathLatencies, Placement, DEFAULT_WATCHDOG_WINDOW};
+pub use flash_fault::{FaultPlan, FaultStats, LinkDown, WedgeReport};
 pub use flash_magic::ControllerKind;
 pub use machine::{Machine, RunResult};
 pub use report::{compare, format_table, Comparison, LatencyTable, MachineReport};

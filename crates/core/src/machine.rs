@@ -3,11 +3,15 @@
 use crate::config::MachineConfig;
 use flash_cpu::{CpuOut, Processor, RefStream, RunOutcome};
 use flash_engine::{Addr, Cycle, EventQueue, NodeId};
+use flash_fault::{
+    FaultInjector, FaultStats, LinkVerdict, MsgRing, MshrSnap, NiDir, NodeWedge, PendingLine,
+    TraceEntry, WedgeReport,
+};
 use flash_magic::{ControllerKind, Emission, MagicChip};
 use flash_net::{Mesh, NetModel};
 use flash_protocol::fields::aux;
 use flash_protocol::{dir_addr, InMsg, JumpTable, Msg, MsgType, ProcMsg};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
@@ -18,6 +22,10 @@ enum Ev {
     MagicIn { node: u16, wire: Wire },
     /// MAGIC delivers a message to its local processor.
     ProcDeliver { node: u16, pm: ProcMsg, tries: u32 },
+    /// Re-offer a message the fault layer held (scripted link outage).
+    /// Processing one is *not* forward progress: a permanently held
+    /// message loops here until the watchdog diagnoses the wedge.
+    NetSend { msg: Msg },
 }
 
 /// A message on the wire (or on a node's internal buses).
@@ -92,7 +100,7 @@ struct CheckCtx {
 }
 
 /// Why [`Machine::run`] stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RunResult {
     /// Every processor finished its stream.
     Completed {
@@ -106,6 +114,14 @@ pub enum RunResult {
     Deadlocked {
         /// Number of processors that never finished.
         stuck: usize,
+    },
+    /// The forward-progress watchdog fired: events kept flowing but no
+    /// retirement, message delivery, or handler invocation advanced for a
+    /// whole watchdog window — a livelock or a held link. The report
+    /// says who is waiting on what.
+    Wedged {
+        /// Structured diagnosis (boxed: reports are large and rare).
+        report: Box<WedgeReport>,
     },
 }
 
@@ -124,6 +140,15 @@ pub struct Machine {
     finish: Vec<Cycle>,
     interv_deferrals: u64,
     check: Option<CheckCtx>,
+    /// Fault-injection runtime (`None` when `cfg.faults` is disarmed; a
+    /// disarmed machine takes none of the injection branches).
+    injector: Option<FaultInjector>,
+    /// Ring of recent message observations (wedge diagnostics; the
+    /// in-memory counterpart of `FLASH_TRACE_ADDR`).
+    ring: MsgRing,
+    /// Last cycle a retirement, message delivery, or handler invocation
+    /// advanced (the forward-progress watchdog's reference point).
+    last_progress: Cycle,
 }
 
 impl std::fmt::Debug for Machine {
@@ -142,6 +167,15 @@ impl std::fmt::Debug for Machine {
 /// home abandons the pending transaction) and the target's eventual grant
 /// is poisoned so no stale copy is cached.
 const MAX_INTERV_DEFERRALS: u32 = 64;
+
+/// Capacity of the wedge-diagnostics message ring. Deep enough to cover
+/// the full protocol exchange on the handful of lines a wedge involves;
+/// each entry is a few words, so the ring is cheap to keep always-on.
+const RING_CAPACITY: usize = 64;
+
+/// How many ring entries a wedge report keeps when no suspect line
+/// stands out.
+const RECENT_TAIL: usize = 8;
 
 /// Line address to trace (set `FLASH_TRACE_ADDR=0x...` to dump every
 /// message touching that 128-byte line to stderr).
@@ -213,6 +247,7 @@ impl Machine {
         }
         let n = cfg.nodes as usize;
         let check_enabled = cfg.check;
+        let injector = FaultInjector::new(&cfg.faults);
         Machine {
             cfg,
             procs,
@@ -227,6 +262,9 @@ impl Machine {
             finish: vec![Cycle::ZERO; n],
             interv_deferrals: 0,
             check: check_enabled.then(CheckCtx::default),
+            injector,
+            ring: MsgRing::new(RING_CAPACITY),
+            last_progress: Cycle::ZERO,
         }
     }
 
@@ -260,16 +298,30 @@ impl Machine {
                 Ev::ProcRun(_) => None,
                 Ev::MagicIn { wire, .. } => Some(wire.addr.line()),
                 Ev::ProcDeliver { pm, .. } => Some(pm.addr.line()),
+                Ev::NetSend { msg } => Some(msg.addr.line()),
             };
             match ev {
                 Ev::ProcRun(n) => self.ev_proc_run(n),
                 Ev::MagicIn { node, wire } => self.ev_magic_in(node, wire),
                 Ev::ProcDeliver { node, pm, tries } => self.ev_proc_deliver(node, pm, tries),
+                Ev::NetSend { msg } => self.post_net(self.now, msg),
             }
             if self.check.is_some() {
                 if let Some(line) = ev_line {
                     self.check_line(line);
                 }
+            }
+            // Forward-progress watchdog, checked *after* the event so an
+            // event that itself makes progress (a retirement landing 10 ms
+            // after a long barrier, say) can never false-trigger.
+            if self.cfg.watchdog_window > 0
+                && self.now.raw() - self.last_progress.raw() > self.cfg.watchdog_window
+            {
+                return RunResult::Wedged {
+                    report: Box::new(
+                        self.diagnose("no forward progress within the watchdog window"),
+                    ),
+                };
             }
             if self.done == self.procs.len() && self.events.is_empty() {
                 break;
@@ -524,13 +576,132 @@ impl Machine {
         self.interv_deferrals
     }
 
+    /// Cumulative fault-injection statistics, when a plan is armed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.injector.as_ref().map(|i| *i.stats())
+    }
+
+    /// Assembles a structured diagnosis of the machine's current state:
+    /// who is waiting on what, which directory lines are PENDING, which
+    /// links the fault layer holds, and the recent messages touching the
+    /// suspect lines. The watchdog calls this to build
+    /// [`RunResult::Wedged`]; callers can also invoke it after
+    /// `Deadlocked` or `BudgetExhausted` to render the same report.
+    pub fn diagnose(&self, reason: &str) -> WedgeReport {
+        let n = self.procs.len();
+        let mut inbox_queued = vec![0usize; n];
+        let mut proc_queued = vec![0usize; n];
+        let mut net_held = vec![0usize; n];
+        // Suspect lines: anything queued, outstanding in an MSHR, or
+        // recently observed by the trace ring.
+        let mut suspects: BTreeSet<u64> = BTreeSet::new();
+        for (_, ev) in self.events.iter() {
+            match ev {
+                Ev::ProcRun(_) => {}
+                Ev::MagicIn { node, wire } => {
+                    inbox_queued[*node as usize] += 1;
+                    suspects.insert(wire.addr.line().raw());
+                }
+                Ev::ProcDeliver { node, pm, .. } => {
+                    proc_queued[*node as usize] += 1;
+                    suspects.insert(pm.addr.line().raw());
+                }
+                Ev::NetSend { msg } => {
+                    net_held[msg.src.index()] += 1;
+                    suspects.insert(msg.addr.line().raw());
+                }
+            }
+        }
+        let nodes: Vec<NodeWedge> = (0..n)
+            .map(|i| {
+                let mshrs: Vec<MshrSnap> = self.procs[i]
+                    .mshr_entries()
+                    .map(|m| {
+                        suspects.insert(m.line.line().raw());
+                        MshrSnap {
+                            line: m.line.line().raw(),
+                            kind: match m.kind {
+                                flash_cpu::MissKind::Read => "Read",
+                                flash_cpu::MissKind::Write => "Write",
+                                flash_cpu::MissKind::Upgrade => "Upgrade",
+                            },
+                            issued_at: m.issued_at.raw(),
+                        }
+                    })
+                    .collect();
+                NodeWedge {
+                    node: i as u16,
+                    state: match self.parked[i] {
+                        Park::Scheduled => "scheduled",
+                        Park::WaitReply => "wait-reply",
+                        Park::WaitSync => "wait-sync",
+                        Park::Done => "done",
+                    },
+                    mshrs,
+                    inbox_queued: inbox_queued[i],
+                    proc_queued: proc_queued[i],
+                    net_held: net_held[i],
+                }
+            })
+            .collect();
+        suspects.extend(self.ring.lines());
+        let pending_lines: Vec<PendingLine> = suspects
+            .iter()
+            .filter_map(|&raw| {
+                let line = Addr::new(raw);
+                let home = self.cfg.placement.home_of(line, self.cfg.nodes);
+                let header = self.chips[home.index()].peek_header(dir_addr(line));
+                header.pending().then_some(PendingLine {
+                    line: raw,
+                    home: home.0,
+                    header: header.0,
+                })
+            })
+            .collect();
+        // Recent traffic: everything touching a PENDING line when one
+        // stands out, otherwise the overall tail.
+        let recent: Vec<TraceEntry> = if pending_lines.is_empty() {
+            let all = self.ring.entries();
+            all[all.len().saturating_sub(RECENT_TAIL)..].to_vec()
+        } else {
+            let hot: BTreeSet<u64> = pending_lines.iter().map(|p| p.line).collect();
+            self.ring
+                .entries()
+                .into_iter()
+                .filter(|e| hot.contains(&e.line))
+                .collect()
+        };
+        WedgeReport {
+            at: self.now.raw(),
+            window: self.cfg.watchdog_window,
+            last_progress_at: self.last_progress.raw(),
+            reason: reason.to_string(),
+            done: self.done,
+            total: n,
+            nodes,
+            pending_lines,
+            stalled_links: self
+                .injector
+                .as_ref()
+                .map(|i| i.held_links())
+                .unwrap_or_default(),
+            fault_stats: self.fault_stats(),
+            recent,
+        }
+    }
+
     // ---- event handlers --------------------------------------------------
+
+    fn mark_progress(&mut self) {
+        self.last_progress = self.now;
+    }
 
     fn ev_proc_run(&mut self, n: u16) {
         let i = n as usize;
         if self.parked[i] != Park::Scheduled {
-            return; // stale wakeup
+            return; // stale wakeup (not forward progress)
         }
+        self.mark_progress();
         let mut outs = Vec::new();
         let outcome = self.procs[i].run(self.now, &mut outs);
         self.post_cpu_outs(n, &outs);
@@ -656,6 +827,15 @@ impl Machine {
             );
         }
         let home = self.cfg.placement.home_of(wire.addr, self.cfg.nodes);
+        self.mark_progress();
+        self.ring.push(TraceEntry {
+            at: self.now.raw(),
+            node,
+            kind: wire.mtype.name(),
+            src: wire.src.0,
+            line: wire.addr.line().raw(),
+            aux: wire.aux,
+        });
         let msg = InMsg {
             mtype: wire.mtype,
             src: wire.src,
@@ -667,6 +847,19 @@ impl Machine {
             diraddr: dir_addr(wire.addr),
             with_data: wire.with_data,
         };
+        // Fault hooks (taken only when an injector is armed): a PP
+        // slowdown burst holds the protocol processor busy past `now`; a
+        // handler running inside a DRAM refresh window finds its memory
+        // controller blocked to the window's end.
+        if let Some(inj) = self.injector.as_mut() {
+            let burst = inj.pp_burst(self.now, node);
+            if burst > 0 {
+                self.chips[node as usize].stall_pp(self.now + burst);
+            }
+            if let Some(until) = inj.dram_block(self.now) {
+                self.chips[node as usize].block_memory(until);
+            }
+        }
         // Read-miss classification at the home (paper Tables 4.1/4.2).
         let chip = &mut self.chips[node as usize];
         match wire.mtype {
@@ -716,9 +909,35 @@ impl Machine {
                 self.now, at, msg.mtype, msg.src, msg.dst, msg.aux
             );
         }
+        // Fault hooks on the outbound path: an output-queue freeze at the
+        // source NI delays entry to the mesh; then the link verdict may
+        // delay further (transient stall, hop spike) or hold the message
+        // entirely (scripted outage — re-offered later, not progress).
+        let mut at = at;
+        if let Some(inj) = self.injector.as_mut() {
+            if let Some(resume) = inj.ni_freeze(at, msg.src.0, NiDir::Out) {
+                at = resume;
+            }
+            match inj.link_verdict(at, msg.src.0, msg.dst.0) {
+                LinkVerdict::Clear => {}
+                LinkVerdict::Delay(d) => at += d,
+                LinkVerdict::Hold { resume } => {
+                    self.events.push(resume, Ev::NetSend { msg });
+                    return;
+                }
+            }
+        }
         let arrival = self.net.send(at, msg.src, msg.dst);
+        // An input-queue freeze at the destination NI delays dispatch
+        // into the inbox.
+        let mut deliver = arrival + self.cfg.lat.ni_in;
+        if let Some(inj) = self.injector.as_mut() {
+            if let Some(resume) = inj.ni_freeze(deliver, msg.dst.0, NiDir::In) {
+                deliver = resume;
+            }
+        }
         self.events.push(
-            arrival + self.cfg.lat.ni_in,
+            deliver,
             Ev::MagicIn {
                 node: msg.dst.0,
                 wire: Wire {
@@ -735,6 +954,12 @@ impl Machine {
     fn ev_proc_deliver(&mut self, node: u16, pm: ProcMsg, tries: u32) {
         let i = node as usize;
         let lat = self.cfg.lat;
+        // Consuming a delivery is forward progress; the intervention
+        // *deferral* path below re-queues without consuming and is
+        // deliberately not counted (a deferral loop is a livelock).
+        if !matches!(pm.mtype, MsgType::PIntervGet | MsgType::PIntervGetX) {
+            self.mark_progress();
+        }
         match pm.mtype {
             MsgType::PPut | MsgType::PPutX | MsgType::PUpgAck => {
                 let excl = pm.mtype != MsgType::PPut;
@@ -785,6 +1010,7 @@ impl Machine {
                 }
                 // The intervention is being consumed (not re-deferred):
                 // the copy's handoff window closes here.
+                self.mark_progress();
                 if let Some(ctx) = self.check.as_mut() {
                     let key = (node, pm.addr.line().raw());
                     if let Some(n) = ctx.inflight_intervs.get_mut(&key) {
@@ -863,6 +1089,16 @@ mod tests {
         vec![vec![WorkItem::Busy(4)]; n]
     }
 
+    /// Runs to completion or panics with the full structured diagnosis
+    /// (the `WedgeReport` path) instead of a bare "stuck".
+    fn must_complete(m: &mut Machine, budget: u64) -> u64 {
+        match m.run(budget) {
+            RunResult::Completed { exec_cycles } => exec_cycles,
+            RunResult::Wedged { report } => panic!("{report}"),
+            other => panic!("{}", m.diagnose(&format!("{other:?}"))),
+        }
+    }
+
     #[test]
     fn empty_machine_completes() {
         for cfg in [
@@ -894,9 +1130,7 @@ mod tests {
                 streams.push(idle.clone());
             }
             let mut m = machine_with(cfg.clone(), streams);
-            let RunResult::Completed { .. } = m.run(1_000_000) else {
-                panic!("stuck");
-            };
+            must_complete(&mut m, 1_000_000);
             m.procs()[0].stats().read_stall_q as f64 / 4.0
         };
         run(items) - run(warm_items)
@@ -986,9 +1220,7 @@ mod tests {
             ]
         };
         let mut m = machine_with(MachineConfig::flash(4), (0..4).map(mk).collect());
-        let RunResult::Completed { exec_cycles } = m.run(1_000_000) else {
-            panic!("stuck");
-        };
+        let exec_cycles = must_complete(&mut m, 1_000_000);
         // The fastest processor waited for the slowest: sync stall > 0.
         assert!(m.procs()[0].stats().sync_stall_q > 0);
         assert_eq!(m.procs()[3].stats().sync_stall_q, 0);
@@ -1006,9 +1238,7 @@ mod tests {
             ]
         };
         let mut m = machine_with(MachineConfig::flash(4), (0..4).map(mk).collect());
-        let RunResult::Completed { exec_cycles } = m.run(1_000_000) else {
-            panic!("stuck");
-        };
+        let exec_cycles = must_complete(&mut m, 1_000_000);
         // Four 100-cycle critical sections must serialize.
         assert!(exec_cycles >= 400, "exec {exec_cycles}");
         let total_sync: u64 = m.procs().iter().map(|p| p.stats().sync_stall_q).sum();
@@ -1057,9 +1287,7 @@ mod tests {
             vec![items, vec![WorkItem::Busy(1)]],
         );
         m.add_dma_write(Cycle::new(2_000), NodeId(0), a);
-        let RunResult::Completed { .. } = m.run(1_000_000) else {
-            panic!("stuck");
-        };
+        must_complete(&mut m, 1_000_000);
         assert_eq!(m.procs()[0].stats().invals_received, 1);
         // Second read misses again after the DMA invalidation.
         assert_eq!(m.procs()[0].stats().read_misses, 2);
@@ -1085,6 +1313,161 @@ mod tests {
             }
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    /// A small sharing workload with remote traffic on every path.
+    fn sharing_workload(n: u16) -> Vec<Vec<WorkItem>> {
+        let a = node_addr(NodeId(0), 0xc000);
+        (0..n)
+            .map(|i| {
+                let mut v = vec![WorkItem::Read(a), WorkItem::Barrier];
+                if i == 1 {
+                    v.push(WorkItem::Write(a));
+                }
+                v.push(WorkItem::Barrier);
+                v.push(WorkItem::Read(node_addr(NodeId(i), 0x100)));
+                v.push(WorkItem::Busy(8));
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn armed_but_zeroed_fault_plan_is_timing_invisible() {
+        // The acceptance pin: with every rate zeroed, the injector is
+        // constructed and every hook is called — yet no RNG draw happens
+        // and the schedule is cycle-identical to a disarmed machine.
+        let run = |faults: crate::FaultPlan| {
+            let cfg = MachineConfig::flash(4).with_faults(faults);
+            let mut m = machine_with(cfg, sharing_workload(4));
+            let exec = must_complete(&mut m, 1_000_000);
+            (exec, m.fault_stats())
+        };
+        let (base, none_stats) = run(crate::FaultPlan::none());
+        let (armed, zero_stats) = run(crate::FaultPlan::zeroed(7));
+        assert_eq!(base, armed, "zeroed plan perturbed timing");
+        assert_eq!(none_stats, None);
+        assert_eq!(zero_stats, Some(flash_fault::FaultStats::default()));
+    }
+
+    #[test]
+    fn light_faults_delay_but_converge() {
+        let base = {
+            let mut m = machine_with(MachineConfig::flash(4), sharing_workload(4));
+            must_complete(&mut m, 10_000_000)
+        };
+        let cfg = MachineConfig::flash(4).with_faults(crate::FaultPlan::stress(11));
+        let mut m = machine_with(cfg, sharing_workload(4));
+        let exec = must_complete(&mut m, 10_000_000);
+        assert!(
+            exec >= base,
+            "faults may only slow the machine down ({exec} < {base})"
+        );
+        let stats = m.fault_stats().expect("injector armed");
+        assert!(
+            stats.hop_spikes + stats.link_stalls + stats.ni_freezes + stats.pp_bursts > 0,
+            "stress plan injected nothing: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn fault_schedules_replay_byte_identically() {
+        let run = |seed: u64| {
+            let cfg = MachineConfig::flash(4).with_faults(crate::FaultPlan::stress(seed));
+            let mut m = machine_with(cfg, sharing_workload(4));
+            let exec = must_complete(&mut m, 10_000_000);
+            (exec, m.fault_stats().unwrap())
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3).0, run(4).0, "different seeds, different schedule");
+    }
+
+    #[test]
+    fn permanent_link_outage_wedges_with_diagnosis() {
+        // Node 2 takes dirty ownership of a line homed on node 1; then
+        // the 1->2 link goes down for good. Node 0's read reaches the
+        // home, which marks the line PENDING and forwards to node 2 —
+        // where the forward is held forever. The watchdog must diagnose
+        // exactly that: a wedge with the held link, the PENDING line,
+        // and node 0 waiting on its read MSHR.
+        let a = node_addr(NodeId(1), 0x4000);
+        let streams = vec![
+            vec![WorkItem::Busy(20_000), WorkItem::Read(a), WorkItem::Busy(4)],
+            vec![WorkItem::Busy(4)],
+            vec![WorkItem::Write(a), WorkItem::Busy(4)],
+        ];
+        // Busy items are quarter-cycles: node 0 reads at ~cycle 5_000,
+        // after the outage begins at 1_000 (node 2's write completed by
+        // ~250, before it).
+        let faults = crate::FaultPlan::zeroed(0).with_link_down(1, 2, 1_000, None);
+        let cfg = MachineConfig::flash(3)
+            .with_faults(faults)
+            .with_watchdog(100_000);
+        let mut m = machine_with(cfg, streams);
+        let RunResult::Wedged { report } = m.run(10_000_000) else {
+            panic!("expected a wedge");
+        };
+        assert_eq!(report.window, 100_000);
+        assert!(report.at > report.last_progress_at);
+        assert_eq!(report.total, 3);
+        // The held link is named, and it is the scripted permanent one.
+        assert_eq!(report.stalled_links.len(), 1);
+        let l = &report.stalled_links[0];
+        assert_eq!((l.src, l.dst), (1, 2));
+        assert!(l.permanent);
+        assert!(l.holds > 0);
+        // The line is PENDING at its home.
+        assert!(
+            report
+                .pending_lines
+                .iter()
+                .any(|p| p.home == 1 && p.line == a.line().raw()),
+            "pending lines: {:?}",
+            report.pending_lines
+        );
+        // Node 0 is blocked on its read of that line.
+        let n0 = &report.nodes[0];
+        assert_eq!(n0.state, "wait-reply");
+        assert!(n0
+            .mshrs
+            .iter()
+            .any(|s| s.line == a.line().raw() && s.kind == "Read"));
+        // The rendered report names the essentials.
+        let text = report.to_string();
+        assert!(text.contains("WEDGE"));
+        assert!(text.contains("1->2"));
+        assert!(text.contains("PENDING directory lines"));
+        // Recent traffic on the suspect line was captured.
+        assert!(report.recent.iter().any(|e| e.line == a.line().raw()));
+    }
+
+    #[test]
+    fn finite_link_outage_releases_and_completes() {
+        let a = node_addr(NodeId(1), 0x4000);
+        let streams = vec![
+            vec![WorkItem::Busy(20_000), WorkItem::Read(a), WorkItem::Busy(4)],
+            vec![WorkItem::Busy(4)],
+            vec![WorkItem::Write(a), WorkItem::Busy(4)],
+        ];
+        let faults = crate::FaultPlan::zeroed(0).with_link_down(1, 2, 1_000, Some(60_000));
+        let cfg = MachineConfig::flash(3)
+            .with_faults(faults)
+            .with_watchdog(100_000);
+        let mut m = machine_with(cfg, streams);
+        let exec = must_complete(&mut m, 10_000_000);
+        assert!(exec >= 60_000, "the read had to wait out the outage");
+        assert!(m.fault_stats().unwrap().link_holds > 0);
+    }
+
+    #[test]
+    fn diagnose_is_available_without_faults() {
+        let mut m = machine_with(MachineConfig::flash(2), idle(2));
+        must_complete(&mut m, 10_000);
+        let report = m.diagnose("post-run inspection");
+        assert_eq!(report.done, 2);
+        assert!(report.pending_lines.is_empty());
+        assert!(report.stalled_links.is_empty());
+        assert_eq!(report.fault_stats, None);
     }
 
     #[test]

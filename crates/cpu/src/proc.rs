@@ -207,6 +207,12 @@ impl Processor {
         self.mshrs.in_use()
     }
 
+    /// The allocated MSHRs themselves (wedge diagnostics: who is waiting
+    /// on what).
+    pub fn mshr_entries(&self) -> impl Iterator<Item = &crate::mshr::Mshr> {
+        self.mshrs.iter()
+    }
+
     fn charge_unblock(&mut self, now_q: u64) {
         if let (Some(start), Some(kind)) = (self.block_start_q, self.block_kind) {
             let stall = now_q.saturating_sub(start);

@@ -185,6 +185,21 @@ impl<E> EventQueue<E> {
         self.seq
     }
 
+    /// Visits every pending event as `(time, &event)` in unspecified
+    /// order (wedge diagnostics: per-node occupancy counts, suspect-line
+    /// harvesting). O(pending); never perturbs delivery order.
+    pub fn iter(&self) -> impl Iterator<Item = (Cycle, &E)> {
+        let cursor = self.cursor;
+        let wheel = self.slots.iter().enumerate().flat_map(move |(s, q)| {
+            // The absolute time of slot `s` within the current window
+            // `[cursor, cursor + 128)`.
+            let offset = (s as u64).wrapping_sub(cursor) & WHEEL_MASK;
+            let t = Cycle::new(cursor + offset);
+            q.iter().map(move |(_, e)| (t, e))
+        });
+        wheel.chain(self.heap.iter().map(|e| (e.at, &e.ev)))
+    }
+
     /// Drops every pending event, resetting the wheel window to time
     /// zero. `total_pushed()` is preserved.
     pub fn clear(&mut self) {
@@ -442,6 +457,24 @@ mod tests {
             }
             assert!(reference.is_empty(), "stream {stream}");
         }
+    }
+
+    #[test]
+    fn iter_visits_wheel_and_heap_with_correct_times() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(40), 'a');
+        assert_eq!(q.pop().unwrap().1, 'a'); // cursor -> 40
+        q.push(Cycle::new(41), 'w'); // wheel
+        q.push(Cycle::new(40 + 127), 'x'); // wheel, last slot
+        q.push(Cycle::new(40 + 500), 'h'); // heap
+        let mut seen: Vec<(u64, char)> = q.iter().map(|(t, &e)| (t.raw(), e)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(41, 'w'), (167, 'x'), (540, 'h')]);
+        // Iteration never disturbs delivery.
+        assert_eq!(q.pop(), Some((Cycle::new(41), 'w')));
+        assert_eq!(q.pop(), Some((Cycle::new(167), 'x')));
+        assert_eq!(q.pop(), Some((Cycle::new(540), 'h')));
+        assert!(q.iter().next().is_none());
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! # flash-fault — deterministic timing-fault injection and wedge diagnostics
+//!
+//! The paper's central claim — that the flexible protocol processor stays
+//! within ~10% of the idealized hardwired controller — rests on the
+//! protocol surviving every interleaving FlashLite can produce. The
+//! `flash-check` correctness net (PR 2) verifies invariants, but only on
+//! the timings the simulator naturally emits. This crate perturbs those
+//! timings *without touching protocol semantics*, the way BedRock
+//! validates its coherence engines under stress:
+//!
+//! * [`FaultPlan`] — a declarative, seeded description of which timing
+//!   faults to inject: per-message hop-delay spikes, transient mesh-link
+//!   stalls, scripted link outages, NI input/output queue freezes, PP
+//!   handler slowdown bursts, and DRAM refresh-style stalls.
+//! * [`FaultInjector`] — the runtime: every probabilistic decision comes
+//!   from per-fault-class [`flash_engine::DetRng`] streams derived from
+//!   the plan seed, so a failing run replays **byte-identically** from
+//!   `(plan, workload)` alone.
+//! * [`WedgeReport`] — the structured forward-progress diagnostic the
+//!   machine's watchdog emits instead of panicking `"stuck"`: per-node
+//!   MSHR and queue state, PENDING directory lines, stalled links, fault
+//!   statistics, and the last messages touching the suspect lines.
+//!
+//! Faults are **timing-only**: a held message is re-offered later, never
+//! dropped; a frozen queue delays delivery, never reorders protocol
+//! decisions made by handlers. Composed with checked mode, every injected
+//! schedule must still converge with the coherence net green.
+
+pub mod inject;
+pub mod plan;
+pub mod wedge;
+
+pub use inject::{FaultInjector, FaultStats, LinkVerdict, NiDir};
+pub use plan::{FaultPlan, LinkDown};
+pub use wedge::{MsgRing, MshrSnap, NodeWedge, PendingLine, StalledLink, TraceEntry, WedgeReport};

@@ -1,0 +1,234 @@
+//! Declarative fault plans.
+//!
+//! A [`FaultPlan`] is pure data: it names the timing faults to inject and
+//! the seed that drives every probabilistic decision. Two runs of the same
+//! workload under the same plan are byte-identical — the plan *is* the
+//! replay token. The plan participates in `MachineConfig`'s `Debug`
+//! rendering, so it also keys the run-matrix memo cache correctly.
+
+/// A scripted (deterministic, non-random) outage of one directed mesh
+/// link: every message from `src` to `dst` is held — re-offered to the
+/// network later, never dropped — while the simulation clock is inside
+/// `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDown {
+    /// Source node of the directed link.
+    pub src: u16,
+    /// Destination node of the directed link.
+    pub dst: u16,
+    /// First cycle of the outage.
+    pub from: u64,
+    /// End of the outage (`None`: permanent — the canonical crafted wedge).
+    pub until: Option<u64>,
+}
+
+impl LinkDown {
+    /// Whether the outage covers cycle `at`.
+    pub fn covers(&self, at: u64) -> bool {
+        at >= self.from && self.until.is_none_or(|u| at < u)
+    }
+}
+
+/// A seeded, deterministic timing-fault plan.
+///
+/// All faults preserve protocol semantics (they only move events in
+/// time), so any plan composed with checked mode must still converge with
+/// the coherence net green. The default ([`FaultPlan::none`]) is fully
+/// disarmed: the machine builds no injector, draws no random numbers, and
+/// is cycle-for-cycle identical to a build without the fault subsystem.
+///
+/// # Examples
+///
+/// ```
+/// use flash_fault::FaultPlan;
+///
+/// assert!(FaultPlan::none().is_none());
+/// assert!(!FaultPlan::light(7).is_none());
+/// // An armed plan with all rates zero injects nothing — used to pin
+/// // that the hooks themselves are timing-invisible.
+/// let z = FaultPlan::zeroed(7);
+/// assert!(!z.is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Whether the machine arms a [`crate::FaultInjector`] at all. A
+    /// disarmed plan is timing-invisible by construction.
+    pub armed: bool,
+    /// Seed for the per-fault-class `DetRng` streams.
+    pub seed: u64,
+    /// Per-message probability of a per-hop delay spike.
+    pub hop_spike_p: f64,
+    /// Extra transit cycles charged by one hop spike.
+    pub hop_spike_cycles: u64,
+    /// Per-message probability that the message's directed link enters a
+    /// transient stall window.
+    pub link_stall_p: f64,
+    /// Length of one transient link stall, in cycles.
+    pub link_stall_cycles: u64,
+    /// Per-message probability that the relevant NI queue (input at the
+    /// receiver, output at the sender) freezes.
+    pub ni_freeze_p: f64,
+    /// Length of one NI queue freeze, in cycles.
+    pub ni_freeze_cycles: u64,
+    /// Per-handler-invocation probability of a PP slowdown burst.
+    pub pp_burst_p: f64,
+    /// Cycles the PP is held busy by one burst.
+    pub pp_burst_cycles: u64,
+    /// DRAM refresh period in cycles (0: no refresh stalls). Refresh is
+    /// phase-locked to the global clock, not random.
+    pub dram_refresh_period: u64,
+    /// Cycles the memory controller is blocked at the start of each
+    /// refresh period.
+    pub dram_refresh_cycles: u64,
+    /// Scripted link outages (applied before any probabilistic fault).
+    pub link_down: Vec<LinkDown>,
+}
+
+impl FaultPlan {
+    /// No faults, no injector, no RNG draws: the default. Timing-identical
+    /// to a machine without the fault subsystem.
+    pub fn none() -> Self {
+        FaultPlan {
+            armed: false,
+            ..Self::zeroed(0)
+        }
+    }
+
+    /// An *armed* plan whose every rate is zero. The injector is built
+    /// and consulted on each hook, but never injects — this pins that the
+    /// hooks themselves do not perturb timing.
+    pub fn zeroed(seed: u64) -> Self {
+        FaultPlan {
+            armed: true,
+            seed,
+            hop_spike_p: 0.0,
+            hop_spike_cycles: 0,
+            link_stall_p: 0.0,
+            link_stall_cycles: 0,
+            ni_freeze_p: 0.0,
+            ni_freeze_cycles: 0,
+            pp_burst_p: 0.0,
+            pp_burst_cycles: 0,
+            dram_refresh_period: 0,
+            dram_refresh_cycles: 0,
+            link_down: Vec::new(),
+        }
+    }
+
+    /// A light perturbation mix for routine fault-soak runs: occasional
+    /// hop spikes, rare short link stalls and NI freezes, sporadic PP
+    /// bursts, and realistic refresh stalls.
+    pub fn light(seed: u64) -> Self {
+        FaultPlan {
+            hop_spike_p: 0.02,
+            hop_spike_cycles: 25,
+            link_stall_p: 0.005,
+            link_stall_cycles: 200,
+            ni_freeze_p: 0.002,
+            ni_freeze_cycles: 150,
+            pp_burst_p: 0.01,
+            pp_burst_cycles: 40,
+            dram_refresh_period: 50_000,
+            dram_refresh_cycles: 120,
+            ..Self::zeroed(seed)
+        }
+    }
+
+    /// An adversarial mix: frequent spikes, long stalls and freezes,
+    /// heavy PP bursts, aggressive refresh. Convergence gets slow but
+    /// must still happen, checker green.
+    pub fn stress(seed: u64) -> Self {
+        FaultPlan {
+            hop_spike_p: 0.08,
+            hop_spike_cycles: 60,
+            link_stall_p: 0.02,
+            link_stall_cycles: 500,
+            ni_freeze_p: 0.01,
+            ni_freeze_cycles: 400,
+            pp_burst_p: 0.04,
+            pp_burst_cycles: 120,
+            dram_refresh_period: 20_000,
+            dram_refresh_cycles: 250,
+            ..Self::zeroed(seed)
+        }
+    }
+
+    /// Whether this plan is fully disarmed (the machine skips the fault
+    /// subsystem entirely).
+    pub fn is_none(&self) -> bool {
+        !self.armed
+    }
+
+    /// Adds a scripted outage of the directed link `src -> dst` covering
+    /// `[from, until)`; `until = None` is permanent.
+    pub fn with_link_down(mut self, src: u16, dst: u16, from: u64, until: Option<u64>) -> Self {
+        self.armed = true;
+        self.link_down.push(LinkDown {
+            src,
+            dst,
+            from,
+            until,
+        });
+        self
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_disarmed_and_presets_are_armed() {
+        assert!(FaultPlan::none().is_none());
+        assert!(FaultPlan::default().is_none());
+        for p in [
+            FaultPlan::zeroed(1),
+            FaultPlan::light(1),
+            FaultPlan::stress(1),
+        ] {
+            assert!(!p.is_none());
+        }
+    }
+
+    #[test]
+    fn link_down_window_semantics() {
+        let permanent = LinkDown {
+            src: 1,
+            dst: 2,
+            from: 100,
+            until: None,
+        };
+        assert!(!permanent.covers(99));
+        assert!(permanent.covers(100));
+        assert!(permanent.covers(u64::MAX));
+        let windowed = LinkDown {
+            until: Some(200),
+            ..permanent
+        };
+        assert!(windowed.covers(199));
+        assert!(!windowed.covers(200));
+    }
+
+    #[test]
+    fn with_link_down_arms_the_plan() {
+        let p = FaultPlan::none().with_link_down(0, 1, 0, None);
+        assert!(!p.is_none());
+        assert_eq!(p.link_down.len(), 1);
+    }
+
+    #[test]
+    fn debug_rendering_distinguishes_plans() {
+        // The plan keys the run-matrix memo cache through `Debug`.
+        let a = format!("{:?}", FaultPlan::none());
+        let b = format!("{:?}", FaultPlan::light(1));
+        let c = format!("{:?}", FaultPlan::light(2));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+    }
+}

@@ -1,0 +1,369 @@
+//! Structured forward-progress diagnostics.
+//!
+//! When the machine's watchdog sees no retirements, message deliveries,
+//! or handler invocations for a whole window, it assembles a
+//! [`WedgeReport`] instead of panicking `"stuck"`: who is waiting on
+//! what, which directory lines are PENDING, which links are held, and the
+//! last messages that touched the suspect lines (the `FLASH_TRACE_ADDR`
+//! plumbing, captured in a ring instead of stderr).
+//!
+//! The report is plain data — no references into the machine — so it can
+//! ride a [`RunResult`](../../flash/machine/enum.RunResult.html) variant,
+//! cross threads, and be rendered late.
+
+use crate::inject::FaultStats;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One message observation in the trace ring (mirrors what
+/// `FLASH_TRACE_ADDR=0x...` prints to stderr, kept for every line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Cycle of the observation.
+    pub at: u64,
+    /// Node whose MAGIC processed the message.
+    pub node: u16,
+    /// Message type name.
+    pub kind: &'static str,
+    /// Source node of the message.
+    pub src: u16,
+    /// 128-byte line address.
+    pub line: u64,
+    /// Auxiliary field (requester/type packing).
+    pub aux: u64,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] node{} {} src={} line={:#x} aux={:#x}",
+            self.at, self.node, self.kind, self.src, self.line, self.aux
+        )
+    }
+}
+
+/// A fixed-capacity ring of the most recent message observations.
+///
+/// # Examples
+///
+/// ```
+/// use flash_fault::{MsgRing, TraceEntry};
+///
+/// let mut ring = MsgRing::new(2);
+/// for at in 0..5 {
+///     ring.push(TraceEntry { at, node: 0, kind: "NGet", src: 1, line: 0x80, aux: 0 });
+/// }
+/// assert_eq!(ring.entries().len(), 2);
+/// assert_eq!(ring.entries()[0].at, 3, "oldest surviving entry");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MsgRing {
+    cap: usize,
+    buf: VecDeque<TraceEntry>,
+}
+
+impl MsgRing {
+    /// A ring keeping the last `cap` observations.
+    pub fn new(cap: usize) -> Self {
+        MsgRing {
+            cap,
+            buf: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Records one observation, evicting the oldest when full.
+    pub fn push(&mut self, e: TraceEntry) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(e);
+    }
+
+    /// All surviving observations, oldest first.
+    pub fn entries(&self) -> Vec<TraceEntry> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Surviving observations touching `line`, oldest first.
+    pub fn for_line(&self, line: u64) -> Vec<TraceEntry> {
+        self.buf
+            .iter()
+            .filter(|e| e.line == line)
+            .copied()
+            .collect()
+    }
+
+    /// Distinct lines observed, most recent last.
+    pub fn lines(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = Vec::new();
+        for e in &self.buf {
+            if !v.contains(&e.line) {
+                v.push(e.line);
+            }
+        }
+        v
+    }
+}
+
+/// One outstanding miss, snapshotted from an MSHR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrSnap {
+    /// Line address of the miss.
+    pub line: u64,
+    /// Transaction kind ("Read" / "Write" / "Upgrade").
+    pub kind: &'static str,
+    /// Cycle the miss was issued.
+    pub issued_at: u64,
+}
+
+/// One node's state at wedge time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeWedge {
+    /// Node id.
+    pub node: u16,
+    /// Processor scheduling state ("scheduled" / "wait-reply" /
+    /// "wait-sync" / "done").
+    pub state: &'static str,
+    /// Outstanding misses.
+    pub mshrs: Vec<MshrSnap>,
+    /// Queued inbox (`MagicIn`) events bound for this node.
+    pub inbox_queued: usize,
+    /// Queued processor-bus (`ProcDeliver`) events bound for this node.
+    pub proc_queued: usize,
+    /// Messages from this node held by the network fault layer.
+    pub net_held: usize,
+}
+
+/// A directory line stuck PENDING at wedge time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingLine {
+    /// 128-byte line address.
+    pub line: u64,
+    /// Home node of the line.
+    pub home: u16,
+    /// Raw directory header word.
+    pub header: u64,
+}
+
+/// A directed link held by a scripted outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StalledLink {
+    /// Source node.
+    pub src: u16,
+    /// Destination node.
+    pub dst: u16,
+    /// Messages held (re-offer events) so far.
+    pub holds: u64,
+    /// Whether the outage never ends.
+    pub permanent: bool,
+}
+
+/// Why and how a run wedged: the structured replacement for
+/// `panic!("stuck")`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WedgeReport {
+    /// Cycle the watchdog fired.
+    pub at: u64,
+    /// Watchdog window in cycles.
+    pub window: u64,
+    /// Last cycle any retirement, delivery, or handler invocation
+    /// advanced.
+    pub last_progress_at: u64,
+    /// Human-oriented one-line reason.
+    pub reason: String,
+    /// Processors that finished their streams.
+    pub done: usize,
+    /// Total processors.
+    pub total: usize,
+    /// Per-node state.
+    pub nodes: Vec<NodeWedge>,
+    /// Directory lines stuck PENDING.
+    pub pending_lines: Vec<PendingLine>,
+    /// Links held by scripted outages.
+    pub stalled_links: Vec<StalledLink>,
+    /// Fault statistics, when an injector was armed.
+    pub fault_stats: Option<FaultStats>,
+    /// Recent messages touching the suspect lines (or the overall tail
+    /// when no line stands out).
+    pub recent: Vec<TraceEntry>,
+}
+
+impl fmt::Display for WedgeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "WEDGE at cycle {}: {} (no progress for > {} cycles; last progress at {})",
+            self.at, self.reason, self.window, self.last_progress_at
+        )?;
+        writeln!(f, "  processors: {}/{} finished", self.done, self.total)?;
+        for n in &self.nodes {
+            // Quiet nodes (done, nothing queued, nothing outstanding)
+            // would drown the signal on big meshes.
+            if n.state == "done"
+                && n.mshrs.is_empty()
+                && n.inbox_queued == 0
+                && n.proc_queued == 0
+                && n.net_held == 0
+            {
+                continue;
+            }
+            writeln!(
+                f,
+                "  node{}: {} | inbox={} procq={} held={}",
+                n.node, n.state, n.inbox_queued, n.proc_queued, n.net_held
+            )?;
+            for m in &n.mshrs {
+                writeln!(
+                    f,
+                    "    mshr: {} line={:#x} issued at {}",
+                    m.kind, m.line, m.issued_at
+                )?;
+            }
+        }
+        if !self.pending_lines.is_empty() {
+            writeln!(f, "  PENDING directory lines:")?;
+            for p in &self.pending_lines {
+                writeln!(
+                    f,
+                    "    line={:#x} home=node{} header={:#x}",
+                    p.line, p.home, p.header
+                )?;
+            }
+        }
+        if !self.stalled_links.is_empty() {
+            writeln!(f, "  stalled links:")?;
+            for l in &self.stalled_links {
+                writeln!(
+                    f,
+                    "    {}->{} held {} message offer(s){}",
+                    l.src,
+                    l.dst,
+                    l.holds,
+                    if l.permanent { " [permanent]" } else { "" }
+                )?;
+            }
+        }
+        if let Some(s) = &self.fault_stats {
+            writeln!(
+                f,
+                "  faults injected: {} hop spikes, {} link stalls, {} link holds, {} NI freezes, {} PP bursts, {} DRAM stalls ({} delay cycles)",
+                s.hop_spikes,
+                s.link_stalls,
+                s.link_holds,
+                s.ni_freezes,
+                s.pp_bursts,
+                s.dram_stalls,
+                s.delay_cycles
+            )?;
+        }
+        if !self.recent.is_empty() {
+            writeln!(f, "  recent messages on suspect lines:")?;
+            for e in &self.recent {
+                writeln!(f, "    {e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(at: u64, line: u64) -> TraceEntry {
+        TraceEntry {
+            at,
+            node: 1,
+            kind: "NGet",
+            src: 0,
+            line,
+            aux: 0,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_filters_by_line() {
+        let mut r = MsgRing::new(3);
+        for at in 0..5 {
+            r.push(entry(at, 0x80 * (at % 2)));
+        }
+        let e = r.entries();
+        assert_eq!(e.len(), 3);
+        assert_eq!(e[0].at, 2);
+        assert_eq!(
+            r.for_line(0x80).iter().map(|e| e.at).collect::<Vec<_>>(),
+            [3]
+        );
+        assert_eq!(r.lines(), vec![0, 0x80]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_is_inert() {
+        let mut r = MsgRing::new(0);
+        r.push(entry(1, 0));
+        assert!(r.entries().is_empty());
+    }
+
+    #[test]
+    fn report_renders_every_section() {
+        let report = WedgeReport {
+            at: 150_000,
+            window: 100_000,
+            last_progress_at: 49_000,
+            reason: "no forward progress within the watchdog window".into(),
+            done: 2,
+            total: 3,
+            nodes: vec![
+                NodeWedge {
+                    node: 0,
+                    state: "wait-reply",
+                    mshrs: vec![MshrSnap {
+                        line: 0x1_0000_8000,
+                        kind: "Read",
+                        issued_at: 20_000,
+                    }],
+                    inbox_queued: 0,
+                    proc_queued: 0,
+                    net_held: 0,
+                },
+                NodeWedge {
+                    node: 2,
+                    state: "done",
+                    mshrs: vec![],
+                    inbox_queued: 0,
+                    proc_queued: 0,
+                    net_held: 0,
+                },
+            ],
+            pending_lines: vec![PendingLine {
+                line: 0x1_0000_8000,
+                home: 1,
+                header: 0x8000_0001,
+            }],
+            stalled_links: vec![StalledLink {
+                src: 1,
+                dst: 2,
+                holds: 97,
+                permanent: true,
+            }],
+            fault_stats: Some(FaultStats {
+                link_holds: 97,
+                ..FaultStats::default()
+            }),
+            recent: vec![entry(20_010, 0x1_0000_8000)],
+        };
+        let text = report.to_string();
+        assert!(text.contains("WEDGE at cycle 150000"));
+        assert!(text.contains("1->2 held 97"));
+        assert!(text.contains("[permanent]"));
+        assert!(text.contains("PENDING directory lines"));
+        assert!(text.contains("line=0x100008000 home=node1"));
+        assert!(text.contains("mshr: Read line=0x100008000"));
+        assert!(text.contains("97 link holds"));
+        assert!(!text.contains("node2"), "quiet done nodes are elided");
+    }
+}

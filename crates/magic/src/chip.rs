@@ -639,6 +639,23 @@ impl MagicChip {
         &self.mem
     }
 
+    /// Delays the protocol processor: no handler may begin before
+    /// `until`. A fault-injection hook (PP slowdown burst). Timing-only —
+    /// the Ideal controller has zero handler occupancy and ignores
+    /// `pp_free`, so bursts do not perturb it; this mirrors the paper's
+    /// framing where only the flexible controller pays occupancy costs.
+    pub fn stall_pp(&mut self, until: Cycle) {
+        if until > self.pp_free {
+            self.pp_free = until;
+        }
+    }
+
+    /// Blocks this node's memory controller until `until` (DRAM
+    /// refresh-style stall; see [`MemController::block_until`]).
+    pub fn block_memory(&mut self, until: Cycle) {
+        self.mem.block_until(until);
+    }
+
     /// The MAGIC data cache model, when enabled.
     pub fn mdc(&self) -> Option<&MagicCache> {
         self.mdc.as_ref()

@@ -89,6 +89,10 @@ pub struct MemController {
     busy: u64,
     requests: Counter,
     queue_wait: u64,
+    /// Refresh-style external block: no request is accepted before this
+    /// cycle ([`MemController::block_until`], the fault-injection hook).
+    /// `Cycle::ZERO` when unused, making the hook timing-invisible.
+    blocked_until: Cycle,
 }
 
 impl MemController {
@@ -101,6 +105,17 @@ impl MemController {
             busy: 0,
             requests: Counter::default(),
             queue_wait: 0,
+            blocked_until: Cycle::ZERO,
+        }
+    }
+
+    /// Blocks the controller until `t` (a DRAM refresh-style stall, the
+    /// `flash-fault` hook): requests issued earlier wait, with the wait
+    /// charged to [`MemController::queue_wait_cycles`]. Timing-only — no
+    /// request is ever lost or reordered.
+    pub fn block_until(&mut self, t: Cycle) {
+        if t > self.blocked_until {
+            self.blocked_until = t;
         }
     }
 
@@ -108,10 +123,13 @@ impl MemController {
     /// If the bounded queue is full, `accept` reflects the stall the
     /// issuing unit (PP or inbox) experiences.
     pub fn request(&mut self, at: Cycle) -> MemResult {
+        // An external (refresh) block delays issue; the wait is charged
+        // below like any queue-space wait.
+        let issue = at.max(self.blocked_until);
         let service = self.timing.access + self.timing.transfer;
         // Retire finished requests (a request completes `service` cycles
         // after its start).
-        while self.inflight.front().is_some_and(|&s| s + service <= at) {
+        while self.inflight.front().is_some_and(|&s| s + service <= issue) {
             self.inflight.pop_front();
         }
         // Wait for queue space: capacity counts waiters beyond the one in
@@ -122,9 +140,9 @@ impl MemController {
                 let idx = self.inflight.len() - 1 - cap;
                 self.inflight[idx] + service
             }
-            _ => at,
+            _ => issue,
         };
-        let accept = accept.max(at);
+        let accept = accept.max(issue);
         // Successive starts are at least one issue interval apart.
         let start = match self.inflight.back() {
             Some(&prev_start) => (prev_start + self.timing.issue_interval).max(accept),
@@ -149,6 +167,11 @@ impl MemController {
     /// full memory queue forfeits the speculation opportunity rather than
     /// stalling the inbox pipeline.
     pub fn try_request(&mut self, at: Cycle) -> Option<MemResult> {
+        if at < self.blocked_until {
+            // Refresh in progress: forfeit the speculation opportunity
+            // rather than stalling the inbox pipeline.
+            return None;
+        }
         let service = self.timing.access + self.timing.transfer;
         while self.inflight.front().is_some_and(|&s| s + service <= at) {
             self.inflight.pop_front();

@@ -238,6 +238,103 @@ mod tests {
         assert!(ni.audit().is_ok());
     }
 
+    /// Drives a producer/consumer pair against `ni` where the consumer
+    /// obeys injector-issued freeze windows: while the injector holds the
+    /// queue frozen, nothing drains and offers back up into the network.
+    /// Returns (delivered, freeze windows observed).
+    fn run_with_freezes(
+        ni: &mut NiQueue<u32>,
+        plan: &flash_fault::FaultPlan,
+        total: u32,
+    ) -> (Vec<u32>, u64) {
+        use flash_fault::{FaultInjector, NiDir};
+        let mut inj = FaultInjector::new(plan).expect("armed plan");
+        let mut delivered = Vec::new();
+        let mut held: Option<u32> = None;
+        let mut next = 0u32;
+        let mut now = 0u64;
+        let mut frozen_until = 0u64;
+        while delivered.len() < total as usize {
+            now += 1;
+            if next < total || held.is_some() {
+                let m = held.take().unwrap_or_else(|| {
+                    let m = next;
+                    next += 1;
+                    m
+                });
+                if let Err(back) = ni.offer(Cycle::new(now), m) {
+                    held = Some(back); // backed up into the network
+                }
+            }
+            // The consumer polls the injector before each drain: a freeze
+            // models the PP refusing to service the NI input queue.
+            if now >= frozen_until {
+                if let Some(until) = inj.ni_freeze(Cycle::new(now), 0, NiDir::In) {
+                    frozen_until = until.raw();
+                }
+            }
+            if now >= frozen_until {
+                if let Some(m) = ni.drain(Cycle::new(now)) {
+                    delivered.push(m);
+                }
+            }
+            assert!(ni.audit().is_ok(), "conservation must hold cycle {now}");
+            assert!(now < 1_000_000, "freeze run must terminate");
+        }
+        (delivered, inj.stats().ni_freezes)
+    }
+
+    #[test]
+    fn injected_freeze_bounds_occupancy_and_drains_after_lift() {
+        // A fault-injector freeze window must never make the bounded NI
+        // overflow: occupancy stays <= capacity, rejected offers back up,
+        // and once the window lifts every message still arrives in order.
+        let mut plan = flash_fault::FaultPlan::zeroed(0xF5EE);
+        plan.ni_freeze_p = 0.01;
+        plan.ni_freeze_cycles = 40;
+        let mut ni = NiQueue::bounded(4);
+        let (delivered, freezes) = run_with_freezes(&mut ni, &plan, 200);
+        assert_eq!(delivered, (0..200).collect::<Vec<_>>(), "FIFO, no loss");
+        assert!(freezes > 0, "plan must actually have frozen the queue");
+        assert!(ni.peak() <= 4, "freeze must not overflow the bounded NI");
+        assert_eq!(ni.peak(), 4, "a 40-cycle freeze must fill the queue");
+        assert!(ni.rejected() > 0, "backpressure during the freeze");
+        assert!(ni.stall_cycles() > 0, "freeze time charged as stall time");
+        assert_eq!(ni.accepted(), 200);
+        assert!(ni.audit().is_ok());
+    }
+
+    #[test]
+    fn freeze_schedule_replays_byte_identically() {
+        // The same seed must produce the identical freeze schedule and
+        // therefore identical queue accounting (determinism contract).
+        let mut plan = flash_fault::FaultPlan::zeroed(0xD1CE);
+        plan.ni_freeze_p = 0.02;
+        plan.ni_freeze_cycles = 25;
+        let mut a = NiQueue::bounded(3);
+        let mut b = NiQueue::bounded(3);
+        let (da, fa) = run_with_freezes(&mut a, &plan, 150);
+        let (db, fb) = run_with_freezes(&mut b, &plan, 150);
+        assert_eq!(da, db);
+        assert_eq!(fa, fb);
+        assert_eq!(a.stall_cycles(), b.stall_cycles());
+        assert_eq!(a.rejected(), b.rejected());
+        assert_eq!(a.peak(), b.peak());
+    }
+
+    #[test]
+    fn zeroed_freeze_plan_is_invisible() {
+        // An armed plan with ni_freeze_p = 0 must behave exactly like no
+        // injector at all: zero freezes, zero stalls at this drain rate.
+        let plan = flash_fault::FaultPlan::zeroed(0xF5EE);
+        let mut ni = NiQueue::bounded(4);
+        let (delivered, freezes) = run_with_freezes(&mut ni, &plan, 200);
+        assert_eq!(delivered, (0..200).collect::<Vec<_>>());
+        assert_eq!(freezes, 0);
+        assert_eq!(ni.rejected(), 0, "consumer keeps up when never frozen");
+        assert_eq!(ni.stall_cycles(), 0);
+    }
+
     #[test]
     fn randomized_producer_consumer_conserves_messages() {
         for stream in 0..4u64 {

@@ -127,6 +127,46 @@ impl MsgType {
         self as u64
     }
 
+    /// The variant name, for diagnostics (wedge reports, trace rings).
+    pub fn name(self) -> &'static str {
+        use MsgType::*;
+        match self {
+            PiGet => "PiGet",
+            PiGetX => "PiGetX",
+            PiUpgrade => "PiUpgrade",
+            PiWriteback => "PiWriteback",
+            PiRplHint => "PiRplHint",
+            PiIntervReply => "PiIntervReply",
+            PiIntervMiss => "PiIntervMiss",
+            IoDmaWrite => "IoDmaWrite",
+            IoDmaRead => "IoDmaRead",
+            NGet => "NGet",
+            NGetX => "NGetX",
+            NUpgrade => "NUpgrade",
+            NFwdGet => "NFwdGet",
+            NFwdGetX => "NFwdGetX",
+            NInval => "NInval",
+            NInvalAck => "NInvalAck",
+            NPut => "NPut",
+            NPutX => "NPutX",
+            NUpgAck => "NUpgAck",
+            NNack => "NNack",
+            NSwb => "NSwb",
+            NOwnx => "NOwnx",
+            NWriteback => "NWriteback",
+            NRplHint => "NRplHint",
+            NIntervMiss => "NIntervMiss",
+            PPut => "PPut",
+            PPutX => "PPutX",
+            PUpgAck => "PUpgAck",
+            PInval => "PInval",
+            PIntervGet => "PIntervGet",
+            PIntervGetX => "PIntervGetX",
+            PNackRetry => "PNackRetry",
+            PIoData => "PIoData",
+        }
+    }
+
     /// Decodes a raw discriminant.
     pub fn from_raw(raw: u64) -> Option<MsgType> {
         use MsgType::*;
@@ -267,6 +307,19 @@ pub struct InMsg {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn network_classification_and_names() {
+        assert!(MsgType::NGet.is_network());
+        assert!(MsgType::NIntervMiss.is_network());
+        assert!(!MsgType::PiGet.is_network());
+        assert!(!MsgType::IoDmaRead.is_network());
+        assert!(!MsgType::PPut.is_network());
+        for t in MsgType::INCOMING {
+            assert_eq!(t.name().starts_with('N'), t.is_network());
+            assert_eq!(format!("{t:?}"), t.name());
+        }
+    }
 
     #[test]
     fn raw_round_trip() {

@@ -24,6 +24,16 @@ use flash::{Machine, MachineConfig, MachineReport, RunResult};
 /// Default per-run cycle budget (deadlock guard).
 pub const DEFAULT_BUDGET: u64 = 40_000_000_000;
 
+/// The per-run cycle budget: [`DEFAULT_BUDGET`] unless the
+/// `FLASH_JOB_BUDGET` environment variable overrides it (the run-matrix
+/// supervisor's per-job budget knob; accepts a plain cycle count).
+pub fn budget() -> u64 {
+    std::env::var("FLASH_JOB_BUDGET")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_BUDGET)
+}
+
 /// Builds a machine for `workload` under `cfg` (node count and placement
 /// are taken from the workload).
 pub fn build_machine(cfg: &MachineConfig, workload: &dyn Workload) -> Machine {
@@ -41,19 +51,25 @@ pub fn build_machine(cfg: &MachineConfig, workload: &dyn Workload) -> Machine {
 ///
 /// # Panics
 ///
-/// Panics if the run exhausts [`DEFAULT_BUDGET`] cycles (which indicates a
-/// protocol or workload deadlock, not a slow run).
+/// Panics if the run exhausts the cycle [`budget`], deadlocks, or wedges
+/// (forward-progress watchdog). The panic message carries the full
+/// structured diagnosis so the run-matrix supervisor's failure table
+/// shows who was waiting on what.
 pub fn run_workload(cfg: &MachineConfig, workload: &dyn Workload) -> MachineReport {
     let mut m = build_machine(cfg, workload);
-    match m.run(DEFAULT_BUDGET) {
+    match m.run(budget()) {
         RunResult::Completed { .. } => MachineReport::from_machine(&m),
-        RunResult::BudgetExhausted => panic!("{} exhausted the cycle budget", workload.name()),
-        RunResult::Deadlocked { stuck } => {
-            panic!(
-                "{} deadlocked with {stuck} processors unfinished",
-                workload.name()
-            )
-        }
+        RunResult::BudgetExhausted => panic!(
+            "{} exhausted the cycle budget\n{}",
+            workload.name(),
+            m.diagnose("cycle budget exhausted")
+        ),
+        RunResult::Deadlocked { stuck } => panic!(
+            "{} deadlocked with {stuck} processors unfinished\n{}",
+            workload.name(),
+            m.diagnose("event queue drained with processors unfinished")
+        ),
+        RunResult::Wedged { report } => panic!("{} wedged\n{report}", workload.name()),
     }
 }
 
