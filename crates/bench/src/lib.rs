@@ -21,9 +21,11 @@ pub use runner::{
 };
 
 use flash::config::node_addr;
-use flash::{ControllerKind, LatencyTable, Machine, MachineConfig, MachineReport, RunResult};
+use flash::{
+    ControllerKind, LatencyTable, Machine, MachineConfig, MachineReport, ObserveReport, RunResult,
+};
 use flash_cpu::{RefStream, SliceStream, WorkItem};
-use flash_engine::NodeId;
+use flash_engine::{NodeId, SEGMENT_COUNT};
 use flash_workloads::{by_name, Workload};
 
 /// Problem-size divisor selected by environment variables.
@@ -171,6 +173,18 @@ impl MissClass {
             MissClass::RemoteDirtyRemote => (1, Some(2)),
         }
     }
+
+    /// Index of this class's row in an [`ObserveReport`] (the
+    /// `flash::observe::ROW_NAMES` order matches Table 3.3 order).
+    pub fn row(self) -> usize {
+        match self {
+            MissClass::LocalClean => 0,
+            MissClass::LocalDirtyRemote => 1,
+            MissClass::RemoteClean => 2,
+            MissClass::RemoteDirtyHome => 3,
+            MissClass::RemoteDirtyRemote => 4,
+        }
+    }
 }
 
 /// Measures the no-contention read-miss latency of one class (memoized:
@@ -185,6 +199,20 @@ pub fn measure_class(kind: ControllerKind, class: MissClass) -> f64 {
 /// transaction of the same class on an adjacent line (same MDC header
 /// line, same handlers). Uncached; use [`measure_class`].
 pub fn measure_class_uncached(kind: ControllerKind, class: MissClass) -> f64 {
+    let (t, _) = class_scenario(kind, class, true, false);
+    let (f, _) = class_scenario(kind, class, false, false);
+    t - f
+}
+
+/// Runs one Table 3.3 scenario (optionally without the measured read,
+/// optionally observed) and returns the reader's read-stall cycles plus
+/// the cycle-attribution report when `observe` is set.
+fn class_scenario(
+    kind: ControllerKind,
+    class: MissClass,
+    measured: bool,
+    observe: bool,
+) -> (f64, Option<ObserveReport>) {
     let (home, writer) = class.roles();
     let line_a = node_addr(NodeId(home), 0x2000);
     let line_b = node_addr(NodeId(home), 0x2080); // adjacent: shares the MDC line
@@ -208,37 +236,72 @@ pub fn measure_class_uncached(kind: ControllerKind, class: MissClass) -> f64 {
         v.push(WorkItem::Busy(4));
         v
     };
-    let run = |measured: bool| {
-        let mut cfg = base_cfg(kind, 3);
-        // Pin the paper's 16-node average network transit for
-        // comparability with Table 3.3.
-        cfg.net.transit_override = Some(22);
-        let streams: Vec<Box<dyn RefStream>> = (0..3u16)
-            .map(|n| {
-                let items = if n == 0 {
-                    reader_items(measured)
-                } else if Some(n) == writer {
-                    writer_items()
-                } else {
-                    vec![WorkItem::Barrier, WorkItem::Busy(4)]
-                };
-                Box::new(SliceStream::new(items)) as Box<dyn RefStream>
-            })
-            .collect();
-        let mut m = Machine::new(cfg, streams);
-        match m.run(10_000_000) {
-            RunResult::Completed { .. } => {}
-            RunResult::Wedged { report } => {
-                panic!("latency scenario wedged for {class:?}\n{report}")
-            }
-            other => panic!(
-                "latency scenario stuck for {class:?}\n{}",
-                m.diagnose(&format!("{other:?}"))
-            ),
+    let mut cfg = base_cfg(kind, 3).with_observe(observe);
+    // Pin the paper's 16-node average network transit for
+    // comparability with Table 3.3.
+    cfg.net.transit_override = Some(22);
+    let streams: Vec<Box<dyn RefStream>> = (0..3u16)
+        .map(|n| {
+            let items = if n == 0 {
+                reader_items(measured)
+            } else if Some(n) == writer {
+                writer_items()
+            } else {
+                vec![WorkItem::Barrier, WorkItem::Busy(4)]
+            };
+            Box::new(SliceStream::new(items)) as Box<dyn RefStream>
+        })
+        .collect();
+    let mut m = Machine::new(cfg, streams);
+    match m.run(10_000_000) {
+        RunResult::Completed { .. } => {}
+        RunResult::Wedged { report } => {
+            panic!("latency scenario wedged for {class:?}\n{report}")
         }
-        m.procs()[0].stats().read_stall_q as f64 / 4.0
-    };
-    run(true) - run(false)
+        other => panic!(
+            "latency scenario stuck for {class:?}\n{}",
+            m.diagnose(&format!("{other:?}"))
+        ),
+    }
+    (
+        m.procs()[0].stats().read_stall_q as f64 / 4.0,
+        m.observe_report(),
+    )
+}
+
+/// Decomposes one Table 3.3 class latency into per-[`flash_engine::Segment`]
+/// cycles, by differencing the observed class row between the measured run
+/// and the warm-up-only run (the same differencing
+/// [`measure_class_uncached`] applies to the stall counter, so both
+/// isolate exactly the measured transaction). Returns the segment cycles
+/// and the stall-counter latency the segments must sum to.
+pub fn measure_class_breakdown(
+    kind: ControllerKind,
+    class: MissClass,
+) -> ([u64; SEGMENT_COUNT], f64) {
+    let (stall_t, rep_t) = class_scenario(kind, class, true, true);
+    let (stall_f, rep_f) = class_scenario(kind, class, false, true);
+    let (rep_t, rep_f) = (rep_t.expect("observed"), rep_f.expect("observed"));
+    assert_eq!(rep_t.sum_mismatches, 0, "attribution drift for {class:?}");
+    assert_eq!(rep_f.sum_mismatches, 0, "attribution drift for {class:?}");
+    let (a, b) = (&rep_t.rows[class.row()], &rep_f.rows[class.row()]);
+    assert_eq!(
+        a.count,
+        b.count + 1,
+        "measured run must add exactly one {class:?} request"
+    );
+    let mut segs = [0u64; SEGMENT_COUNT];
+    for (i, s) in segs.iter_mut().enumerate() {
+        *s = a.segs[i] - b.segs[i];
+    }
+    (segs, stall_t - stall_f)
+}
+
+/// The full cycle-attribution report of the measured Table 3.3 scenario
+/// for one class (the run-matrix driver exports this as
+/// `observe_<job>.json` when `FLASH_OBSERVE_OUT` is set).
+pub fn observe_class_report(kind: ControllerKind, class: MissClass) -> ObserveReport {
+    class_scenario(kind, class, true, true).1.expect("observed")
 }
 
 /// The ten Table 3.3 measurement jobs (both controller kinds, all five
@@ -331,6 +394,50 @@ mod tests {
         let i = measure_latency_table(ControllerKind::Ideal);
         for (a, b) in f.as_array().iter().zip(i.as_array()) {
             assert!(a > &b, "FLASH {a:.0} vs ideal {b:.0}");
+        }
+    }
+
+    /// The acceptance bar for the observability layer: for every
+    /// controller kind and Table 3.3 class, the observed per-segment
+    /// breakdown sums to the stall-counter latency within one cycle.
+    #[test]
+    fn breakdowns_sum_to_measured_latencies() {
+        for kind in [ControllerKind::FlashEmulated, ControllerKind::Ideal] {
+            for class in MissClass::ALL {
+                let (segs, stall) = measure_class_breakdown(kind, class);
+                let sum: u64 = segs.iter().sum();
+                assert!(
+                    (sum as f64 - stall).abs() <= 1.0,
+                    "{kind:?}/{class:?}: segments {segs:?} sum to {sum} \
+                     but the stall counter measured {stall}"
+                );
+            }
+        }
+    }
+
+    /// The observed breakdown explains *why* FLASH trails the ideal
+    /// machine per class: the entire gap is controller-side (handler
+    /// occupancy, inbox wait, memory serialization), never the mesh.
+    #[test]
+    fn flash_gap_is_controller_side() {
+        use flash_engine::Segment;
+        for class in [MissClass::RemoteClean, MissClass::RemoteDirtyRemote] {
+            let (f, _) = measure_class_breakdown(ControllerKind::FlashEmulated, class);
+            let (i, _) = measure_class_breakdown(ControllerKind::Ideal, class);
+            assert_eq!(
+                f[Segment::Mesh.index()],
+                i[Segment::Mesh.index()],
+                "{class:?}: the mesh does not know the controller kind"
+            );
+            assert!(
+                f[Segment::Handler.index()] > 0,
+                "{class:?}: FLASH must charge handler occupancy"
+            );
+            assert_eq!(
+                i[Segment::Handler.index()],
+                0,
+                "{class:?}: the ideal machine handles in zero time"
+            );
         }
     }
 

@@ -175,6 +175,65 @@ fn lat_cache() -> &'static Mutex<HashMap<String, f64>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// `FLASH_OBSERVE_OUT=<dir>` turns on observed mode for every run-matrix
+/// job and exports each job's cycle-attribution report as
+/// `<dir>/observe_<job>.json` (the `flash-observe-v1` schema of
+/// `METRICS.md`). Observation is timing-invisible, so memoized reports and
+/// rendered tables are unchanged; only the JSON files are added.
+fn observe_out_dir() -> Option<&'static str> {
+    static DIR: OnceLock<Option<String>> = OnceLock::new();
+    DIR.get_or_init(|| {
+        std::env::var("FLASH_OBSERVE_OUT")
+            .ok()
+            .filter(|s| !s.is_empty())
+    })
+    .as_deref()
+}
+
+/// 64-bit FNV-1a, for collision-proofing the export file names.
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// `observe_<job>.json` file name for a memo key: a readable sanitized
+/// prefix plus the key's FNV-1a hash (distinct keys can sanitize alike).
+fn observe_file_name(key: &str) -> String {
+    let mut slug: String = key
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    slug.truncate(96);
+    while slug.contains("__") {
+        slug = slug.replace("__", "_");
+    }
+    format!(
+        "observe_{}_{:016x}.json",
+        slug.trim_matches('_'),
+        fnv64(key)
+    )
+}
+
+/// Best-effort export of one job's attribution report (a missing report
+/// or an unwritable directory must not fail the simulation that produced
+/// the tables).
+fn export_observe(key: &str, report: Option<&flash::ObserveReport>) {
+    let Some(dir) = observe_out_dir() else { return };
+    let Some(report) = report else { return };
+    let path = std::path::Path::new(dir).join(observe_file_name(key));
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(&path, report.to_json())
+    };
+    if let Err(e) = write() {
+        eprintln!("[runner] observe export failed for {}: {e}", path.display());
+    }
+}
+
 /// `FLASH_NO_MEMO=1` disables the memo cache and prefetch deduplication,
 /// recreating the pre-runner behaviour where every artifact re-simulated
 /// its own points. A measurement aid for quantifying the dedup win
@@ -222,7 +281,19 @@ pub fn cached_run(spec: &RunSpec) -> MachineReport {
     }
     maybe_inject_panic(&key);
     maybe_inject_hang(&key);
-    let report = spec.work.execute(&spec.cfg);
+    // With FLASH_OBSERVE_OUT set, the job executes under observation (the
+    // memo key stays the caller's spec: observation is timing-invisible,
+    // so the report's table-facing fields are identical either way) and
+    // its attribution report is exported.
+    let report = if observe_out_dir().is_some() && !spec.cfg.observe {
+        let observed = spec.work.execute(&spec.cfg.clone().with_observe(true));
+        export_observe(&key, observed.observe.as_ref());
+        observed
+    } else {
+        let report = spec.work.execute(&spec.cfg);
+        export_observe(&key, report.observe.as_ref());
+        report
+    };
     lock(run_cache()).entry(key).or_insert(report).clone()
 }
 
@@ -238,6 +309,9 @@ pub fn cached_latency(kind: ControllerKind, class: MissClass) -> f64 {
     maybe_inject_panic(&key);
     maybe_inject_hang(&key);
     let v = crate::measure_class_uncached(kind, class);
+    if observe_out_dir().is_some() {
+        export_observe(&key, Some(&crate::observe_class_report(kind, class)));
+    }
     *lock(lat_cache()).entry(key).or_insert(v)
 }
 
@@ -600,6 +674,22 @@ mod tests {
             cfg: MachineConfig::flash(4).with_cache_bytes(1 << 20),
         };
         assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn observe_file_names_are_sane_and_collision_resistant() {
+        let a = observe_file_name("lat|FlashEmulated|RemoteClean");
+        let b = observe_file_name("lat|FlashEmulated|RemoteDirtyHome");
+        assert_ne!(a, b);
+        assert!(a.starts_with("observe_lat_FlashEmulated_RemoteClean_"));
+        assert!(a.ends_with(".json"));
+        assert!(a
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.'));
+        // Keys that sanitize identically still get distinct files.
+        let c = observe_file_name("lat.FlashEmulated.RemoteClean");
+        assert_ne!(a, c);
+        assert_eq!(&a[..a.len() - 22], &c[..c.len() - 22]);
     }
 
     #[test]

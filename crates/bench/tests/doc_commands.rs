@@ -1,0 +1,139 @@
+//! Smoke tests for the commands the documentation tells users to run.
+//!
+//! README.md and METRICS.md promise specific invocations
+//! (`observe_breakdown`, `FLASH_OBSERVE_OUT=... table_3_3`,
+//! `FLASH_TRACE_OUT=...`); this suite runs each as a real subprocess so
+//! a doc command can never rot into a silent lie. Environment variables
+//! are per-subprocess, so the suite is safe under parallel test
+//! execution.
+
+use std::process::Command;
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("flash-doc-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// `cargo run --release -p flash-bench --bin observe_breakdown`
+/// (README "Observability", METRICS.md "Exports").
+#[test]
+fn observe_breakdown_renders_all_classes_and_segments() {
+    let out = Command::new(env!("CARGO_BIN_EXE_observe_breakdown"))
+        .output()
+        .expect("spawn observe_breakdown");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    for title in ["FLASH:", "Ideal:"] {
+        assert!(stdout.contains(title), "missing column {title}\n{stdout}");
+    }
+    for seg in ["pi", "inbox_wait", "handler", "mem", "ni_wait", "mesh"] {
+        assert!(stdout.contains(seg), "missing segment {seg}\n{stdout}");
+    }
+    assert!(
+        stdout.contains("Local read miss, clean in local memory")
+            && stdout.contains("Remote read miss, dirty in 3rd node"),
+        "all five Table 3.3 rows expected\n{stdout}"
+    );
+}
+
+/// `FLASH_OBSERVE_OUT=<dir> cargo run ... --bin table_3_3`
+/// (METRICS.md "Exports"): table output unchanged, one schema-tagged
+/// JSON per job.
+#[test]
+fn observe_out_exports_schema_tagged_json_per_job() {
+    let dir = temp_dir("observe-out");
+    let base = Command::new(env!("CARGO_BIN_EXE_table_3_3"))
+        .env_remove("FLASH_OBSERVE_OUT")
+        .output()
+        .expect("spawn table_3_3");
+    let observed = Command::new(env!("CARGO_BIN_EXE_table_3_3"))
+        .env("FLASH_OBSERVE_OUT", &dir)
+        .output()
+        .expect("spawn table_3_3 observed");
+    assert!(observed.status.success());
+    assert_eq!(
+        base.stdout, observed.stdout,
+        "FLASH_OBSERVE_OUT must not change table output"
+    );
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(
+        files.len(),
+        10,
+        "table_3_3 has 10 latency jobs (2 kinds x 5 classes): {files:?}"
+    );
+    for f in &files {
+        let name = f.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            name.starts_with("observe_") && name.ends_with(".json"),
+            "{name}"
+        );
+        let body = std::fs::read_to_string(f).unwrap();
+        assert!(body.contains("\"schema\": \"flash-observe-v1\""), "{name}");
+        assert!(body.contains("\"sum_mismatches\": 0"), "{name}: {body}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `FLASH_TRACE_OUT=<file>.json` (README "Observability", METRICS.md
+/// "Exports"): an observed run writes a Chrome trace_event file.
+#[test]
+fn trace_out_writes_chrome_trace_json() {
+    let dir = temp_dir("trace-out");
+    let path = dir.join("trace.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_observe_breakdown"))
+        .env("FLASH_TRACE_OUT", &path)
+        .output()
+        .expect("spawn observe_breakdown with FLASH_TRACE_OUT");
+    assert!(out.status.success());
+    let body = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(body.starts_with("{\"displayTimeUnit\""), "{body}");
+    assert!(body.contains("\"traceEvents\""));
+    assert!(body.contains("\"ph\":\"X\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The README quick-start commands build: every documented example and
+/// repro binary name resolves to a real target (compile-time check via
+/// `CARGO_BIN_EXE_*` for the bins this crate owns, plus a live run of
+/// the suite driver's `--help`-free happy path on the cheapest bin).
+#[test]
+fn documented_binaries_exist() {
+    // Compile-time: env!() fails the build if a documented binary is
+    // renamed or dropped.
+    for bin in [
+        env!("CARGO_BIN_EXE_repro_all"),
+        env!("CARGO_BIN_EXE_table_3_2"),
+        env!("CARGO_BIN_EXE_table_3_3"),
+        env!("CARGO_BIN_EXE_table_3_4"),
+        env!("CARGO_BIN_EXE_fig_4_1"),
+        env!("CARGO_BIN_EXE_table_4_1"),
+        env!("CARGO_BIN_EXE_fig_4_2"),
+        env!("CARGO_BIN_EXE_fig_4_3"),
+        env!("CARGO_BIN_EXE_table_4_2"),
+        env!("CARGO_BIN_EXE_sec_4_3_hotspot"),
+        env!("CARGO_BIN_EXE_sec_4_5_scale64"),
+        env!("CARGO_BIN_EXE_table_5_1"),
+        env!("CARGO_BIN_EXE_sec_5_2_mdc"),
+        env!("CARGO_BIN_EXE_table_5_2"),
+        env!("CARGO_BIN_EXE_table_5_3"),
+        env!("CARGO_BIN_EXE_sec_5_3_ppext"),
+        env!("CARGO_BIN_EXE_ablations"),
+        env!("CARGO_BIN_EXE_observe_breakdown"),
+    ] {
+        assert!(
+            std::path::Path::new(bin).exists(),
+            "documented binary missing: {bin}"
+        );
+    }
+    // Runtime: the cheapest artifact renders headers on a real run.
+    let out = Command::new(env!("CARGO_BIN_EXE_table_3_2"))
+        .output()
+        .expect("spawn table_3_2");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Table 3.2"));
+}

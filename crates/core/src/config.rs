@@ -143,6 +143,15 @@ pub struct MachineConfig {
     /// default) arms nothing and is timing-invisible: no injector is
     /// constructed and no RNG draw ever happens.
     pub faults: FaultPlan,
+    /// Observed mode: run the cycle-attribution observability layer
+    /// alongside the simulation. Every completed processor miss is
+    /// decomposed into per-[`flash_engine::Segment`] cycles, accumulated
+    /// per read class and per handler, and a bounded ring of trace events
+    /// is kept for Chrome-trace export (`FLASH_TRACE_OUT`). Off by
+    /// default; like checked and fault modes it never perturbs timing —
+    /// `tests/observe.rs` pins cycle-identical schedules with it on.
+    /// See `METRICS.md` for the exported schema.
+    pub observe: bool,
     /// Forward-progress watchdog window in cycles: if no retirement,
     /// message delivery, or handler invocation happens for this many
     /// cycles, the run returns [`RunResult::Wedged`] with a structured
@@ -171,6 +180,7 @@ impl MachineConfig {
             net: NetConfig::default(),
             lat: PathLatencies::default(),
             faults: FaultPlan::none(),
+            observe: false,
             watchdog_window: DEFAULT_WATCHDOG_WINDOW,
         }
     }
@@ -237,6 +247,13 @@ impl MachineConfig {
     /// Returns the config with a fault-injection plan.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Returns the config with the cycle-attribution observability layer
+    /// enabled or disabled (see [`MachineConfig::observe`]).
+    pub fn with_observe(mut self, on: bool) -> Self {
+        self.observe = on;
         self
     }
 

@@ -29,12 +29,14 @@
 
 pub mod config;
 pub mod machine;
+pub mod observe;
 pub mod report;
 
 pub use config::{MachineConfig, PathLatencies, Placement, DEFAULT_WATCHDOG_WINDOW};
 pub use flash_fault::{FaultPlan, FaultStats, LinkDown, WedgeReport};
 pub use flash_magic::ControllerKind;
 pub use machine::{Machine, RunResult};
+pub use observe::{ClassRow, HandlerRow, ObserveReport};
 pub use report::{compare, format_table, Comparison, LatencyTable, MachineReport};
 
 /// Protocol-memory address of the directory header for an address

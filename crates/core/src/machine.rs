@@ -1,8 +1,9 @@
 //! The machine: nodes, network, and the event loop (the FlashLite role).
 
 use crate::config::MachineConfig;
+use crate::observe::{ObserveReport, Observer, ReqKind};
 use flash_cpu::{CpuOut, Processor, RefStream, RunOutcome};
-use flash_engine::{Addr, Cycle, EventQueue, NodeId};
+use flash_engine::{Addr, Cycle, EventQueue, NodeId, Segment};
 use flash_fault::{
     FaultInjector, FaultStats, LinkVerdict, MsgRing, MshrSnap, NiDir, NodeWedge, PendingLine,
     TraceEntry, WedgeReport,
@@ -149,6 +150,9 @@ pub struct Machine {
     /// Last cycle a retirement, message delivery, or handler invocation
     /// advanced (the forward-progress watchdog's reference point).
     last_progress: Cycle,
+    /// Cycle-attribution observer (`None` when `cfg.observe` is off; a
+    /// disarmed machine takes none of the observation branches).
+    observe: Option<Box<Observer>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -187,6 +191,20 @@ fn trace_addr() -> Option<u64> {
             .and_then(|t| u64::from_str_radix(t.trim_start_matches("0x"), 16).ok())
             .map(|a| a & !127)
     })
+}
+
+/// File to write the Chrome-trace event export to when a run with
+/// observation on completes (set `FLASH_TRACE_OUT=trace.json`; view in
+/// Perfetto or `chrome://tracing`). Mirrors the `FLASH_TRACE_ADDR`
+/// plumbing: read once per process.
+fn trace_out() -> Option<&'static str> {
+    static OUT: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    OUT.get_or_init(|| {
+        std::env::var("FLASH_TRACE_OUT")
+            .ok()
+            .filter(|s| !s.is_empty())
+    })
+    .as_deref()
 }
 
 impl Machine {
@@ -236,6 +254,13 @@ impl Machine {
                 chip.enable_oracle();
             }
         }
+        // Observed mode: chips record per-emission attributions
+        // (timing-invisible side buffers).
+        if cfg.observe {
+            for chip in &mut chips {
+                chip.set_observe(true);
+            }
+        }
         let procs: Vec<Processor> = streams
             .into_iter()
             .map(|s| Processor::new(cfg.cache_bytes, cfg.mshrs, s))
@@ -248,6 +273,9 @@ impl Machine {
         let n = cfg.nodes as usize;
         let check_enabled = cfg.check;
         let injector = FaultInjector::new(&cfg.faults);
+        let observe = cfg
+            .observe
+            .then(|| Box::new(Observer::new(jump.handler_names())));
         Machine {
             cfg,
             procs,
@@ -265,6 +293,7 @@ impl Machine {
             injector,
             ring: MsgRing::new(RING_CAPACITY),
             last_progress: Cycle::ZERO,
+            observe,
         }
     }
 
@@ -333,9 +362,175 @@ impl Machine {
             };
         }
         self.finalize_check();
+        self.maybe_write_trace();
         RunResult::Completed {
             exec_cycles: self.exec_cycles(),
         }
+    }
+
+    // ---- observed mode ---------------------------------------------------
+
+    /// Whether the cycle-attribution observer is on.
+    pub fn observed_mode(&self) -> bool {
+        self.observe.is_some()
+    }
+
+    /// The structured cycle-attribution report (`None` unless the machine
+    /// was built with [`MachineConfig::with_observe`]). Per-handler rows
+    /// aggregate invocation counts and occupancy over all chips.
+    ///
+    /// [`MachineConfig::with_observe`]: crate::MachineConfig::with_observe
+    pub fn observe_report(&self) -> Option<ObserveReport> {
+        let obs = self.observe.as_ref()?;
+        let mut handlers: std::collections::BTreeMap<&'static str, (u64, u64)> = Default::default();
+        for chip in &self.chips {
+            for (&name, &(n, cyc)) in &chip.stats().handlers {
+                let e = handlers.entry(name).or_insert((0, 0));
+                e.0 += n;
+                e.1 += cyc;
+            }
+        }
+        Some(obs.report(&handlers))
+    }
+
+    /// The event trace as Chrome `trace_event` JSON (`None` unless
+    /// observing).
+    pub fn trace_json(&self) -> Option<String> {
+        self.observe.as_ref().map(|o| o.trace_json())
+    }
+
+    /// Writes the Chrome-trace JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be written, or
+    /// `InvalidInput` if the machine is not observing.
+    pub fn write_trace(&self, path: &str) -> std::io::Result<()> {
+        let Some(json) = self.trace_json() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "machine is not observing (enable MachineConfig::with_observe)",
+            ));
+        };
+        std::fs::write(path, json)
+    }
+
+    /// `FLASH_TRACE_OUT` handling on successful completion: best-effort,
+    /// a write failure is reported on stderr but never fails the run.
+    fn maybe_write_trace(&self) {
+        if self.observe.is_none() {
+            return;
+        }
+        if let Some(path) = trace_out() {
+            if let Err(e) = self.write_trace(path) {
+                eprintln!("FLASH_TRACE_OUT: failed to write {path}: {e}");
+            }
+        }
+    }
+
+    /// Resolves the tracked request (if any) that `wire`, arriving at
+    /// `node`'s inbox, belongs to — plus the segment its frontier gap is
+    /// charged to (PI for bus-side messages, mesh for network-side, which
+    /// folds the receiving NI input stage into mesh transit).
+    ///
+    /// Requests and forwards carry the requester in their aux field;
+    /// replies from third-party owners carry the responder, so replies
+    /// also try the receiving node (replies terminate at the requester's
+    /// own chip). Messages that never continue a request path (invals,
+    /// acks, writebacks, sharing writebacks) resolve to `None`.
+    fn observe_key(&self, node: u16, wire: &Wire) -> Option<((u16, u64), Segment)> {
+        let obs = self.observe.as_ref()?;
+        let line = wire.addr.line().raw();
+        let (candidates, seg): ([Option<u16>; 2], Segment) = match wire.mtype {
+            MsgType::PiGet | MsgType::PiGetX | MsgType::PiUpgrade => {
+                ([Some(wire.src.0), None], Segment::Pi)
+            }
+            MsgType::PiIntervReply | MsgType::PiIntervMiss => {
+                ([Some(aux::requester(wire.aux).0), None], Segment::Pi)
+            }
+            MsgType::NGet
+            | MsgType::NGetX
+            | MsgType::NUpgrade
+            | MsgType::NFwdGet
+            | MsgType::NFwdGetX => ([Some(aux::requester(wire.aux).0), None], Segment::Mesh),
+            MsgType::NPut
+            | MsgType::NPutX
+            | MsgType::NUpgAck
+            | MsgType::NNack
+            | MsgType::NIntervMiss => (
+                [Some(aux::requester(wire.aux).0), Some(node)],
+                Segment::Mesh,
+            ),
+            _ => return None,
+        };
+        candidates
+            .into_iter()
+            .flatten()
+            .find(|&c| obs.is_pending((c, line)))
+            .map(|c| ((c, line), seg))
+    }
+
+    /// Whether a chip emission continues the tracked request `key`
+    /// (first match wins when applying per-emission attributions).
+    fn emission_continues(em: &Emission, key: (u16, u64), node: u16) -> bool {
+        match em {
+            Emission::Proc { msg: pm, .. } => {
+                pm.addr.line().raw() == key.1
+                    && match pm.mtype {
+                        MsgType::PPut | MsgType::PPutX | MsgType::PUpgAck | MsgType::PNackRetry => {
+                            key.0 == node
+                        }
+                        MsgType::PIntervGet | MsgType::PIntervGetX => {
+                            aux::requester(pm.aux).0 == key.0
+                        }
+                        _ => false,
+                    }
+            }
+            Emission::Net { msg: m, .. } => {
+                m.addr.line().raw() == key.1
+                    && matches!(
+                        m.mtype,
+                        MsgType::NGet
+                            | MsgType::NGetX
+                            | MsgType::NUpgrade
+                            | MsgType::NFwdGet
+                            | MsgType::NFwdGetX
+                            | MsgType::NPut
+                            | MsgType::NPutX
+                            | MsgType::NUpgAck
+                            | MsgType::NNack
+                            | MsgType::NIntervMiss
+                    )
+                    && (aux::requester(m.aux).0 == key.0 || m.dst.0 == key.0)
+            }
+        }
+    }
+
+    /// Resolves the tracked request a network message continues (the
+    /// network-side subset of [`Machine::emission_continues`], used to
+    /// charge NI-wait and mesh-transit cycles in `post_net`).
+    fn net_msg_key(&self, msg: &Msg) -> Option<(u16, u64)> {
+        let obs = self.observe.as_ref()?;
+        if !matches!(
+            msg.mtype,
+            MsgType::NGet
+                | MsgType::NGetX
+                | MsgType::NUpgrade
+                | MsgType::NFwdGet
+                | MsgType::NFwdGetX
+                | MsgType::NPut
+                | MsgType::NPutX
+                | MsgType::NUpgAck
+                | MsgType::NNack
+                | MsgType::NIntervMiss
+        ) {
+            return None;
+        }
+        let line = msg.addr.line().raw();
+        [aux::requester(msg.aux).0, msg.dst.0]
+            .into_iter()
+            .find(|&c| obs.is_pending((c, line)))
+            .map(|c| (c, line))
     }
 
     // ---- checked mode ----------------------------------------------------
@@ -795,6 +990,19 @@ impl Machine {
                 CpuOut::Writeback(a) => (MsgType::PiWriteback, a, 0),
                 CpuOut::Hint(a) => (MsgType::PiRplHint, a, 0),
             };
+            // Observed mode: a miss leaving the processor starts a
+            // tracked request at its issue time.
+            if let Some(obs) = self.observe.as_mut() {
+                let kind = match mtype {
+                    MsgType::PiGet => Some(ReqKind::Read),
+                    MsgType::PiGetX => Some(ReqKind::Write),
+                    MsgType::PiUpgrade => Some(ReqKind::Upgrade),
+                    _ => None,
+                };
+                if let Some(kind) = kind {
+                    obs.begin(n, addr.line().raw(), t, kind);
+                }
+            }
             self.events.push(
                 t + extra + lat.bus + lat.pi_in,
                 Ev::MagicIn {
@@ -860,14 +1068,45 @@ impl Machine {
                 self.chips[node as usize].block_memory(until);
             }
         }
+        // Observed mode: advance the tracked request's frontier to the
+        // inbox arrival (bus/PI gap for processor-side messages, NI-input
+        // gap for network-side).
+        let obs_key = self.observe_key(node, &wire);
+        if let Some((key, seg)) = obs_key {
+            self.observe
+                .as_mut()
+                .expect("observe_key implies observer")
+                .advance(key, self.now, seg);
+        }
         // Read-miss classification at the home (paper Tables 4.1/4.2).
         let chip = &mut self.chips[node as usize];
-        match wire.mtype {
+        let class = match wire.mtype {
             MsgType::PiGet if home == NodeId(node) => chip.classify_read(&msg, NodeId(node)),
             MsgType::NGet => chip.classify_read(&msg, aux::requester(wire.aux)),
-            _ => {}
-        }
+            _ => None,
+        };
         let emissions = chip.process(msg, self.now);
+        // Observed mode: record the handler invocation, note the read
+        // class, and fold the chip's exact per-emission decomposition
+        // into the tracked request the first continuing emission serves.
+        if let Some(obs) = self.observe.as_mut() {
+            if let Some(inv) = self.chips[node as usize].obs_invocation().copied() {
+                obs.trace_handler(node, &inv);
+            }
+            if let Some((key, _)) = obs_key {
+                if let Some(class) = class {
+                    obs.note_class(key, class);
+                }
+                if let Some(i) = emissions
+                    .iter()
+                    .position(|em| Self::emission_continues(em, key, node))
+                {
+                    let parts = self.chips[node as usize].obs_parts()[i];
+                    let net = matches!(emissions[i], Emission::Net { .. });
+                    obs.apply_parts(key, emissions[i].at(), &parts, net);
+                }
+            }
+        }
         for em in emissions {
             match em {
                 Emission::Net { at, msg } => self.post_net(at, msg),
@@ -928,6 +1167,15 @@ impl Machine {
             }
         }
         let arrival = self.net.send(at, msg.src, msg.dst);
+        // Observed mode: source-side holds (fault layer) count as
+        // NI-wait, the hop itself as mesh transit.
+        if self.observe.is_some() {
+            if let Some(key) = self.net_msg_key(&msg) {
+                if let Some(obs) = self.observe.as_mut() {
+                    obs.net_hop(key, at, arrival);
+                }
+            }
+        }
         // An input-queue freeze at the destination NI delays dispatch
         // into the inbox.
         let mut deliver = arrival + self.cfg.lat.ni_in;
@@ -962,6 +1210,12 @@ impl Machine {
         }
         match pm.mtype {
             MsgType::PPut | MsgType::PPutX | MsgType::PUpgAck => {
+                // Observed mode: the reply reaching the processor closes
+                // the tracked request (before `deliver_reply`, whose
+                // freed MSHR may immediately re-issue on this line).
+                if let Some(obs) = self.observe.as_mut() {
+                    obs.complete((node, pm.addr.line().raw()), self.now);
+                }
                 let excl = pm.mtype != MsgType::PPut;
                 let mut outs = Vec::new();
                 self.procs[i].deliver_reply(pm.addr, excl, self.now, &mut outs);
@@ -1011,6 +1265,15 @@ impl Machine {
                 // The intervention is being consumed (not re-deferred):
                 // the copy's handoff window closes here.
                 self.mark_progress();
+                // Observed mode: the requester's frontier waited out the
+                // owner's bus transaction (deferrals included) — PI time.
+                if let Some(obs) = self.observe.as_mut() {
+                    obs.advance(
+                        (aux::requester(pm.aux).0, pm.addr.line().raw()),
+                        self.now,
+                        Segment::Pi,
+                    );
+                }
                 if let Some(ctx) = self.check.as_mut() {
                     let key = (node, pm.addr.line().raw());
                     if let Some(n) = ctx.inflight_intervs.get_mut(&key) {
@@ -1041,6 +1304,11 @@ impl Machine {
                 );
             }
             MsgType::PNackRetry => {
+                // Observed mode: the NACK round trip ends on the
+                // requester's bus; the retry gap is PI time.
+                if let Some(obs) = self.observe.as_mut() {
+                    obs.advance((node, pm.addr.line().raw()), self.now, Segment::Pi);
+                }
                 if let Some(o) = self.procs[i].nack_retry(pm.addr) {
                     // Bus retry: the miss was already detected, so only
                     // the retry delay plus bus/PI path applies.

@@ -1,6 +1,7 @@
 //! Machine-level statistics reports (the rows of the paper's tables).
 
 use crate::machine::Machine;
+use crate::observe::ObserveReport;
 use flash_magic::{ControllerKind, ReadClassCounts};
 use flash_pp::RunStats;
 use std::collections::BTreeMap;
@@ -111,6 +112,10 @@ pub struct MachineReport {
     pub inbox_wait_mean: f64,
     /// Deferred interventions (race safety valve).
     pub interv_deferrals: u64,
+    /// Cycle-attribution breakdown, present when the machine ran with
+    /// [`MachineConfig::with_observe`](crate::MachineConfig::with_observe)
+    /// (see `METRICS.md` for the exported schema).
+    pub observe: Option<ObserveReport>,
 }
 
 impl MachineReport {
@@ -211,6 +216,7 @@ impl MachineReport {
             messages: m.network().messages(),
             inbox_wait_mean: inbox_wait as f64 / msgs.max(1) as f64,
             interv_deferrals: m.interv_deferrals(),
+            observe: m.observe_report(),
         }
     }
 

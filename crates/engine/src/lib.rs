@@ -30,6 +30,8 @@
 //! assert_eq!(q.pop(), Some((Cycle::new(5), "later")));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod addr;
 pub mod event;
 pub mod queue;
@@ -41,7 +43,7 @@ pub use addr::{Addr, LINE_BYTES, LINE_SHIFT};
 pub use event::EventQueue;
 pub use queue::BoundedQueue;
 pub use rng::DetRng;
-pub use stats::{Counter, Histogram, OccupancyTracker};
+pub use stats::{Counter, Histogram, LatencySplit, OccupancyTracker, Segment, SEGMENT_COUNT};
 pub use time::Cycle;
 
 /// Identifier of a FLASH node (one MAGIC chip, one processor, one memory).

@@ -230,6 +230,205 @@ impl Histogram {
             self.max = self.max.max(other.max);
         }
     }
+
+    /// Iterates over the non-empty buckets as `(floor, count)` pairs.
+    ///
+    /// Bucket `b` holds samples in `[2^(b-1), 2^b)` (bucket 0 holds only
+    /// the sample 0), so `floor` is the smallest sample the bucket can
+    /// contain: 0 for bucket 0, otherwise `1 << (b - 1)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flash_engine::Histogram;
+    ///
+    /// let mut h = Histogram::new();
+    /// h.record(0);
+    /// h.record(5); // bucket floor 4
+    /// let buckets: Vec<_> = h.buckets().collect();
+    /// assert_eq!(buckets, vec![(0, 1), (4, 1)]);
+    /// ```
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(b, &c)| (if b == 0 { 0 } else { 1u64 << (b - 1) }, c))
+    }
+}
+
+/// One attributable component of an end-to-end miss latency.
+///
+/// Every completed request in an observed run (see the `flash` crate's
+/// `MachineConfig::with_observe`) decomposes its latency into exactly
+/// these six buckets, in pipeline order. The decomposition is exhaustive:
+/// the per-request segment values always sum to the request's total
+/// issue-to-completion latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Segment {
+    /// Processor-interface cycles: bus, PI in/out, arbitration, and the
+    /// cache-miss detection path on both the outbound and reply legs.
+    Pi = 0,
+    /// Cycles the request's message sat in a MAGIC inbox waiting for the
+    /// protocol processor (plus the fixed inbox arbitration + jump-table
+    /// dispatch stages).
+    InboxWait = 1,
+    /// Protocol-processor occupancy: cycles the handler itself executed
+    /// (zero on the ideal machine).
+    Handler = 2,
+    /// Memory-system cycles: DRAM access, MAGIC data/instruction cache
+    /// penalties, and waiting for data that the handler's reply depends on.
+    Mem = 3,
+    /// Outbox and network-interface cycles on the sending side.
+    NiWait = 4,
+    /// 2-D mesh transit cycles plus the receiving NI input stage.
+    Mesh = 5,
+}
+
+/// Number of [`Segment`] variants; the length of a per-request split.
+pub const SEGMENT_COUNT: usize = 6;
+
+impl Segment {
+    /// All segments in pipeline order.
+    pub const ALL: [Segment; SEGMENT_COUNT] = [
+        Segment::Pi,
+        Segment::InboxWait,
+        Segment::Handler,
+        Segment::Mem,
+        Segment::NiWait,
+        Segment::Mesh,
+    ];
+
+    /// Stable machine-readable name used in exports (`METRICS.md` schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            Segment::Pi => "pi",
+            Segment::InboxWait => "inbox_wait",
+            Segment::Handler => "handler",
+            Segment::Mem => "mem",
+            Segment::NiWait => "ni_wait",
+            Segment::Mesh => "mesh",
+        }
+    }
+
+    /// Index of this segment in a `[u64; SEGMENT_COUNT]` split.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Accumulates per-segment latency attributions for a class of requests.
+///
+/// Each call to [`LatencySplit::record`] adds one completed request's
+/// six-way decomposition (see [`Segment`]). Totals, means, and fractions
+/// are all zero-guarded: an empty split reports 0.0 everywhere rather
+/// than NaN.
+///
+/// # Examples
+///
+/// ```
+/// use flash_engine::{LatencySplit, Segment};
+///
+/// let mut s = LatencySplit::new();
+/// s.record([5, 3, 11, 14, 5, 12]);
+/// assert_eq!(s.count(), 1);
+/// assert_eq!(s.total(), 50);
+/// assert_eq!(s.mean(), 50.0);
+/// assert_eq!(s.fraction(Segment::Handler), 0.22);
+/// assert_eq!(LatencySplit::new().mean(), 0.0); // zero-guarded
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySplit {
+    count: u64,
+    segs: [u64; SEGMENT_COUNT],
+}
+
+impl LatencySplit {
+    /// Creates an empty split.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one request's segment decomposition.
+    pub fn record(&mut self, segs: [u64; SEGMENT_COUNT]) {
+        self.count += 1;
+        for (a, b) in self.segs.iter_mut().zip(segs.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Number of requests recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Accumulated cycles in one segment.
+    pub fn seg(&self, s: Segment) -> u64 {
+        self.segs[s.index()]
+    }
+
+    /// Accumulated cycles per segment, in [`Segment::ALL`] order.
+    pub fn segs(&self) -> [u64; SEGMENT_COUNT] {
+        self.segs
+    }
+
+    /// Total cycles across all segments and requests.
+    pub fn total(&self) -> u64 {
+        self.segs.iter().sum()
+    }
+
+    /// Mean end-to-end latency per request (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total() as f64 / self.count as f64
+        }
+    }
+
+    /// Mean cycles per request spent in one segment (0.0 when empty).
+    pub fn mean_seg(&self, s: Segment) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.seg(s) as f64 / self.count as f64
+        }
+    }
+
+    /// Fraction of total latency attributed to one segment (0.0 when the
+    /// total is zero).
+    pub fn fraction(&self, s: Segment) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.seg(s) as f64 / total as f64
+        }
+    }
+
+    /// Merges another split into this one.
+    pub fn merge(&mut self, other: &LatencySplit) {
+        self.count += other.count;
+        for (a, b) in self.segs.iter_mut().zip(other.segs.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Per-segment difference `self − other` (saturating at zero), with
+    /// the count also differenced. Used to isolate the contribution of a
+    /// single measured request between two accumulated snapshots.
+    pub fn minus(&self, other: &LatencySplit) -> LatencySplit {
+        let mut segs = [0u64; SEGMENT_COUNT];
+        for (i, s) in segs.iter_mut().enumerate() {
+            *s = self.segs[i].saturating_sub(other.segs[i]);
+        }
+        LatencySplit {
+            count: self.count.saturating_sub(other.count),
+            segs,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -288,5 +487,83 @@ mod tests {
         h.record(0);
         assert_eq!(h.count(), 1);
         assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_floors() {
+        let mut h = Histogram::new();
+        for s in [0u64, 1, 2, 3, 4, 7, 8, 100] {
+            h.record(s);
+        }
+        let buckets: Vec<_> = h.buckets().collect();
+        // 0 → b0; 1 → b1; 2,3 → b2; 4..8 → b3; 8 → b4; 100 → b7 (floor 64).
+        assert_eq!(
+            buckets,
+            vec![(0, 1), (1, 1), (2, 2), (4, 2), (8, 1), (64, 1)]
+        );
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.count());
+    }
+
+    /// NaN-guard pins for the zero-length-run paths (Issue 5 satellite):
+    /// `Counter::fraction_of(0)` and `OccupancyTracker::occupancy(ZERO)`
+    /// must return exactly 0.0 (not NaN) even after activity.
+    #[test]
+    fn zero_length_run_reports_zero_not_nan() {
+        let mut c = Counter::default();
+        c.add(17);
+        let f = c.fraction_of(0);
+        assert_eq!(f, 0.0);
+        assert!(!f.is_nan());
+
+        let mut t = OccupancyTracker::new();
+        t.record_busy(123); // busy > 0 but run length 0
+        let occ = t.occupancy(Cycle::ZERO);
+        assert_eq!(occ, 0.0);
+        assert!(!occ.is_nan());
+    }
+
+    #[test]
+    fn latency_split_accumulates_and_guards_zero() {
+        let mut s = LatencySplit::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.fraction(Segment::Pi), 0.0);
+        assert_eq!(s.mean_seg(Segment::Mesh), 0.0);
+        s.record([5, 3, 11, 14, 5, 12]);
+        s.record([5, 1, 11, 14, 5, 12]);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.total(), 98);
+        assert_eq!(s.mean(), 49.0);
+        assert_eq!(s.seg(Segment::InboxWait), 4);
+        assert_eq!(s.mean_seg(Segment::Handler), 11.0);
+        assert!((s.fraction(Segment::Mem) - 28.0 / 98.0).abs() < 1e-12);
+
+        let mut other = LatencySplit::new();
+        other.record([1, 1, 1, 1, 1, 1]);
+        let mut merged = s;
+        merged.merge(&other);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.total(), 104);
+
+        let diff = merged.minus(&s);
+        assert_eq!(diff.count(), 1);
+        assert_eq!(diff.segs(), [1, 1, 1, 1, 1, 1]);
+        // Saturating: subtracting the larger from the smaller pins at 0.
+        let sat = other.minus(&s);
+        assert_eq!(sat.count(), 0);
+        assert_eq!(sat.total(), 0);
+    }
+
+    #[test]
+    fn segment_names_and_order_are_stable() {
+        let names: Vec<_> = Segment::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["pi", "inbox_wait", "handler", "mem", "ni_wait", "mesh"]
+        );
+        for (i, s) in Segment::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(Segment::ALL.len(), SEGMENT_COUNT);
     }
 }

@@ -164,6 +164,103 @@ impl ReadClassCounts {
     }
 }
 
+/// The paper's Table 3.3 read-miss classes, as values (the countable
+/// version of [`ReadClassCounts`]). Returned by
+/// [`MagicChip::classify_read`] so the observability layer can attribute
+/// a request's latency breakdown to its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadClass {
+    /// Local address, clean at home.
+    LocalClean,
+    /// Local address, dirty in a remote cache.
+    LocalDirtyRemote,
+    /// Remote address, clean at home.
+    RemoteClean,
+    /// Remote address, dirty in the home node's cache.
+    RemoteDirtyHome,
+    /// Remote address, dirty in a third node's cache.
+    RemoteDirtyRemote,
+}
+
+impl ReadClass {
+    /// All classes in Table 3.3 row order.
+    pub const ALL: [ReadClass; 5] = [
+        ReadClass::LocalClean,
+        ReadClass::LocalDirtyRemote,
+        ReadClass::RemoteClean,
+        ReadClass::RemoteDirtyHome,
+        ReadClass::RemoteDirtyRemote,
+    ];
+
+    /// Stable machine-readable name used in exports (`METRICS.md` schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadClass::LocalClean => "local_clean",
+            ReadClass::LocalDirtyRemote => "local_dirty_remote",
+            ReadClass::RemoteClean => "remote_clean",
+            ReadClass::RemoteDirtyHome => "remote_dirty_home",
+            ReadClass::RemoteDirtyRemote => "remote_dirty_remote",
+        }
+    }
+
+    /// Index of this class in [`ReadClass::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            ReadClass::LocalClean => 0,
+            ReadClass::LocalDirtyRemote => 1,
+            ReadClass::RemoteClean => 2,
+            ReadClass::RemoteDirtyHome => 3,
+            ReadClass::RemoteDirtyRemote => 4,
+        }
+    }
+}
+
+/// Per-emission latency attribution, recorded only when observation is on
+/// (see the `flash` crate's `MachineConfig::with_observe`).
+///
+/// For every [`Emission`] produced by [`MagicChip::process`] in an
+/// observed run, the chip records how the interval from message arrival
+/// to emission decomposes into chip-internal components. The invariant
+/// `parts.total() == emission.at() − arrival` holds exactly for all three
+/// controller kinds — the observability layer's sums-to-total guarantee
+/// rests on it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsParts {
+    /// Fixed inbox arbitration + jump-table dispatch cycles.
+    pub inbox: u64,
+    /// Cycles the message waited in the inbox for the PP behind earlier
+    /// handlers (always 0 on the ideal controller).
+    pub wait: u64,
+    /// Handler execution cycles preceding this emission (the send's
+    /// instruction offset in emulated mode, the Table 3.4 cost in
+    /// cost-table mode, 0 on the ideal controller).
+    pub occ: u64,
+    /// Memory/data cycles: MAGIC I-cache and MDC miss stalls, DRAM queue
+    /// stalls, and waiting for the data the reply carries.
+    pub mem: u64,
+    /// Outbound cycles: outbox + NI-out for network emissions, outbox +
+    /// PI-out + bus arbitration/first-word for processor emissions.
+    pub out: u64,
+}
+
+impl ObsParts {
+    /// Total attributed cycles; equals `emission.at() − arrival` exactly.
+    pub fn total(&self) -> u64 {
+        self.inbox + self.wait + self.occ + self.mem + self.out
+    }
+}
+
+/// One observed handler invocation (feeds the event trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsInvocation {
+    /// Handler name (the native-dispatch name; identical across modes).
+    pub handler: &'static str,
+    /// Time the handler began executing.
+    pub start: Cycle,
+    /// Cycles the PP was occupied (0 on the ideal controller).
+    pub occupied: u64,
+}
+
 /// One node's MAGIC controller (or its idealized stand-in).
 pub struct MagicChip {
     kind: ControllerKind,
@@ -182,6 +279,9 @@ pub struct MagicChip {
     stats: MagicStats,
     out_buf: Vec<Outgoing>,
     oracle: Option<flash_check::OracleState>,
+    observe: bool,
+    obs_parts: Vec<ObsParts>,
+    obs_invocation: Option<ObsInvocation>,
 }
 
 impl std::fmt::Debug for MagicChip {
@@ -242,7 +342,32 @@ impl MagicChip {
             stats: MagicStats::default(),
             out_buf: Vec::new(),
             oracle: None,
+            observe: false,
+            obs_parts: Vec::new(),
+            obs_invocation: None,
         }
+    }
+
+    /// Turns cycle-attribution recording on or off. When on, every
+    /// [`MagicChip::process`] call leaves one [`ObsParts`] per emission in
+    /// [`MagicChip::obs_parts`] and the invocation record in
+    /// [`MagicChip::obs_invocation`]. Recording is timing-invisible: it
+    /// only appends to side buffers.
+    pub fn set_observe(&mut self, on: bool) {
+        self.observe = on;
+    }
+
+    /// Per-emission attributions from the most recent
+    /// [`MagicChip::process`] call (parallel to its return value; empty
+    /// unless observation is on).
+    pub fn obs_parts(&self) -> &[ObsParts] {
+        &self.obs_parts
+    }
+
+    /// The handler invocation from the most recent
+    /// [`MagicChip::process`] call (`None` unless observation is on).
+    pub fn obs_invocation(&self) -> Option<&ObsInvocation> {
+        self.obs_invocation.as_ref()
     }
 
     /// Turns on the differential native-vs-PP oracle (checked mode): every
@@ -308,27 +433,34 @@ impl MagicChip {
 
     /// Classifies a read miss against current directory state and counts
     /// it (call before [`MagicChip::process`] for `PiGet`/`NGet` at the
-    /// home with a known requester).
-    pub fn classify_read(&mut self, msg: &InMsg, requester: NodeId) {
+    /// home with a known requester). Returns the class, or `None` for a
+    /// pending line (the retry that gets served will be classified).
+    pub fn classify_read(&mut self, msg: &InMsg, requester: NodeId) -> Option<ReadClass> {
         let h = self.peek_header(msg.diraddr);
         if h.pending() {
-            return; // the retry that gets served will be classified
+            return None; // the retry that gets served will be classified
         }
         let local = requester == msg.home;
         let c = &mut self.stats.read_class;
-        if !h.dirty() {
+        let class = if !h.dirty() {
             if local {
                 c.local_clean += 1;
+                ReadClass::LocalClean
             } else {
                 c.remote_clean += 1;
+                ReadClass::RemoteClean
             }
         } else if local {
             c.local_dirty_remote += 1;
+            ReadClass::LocalDirtyRemote
         } else if h.owner() == msg.home {
             c.remote_dirty_home += 1;
+            ReadClass::RemoteDirtyHome
         } else {
             c.remote_dirty_remote += 1;
-        }
+            ReadClass::RemoteDirtyRemote
+        };
+        Some(class)
     }
 
     /// Processes one incoming message that became available to the inbox
@@ -336,6 +468,10 @@ impl MagicChip {
     /// Returns everything the chip emits, with timestamps.
     pub fn process(&mut self, mut msg: InMsg, arrival: Cycle) -> Vec<Emission> {
         self.stats.messages += 1;
+        if self.observe {
+            self.obs_parts.clear();
+            self.obs_invocation = None;
+        }
         let local = msg.home == self.node;
         let entry = self.jump.lookup(msg.mtype, local);
         let t_ready = arrival + self.timings.inbox_arb + self.timings.jump;
@@ -355,14 +491,14 @@ impl MagicChip {
 
         match self.kind {
             ControllerKind::Ideal => {
-                self.process_native(msg, t_ready, Cycle::ZERO, data_mem, entry.handler, true)
+                self.process_native(msg, t_ready, 0, data_mem, entry.handler, true)
             }
             ControllerKind::FlashCostTable => {
                 let start = t_ready.max(self.pp_free);
                 let wait = start - t_ready;
                 self.stats.inbox_wait_cycles += wait;
                 self.stats.inbox_wait_max = self.stats.inbox_wait_max.max(wait);
-                self.process_native(msg, start, start, data_mem, entry.handler, false)
+                self.process_native(msg, start, wait, data_mem, entry.handler, false)
             }
             ControllerKind::FlashEmulated => {
                 self.process_emulated(msg, arrival, t_ready, data_mem, entry.handler)
@@ -370,12 +506,14 @@ impl MagicChip {
         }
     }
 
-    /// Native-protocol processing (ideal and cost-table modes).
+    /// Native-protocol processing (ideal and cost-table modes). `wait` is
+    /// the inbox queueing delay already folded into `start` by the caller
+    /// (0 for ideal), passed along for attribution.
     fn process_native(
         &mut self,
         msg: InMsg,
         start: Cycle,
-        _pp_start: Cycle,
+        wait: u64,
         mut data_mem: Option<Cycle>,
         handler: &'static str,
         ideal: bool,
@@ -386,6 +524,7 @@ impl MagicChip {
         let res = native::handle(&msg, &mut self.proto, &costs, &mut out);
         debug_assert_eq!(res.handler, handler, "jump table vs native dispatch");
         // Occupancy: zero for ideal, cost table for FLASH.
+        let occ = if ideal { 0 } else { res.cost };
         let effect_time = if ideal {
             start
         } else {
@@ -397,6 +536,14 @@ impl MagicChip {
             e.1 += cost;
             start + cost
         };
+        if self.observe {
+            self.obs_invocation = Some(ObsInvocation {
+                handler: res.handler,
+                start,
+                occupied: occ,
+            });
+        }
+        let inbox = self.timings.inbox_arb + self.timings.jump;
         let mut emissions = Vec::with_capacity(out.len());
         let mut used_mem_data = false;
         for o in out.drain(..) {
@@ -421,6 +568,15 @@ impl MagicChip {
                         Some(d) => header.max(d + self.timings.buffer_stage),
                         None => header,
                     };
+                    if self.observe {
+                        self.obs_parts.push(ObsParts {
+                            inbox,
+                            wait,
+                            occ,
+                            mem: at - header,
+                            out: self.timings.outbox + self.timings.ni_out,
+                        });
+                    }
                     emissions.push(Emission::Net { at, msg: m });
                 }
                 Outgoing::Proc(pm) => {
@@ -432,10 +588,22 @@ impl MagicChip {
                         &mut used_mem_data,
                     );
                     let header = effect_time + self.timings.outbox + self.timings.pi_out;
-                    let at = match data {
+                    let base = match data {
                         Some(d) => header.max(d + self.timings.buffer_stage),
                         None => header,
-                    } + self.timings.pi_arb_word;
+                    };
+                    let at = base + self.timings.pi_arb_word;
+                    if self.observe {
+                        self.obs_parts.push(ObsParts {
+                            inbox,
+                            wait,
+                            occ,
+                            mem: base - header,
+                            out: self.timings.outbox
+                                + self.timings.pi_out
+                                + self.timings.pi_arb_word,
+                        });
+                    }
                     emissions.push(Emission::Proc { at, msg: pm });
                 }
             }
@@ -571,6 +739,15 @@ impl MagicChip {
                                 Some(d) => header.max(d + self.timings.buffer_stage),
                                 None => header,
                             };
+                            if self.observe {
+                                self.obs_parts.push(ObsParts {
+                                    inbox: self.timings.inbox_arb + self.timings.jump,
+                                    wait,
+                                    occ: te.offset,
+                                    mem: drift + (at - header),
+                                    out: self.timings.outbox + self.timings.ni_out,
+                                });
+                            }
                             emissions.push(Emission::Net { at, msg: m });
                         }
                         Outgoing::Proc(pm) => {
@@ -582,10 +759,22 @@ impl MagicChip {
                                 &mut used_mem_data,
                             );
                             let header = t_e + self.timings.outbox + self.timings.pi_out;
-                            let at = match data {
+                            let base = match data {
                                 Some(d) => header.max(d + self.timings.buffer_stage),
                                 None => header,
-                            } + self.timings.pi_arb_word;
+                            };
+                            let at = base + self.timings.pi_arb_word;
+                            if self.observe {
+                                self.obs_parts.push(ObsParts {
+                                    inbox: self.timings.inbox_arb + self.timings.jump,
+                                    wait,
+                                    occ: te.offset,
+                                    mem: drift + (base - header),
+                                    out: self.timings.outbox
+                                        + self.timings.pi_out
+                                        + self.timings.pi_arb_word,
+                                });
+                            }
                             emissions.push(Emission::Proc { at, msg: pm });
                         }
                     }
@@ -594,6 +783,13 @@ impl MagicChip {
         }
 
         let occupied = run.exec_cycles + drift;
+        if self.observe {
+            self.obs_invocation = Some(ObsInvocation {
+                handler,
+                start: pp_start,
+                occupied,
+            });
+        }
         self.pp.record_busy(occupied);
         self.pp_free = pp_start + occupied;
         let e = self.stats.handlers.entry(handler).or_default();
@@ -863,6 +1059,75 @@ mod tests {
         chip.process(local_get(0x5000), Cycle::new(7));
         assert!(chip.stats().inbox_wait_cycles > 0);
         assert!(chip.stats().inbox_wait_max >= chip.stats().inbox_wait_cycles / 2);
+    }
+
+    /// NaN-guard pin (Issue 5 satellite): a zero-length run must report
+    /// 0.0 PP occupancy, not NaN, even after the PP accumulated busy
+    /// cycles.
+    #[test]
+    fn pp_occupancy_zero_length_run_is_zero_not_nan() {
+        let mut chip = mk_chip(ControllerKind::FlashEmulated);
+        chip.process(local_get(0x1000), Cycle::new(7));
+        assert!(chip.pp_busy_cycles() > 0);
+        let occ = chip.pp_occupancy(Cycle::ZERO);
+        assert_eq!(occ, 0.0);
+        assert!(!occ.is_nan());
+    }
+
+    /// The observability invariant: for every emission of an observed
+    /// `process` call, the recorded parts sum exactly to
+    /// `emission.at() − arrival`, on all three controller kinds, including
+    /// under PP queueing and MDC stalls.
+    #[test]
+    fn obs_parts_sum_exactly_to_emission_minus_arrival() {
+        for kind in [
+            ControllerKind::FlashEmulated,
+            ControllerKind::FlashCostTable,
+            ControllerKind::Ideal,
+        ] {
+            let mut chip = mk_chip(kind);
+            chip.set_observe(true);
+            // Cold then warm, plus a back-to-back pair to exercise waits.
+            for (addr, t) in [(0x1000, 7), (0x1080, 7), (0x5000, 8), (0x1000, 500)] {
+                let arrival = Cycle::new(t);
+                let ems = chip.process(local_get(addr), arrival);
+                let parts = chip.obs_parts();
+                assert_eq!(ems.len(), parts.len(), "{kind:?}: parallel vectors");
+                for (e, p) in ems.iter().zip(parts) {
+                    assert_eq!(
+                        p.total(),
+                        e.at() - arrival,
+                        "{kind:?} @{addr:#x}: {p:?} vs {:?}",
+                        e.at()
+                    );
+                }
+                let inv = chip.obs_invocation().expect("invocation recorded");
+                if kind == ControllerKind::Ideal {
+                    assert_eq!(inv.occupied, 0, "ideal PP takes zero time");
+                }
+            }
+        }
+    }
+
+    /// Observation must be timing-invisible: the same message sequence
+    /// produces identical emissions with and without `set_observe`.
+    #[test]
+    fn observe_does_not_perturb_chip_timing() {
+        for kind in [
+            ControllerKind::FlashEmulated,
+            ControllerKind::FlashCostTable,
+            ControllerKind::Ideal,
+        ] {
+            let mut plain = mk_chip(kind);
+            let mut observed = mk_chip(kind);
+            observed.set_observe(true);
+            for (addr, t) in [(0x1000, 7), (0x2000, 9), (0x1000, 400)] {
+                let a = plain.process(local_get(addr), Cycle::new(t));
+                let b = observed.process(local_get(addr), Cycle::new(t));
+                assert_eq!(a, b, "{kind:?}: emissions must match");
+            }
+            assert_eq!(plain.pp_busy_cycles(), observed.pp_busy_cycles());
+        }
     }
 
     #[test]

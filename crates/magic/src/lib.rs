@@ -12,5 +12,8 @@
 pub mod chip;
 pub mod env;
 
-pub use chip::{ControllerKind, Emission, MagicChip, MagicStats, MagicTimings, ReadClassCounts};
+pub use chip::{
+    ControllerKind, Emission, MagicChip, MagicStats, MagicTimings, ObsInvocation, ObsParts,
+    ReadClass, ReadClassCounts,
+};
 pub use env::MdcEnv;

@@ -240,6 +240,17 @@ impl JumpTable {
     pub fn iter(&self) -> impl Iterator<Item = (&(MsgType, bool), &JumpEntry)> {
         self.entries.iter()
     }
+
+    /// The sorted, deduplicated set of handler names this table can
+    /// dispatch to. The observability layer uses it to give every
+    /// per-handler row in an `ObserveReport` a stable name even when the
+    /// handler was never invoked in a run.
+    pub fn handler_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self.entries.values().map(|e| e.handler).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
 }
 
 impl Default for JumpTable {
