@@ -1,0 +1,200 @@
+//! Handler-execution microbenchmarks: the reference per-pair emulator vs
+//! the translated native fast path, per handler and on realistic state.
+//!
+//! Three groups:
+//!
+//! * `handler_dispatch/<handler>_{emu,translated}` — every protocol
+//!   handler under a deterministic zero-memory environment (loads return
+//!   0, stores are discarded), so each iteration executes the identical
+//!   clean-directory path and nothing accumulates across the millions of
+//!   calibration iterations. This isolates pure dispatch + step-execution
+//!   cost, the quantity the translation exists to shrink.
+//! * `ni_get_realistic/*` — the read-miss handler on a real directory
+//!   (idempotent requester==home message, as `microbench.rs` uses), with
+//!   the hand-written native handler as the floor.
+//! * `alloc_reuse/*` — the allocating `run()` wrapper (the pre-translation
+//!   hot-path shape: fresh `Regs` + effect vector per invocation) against
+//!   `run_into` with persistent scratch state, on both backends. This is
+//!   the before/after for the hot-path allocation elimination.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flash_engine::{Addr, NodeId};
+use flash_pp::emu::{self, EffectSink, Env, MdcMiss, Regs};
+use flash_pp::isa::MemSize;
+use flash_pp::translate::translate_shared;
+use flash_pp::CodegenOptions;
+use flash_protocol::dir::{dir_addr, Directory, DEFAULT_PS_CAPACITY};
+use flash_protocol::fields::aux;
+use flash_protocol::handlers::{compile_shared, fields_of, MemEnv, HANDLER_NAMES};
+use flash_protocol::msg::{InMsg, MsgType};
+use flash_protocol::ProtoMem;
+
+const BUDGET: u64 = 100_000;
+
+/// Loads return zero, stores vanish: every iteration runs the identical
+/// clean-directory path with zero state growth.
+struct ZeroEnv {
+    fields: [u64; 16],
+}
+
+impl Env for ZeroEnv {
+    #[inline]
+    fn load(&mut self, _addr: u64, _size: MemSize) -> (u64, Option<MdcMiss>) {
+        (0, None)
+    }
+
+    #[inline]
+    fn store(&mut self, _addr: u64, _val: u64, _size: MemSize) -> Option<MdcMiss> {
+        None
+    }
+
+    #[inline]
+    fn msg_field(&mut self, field: u8) -> u64 {
+        self.fields[field as usize]
+    }
+}
+
+fn read_miss_msg() -> InMsg {
+    // requester == home: the ni_get path is idempotent (sets the LOCAL
+    // bit), so millions of bench iterations do not grow directory state.
+    let a = Addr::new(0x2000);
+    InMsg {
+        mtype: MsgType::NGet,
+        src: NodeId(0),
+        addr: a,
+        aux: aux::pack(NodeId(0), MsgType::NGet, NodeId(0)),
+        spec: true,
+        self_node: NodeId(0),
+        home: NodeId(0),
+        diraddr: dir_addr(a),
+        with_data: false,
+    }
+}
+
+fn bench_per_handler(c: &mut Criterion) {
+    let program = compile_shared(CodegenOptions::magic());
+    let translated = translate_shared(&program);
+    assert!(translated.fully_translated());
+    let fields = fields_of(&read_miss_msg());
+
+    let mut g = c.benchmark_group("handler_dispatch");
+    g.sample_size(10);
+    for handler in HANDLER_NAMES {
+        let entry = program.entry(handler).unwrap();
+        g.bench_function(format!("{handler}_emu"), |b| {
+            let mut env = ZeroEnv { fields };
+            let mut regs = Regs::new();
+            let mut sink = EffectSink::new();
+            b.iter(|| {
+                black_box(emu::run_into(
+                    &program, entry, &mut env, BUDGET, &mut regs, &mut sink,
+                ))
+            })
+        });
+        g.bench_function(format!("{handler}_translated"), |b| {
+            let mut env = ZeroEnv { fields };
+            let mut regs = Regs::new();
+            let mut sink = EffectSink::new();
+            b.iter(|| black_box(translated.run_into(entry, &mut env, BUDGET, &mut regs, &mut sink)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ni_get_realistic(c: &mut Criterion) {
+    let program = compile_shared(CodegenOptions::magic());
+    let translated = translate_shared(&program);
+    let entry = program.entry("ni_get").unwrap();
+    let msg = read_miss_msg();
+    let fields = fields_of(&msg);
+
+    let mut g = c.benchmark_group("ni_get_realistic");
+    g.bench_function("emu", |b| {
+        let mut mem = ProtoMem::new();
+        Directory::init_free_list(&mut mem, DEFAULT_PS_CAPACITY);
+        let mut regs = Regs::new();
+        let mut sink = EffectSink::new();
+        b.iter(|| {
+            let mut env = MemEnv {
+                mem: &mut mem,
+                fields,
+            };
+            black_box(
+                emu::run_into(&program, entry, &mut env, BUDGET, &mut regs, &mut sink).unwrap(),
+            )
+        })
+    });
+    g.bench_function("translated", |b| {
+        let mut mem = ProtoMem::new();
+        Directory::init_free_list(&mut mem, DEFAULT_PS_CAPACITY);
+        let mut regs = Regs::new();
+        let mut sink = EffectSink::new();
+        b.iter(|| {
+            let mut env = MemEnv {
+                mem: &mut mem,
+                fields,
+            };
+            black_box(
+                translated
+                    .run_into(entry, &mut env, BUDGET, &mut regs, &mut sink)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("native_floor", |b| {
+        let mut mem = ProtoMem::new();
+        Directory::init_free_list(&mut mem, DEFAULT_PS_CAPACITY);
+        let costs = flash_protocol::CostTable::paper();
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            black_box(flash_protocol::native::handle(
+                &msg, &mut mem, &costs, &mut out,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_alloc_reuse(c: &mut Criterion) {
+    let program = compile_shared(CodegenOptions::magic());
+    let translated = translate_shared(&program);
+    let entry = program.entry("ni_get").unwrap();
+    let fields = fields_of(&read_miss_msg());
+
+    let mut g = c.benchmark_group("alloc_reuse");
+    g.bench_function("emu_alloc_per_call", |b| {
+        let mut env = ZeroEnv { fields };
+        b.iter(|| black_box(emu::run(&program, entry, &mut env, BUDGET)))
+    });
+    g.bench_function("emu_scratch_reuse", |b| {
+        let mut env = ZeroEnv { fields };
+        let mut regs = Regs::new();
+        let mut sink = EffectSink::new();
+        b.iter(|| {
+            black_box(emu::run_into(
+                &program, entry, &mut env, BUDGET, &mut regs, &mut sink,
+            ))
+        })
+    });
+    g.bench_function("translated_alloc_per_call", |b| {
+        let mut env = ZeroEnv { fields };
+        b.iter(|| black_box(translated.run(entry, &mut env, BUDGET)))
+    });
+    g.bench_function("translated_scratch_reuse", |b| {
+        let mut env = ZeroEnv { fields };
+        let mut regs = Regs::new();
+        let mut sink = EffectSink::new();
+        b.iter(|| black_box(translated.run_into(entry, &mut env, BUDGET, &mut regs, &mut sink)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_per_handler,
+    bench_ni_get_realistic,
+    bench_alloc_reuse
+);
+criterion_main!(benches);

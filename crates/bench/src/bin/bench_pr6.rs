@@ -1,0 +1,315 @@
+//! PR 6 benchmark: the translated PP execution backend versus the
+//! reference per-pair emulator, written to `BENCH_PR6.json` (hand-rolled
+//! JSON, BENCH_PR1 methodology: measure both sides in one process, report
+//! the raw numbers, explain the shortfalls in `notes`). Usage:
+//!
+//! ```text
+//! cargo run --release -p flash-bench --bin bench_pr6 [output.json]
+//! ```
+//!
+//! Three measurement groups:
+//!
+//! 1. `handler_dispatch`: every protocol handler under a zero-memory
+//!    environment (clean-directory path, no state growth), emulator vs
+//!    translated, scratch-state `run_into` on both sides.
+//! 2. `chip_hot_path`: the per-invocation shape the chip executes, on the
+//!    realistic idempotent `ni_get` read miss — `before` replicates the
+//!    pre-PR path (entry lookup in the symbol map plus an allocating
+//!    `emu::run` per invocation), `after_*` are the scratch-reuse paths
+//!    this PR wired into `MagicChip`, and `native_floor` is the
+//!    hand-written Rust handler as the lower bound.
+//! 3. `end_to_end`: whole-machine sims/sec on FLASH-kind runs (paper
+//!    workloads plus a handler-saturating hot-spot storm), emulator vs
+//!    translated backend via `MachineConfig::with_pp_backend`.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use flash::{config::node_addr, Machine, MachineConfig, PpBackend, RunResult};
+use flash_cpu::{RefStream, SliceStream, WorkItem};
+use flash_engine::{Addr, NodeId};
+use flash_pp::emu::{self, EffectSink, Env, MdcMiss, Regs};
+use flash_pp::isa::MemSize;
+use flash_pp::translate::translate_shared;
+use flash_pp::CodegenOptions;
+use flash_protocol::dir::{dir_addr, Directory, DEFAULT_PS_CAPACITY};
+use flash_protocol::fields::aux;
+use flash_protocol::handlers::{compile_shared, fields_of, MemEnv, HANDLER_NAMES};
+use flash_protocol::msg::{InMsg, MsgType};
+use flash_protocol::ProtoMem;
+
+const BUDGET: u64 = 100_000;
+
+/// Loads return zero, stores vanish: every iteration executes the
+/// identical clean-directory path with zero state growth.
+struct ZeroEnv {
+    fields: [u64; 16],
+}
+
+impl Env for ZeroEnv {
+    #[inline]
+    fn load(&mut self, _addr: u64, _size: MemSize) -> (u64, Option<MdcMiss>) {
+        (0, None)
+    }
+
+    #[inline]
+    fn store(&mut self, _addr: u64, _val: u64, _size: MemSize) -> Option<MdcMiss> {
+        None
+    }
+
+    #[inline]
+    fn msg_field(&mut self, field: u8) -> u64 {
+        self.fields[field as usize]
+    }
+}
+
+fn read_miss_msg() -> InMsg {
+    // requester == home: idempotent, so iterations do not grow state.
+    let a = Addr::new(0x2000);
+    InMsg {
+        mtype: MsgType::NGet,
+        src: NodeId(0),
+        addr: a,
+        aux: aux::pack(NodeId(0), MsgType::NGet, NodeId(0)),
+        spec: true,
+        self_node: NodeId(0),
+        home: NodeId(0),
+        diraddr: dir_addr(a),
+        with_data: false,
+    }
+}
+
+/// Times `f` and returns median-of-5 ns per iteration.
+fn per_iter_ns(iters: u64, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters / 4 {
+        f(); // warm-up
+    }
+    let mut samples = [0f64; 5];
+    for s in &mut samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        *s = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    samples[2]
+}
+
+/// A handler-saturating hot-spot storm: every node repeatedly reads a set
+/// of node-0 lines, then node 0 writes them all back (invalidating every
+/// sharer), barrier-separated — the access shape of the paper's §4.3
+/// hot-spot experiments, chosen to maximize PP handler work per cycle.
+fn storm_streams(nodes: u16, lines: u64, rounds: usize) -> Vec<Box<dyn RefStream>> {
+    (0..nodes)
+        .map(|n| {
+            let mut items = Vec::new();
+            for _ in 0..rounds {
+                for l in 0..lines {
+                    items.push(WorkItem::Read(node_addr(NodeId(0), l * 128)));
+                }
+                items.push(WorkItem::Barrier);
+                if n == 0 {
+                    for l in 0..lines {
+                        items.push(WorkItem::Write(node_addr(NodeId(0), l * 128)));
+                    }
+                }
+                items.push(WorkItem::Barrier);
+            }
+            Box::new(SliceStream::new(items)) as Box<dyn RefStream>
+        })
+        .collect()
+}
+
+/// Wall-clock ms for one storm run (best of `reps`).
+fn storm_ms(backend: PpBackend, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let cfg = MachineConfig::flash(8).with_pp_backend(backend);
+        let mut m = Machine::new(cfg, storm_streams(8, 64, 10));
+        let t0 = Instant::now();
+        let RunResult::Completed { .. } = m.run(500_000_000) else {
+            panic!("storm run stuck");
+        };
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Wall-clock ms for one paper-workload run (best of `reps`).
+fn workload_ms(name: &str, procs: u16, scale: u32, backend: PpBackend, reps: usize) -> f64 {
+    let w = flash_workloads::by_name(name, procs, scale);
+    let cfg = MachineConfig::flash(procs).with_pp_backend(backend);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(flash_workloads::run_workload(&cfg, w.as_ref()));
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR6.json".into());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let program = compile_shared(CodegenOptions::magic());
+    let translated = translate_shared(&program);
+    assert!(translated.fully_translated());
+    let fields = fields_of(&read_miss_msg());
+
+    // Group 1: per-handler dispatch, clean path.
+    let mut per_handler = Vec::new();
+    let mut ratio_log_sum = 0f64;
+    for handler in HANDLER_NAMES {
+        let entry = program.entry(handler).expect("known handler");
+        let mut env = ZeroEnv { fields };
+        let mut regs = Regs::new();
+        let mut sink = EffectSink::new();
+        let e_ns = per_iter_ns(60_000, || {
+            black_box(emu::run_into(
+                &program, entry, &mut env, BUDGET, &mut regs, &mut sink,
+            ))
+            .ok();
+        });
+        let t_ns = per_iter_ns(60_000, || {
+            black_box(translated.run_into(entry, &mut env, BUDGET, &mut regs, &mut sink)).ok();
+        });
+        ratio_log_sum += (e_ns / t_ns).ln();
+        per_handler.push((handler, e_ns, t_ns));
+    }
+    let dispatch_geomean = (ratio_log_sum / per_handler.len() as f64).exp();
+
+    // Group 2: the chip's per-invocation hot path on realistic state.
+    let msg = read_miss_msg();
+    let entry = program.entry("ni_get").expect("ni_get");
+    let mfields = fields_of(&msg);
+    let mut mem = ProtoMem::new();
+    Directory::init_free_list(&mut mem, DEFAULT_PS_CAPACITY);
+    let before_ns = per_iter_ns(60_000, || {
+        // Pre-PR shape: symbol-map entry lookup plus allocating run.
+        let e = program.entry(black_box("ni_get")).expect("ni_get");
+        let mut env = MemEnv {
+            mem: &mut mem,
+            fields: mfields,
+        };
+        black_box(emu::run(&program, e, &mut env, BUDGET).expect("clean run"));
+    });
+    let mut regs = Regs::new();
+    let mut sink = EffectSink::new();
+    let after_emu_ns = per_iter_ns(60_000, || {
+        let mut env = MemEnv {
+            mem: &mut mem,
+            fields: mfields,
+        };
+        black_box(
+            emu::run_into(&program, entry, &mut env, BUDGET, &mut regs, &mut sink)
+                .expect("clean run"),
+        );
+    });
+    let after_translated_ns = per_iter_ns(60_000, || {
+        let mut env = MemEnv {
+            mem: &mut mem,
+            fields: mfields,
+        };
+        black_box(
+            translated
+                .run_into(entry, &mut env, BUDGET, &mut regs, &mut sink)
+                .expect("clean run"),
+        );
+    });
+    let costs = flash_protocol::CostTable::paper();
+    let mut out = Vec::new();
+    let native_ns = per_iter_ns(200_000, || {
+        out.clear();
+        black_box(flash_protocol::native::handle(
+            &msg, &mut mem, &costs, &mut out,
+        ));
+    });
+
+    // Group 3: end-to-end sims/sec, emulator vs translated backend.
+    let e2e: Vec<(String, f64, f64)> = [
+        ("storm_8p".to_string(), {
+            let e = storm_ms(PpBackend::Emulated, 3);
+            let t = storm_ms(PpBackend::Translated, 3);
+            (e, t)
+        }),
+        ("FFT_4p_scale64".to_string(), {
+            let e = workload_ms("FFT", 4, 64, PpBackend::Emulated, 3);
+            let t = workload_ms("FFT", 4, 64, PpBackend::Translated, 3);
+            (e, t)
+        }),
+        ("Barnes_4p_scale16".to_string(), {
+            let e = workload_ms("Barnes", 4, 16, PpBackend::Emulated, 3);
+            let t = workload_ms("Barnes", 4, 16, PpBackend::Translated, 3);
+            (e, t)
+        }),
+    ]
+    .into_iter()
+    .map(|(n, (e, t))| (n, e, t))
+    .collect();
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"pr\": 6,");
+    let _ = writeln!(
+        s,
+        "  \"description\": \"Translated PP backend (basic-block lowering) vs reference emulator\","
+    );
+    let _ = writeln!(s, "  \"host\": {{ \"cores\": {cores} }},");
+    let _ = writeln!(s, "  \"handler_dispatch_clean_path\": {{");
+    for (h, e, t) in &per_handler {
+        let _ = writeln!(
+            s,
+            "    \"{h}\": {{ \"emu_ns\": {e:.1}, \"translated_ns\": {t:.1}, \"speedup\": {:.2} }},",
+            e / t
+        );
+    }
+    let _ = writeln!(s, "    \"geomean_speedup\": {dispatch_geomean:.2}");
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"chip_hot_path_ni_get\": {{");
+    let _ = writeln!(
+        s,
+        "    \"before_pr6_lookup_plus_alloc_ns\": {before_ns:.1},"
+    );
+    let _ = writeln!(s, "    \"after_emu_scratch_ns\": {after_emu_ns:.1},");
+    let _ = writeln!(
+        s,
+        "    \"after_translated_scratch_ns\": {after_translated_ns:.1},"
+    );
+    let _ = writeln!(s, "    \"native_handler_floor_ns\": {native_ns:.1},");
+    let _ = writeln!(
+        s,
+        "    \"speedup_vs_before\": {:.2}",
+        before_ns / after_translated_ns
+    );
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"end_to_end\": {{");
+    for (i, (name, e, t)) in e2e.iter().enumerate() {
+        let comma = if i + 1 == e2e.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    \"{name}\": {{ \"emu_ms\": {e:.1}, \"translated_ms\": {t:.1}, \"emu_sims_per_sec\": {:.2}, \"translated_sims_per_sec\": {:.2}, \"speedup\": {:.2} }}{comma}",
+            1e3 / e,
+            1e3 / t,
+            e / t
+        );
+    }
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"target_5x\": false,");
+    let _ = writeln!(
+        s,
+        "  \"repro_all_stdout_byte_identical_across_backends\": true,"
+    );
+    let _ = writeln!(
+        s,
+        "  \"notes\": \"The issue targeted 5x sims/sec; measured reality is below. Handler execution (translated, monomorphized block engine with scratch reuse) runs ~1.5-2x the refactored emulator per handler and ~2x the pre-PR chip hot path (which paid a symbol-map lookup and fresh Regs + effect-vector allocations per invocation). End-to-end gains are Amdahl-capped: emu::run is well under half of total runtime even on the handler-saturating storm (the rest is cache, network, directory, and event-queue modelling), so whole-machine speedups land in the few-percent range. Closing the remaining gap to the native floor requires emitting real machine code (JIT); the workspace is dependency-frozen (no cranelift or equivalent), and a step-level interpreter cannot beat ~1-2 ns/step dispatch. Timing is backend-invariant by construction, pinned by tests/checked_stress.rs (pp_backends_are_cycle_identical), the per-handler differential suites, and byte-identical observe/repro stdout in tests/doc_commands.rs. Re-measure: cargo run --release -p flash-bench --bin bench_pr6; per-handler detail: cargo bench -p flash-bench --bench handler_dispatch.\""
+    );
+    let _ = writeln!(s, "}}");
+
+    std::fs::write(&out_path, &s).expect("write BENCH_PR6.json");
+    eprintln!("wrote {out_path}:\n{s}");
+}

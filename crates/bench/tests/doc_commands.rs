@@ -97,6 +97,46 @@ fn trace_out_writes_chrome_trace_json() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `FLASH_PP_BACKEND=emu|translated` (README "PP execution backend"):
+/// the backend is a host-performance knob, never a model knob, so the
+/// observability artifact must produce byte-identical stdout under both.
+#[test]
+fn observe_breakdown_stdout_identical_across_backends() {
+    let emu = Command::new(env!("CARGO_BIN_EXE_observe_breakdown"))
+        .env("FLASH_PP_BACKEND", "emu")
+        .output()
+        .expect("spawn observe_breakdown emu");
+    let translated = Command::new(env!("CARGO_BIN_EXE_observe_breakdown"))
+        .env("FLASH_PP_BACKEND", "translated")
+        .output()
+        .expect("spawn observe_breakdown translated");
+    assert!(emu.status.success() && translated.status.success());
+    assert_eq!(
+        emu.stdout, translated.stdout,
+        "observe_breakdown stdout must be byte-identical across PP backends"
+    );
+}
+
+/// Same contract for a repro binary: Table 3.3 regenerates byte-identical
+/// latency tables under both PP backends (the emulated-FLASH column runs
+/// every handler through the selected backend).
+#[test]
+fn repro_stdout_identical_across_backends() {
+    let emu = Command::new(env!("CARGO_BIN_EXE_table_3_3"))
+        .env("FLASH_PP_BACKEND", "emu")
+        .output()
+        .expect("spawn table_3_3 emu");
+    let translated = Command::new(env!("CARGO_BIN_EXE_table_3_3"))
+        .env("FLASH_PP_BACKEND", "translated")
+        .output()
+        .expect("spawn table_3_3 translated");
+    assert!(emu.status.success() && translated.status.success());
+    assert_eq!(
+        emu.stdout, translated.stdout,
+        "table_3_3 stdout must be byte-identical across PP backends"
+    );
+}
+
 /// The README quick-start commands build: every documented example and
 /// repro binary name resolves to a real target (compile-time check via
 /// `CARGO_BIN_EXE_*` for the bins this crate owns, plus a live run of

@@ -7,7 +7,7 @@
 
 use flash_engine::{Addr, NodeId};
 use flash_fault::FaultPlan;
-use flash_magic::ControllerKind;
+use flash_magic::{ControllerKind, PpBackend};
 use flash_mem::MemTiming;
 use flash_net::NetConfig;
 use flash_pp::CodegenOptions;
@@ -160,6 +160,12 @@ pub struct MachineConfig {
     ///
     /// [`RunResult::Wedged`]: crate::machine::RunResult::Wedged
     pub watchdog_window: u64,
+    /// PP execution backend for emulated controllers: the reference
+    /// per-pair emulator or the pre-translated native fast path. The two
+    /// are bit-identical in timing, statistics, and effects, so this is a
+    /// host-performance knob, never a model knob. Defaults to the
+    /// process-wide `FLASH_PP_BACKEND` setting (translated when unset).
+    pub pp_backend: PpBackend,
 }
 
 impl MachineConfig {
@@ -182,6 +188,7 @@ impl MachineConfig {
             faults: FaultPlan::none(),
             observe: false,
             watchdog_window: DEFAULT_WATCHDOG_WINDOW,
+            pp_backend: PpBackend::from_env(),
         }
     }
 
@@ -260,6 +267,13 @@ impl MachineConfig {
     /// Returns the config with a watchdog window (`0` disables).
     pub fn with_watchdog(mut self, window: u64) -> Self {
         self.watchdog_window = window;
+        self
+    }
+
+    /// Returns the config with a specific PP execution backend
+    /// (overriding the `FLASH_PP_BACKEND` process default).
+    pub fn with_pp_backend(mut self, backend: PpBackend) -> Self {
+        self.pp_backend = backend;
         self
     }
 }

@@ -34,7 +34,7 @@ pub mod report;
 
 pub use config::{MachineConfig, PathLatencies, Placement, DEFAULT_WATCHDOG_WINDOW};
 pub use flash_fault::{FaultPlan, FaultStats, LinkDown, WedgeReport};
-pub use flash_magic::ControllerKind;
+pub use flash_magic::{ControllerKind, PpBackend};
 pub use machine::{Machine, RunResult};
 pub use observe::{ClassRow, HandlerRow, ObserveReport};
 pub use report::{compare, format_table, Comparison, LatencyTable, MachineReport};

@@ -245,6 +245,11 @@ impl Machine {
                 )
             })
             .collect();
+        // Apply the configured PP backend (a host-performance knob;
+        // timing is backend-invariant, so this never changes results).
+        for chip in &mut chips {
+            chip.set_pp_backend(cfg.pp_backend);
+        }
         // Checked mode: the differential oracle replays every emulated
         // handler through the native protocol. The monitoring protocol
         // writes per-line counters the native oracle does not model, so

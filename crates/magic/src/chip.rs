@@ -3,7 +3,8 @@
 use crate::env::MdcEnv;
 use flash_engine::{Addr, Cycle, NodeId, OccupancyTracker};
 use flash_mem::{CacheGeometry, MagicCache, MemController, MemTiming};
-use flash_pp::emu::{self, EffectKind};
+use flash_pp::emu::{self, EffectKind, EffectSink, Regs};
+use flash_pp::translate::{translate_shared, Translated};
 use flash_pp::{CodegenOptions, Program, RunStats};
 use flash_protocol::dir::DEFAULT_PS_CAPACITY;
 use flash_protocol::handlers::{effect_to_outgoing, fields_of};
@@ -29,6 +30,46 @@ impl ControllerKind {
     /// Whether this kind charges PP occupancy.
     pub fn is_flash(self) -> bool {
         !matches!(self, ControllerKind::Ideal)
+    }
+}
+
+/// Which execution engine runs PP handlers on a
+/// [`ControllerKind::FlashEmulated`] controller. The two backends are
+/// bit-identical in timing, statistics, and effects (see
+/// `flash_pp::translate` for the equivalence obligations and the suites
+/// that pin them), so this is a host-performance knob, never a model
+/// knob: results must not depend on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PpBackend {
+    /// The per-pair instruction-stepping reference emulator
+    /// (`flash_pp::emu`).
+    Emulated,
+    /// Handlers pre-translated to native basic-block closures
+    /// (`flash_pp::translate`); the default.
+    Translated,
+}
+
+impl PpBackend {
+    /// The process-wide default: `FLASH_PP_BACKEND=emu|translated` when
+    /// set (read once and cached), otherwise [`PpBackend::Translated`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized `FLASH_PP_BACKEND` value, so a typo can
+    /// never silently select the wrong backend.
+    pub fn from_env() -> Self {
+        static CACHED: std::sync::OnceLock<PpBackend> = std::sync::OnceLock::new();
+        *CACHED.get_or_init(|| match std::env::var("FLASH_PP_BACKEND").as_deref() {
+            Ok("") | Ok("translated") | Ok("translate") | Err(_) => PpBackend::Translated,
+            Ok("emu") | Ok("emulated") => PpBackend::Emulated,
+            Ok(v) => panic!("FLASH_PP_BACKEND must be `emu` or `translated`, got `{v}`"),
+        })
+    }
+}
+
+impl Default for PpBackend {
+    fn default() -> Self {
+        Self::from_env()
     }
 }
 
@@ -267,6 +308,15 @@ pub struct MagicChip {
     node: NodeId,
     timings: MagicTimings,
     program: Option<Arc<Program>>,
+    backend: PpBackend,
+    translated: Option<Arc<Translated>>,
+    /// Handler name → entry pair index, filled lazily: spares the hot
+    /// path a `BTreeMap<String>` lookup per invocation.
+    entry_pcs: std::collections::HashMap<&'static str, usize>,
+    /// Scratch register file and effect buffer, reused across handler
+    /// invocations so the hot path does not allocate.
+    pp_regs: Regs,
+    pp_sink: EffectSink,
     jump: JumpTable,
     proto: ProtoMem,
     mdc: Option<MagicCache>,
@@ -320,6 +370,10 @@ impl MagicChip {
             ControllerKind::Ideal => None,
             _ => Some(1),
         };
+        let backend = PpBackend::from_env();
+        let translated = (kind == ControllerKind::FlashEmulated
+            && backend == PpBackend::Translated)
+            .then(|| translate_shared(program.as_ref().expect("checked above")));
         MagicChip {
             kind,
             node,
@@ -329,6 +383,11 @@ impl MagicChip {
                 MagicTimings::flash()
             },
             program,
+            backend,
+            translated,
+            entry_pcs: std::collections::HashMap::new(),
+            pp_regs: Regs::new(),
+            pp_sink: EffectSink::new(),
             jump,
             proto,
             mdc: (mdc_enabled && kind == ControllerKind::FlashEmulated)
@@ -346,6 +405,23 @@ impl MagicChip {
             obs_parts: Vec::new(),
             obs_invocation: None,
         }
+    }
+
+    /// Selects the PP execution backend. Only meaningful for
+    /// [`ControllerKind::FlashEmulated`]; the translation is shared
+    /// process-wide and built on first use.
+    pub fn set_pp_backend(&mut self, backend: PpBackend) {
+        self.backend = backend;
+        if backend == PpBackend::Translated && self.translated.is_none() {
+            if let Some(p) = &self.program {
+                self.translated = Some(translate_shared(p));
+            }
+        }
+    }
+
+    /// The active PP execution backend.
+    pub fn pp_backend(&self) -> PpBackend {
+        self.backend
     }
 
     /// Turns cycle-attribution recording on or off. When on, every
@@ -625,9 +701,16 @@ impl MagicChip {
         handler: &'static str,
     ) -> Vec<Emission> {
         let program = self.program.clone().expect("emulated mode has a program");
-        let entry_pc = program
-            .entry(handler)
-            .unwrap_or_else(|| panic!("program lacks handler {handler}"));
+        let entry_pc = match self.entry_pcs.get(handler) {
+            Some(&pc) => pc,
+            None => {
+                let pc = program
+                    .entry(handler)
+                    .unwrap_or_else(|| panic!("program lacks handler {handler}"));
+                self.entry_pcs.insert(handler, pc);
+                pc
+            }
+        };
         let pp_start = t_ready.max(self.pp_free);
         let wait = pp_start - t_ready;
         self.stats.inbox_wait_cycles += wait;
@@ -649,34 +732,55 @@ impl MagicChip {
         // replay this invocation through the native protocol afterwards.
         let pre = self.oracle.as_ref().map(|_| self.proto.clone());
 
-        let run = {
+        // Scratch state reused across invocations (`take` sidesteps the
+        // `&mut self` borrow while the environment holds `self.proto`).
+        let mut regs = std::mem::take(&mut self.pp_regs);
+        let mut sink = std::mem::take(&mut self.pp_sink);
+        let res = {
             let fields = fields_of(&msg);
             let mut env = MdcEnv::new(&mut self.proto, self.mdc.as_mut(), fields);
-            emu::run(&program, entry_pc, &mut env, emu::DEFAULT_PAIR_BUDGET).unwrap_or_else(|e| {
-                let h = flash_protocol::DirHeader(self.proto.load64(msg.diraddr));
-                let mut idx = h.head();
-                let mut walk = Vec::new();
-                for _ in 0..20 {
-                    if idx == 0 {
-                        break;
-                    }
-                    let e = flash_protocol::PtrEntry(
-                        self.proto.load64(flash_protocol::dir::entry_addr(idx)),
-                    );
-                    walk.push((idx, e.node().0, e.next()));
-                    idx = e.next();
-                }
-                panic!(
-                    "handler {handler} failed: {e}; msg {:?} hdr {:#x} walk {walk:?}",
-                    msg.mtype, h.0
-                )
-            })
+            match (self.backend, self.translated.as_ref()) {
+                (PpBackend::Translated, Some(t)) => t.run_into(
+                    entry_pc,
+                    &mut env,
+                    emu::DEFAULT_PAIR_BUDGET,
+                    &mut regs,
+                    &mut sink,
+                ),
+                _ => emu::run_into(
+                    &program,
+                    entry_pc,
+                    &mut env,
+                    emu::DEFAULT_PAIR_BUDGET,
+                    &mut regs,
+                    &mut sink,
+                ),
+            }
         };
-        self.stats.pp.merge(&run.stats);
+        let (exec_cycles, run_stats) = res.unwrap_or_else(|e| {
+            let h = flash_protocol::DirHeader(self.proto.load64(msg.diraddr));
+            let mut idx = h.head();
+            let mut walk = Vec::new();
+            for _ in 0..20 {
+                if idx == 0 {
+                    break;
+                }
+                let e = flash_protocol::PtrEntry(
+                    self.proto.load64(flash_protocol::dir::entry_addr(idx)),
+                );
+                walk.push((idx, e.node().0, e.next()));
+                idx = e.next();
+            }
+            panic!(
+                "handler {handler} failed: {e}; msg {:?} hdr {:#x} walk {walk:?}",
+                msg.mtype, h.0
+            )
+        });
+        self.stats.pp.merge(&run_stats);
 
         if let Some(pre) = pre {
-            let emu_out: Vec<Outgoing> = run
-                .effects
+            let emu_out: Vec<Outgoing> = sink
+                .effects()
                 .iter()
                 .filter_map(|te| effect_to_outgoing(&te.kind, self.node))
                 .collect();
@@ -696,9 +800,9 @@ impl MagicChip {
         }
 
         let mut drift = pre_drift;
-        let mut emissions = Vec::with_capacity(run.effects.len());
+        let mut emissions = Vec::with_capacity(sink.len());
         let mut used_mem_data = false;
-        for te in &run.effects {
+        for te in sink.effects() {
             let t_e = pp_start + te.offset + drift;
             match te.kind {
                 EffectKind::Mdc(m) => {
@@ -782,7 +886,7 @@ impl MagicChip {
             }
         }
 
-        let occupied = run.exec_cycles + drift;
+        let occupied = exec_cycles + drift;
         if self.observe {
             self.obs_invocation = Some(ObsInvocation {
                 handler,
@@ -798,6 +902,8 @@ impl MagicChip {
         if msg.spec && !used_mem_data {
             self.stats.spec_useless += 1;
         }
+        self.pp_regs = regs;
+        self.pp_sink = sink;
         emissions
     }
 
@@ -1128,6 +1234,52 @@ mod tests {
             }
             assert_eq!(plain.pp_busy_cycles(), observed.pp_busy_cycles());
         }
+    }
+
+    /// The backend is a host-performance knob: the same message sequence
+    /// must produce identical emissions, busy cycles, and PP statistics
+    /// under the emulator and the translated fast path, including remote
+    /// traffic, MDC misses, and back-to-back PP queueing.
+    #[test]
+    fn backends_produce_identical_emissions() {
+        let mut emu = mk_chip(ControllerKind::FlashEmulated);
+        let mut fast = mk_chip(ControllerKind::FlashEmulated);
+        emu.set_pp_backend(PpBackend::Emulated);
+        fast.set_pp_backend(PpBackend::Translated);
+
+        let remote = |addr: u64, mtype: MsgType, src: u16| InMsg {
+            mtype,
+            src: NodeId(src),
+            addr: Addr::new(addr),
+            aux: flash_protocol::fields::aux::pack(NodeId(src), mtype, NodeId(0)),
+            spec: false,
+            self_node: NodeId(0),
+            home: NodeId(0),
+            diraddr: flash_protocol::dir_addr(Addr::new(addr)),
+            with_data: false,
+        };
+        let seq = [
+            (local_get(0x1000), 7),
+            (remote(0x1000, MsgType::NGet, 3), 40),
+            (remote(0x1000, MsgType::NGetX, 5), 60),
+            (local_get(0x5000), 61), // arrives while the PP is busy
+            (remote(0x2000, MsgType::NGet, 2), 300),
+            (local_get(0x1000), 900),
+        ];
+        for (msg, t) in seq {
+            let a = emu.process(msg, Cycle::new(t));
+            let b = fast.process(msg, Cycle::new(t));
+            assert_eq!(a, b, "emissions diverged at cycle {t}");
+        }
+        assert_eq!(emu.pp_busy_cycles(), fast.pp_busy_cycles());
+        assert_eq!(emu.stats().pp, fast.stats().pp, "RunStats diverged");
+        assert_eq!(emu.stats().handlers, fast.stats().handlers);
+        assert_eq!(emu.stats().mdc_stall_cycles, fast.stats().mdc_stall_cycles);
+        assert_eq!(
+            emu.proto_mem_mut().first_difference(fast.proto_mem_mut()),
+            None,
+            "protocol memories diverged"
+        );
     }
 
     #[test]

@@ -14,6 +14,6 @@ pub mod env;
 
 pub use chip::{
     ControllerKind, Emission, MagicChip, MagicStats, MagicTimings, ObsInvocation, ObsParts,
-    ReadClass, ReadClassCounts,
+    PpBackend, ReadClass, ReadClassCounts,
 };
 pub use env::MdcEnv;

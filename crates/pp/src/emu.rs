@@ -148,6 +148,125 @@ pub struct HandlerRun {
     pub stats: RunStats,
 }
 
+/// A PP register file (`r0`–`r31`, 64 bits each). `r0` is hardwired to
+/// zero: writes to it through [`Regs::set`] are discarded. One register
+/// file can be reused across handler invocations — [`run_into`] resets it
+/// on entry — so the hot path never reallocates.
+#[derive(Debug, Clone)]
+pub struct Regs([u64; NUM_REGS]);
+
+impl Regs {
+    /// A fresh, zeroed register file.
+    pub fn new() -> Self {
+        Regs([0; NUM_REGS])
+    }
+
+    /// Reads a register.
+    #[inline]
+    pub fn get(&self, r: Reg) -> u64 {
+        self.0[r.index()]
+    }
+
+    /// Writes a register. Writes to `r0` are discarded.
+    #[inline]
+    pub fn set(&mut self, r: Reg, v: u64) {
+        if r != Reg::ZERO {
+            self.0[r.index()] = v;
+        }
+    }
+
+    /// Zeroes every register (the handler entry state).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.0 = [0; NUM_REGS];
+    }
+
+    /// Reads by raw index (the translator pre-validates indices).
+    #[inline]
+    pub(crate) fn get_i(&self, i: u8) -> u64 {
+        self.0[i as usize]
+    }
+
+    /// Writes by raw index; index 0 is the hardwired zero register.
+    #[inline]
+    pub(crate) fn set_i(&mut self, i: u8, v: u64) {
+        if i != 0 {
+            self.0[i as usize] = v;
+        }
+    }
+}
+
+impl Default for Regs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A reusable buffer for the effect timeline of a handler run. Clearing
+/// and reusing one sink across invocations keeps the hot path
+/// allocation-free once the buffer reaches steady-state capacity.
+#[derive(Debug, Clone, Default)]
+pub struct EffectSink {
+    effects: Vec<TimedEffect>,
+    mdc_misses: u64,
+}
+
+impl EffectSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Discards buffered effects; capacity is retained.
+    pub fn clear(&mut self) {
+        self.effects.clear();
+        self.mdc_misses = 0;
+    }
+
+    /// Appends an effect, counting MDC misses as they stream in.
+    #[inline]
+    pub fn push(&mut self, e: TimedEffect) {
+        if matches!(e.kind, EffectKind::Mdc(_)) {
+            self.mdc_misses += 1;
+        }
+        self.effects.push(e);
+    }
+
+    /// The buffered effects, in issue order.
+    pub fn effects(&self) -> &[TimedEffect] {
+        &self.effects
+    }
+
+    /// Number of buffered effects.
+    pub fn len(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// Whether the sink holds no effects.
+    pub fn is_empty(&self) -> bool {
+        self.effects.is_empty()
+    }
+
+    /// MDC misses among the buffered effects.
+    pub fn mdc_misses(&self) -> u64 {
+        self.mdc_misses
+    }
+
+    /// Adds `base` to the offset of every effect from index `from` on.
+    /// The translator's blocks record block-relative offsets and rebase
+    /// them to handler-relative offsets after each block completes.
+    pub(crate) fn rebase(&mut self, from: usize, base: u64) {
+        for e in &mut self.effects[from..] {
+            e.offset += base;
+        }
+    }
+
+    /// Consumes the sink, yielding the owned effect vector.
+    pub fn into_effects(self) -> Vec<TimedEffect> {
+        self.effects
+    }
+}
+
 /// The environment a handler executes against: message header fields and
 /// protocol memory (directory headers, pointer store), with MDC modelling.
 pub trait Env {
@@ -234,46 +353,88 @@ pub fn run(
     env: &mut impl Env,
     pair_budget: u64,
 ) -> Result<HandlerRun, EmuError> {
-    let mut regs = [0u64; NUM_REGS];
-    let mut out = HandlerRun {
-        stats: RunStats {
-            invocations: 1,
-            ..RunStats::default()
-        },
-        ..HandlerRun::default()
+    let mut regs = Regs::new();
+    let mut sink = EffectSink::new();
+    let (exec_cycles, stats) = run_into(program, entry, env, pair_budget, &mut regs, &mut sink)?;
+    Ok(HandlerRun {
+        effects: sink.into_effects(),
+        exec_cycles,
+        stats,
+    })
+}
+
+/// Non-allocating core of [`run`]: executes into caller-provided scratch
+/// state. `regs` is reset and `sink` cleared on entry; on success the
+/// effect timeline is left in `sink` and the pure execution cycle count
+/// plus the run's statistics are returned. On error the sink's contents
+/// are unspecified.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_into(
+    program: &Program,
+    entry: usize,
+    env: &mut (impl Env + ?Sized),
+    pair_budget: u64,
+    regs: &mut Regs,
+    sink: &mut EffectSink,
+) -> Result<(u64, RunStats), EmuError> {
+    regs.reset();
+    sink.clear();
+    let mut stats = RunStats {
+        invocations: 1,
+        ..RunStats::default()
     };
-    let mut pc = entry;
+    resume(program, entry, env, pair_budget, regs, sink, &mut stats).map(|cycles| (cycles, stats))
+}
+
+/// The per-pair interpreter loop, resumable mid-run: continues at `pc`
+/// with live register, effect, and statistics state. `stats.pairs` counts
+/// against `pair_budget`, so a resumed run sees the same budget horizon as
+/// an uninterrupted one. The translator drops back into this loop when a
+/// basic block might cross the budget, reproducing the emulator's exact
+/// per-pair error ordering.
+pub(crate) fn resume(
+    program: &Program,
+    mut pc: usize,
+    env: &mut (impl Env + ?Sized),
+    pair_budget: u64,
+    regs: &mut Regs,
+    sink: &mut EffectSink,
+    stats: &mut RunStats,
+) -> Result<u64, EmuError> {
     loop {
-        if out.stats.pairs >= pair_budget {
+        if stats.pairs >= pair_budget {
             return Err(EmuError::RanAway {
                 budget: pair_budget,
             });
         }
         let pair = *program.pairs.get(pc).ok_or(EmuError::BadPc { pc })?;
-        let offset = out.stats.pairs;
-        out.stats.pairs += 1;
+        let offset = stats.pairs;
+        stats.pairs += 1;
         // Pre-decoded at schedule time: both slots of a pair always
         // execute (control applies after the pair), so per-pair counts
         // are exact and the hot loop skips three per-instruction
         // classification matches.
         let meta = program.pair_meta(pc);
-        out.stats.instrs += meta.instrs as u64;
-        out.stats.special += meta.special as u64;
-        out.stats.alu_branch += meta.alu_branch as u64;
+        stats.instrs += meta.instrs as u64;
+        stats.special += meta.special as u64;
+        stats.alu_branch += meta.alu_branch as u64;
 
         let mut ctl = None;
         for instr in [pair.a, pair.b] {
             if instr == Instr::Nop {
                 continue;
             }
-            if let Some(c) = exec(instr, &mut regs, env, program, offset, &mut out)? {
+            if let Some(c) = exec(instr, regs, env, program, offset, stats, sink)? {
                 ctl = Some(c);
             }
         }
         match ctl {
             Some(Ctl::Switch) => {
-                out.exec_cycles = out.stats.pairs;
-                return Ok(out);
+                stats.mdc_misses = sink.mdc_misses();
+                return Ok(stats.pairs);
             }
             Some(Ctl::Jump(target)) => pc = target,
             None => pc += 1,
@@ -283,22 +444,18 @@ pub fn run(
 
 fn exec(
     instr: Instr,
-    regs: &mut [u64; NUM_REGS],
-    env: &mut impl Env,
+    regs: &mut Regs,
+    env: &mut (impl Env + ?Sized),
     program: &Program,
     offset: u64,
-    out: &mut HandlerRun,
+    stats: &mut RunStats,
+    sink: &mut EffectSink,
 ) -> Result<Option<Ctl>, EmuError> {
-    let w = |regs: &mut [u64; NUM_REGS], rd: Reg, v: u64| {
-        if rd != Reg::ZERO {
-            regs[rd.index()] = v;
-        }
-    };
     match instr {
         Instr::Nop => {}
         Instr::Alu { op, rd, rs, rt } => {
-            let v = op.apply(regs[rs.index()], regs[rt.index()]);
-            w(regs, rd, v);
+            let v = op.apply(regs.get(rs), regs.get(rt));
+            regs.set(rd, v);
         }
         Instr::AluImm { op, rd, rs, imm } => {
             // Logical immediates zero-extend; arithmetic immediates
@@ -307,10 +464,10 @@ fn exec(
                 AluOp::And | AluOp::Or | AluOp::Xor => imm as u16 as u64,
                 _ => imm as i64 as u64,
             };
-            let v = op.apply(regs[rs.index()], b);
-            w(regs, rd, v);
+            let v = op.apply(regs.get(rs), b);
+            regs.set(rd, v);
         }
-        Instr::Lui { rd, imm } => w(regs, rd, (imm as u64) << 16),
+        Instr::Lui { rd, imm } => regs.set(rd, (imm as u64) << 16),
         Instr::FieldImm {
             op,
             rd,
@@ -319,58 +476,56 @@ fn exec(
             width,
         } => {
             let m = field_mask(pos, width);
-            let a = regs[rs.index()];
+            let a = regs.get(rs);
             let v = match op {
                 FieldOp::AndMask => a & m,
                 FieldOp::AndNotMask => a & !m,
                 FieldOp::OrMask => a | m,
                 FieldOp::XorMask => a ^ m,
             };
-            w(regs, rd, v);
+            regs.set(rd, v);
         }
         Instr::BfExt { rd, rs, pos, width } => {
-            let v = (regs[rs.index()] >> pos) & field_mask(0, width);
-            w(regs, rd, v);
+            let v = (regs.get(rs) >> pos) & field_mask(0, width);
+            regs.set(rd, v);
         }
         Instr::BfIns { rd, rs, pos, width } => {
             let m = field_mask(pos, width);
-            let v = (regs[rd.index()] & !m) | ((regs[rs.index()] << pos) & m);
-            w(regs, rd, v);
+            let v = (regs.get(rd) & !m) | ((regs.get(rs) << pos) & m);
+            regs.set(rd, v);
         }
         Instr::Ffs { rd, rs } => {
-            let v = regs[rs.index()];
+            let v = regs.get(rs);
             let pos = if v == 0 {
                 64
             } else {
                 v.trailing_zeros() as u64
             };
-            w(regs, rd, pos);
+            regs.set(rd, pos);
         }
         Instr::Load { rd, rs, off, size } => {
-            out.stats.loads += 1;
-            let addr = regs[rs.index()].wrapping_add(off as i64 as u64);
+            stats.loads += 1;
+            let addr = regs.get(rs).wrapping_add(off as i64 as u64);
             if !addr.is_multiple_of(size.bytes()) {
                 return Err(EmuError::Unaligned { addr });
             }
             let (v, miss) = env.load(addr, size);
             if let Some(m) = miss {
-                out.stats.mdc_misses += 1;
-                out.effects.push(TimedEffect {
+                sink.push(TimedEffect {
                     offset,
                     kind: EffectKind::Mdc(m),
                 });
             }
-            w(regs, rd, v);
+            regs.set(rd, v);
         }
         Instr::Store { rt, rs, off, size } => {
-            out.stats.stores += 1;
-            let addr = regs[rs.index()].wrapping_add(off as i64 as u64);
+            stats.stores += 1;
+            let addr = regs.get(rs).wrapping_add(off as i64 as u64);
             if !addr.is_multiple_of(size.bytes()) {
                 return Err(EmuError::Unaligned { addr });
             }
-            if let Some(m) = env.store(addr, regs[rt.index()], size) {
-                out.stats.mdc_misses += 1;
-                out.effects.push(TimedEffect {
+            if let Some(m) = env.store(addr, regs.get(rt), size) {
+                sink.push(TimedEffect {
                     offset,
                     kind: EffectKind::Mdc(m),
                 });
@@ -382,7 +537,7 @@ fn exec(
             rt,
             target,
         } => {
-            if cond.taken(regs[rs.index()], regs[rt.index()]) {
+            if cond.taken(regs.get(rs), regs.get(rt)) {
                 return Ok(Some(Ctl::Jump(program.label_pc(target))));
             }
         }
@@ -392,7 +547,7 @@ fn exec(
             bit,
             target,
         } => {
-            let bitval = (regs[rs.index()] >> bit) & 1 == 1;
+            let bitval = (regs.get(rs) >> bit) & 1 == 1;
             if bitval == set {
                 return Ok(Some(Ctl::Jump(program.label_pc(target))));
             }
@@ -400,7 +555,7 @@ fn exec(
         Instr::Jump { target } => return Ok(Some(Ctl::Jump(program.label_pc(target)))),
         Instr::MfMsg { rd, field } => {
             let v = env.msg_field(field);
-            w(regs, rd, v);
+            regs.set(rd, v);
         }
         Instr::Send {
             target,
@@ -410,24 +565,24 @@ fn exec(
             raddr,
             raux,
         } => {
-            out.effects.push(TimedEffect {
+            sink.push(TimedEffect {
                 offset,
                 kind: EffectKind::Send(OutMsg {
                     target,
                     with_data,
-                    mtype: regs[rtype.index()],
-                    dest: regs[rdest.index()],
-                    addr: regs[raddr.index()],
-                    aux: regs[raux.index()],
+                    mtype: regs.get(rtype),
+                    dest: regs.get(rdest),
+                    addr: regs.get(raddr),
+                    aux: regs.get(raux),
                 }),
             });
         }
         Instr::MemOp { kind, raddr } => {
-            out.effects.push(TimedEffect {
+            sink.push(TimedEffect {
                 offset,
                 kind: EffectKind::MemOp {
                     kind,
-                    addr: regs[raddr.index()],
+                    addr: regs.get(raddr),
                 },
             });
         }

@@ -36,12 +36,14 @@ pub mod emu;
 pub mod isa;
 pub mod prog;
 pub mod sched;
+pub mod translate;
 
 pub use asm::{assemble, AsmError};
-pub use emu::{run, Env, HandlerRun, OutMsg, RunStats};
+pub use emu::{run, EffectSink, Env, HandlerRun, OutMsg, Regs, RunStats};
 pub use isa::{Instr, MemOpKind, MemSize, Reg, SendTarget};
 pub use prog::{Module, Pair, PairMeta, Program};
 pub use sched::{schedule, SchedOptions};
+pub use translate::{translate_shared, BlockExit, Translated};
 
 /// Code-generation options bundling the §5.3 de-optimization knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,0 +1,307 @@
+//! Property test: the translated fast path is bit-identical to the
+//! reference emulator. For random PP programs — terminating and
+//! diverging, under generous and starved pair budgets, on both schedule
+//! flavours — the translated backend must reproduce the emulator's
+//! `Result` exactly (including error values), the same `RunStats`, the
+//! same `TimedEffect` timeline with the same cycle offsets, the same
+//! final memory image, and the same sequence of environment calls.
+
+use flash_pp::emu::{self, EffectSink, Env, FlatEnv, MdcMiss, Regs, DEFAULT_PAIR_BUDGET};
+use flash_pp::isa::MemSize;
+use flash_pp::sched::{schedule, SchedOptions};
+use flash_pp::translate::Translated;
+use flash_pp::{assemble, Program};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Wraps an [`Env`] and records every call, so the comparison pins the
+/// environment-visible behaviour (ordering and arguments), not just the
+/// final state.
+struct LogEnv<E> {
+    inner: E,
+    log: Vec<String>,
+}
+
+impl<E> LogEnv<E> {
+    fn new(inner: E) -> Self {
+        LogEnv {
+            inner,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl<E: Env> Env for LogEnv<E> {
+    fn load(&mut self, addr: u64, size: MemSize) -> (u64, Option<MdcMiss>) {
+        let r = self.inner.load(addr, size);
+        self.log.push(format!("load {addr} {size:?} -> {r:?}"));
+        r
+    }
+
+    fn store(&mut self, addr: u64, val: u64, size: MemSize) -> Option<MdcMiss> {
+        let r = self.inner.store(addr, val, size);
+        self.log
+            .push(format!("store {addr} {val} {size:?} -> {r:?}"));
+        r
+    }
+
+    fn msg_field(&mut self, field: u8) -> u64 {
+        let v = self.inner.msg_field(field);
+        self.log.push(format!("mfmsg {field} -> {v}"));
+        v
+    }
+}
+
+/// One random instruction in a forward-branching program (same shape as
+/// the scheduler-equivalence suite).
+#[derive(Debug, Clone)]
+enum RandInstr {
+    AluImm {
+        op: &'static str,
+        rd: u8,
+        rs: u8,
+        imm: i16,
+    },
+    Alu {
+        op: &'static str,
+        rd: u8,
+        rs: u8,
+        rt: u8,
+    },
+    Field {
+        op: &'static str,
+        rd: u8,
+        rs: u8,
+        pos: u8,
+        width: u8,
+    },
+    Ffs {
+        rd: u8,
+        rs: u8,
+    },
+    Load {
+        rd: u8,
+        base_slot: u8,
+    },
+    Store {
+        rt: u8,
+        base_slot: u8,
+    },
+    BranchFwd {
+        rs: u8,
+        rt: u8,
+        eq: bool,
+    },
+    BranchBitFwd {
+        rs: u8,
+        bit: u8,
+        set: bool,
+    },
+    MfMsg {
+        rd: u8,
+        field: u8,
+    },
+    Send {
+        rtype: u8,
+        raddr: u8,
+        raux: u8,
+    },
+    MemRd {
+        raddr: u8,
+    },
+}
+
+fn reg_strategy() -> impl Strategy<Value = u8> {
+    0u8..27
+}
+
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+fn instr_strategy() -> impl Strategy<Value = RandInstr> {
+    prop_oneof![
+        4 => ("add|and|or|xor|slt", reg_strategy(), reg_strategy(), -200i16..200)
+            .prop_map(|(op, rd, rs, imm)| RandInstr::AluImm { op: leak(op), rd, rs, imm }),
+        3 => ("add|sub|and|or|xor|sll|srl", reg_strategy(), reg_strategy(), reg_strategy())
+            .prop_map(|(op, rd, rs, rt)| RandInstr::Alu { op: leak(op), rd, rs, rt }),
+        2 => ("andfi|andcfi|orfi|xorfi|bfext|bfins", reg_strategy(), reg_strategy(), 0u8..50, 1u8..14)
+            .prop_map(|(op, rd, rs, pos, width)| RandInstr::Field { op: leak(op), rd, rs, pos, width }),
+        1 => (reg_strategy(), reg_strategy()).prop_map(|(rd, rs)| RandInstr::Ffs { rd, rs }),
+        2 => (reg_strategy(), 0u8..8).prop_map(|(rd, base_slot)| RandInstr::Load { rd, base_slot }),
+        2 => (reg_strategy(), 0u8..8).prop_map(|(rt, base_slot)| RandInstr::Store { rt, base_slot }),
+        1 => (reg_strategy(), reg_strategy(), any::<bool>())
+            .prop_map(|(rs, rt, eq)| RandInstr::BranchFwd { rs, rt, eq }),
+        1 => (reg_strategy(), 0u8..63, any::<bool>())
+            .prop_map(|(rs, bit, set)| RandInstr::BranchBitFwd { rs, bit, set }),
+        1 => (reg_strategy(), 0u8..8).prop_map(|(rd, field)| RandInstr::MfMsg { rd, field }),
+        1 => (reg_strategy(), reg_strategy(), reg_strategy())
+            .prop_map(|(rtype, raddr, raux)| RandInstr::Send { rtype, raddr, raux }),
+        1 => reg_strategy().prop_map(|raddr| RandInstr::MemRd { raddr }),
+    ]
+}
+
+/// Renders assembly. `diverge` replaces the final `switch` with a jump
+/// back to entry, turning the program into a budget-exhaustion probe.
+fn render(prog: &[RandInstr], diverge: bool) -> String {
+    use std::fmt::Write;
+    let mut s = String::from("entry:\n  addi r28, r0, 256\n");
+    for (i, ins) in prog.iter().enumerate() {
+        match ins {
+            RandInstr::AluImm { op, rd, rs, imm } => {
+                let _ = writeln!(s, "  {op}i r{rd}, r{rs}, {imm}");
+            }
+            RandInstr::Alu { op, rd, rs, rt } => {
+                let _ = writeln!(s, "  {op} r{rd}, r{rs}, r{rt}");
+            }
+            RandInstr::Field {
+                op,
+                rd,
+                rs,
+                pos,
+                width,
+            } => {
+                let _ = writeln!(s, "  {op} r{rd}, r{rs}, {pos}, {width}");
+            }
+            RandInstr::Ffs { rd, rs } => {
+                let _ = writeln!(s, "  ffs r{rd}, r{rs}");
+            }
+            RandInstr::Load { rd, base_slot } => {
+                let _ = writeln!(s, "  ld r{rd}, {}(r28)", base_slot * 8);
+            }
+            RandInstr::Store { rt, base_slot } => {
+                let _ = writeln!(s, "  sd r{rt}, {}(r28)", base_slot * 8);
+            }
+            RandInstr::BranchFwd { rs, rt, eq } => {
+                let m = if *eq { "beq" } else { "bne" };
+                let _ = writeln!(s, "  {m} r{rs}, r{rt}, l{i}");
+                let _ = writeln!(s, "l{i}:");
+            }
+            RandInstr::BranchBitFwd { rs, bit, set } => {
+                let m = if *set { "bbs" } else { "bbc" };
+                let _ = writeln!(s, "  {m} r{rs}, {bit}, l{i}");
+                let _ = writeln!(s, "l{i}:");
+            }
+            RandInstr::MfMsg { rd, field } => {
+                let _ = writeln!(s, "  mfmsg r{rd}, {field}");
+            }
+            RandInstr::Send { rtype, raddr, raux } => {
+                let _ = writeln!(s, "  sendp r{rtype}, r{raddr}, r{raux}");
+            }
+            RandInstr::MemRd { raddr } => {
+                let _ = writeln!(s, "  memrd r{raddr}");
+            }
+        }
+    }
+    if diverge {
+        s.push_str("  j entry\n");
+    } else {
+        s.push_str("  switch\n");
+    }
+    s
+}
+
+fn fresh_env() -> LogEnv<FlatEnv> {
+    let mut inner = FlatEnv::new(1024);
+    for f in 0..16 {
+        inner.fields[f] = (f as u64).wrapping_mul(0x1111) ^ 0xbeef;
+    }
+    LogEnv::new(inner)
+}
+
+/// Runs one program under both backends and asserts total agreement.
+fn assert_backends_agree(program: &Arc<Program>, entry: usize, budget: u64, src: &str) {
+    let translated = Translated::new(program.clone());
+    assert!(
+        translated.fully_translated(),
+        "scheduler output must fully translate\n{src}"
+    );
+
+    let mut env_e = fresh_env();
+    let mut regs_e = Regs::new();
+    let mut sink_e = EffectSink::new();
+    let res_e = emu::run_into(program, entry, &mut env_e, budget, &mut regs_e, &mut sink_e);
+
+    let mut env_t = fresh_env();
+    let mut regs_t = Regs::new();
+    let mut sink_t = EffectSink::new();
+    let res_t = translated.run_into(entry, &mut env_t, budget, &mut regs_t, &mut sink_t);
+
+    assert_eq!(res_e, res_t, "result diverged (budget {budget})\n{src}");
+    assert_eq!(
+        env_e.log, env_t.log,
+        "environment call sequence diverged (budget {budget})\n{src}"
+    );
+    if res_e.is_ok() {
+        assert_eq!(
+            sink_e.effects(),
+            sink_t.effects(),
+            "effect timeline diverged\n{src}"
+        );
+        for slot in 0..128 {
+            assert_eq!(
+                env_e.inner.peek64(slot * 8),
+                env_t.inner.peek64(slot * 8),
+                "memory diverged at slot {slot}\n{src}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Terminating programs under a generous budget, both schedules.
+    #[test]
+    fn random_programs_agree(
+        prog in proptest::collection::vec(instr_strategy(), 1..40),
+        dual in any::<bool>(),
+    ) {
+        let src = render(&prog, false);
+        let module = assemble(&src).unwrap();
+        let opts = if dual { SchedOptions::magic() } else { SchedOptions::single_issue() };
+        let program = Arc::new(schedule(&module, opts));
+        let entry = program.entry("entry").unwrap();
+        assert_backends_agree(&program, entry, DEFAULT_PAIR_BUDGET, &src);
+    }
+
+    /// Starved budgets over both terminating and diverging programs: the
+    /// exact `RanAway`/`BadPc`/success boundary must match pair-for-pair.
+    #[test]
+    fn random_budgets_agree(
+        prog in proptest::collection::vec(instr_strategy(), 1..20),
+        diverge in any::<bool>(),
+        budget in 0u64..64,
+    ) {
+        let src = render(&prog, diverge);
+        let module = assemble(&src).unwrap();
+        let program = Arc::new(schedule(&module, SchedOptions::magic()));
+        let entry = program.entry("entry").unwrap();
+        assert_backends_agree(&program, entry, budget, &src);
+    }
+}
+
+/// Every pair budget across a whole small program: sweeps the budget
+/// boundary over every block of a loop, catching off-by-one drift in the
+/// fast path's block-level budget guard.
+#[test]
+fn budget_sweep_over_loop() {
+    let src = "entry:
+  addi r1, r0, 4
+  addi r28, r0, 256
+loop:
+  sd r1, 0(r28)
+  addi r1, r1, -1
+  bgtz r1, loop
+  mfmsg r2, 3
+  sendp r2, r1, r2
+  switch
+";
+    let module = assemble(src).unwrap();
+    let program = Arc::new(schedule(&module, SchedOptions::magic()));
+    let entry = program.entry("entry").unwrap();
+    let max = 4 * program.pairs.len() as u64 + 4;
+    for budget in 0..max {
+        assert_backends_agree(&program, entry, budget, src);
+    }
+}

@@ -7,8 +7,40 @@
 //! host.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_BYTES: u64 = 4096;
+
+/// A minimal multiply-fold hasher for page numbers. Page lookups sit on
+/// the PP handler hot path (every directory header and pointer-store
+/// access goes through one), and SipHash's per-lookup setup cost is
+/// measurable there. Page numbers are small, dense, and attacker-free,
+/// so a single odd-constant multiply with a high-bit fold is enough.
+/// Iteration order is never observable: the only key-order-sensitive
+/// consumer is [`ProtoMem::first_difference`], which sorts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // Multiply by a random odd 64-bit constant and fold the high
+        // bits down so the HashMap's low-bit masking sees mixed bits.
+        let h = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 32);
+    }
+}
 
 /// A sparse, byte-addressable protocol memory (zero-initialized).
 ///
@@ -24,7 +56,7 @@ const PAGE_BYTES: u64 = 4096;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ProtoMem {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>, BuildHasherDefault<PageHasher>>,
 }
 
 impl ProtoMem {

@@ -107,6 +107,56 @@ fn checked_stress_ideal() {
 }
 
 #[test]
+fn checked_stress_translated_backend() {
+    // Obligation (b) of the translation architecture: the native-vs-PP
+    // differential oracle stays quiet with the translated backend
+    // explicitly armed (regardless of the process-wide FLASH_PP_BACKEND,
+    // so the CI reference job still covers the fast path here).
+    use flash::PpBackend;
+    for seed in 0..seeds(3) {
+        let m = run_checked(
+            MachineConfig::flash(4).with_pp_backend(PpBackend::Translated),
+            16,
+            300,
+            200 + seed,
+        );
+        assert!(m.oracle_checked() > 0);
+    }
+}
+
+#[test]
+fn pp_backends_are_cycle_identical() {
+    // The PP backend is a host-performance knob, never a model knob:
+    // the same workload must finish at the same cycle with identical
+    // per-processor stats under the emulator and the translated path.
+    use flash::PpBackend;
+    let base = MachineConfig::flash(4);
+    let mut emu = Machine::new(
+        base.clone().with_pp_backend(PpBackend::Emulated),
+        streams(4, 16, 250, 11),
+    );
+    let mut fast = Machine::new(
+        base.with_pp_backend(PpBackend::Translated),
+        streams(4, 16, 250, 11),
+    );
+    let RunResult::Completed { exec_cycles: c0 } = emu.run(500_000_000) else {
+        panic!("emulated run stuck");
+    };
+    let RunResult::Completed { exec_cycles: c1 } = fast.run(500_000_000) else {
+        panic!("translated run stuck");
+    };
+    assert_eq!(c0, c1, "backend changed the finish cycle");
+    for (a, b) in emu.procs().iter().zip(fast.procs()) {
+        assert_eq!(a.finish_time(), b.finish_time());
+        assert_eq!(a.stats().read_stall_q, b.stats().read_stall_q);
+        assert_eq!(a.stats().write_stall_q, b.stats().write_stall_q);
+    }
+    let ra = flash::MachineReport::from_machine(&emu);
+    let rb = flash::MachineReport::from_machine(&fast);
+    assert_eq!(ra.pp_stats, rb.pp_stats, "PP statistics diverged");
+}
+
+#[test]
 fn checked_mode_does_not_perturb_timing() {
     // The check flag must be timing-invisible: identical finish cycles
     // and execution stats with the net on and off.
