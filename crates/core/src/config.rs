@@ -19,6 +19,27 @@ use flash_pp::CodegenOptions;
 /// make progress every few hundred cycles).
 pub const DEFAULT_WATCHDOG_WINDOW: u64 = 2_000_000;
 
+/// Default watchdog window scaled with machine size. The 2M-cycle base
+/// was tuned for the 16/64-node matrix; barrier quiet periods and NACK
+/// storms both stretch with node count (more arrivals to wait for, more
+/// retry traffic per line), so the window grows linearly beyond 64 nodes:
+/// 64 nodes → 2M, 256 → 8M, 1024 → 32M.
+pub fn default_watchdog_window(nodes: u16) -> u64 {
+    DEFAULT_WATCHDOG_WINDOW * ((nodes as u64).div_ceil(64)).max(1)
+}
+
+/// Process-wide default shard count, read from `FLASH_SHARDS` (≥ 1;
+/// unset, empty, or unparsable means 1 — the serial engine). Pinned the
+/// same way `FLASH_JOBS` is: results are byte-identical for every value,
+/// so this is a host-performance knob, never a model knob.
+pub fn shards_from_env() -> usize {
+    std::env::var("FLASH_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 /// How physical pages map to home nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
@@ -166,6 +187,16 @@ pub struct MachineConfig {
     /// host-performance knob, never a model knob. Defaults to the
     /// process-wide `FLASH_PP_BACKEND` setting (translated when unset).
     pub pp_backend: PpBackend,
+    /// Shard count for the conservative-time-window parallel engine:
+    /// mesh nodes are partitioned into this many contiguous shards, each
+    /// stepping its own event queue, synchronized every
+    /// minimum-cross-node-latency window. Clamped to the node count at
+    /// run time. Like `pp_backend` this is a host-performance knob and
+    /// never a model knob: every report, observation export, and repro
+    /// line is byte-identical for any value (1 runs the same windowed
+    /// engine serially, with no worker threads). Defaults to the
+    /// process-wide `FLASH_SHARDS` setting (1 when unset).
+    pub shards: usize,
 }
 
 impl MachineConfig {
@@ -187,8 +218,9 @@ impl MachineConfig {
             lat: PathLatencies::default(),
             faults: FaultPlan::none(),
             observe: false,
-            watchdog_window: DEFAULT_WATCHDOG_WINDOW,
+            watchdog_window: default_watchdog_window(nodes),
             pp_backend: PpBackend::from_env(),
+            shards: shards_from_env(),
         }
     }
 
@@ -274,6 +306,13 @@ impl MachineConfig {
     /// (overriding the `FLASH_PP_BACKEND` process default).
     pub fn with_pp_backend(mut self, backend: PpBackend) -> Self {
         self.pp_backend = backend;
+        self
+    }
+
+    /// Returns the config with a specific shard count (overriding the
+    /// `FLASH_SHARDS` process default; values below 1 are treated as 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }

@@ -1,4 +1,39 @@
 //! The machine: nodes, network, and the event loop (the FlashLite role).
+//!
+//! # Sharded conservative-window execution
+//!
+//! The machine partitions its nodes into `cfg.shards` contiguous shards,
+//! each owning its nodes' processors, MAGIC chips, event queue, network
+//! counters, and fault streams. Simulation advances in conservative time
+//! windows: every window starts at the earliest pending event time `W`
+//! across all shards and extends to `W + L`, where the lookahead `L` is
+//! the minimum latency any cross-node message can experience (minimum
+//! remote mesh transit plus the receiving NI's input stage). Within a
+//! window each shard processes its own events independently — no event
+//! it handles can affect another shard sooner than `L` cycles out, so
+//! cross-shard messages always land in a later window.
+//!
+//! Determinism is the design's non-negotiable: results are byte-identical
+//! for **any** shard count, including 1. Three mechanisms carry that:
+//!
+//! * **Canonical event keys.** Every event carries a `(cycle, sub)` key
+//!   where `sub` encodes the *originating node* and a per-origin sequence
+//!   number. Keys are independent of shard layout and globally unique, so
+//!   any set of events sorts the same way no matter which queue held them.
+//! * **Boundary-resolved shared state.** Everything nodes share — locks,
+//!   barriers, the finish count, the checker, the observer — is owned by
+//!   the coordinator and updated only at window boundaries, by replaying
+//!   per-shard journals merged in canonical key order.
+//! * **Staged cross-shard delivery.** A message bound for another shard
+//!   is staged with its precomputed key and drained into the destination
+//!   queue at the boundary (provably at or past the window's end, by the
+//!   lookahead argument above).
+//!
+//! With one shard the same windowed loop runs without any worker threads;
+//! with more, shards execute on `std::thread::scope` workers that
+//! ping-pong shard contexts with the coordinator over channels. The
+//! shard count is a host-performance knob (`FLASH_SHARDS` /
+//! [`MachineConfig::with_shards`]), never a model knob.
 
 use crate::config::MachineConfig;
 use crate::observe::{ObserveReport, Observer, ReqKind};
@@ -8,11 +43,12 @@ use flash_fault::{
     FaultInjector, FaultStats, LinkVerdict, MsgRing, MshrSnap, NiDir, NodeWedge, PendingLine,
     TraceEntry, WedgeReport,
 };
-use flash_magic::{ControllerKind, Emission, MagicChip};
+use flash_magic::{ControllerKind, Emission, MagicChip, ObsInvocation, ObsParts, ReadClass};
 use flash_net::{Mesh, NetModel};
 use flash_protocol::fields::aux;
 use flash_protocol::{dir_addr, InMsg, JumpTable, Msg, MsgType, ProcMsg};
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::mpsc;
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
@@ -20,7 +56,10 @@ enum Ev {
     /// Resume a processor's reference stream.
     ProcRun(u16),
     /// A message is ready at a node's inbox (inbound latency paid).
-    MagicIn { node: u16, wire: Wire },
+    /// `net` marks messages that crossed the mesh (they are subject to
+    /// the receiver's inbound-NI fault hooks; bus-side and DMA messages
+    /// are not).
+    MagicIn { node: u16, wire: Wire, net: bool },
     /// MAGIC delivers a message to its local processor.
     ProcDeliver { node: u16, pm: ProcMsg, tries: u32 },
     /// Re-offer a message the fault layer held (scripted link outage).
@@ -53,33 +92,137 @@ struct LockState {
     waiters: VecDeque<(u16, Cycle)>,
 }
 
+/// Canonical event identity: `(cycle, sub)` with `sub` from [`sub_key`].
+/// Orders identically regardless of shard layout.
+type EvKey = (u64, u64);
+
+/// Bits of the per-origin sequence counter inside a sub-key (the origin
+/// node occupies the bits above, so keys from different nodes never
+/// collide and same-cycle events order by origin, then issue order).
+const SUB_SEQ_BITS: u32 = 44;
+
+/// Packs an event's originating node and per-origin sequence number into
+/// the within-cycle ordering key.
+fn sub_key(origin: u16, seq: u64) -> u64 {
+    debug_assert!(seq < 1 << SUB_SEQ_BITS, "per-origin sequence overflow");
+    ((origin as u64) << SUB_SEQ_BITS) | seq
+}
+
+/// First node and one-past-last node of shard `s` (contiguous partition;
+/// the first `nodes % shards` shards take one extra node).
+fn shard_bounds(nodes: u16, shards: usize, s: usize) -> (u16, u16) {
+    let n = nodes as usize;
+    let base = n / shards;
+    let rem = n % shards;
+    let lo = s * base + s.min(rem);
+    let hi = lo + base + usize::from(s < rem);
+    (lo as u16, hi as u16)
+}
+
+/// Which shard owns `node` under the contiguous partition.
+fn shard_of(nodes: u16, shards: usize, node: u16) -> usize {
+    let n = nodes as usize;
+    let base = n / shards;
+    let rem = n % shards;
+    let node = node as usize;
+    let cut = (base + 1) * rem;
+    if node < cut {
+        node / (base + 1)
+    } else {
+        rem + (node - cut) / base.max(1)
+    }
+}
+
+/// `(shard, index within the shard's slices)` for `node`.
+fn locate(nodes: u16, shards: usize, node: u16) -> (usize, usize) {
+    let s = shard_of(nodes, shards, node);
+    let (lo, _) = shard_bounds(nodes, shards, s);
+    (s, (node - lo) as usize)
+}
+
+/// A synchronization request journaled by a shard for boundary
+/// resolution, tagged with the requesting event's canonical key so the
+/// coordinator applies them in a shard-count-invariant order.
+#[derive(Debug, Clone, Copy)]
+enum SyncOp {
+    /// `node` arrived at the global barrier at its pipeline time `pt`.
+    Barrier { node: u16, pt: Cycle },
+    /// `node` wants lock `id` (parked `WaitSync` until granted).
+    Lock { node: u16, id: u32, pt: Cycle },
+    /// Lock `id` released at `pt` (the releaser already continued).
+    Unlock { id: u32, pt: Cycle },
+    /// A processor retired its stream.
+    Finished,
+}
+
+/// One observer mutation journaled by a shard, replayed against the
+/// master [`Observer`] at the boundary in canonical key order. Arrival
+/// ops carry *candidate* requester keys instead of a resolved key: the
+/// replay resolves them against the master's live pending set, exactly
+/// as the serial machine resolved against its own — so attribution is
+/// bit-identical for every shard count.
+#[derive(Debug, Clone, Copy)]
+enum ObsOp {
+    /// A miss left a processor: start tracking (from `post_cpu_outs`).
+    Begin {
+        node: u16,
+        line: u64,
+        issue: Cycle,
+        kind: ReqKind,
+    },
+    /// Inbox arrival: advance the resolved candidate's frontier.
+    ArriveAdvance {
+        cands: [Option<u16>; 2],
+        line: u64,
+        seg: Segment,
+        now: Cycle,
+    },
+    /// Handler invocation trace (independent of any tracked request).
+    TraceHandler { node: u16, inv: ObsInvocation },
+    /// Post-handler bookkeeping for the same arrival: read class plus the
+    /// per-candidate continuing emission's exact decomposition.
+    ArriveApply {
+        cands: [Option<u16>; 2],
+        line: u64,
+        class: Option<ReadClass>,
+        parts: [Option<(Cycle, ObsParts, bool)>; 2],
+    },
+    /// A network hop charged to the resolved candidate.
+    NetHop {
+        cands: [u16; 2],
+        line: u64,
+        depart: Cycle,
+        arrive: Cycle,
+    },
+    /// Frontier advance with a fixed key (delivery-side ops).
+    Advance {
+        key: (u16, u64),
+        now: Cycle,
+        seg: Segment,
+    },
+    /// The reply reached the processor: close the tracked request.
+    Complete { key: (u16, u64), now: Cycle },
+}
+
+/// A cross-shard message staged for boundary delivery. The lookahead
+/// guarantees `at` is at or past the window's end, so staging never
+/// reorders against events the destination already processed.
+#[derive(Debug, Clone, Copy)]
+struct Staged {
+    at: Cycle,
+    sub: u64,
+    node: u16,
+    wire: Wire,
+}
+
 /// Checked-mode bookkeeping (allocated only when `cfg.check`).
 #[derive(Debug, Default)]
 struct CheckCtx {
     /// Every 128-byte line that ever saw protocol activity.
-    touched: std::collections::BTreeSet<u64>,
+    touched: BTreeSet<u64>,
     /// Invariant violations detected so far (machine-level checks; the
     /// per-chip differential oracle keeps its own list).
     violations: Vec<flash_check::Violation>,
-    /// In-flight `PInval` deliveries, keyed by (node, line address).
-    ///
-    /// The protocol acknowledges an invalidation as soon as the sharer's
-    /// MAGIC processes `NInval` — the bus-side `PInval` rides a later
-    /// `ProcDeliver` event, so the stale copy legitimately outlives the
-    /// directory's PENDING window (the paper's relaxed-consistency
-    /// ordering, §2). A copy with a queued `PInval` is logically dead and
-    /// exempt from the coherence checks; one still queued at quiescence
-    /// is a message-conservation violation.
-    inflight_invals: std::collections::HashMap<(u16, u64), u32>,
-    /// In-flight `PIntervGet`/`PIntervGetX` deliveries, keyed the same
-    /// way. A copy with a queued intervention is mid-handoff: the home
-    /// may have already granted (exclusive) ownership to the requester
-    /// while this bus transaction — possibly deferred for many retries —
-    /// has yet to invalidate or downgrade the old owner's copy. Such a
-    /// copy is exempt from the coherence checks until the intervention
-    /// executes; one still queued at quiescence is a conservation
-    /// violation.
-    inflight_intervs: std::collections::HashMap<(u16, u64), u32>,
     /// Rogue-copy observations (`shared-under-dirty`, `copy-not-listed`)
     /// awaiting repair, keyed by (copy node, line address), with the
     /// cycle of first observation.
@@ -97,7 +240,7 @@ struct CheckCtx {
     /// quiescence. (Whether the rogue shows up as `shared-under-dirty` or
     /// `copy-not-listed` depends only on what the header looks like when
     /// the checker happens to observe the window.)
-    provisional_rogues: std::collections::HashMap<(u16, u64), (Cycle, flash_check::Violation)>,
+    provisional_rogues: HashMap<(u16, u64), (Cycle, flash_check::Violation)>,
 }
 
 /// Why [`Machine::run`] stopped.
@@ -126,13 +269,58 @@ pub enum RunResult {
     },
 }
 
+/// Per-shard state that persists across windows and runs: the shard's
+/// event queue, its slice of the network's traffic counters, its fault
+/// streams, its recent-message ring, and its checker exemption maps.
+struct ShardState {
+    queue: EventQueue<Ev>,
+    /// Per-shard traffic counters; the machine's master [`NetModel`] is
+    /// rebuilt from these at teardown.
+    net: NetModel,
+    /// Fault-injection runtime (`None` when `cfg.faults` is disarmed).
+    /// Draw streams are keyed per (fault class, entity), so schedules
+    /// are shard-layout-invariant.
+    injector: Option<FaultInjector>,
+    /// Recent message observations with canonical keys; merged into the
+    /// machine's [`MsgRing`] at teardown.
+    ring: VecDeque<(EvKey, TraceEntry)>,
+    /// In-flight `PInval` deliveries for this shard's nodes, keyed by
+    /// (node, line address).
+    ///
+    /// The protocol acknowledges an invalidation as soon as the sharer's
+    /// MAGIC processes `NInval` — the bus-side `PInval` rides a later
+    /// `ProcDeliver` event, so the stale copy legitimately outlives the
+    /// directory's PENDING window (the paper's relaxed-consistency
+    /// ordering, §2). A copy with a queued `PInval` is logically dead and
+    /// exempt from the coherence checks; one still queued at quiescence
+    /// is a message-conservation violation.
+    inflight_invals: HashMap<(u16, u64), u32>,
+    /// In-flight `PIntervGet`/`PIntervGetX` deliveries, keyed the same
+    /// way. A copy with a queued intervention is mid-handoff: the home
+    /// may have already granted (exclusive) ownership to the requester
+    /// while this bus transaction — possibly deferred for many retries —
+    /// has yet to invalidate or downgrade the old owner's copy. Such a
+    /// copy is exempt from the coherence checks until the intervention
+    /// executes; one still queued at quiescence is a conservation
+    /// violation.
+    inflight_intervs: HashMap<(u16, u64), u32>,
+    /// Latest event time this shard has processed.
+    now: Cycle,
+    /// Last cycle this shard saw forward progress.
+    last_progress: Cycle,
+}
+
 /// A full machine instance: processors, MAGIC chips, memory, network.
 pub struct Machine {
     cfg: MachineConfig,
     procs: Vec<Processor>,
     chips: Vec<MagicChip>,
+    /// Merged lifetime traffic totals (rebuilt from shard models at every
+    /// teardown so repeated runs never double-count).
     net: NetModel,
-    events: EventQueue<Ev>,
+    shards: Vec<ShardState>,
+    /// Per-origin event sequence counters (canonical sub-key allocation).
+    origin_seq: Vec<u64>,
     now: Cycle,
     parked: Vec<Park>,
     barrier_waiters: Vec<(u16, Cycle)>,
@@ -141,17 +329,16 @@ pub struct Machine {
     finish: Vec<Cycle>,
     interv_deferrals: u64,
     check: Option<CheckCtx>,
-    /// Fault-injection runtime (`None` when `cfg.faults` is disarmed; a
-    /// disarmed machine takes none of the injection branches).
-    injector: Option<FaultInjector>,
     /// Ring of recent message observations (wedge diagnostics; the
-    /// in-memory counterpart of `FLASH_TRACE_ADDR`).
+    /// in-memory counterpart of `FLASH_TRACE_ADDR`). Rebuilt from the
+    /// per-shard rings at teardown.
     ring: MsgRing,
     /// Last cycle a retirement, message delivery, or handler invocation
     /// advanced (the forward-progress watchdog's reference point).
     last_progress: Cycle,
-    /// Cycle-attribution observer (`None` when `cfg.observe` is off; a
-    /// disarmed machine takes none of the observation branches).
+    /// Cycle-attribution observer (`None` when `cfg.observe` is off).
+    /// Owned by the coordinator; shards journal mutations and the
+    /// boundary replays them in canonical order.
     observe: Option<Box<Observer>>,
 }
 
@@ -205,6 +392,1069 @@ fn trace_out() -> Option<&'static str> {
             .filter(|s| !s.is_empty())
     })
     .as_deref()
+}
+
+/// The requester candidates (and charged segment) a message arriving at
+/// `node`'s inbox may belong to — the pure part of the serial machine's
+/// key resolution; the pending-set lookup happens at boundary replay.
+///
+/// Requests and forwards carry the requester in their aux field; replies
+/// from third-party owners carry the responder, so replies also try the
+/// receiving node (replies terminate at the requester's own chip).
+/// Messages that never continue a request path (invals, acks,
+/// writebacks, sharing writebacks) resolve to `None`. The frontier gap
+/// is charged to PI for bus-side messages, mesh for network-side (which
+/// folds the receiving NI input stage into mesh transit).
+fn observe_cands(node: u16, wire: &Wire) -> Option<([Option<u16>; 2], Segment)> {
+    match wire.mtype {
+        MsgType::PiGet | MsgType::PiGetX | MsgType::PiUpgrade => {
+            Some(([Some(wire.src.0), None], Segment::Pi))
+        }
+        MsgType::PiIntervReply | MsgType::PiIntervMiss => {
+            Some(([Some(aux::requester(wire.aux).0), None], Segment::Pi))
+        }
+        MsgType::NGet
+        | MsgType::NGetX
+        | MsgType::NUpgrade
+        | MsgType::NFwdGet
+        | MsgType::NFwdGetX => Some(([Some(aux::requester(wire.aux).0), None], Segment::Mesh)),
+        MsgType::NPut
+        | MsgType::NPutX
+        | MsgType::NUpgAck
+        | MsgType::NNack
+        | MsgType::NIntervMiss => Some((
+            [Some(aux::requester(wire.aux).0), Some(node)],
+            Segment::Mesh,
+        )),
+        _ => None,
+    }
+}
+
+/// Whether a chip emission continues the tracked request `key`
+/// (first match wins when applying per-emission attributions).
+fn emission_continues(em: &Emission, key: (u16, u64), node: u16) -> bool {
+    match em {
+        Emission::Proc { msg: pm, .. } => {
+            pm.addr.line().raw() == key.1
+                && match pm.mtype {
+                    MsgType::PPut | MsgType::PPutX | MsgType::PUpgAck | MsgType::PNackRetry => {
+                        key.0 == node
+                    }
+                    MsgType::PIntervGet | MsgType::PIntervGetX => aux::requester(pm.aux).0 == key.0,
+                    _ => false,
+                }
+        }
+        Emission::Net { msg: m, .. } => {
+            m.addr.line().raw() == key.1
+                && matches!(
+                    m.mtype,
+                    MsgType::NGet
+                        | MsgType::NGetX
+                        | MsgType::NUpgrade
+                        | MsgType::NFwdGet
+                        | MsgType::NFwdGetX
+                        | MsgType::NPut
+                        | MsgType::NPutX
+                        | MsgType::NUpgAck
+                        | MsgType::NNack
+                        | MsgType::NIntervMiss
+                )
+                && (aux::requester(m.aux).0 == key.0 || m.dst.0 == key.0)
+        }
+    }
+}
+
+/// The requester candidates a network message continues (the
+/// network-side subset of [`emission_continues`], used to charge NI-wait
+/// and mesh-transit cycles in `post_net`).
+fn net_msg_cands(msg: &Msg) -> Option<([u16; 2], u64)> {
+    if !matches!(
+        msg.mtype,
+        MsgType::NGet
+            | MsgType::NGetX
+            | MsgType::NUpgrade
+            | MsgType::NFwdGet
+            | MsgType::NFwdGetX
+            | MsgType::NPut
+            | MsgType::NPutX
+            | MsgType::NUpgAck
+            | MsgType::NNack
+            | MsgType::NIntervMiss
+    ) {
+        return None;
+    }
+    Some((
+        [aux::requester(msg.aux).0, msg.dst.0],
+        msg.addr.line().raw(),
+    ))
+}
+
+/// Checks every invariant visible for one line right now: SWMR across
+/// all processor caches, directory structural audit, and cache/
+/// directory agreement at the line's home. Shared by the boundary
+/// checker (reading through shard contexts) and the quiescence audit
+/// (reading the machine directly) via the accessor closures.
+fn check_line_at<'a>(
+    cfg: &MachineConfig,
+    ctx: &mut CheckCtx,
+    line: Addr,
+    now: Cycle,
+    proc_at: &dyn Fn(u16) -> &'a Processor,
+    chip_at: &dyn Fn(u16) -> &'a MagicChip,
+    doomed: &dyn Fn((u16, u64)) -> bool,
+) {
+    let mut copies = Vec::new();
+    for i in 0..cfg.nodes {
+        let p = proc_at(i);
+        // A copy with a queued `PInval` is logically dead (the sharer's
+        // MAGIC already acknowledged the invalidation), and one with a
+        // queued `PIntervGet`/`PIntervGetX` is mid-handoff (the requester
+        // may install before the bus transaction lands). Both are exempt
+        // from SWMR/agreement.
+        let key = (i, line.raw());
+        if let Some(state) = p.cache().state_of(line) {
+            if !doomed(key) {
+                copies.push(flash_check::CachedCopy {
+                    node: i,
+                    exclusive: state == flash_cpu::LineState::Exclusive,
+                });
+            }
+        }
+        let in_use = p.outstanding_misses();
+        if in_use > cfg.mshrs {
+            ctx.violations.push(flash_check::Violation {
+                kind: "mshr-over",
+                node: i,
+                line: line.raw(),
+                detail: format!("{in_use} MSHRs in use, limit {}", cfg.mshrs),
+            });
+        }
+    }
+    let home = cfg.placement.home_of(line, cfg.nodes);
+    let da = dir_addr(line);
+    let mem = chip_at(home.0).proto_mem();
+    ctx.violations
+        .extend(flash_check::audit_directory(mem, da, home.0, false));
+    if let Ok(sharers) = flash_check::walk_sharers(mem, da) {
+        let h = flash_protocol::DirHeader(mem.load64(da));
+        for v in flash_check::check_line_coherence(h, &sharers, home.0, &copies, line.raw()) {
+            // Per-copy cache/directory disagreements are legal for a
+            // bounded window (stale-transfer self-repair) and are
+            // attributed to the copy holder; held provisionally until
+            // the copy is invalidated. See `CheckCtx::provisional_rogues`.
+            // Everything else (aggregate swmr, structural audits) reports
+            // immediately.
+            let provisional = matches!(
+                v.kind,
+                "shared-under-dirty"
+                    | "copy-not-listed"
+                    | "excl-wrong-owner"
+                    | "excl-not-dirty"
+                    | "excl-home-not-local"
+                    | "home-copy-not-local"
+            );
+            if provisional {
+                ctx.provisional_rogues
+                    .entry((v.node, v.line))
+                    .or_insert((now, v));
+            } else {
+                ctx.violations.push(v);
+            }
+        }
+    }
+}
+
+/// One shard's working view for a window: its slices of the machine's
+/// node-indexed state, its persistent [`ShardState`], and the journals
+/// the boundary will replay. Moves between the coordinator and a worker
+/// thread when the machine runs more than one shard.
+struct ShardCtx<'a> {
+    cfg: &'a MachineConfig,
+    shard: usize,
+    /// First node this shard owns (its slices start here).
+    lo: u16,
+    nodes: u16,
+    nshards: usize,
+    check: bool,
+    observe: bool,
+    procs: &'a mut [Processor],
+    chips: &'a mut [MagicChip],
+    parked: &'a mut [Park],
+    finish: &'a mut [Cycle],
+    origin_seq: &'a mut [u64],
+    st: ShardState,
+    /// Deferral count accumulated this run (merged at teardown).
+    interv_deferrals: u64,
+    // Per-window journals, drained at each boundary.
+    sync_ops: Vec<(EvKey, SyncOp)>,
+    obs_ops: Vec<(EvKey, ObsOp)>,
+    staged: Vec<Staged>,
+    discharges: Vec<(u16, u64)>,
+    touched: BTreeSet<u64>,
+    // Current window parameters and event cursor.
+    end: Cycle,
+    budget: u64,
+    cur: EvKey,
+    cur_t: Cycle,
+}
+
+impl<'a> ShardCtx<'a> {
+    fn li(&self, node: u16) -> usize {
+        debug_assert!(node >= self.lo && ((node - self.lo) as usize) < self.procs.len());
+        (node - self.lo) as usize
+    }
+
+    /// Allocates the next canonical sub-key for an event originated by
+    /// `origin` (which must be one of this shard's nodes).
+    fn next_sub(&mut self, origin: u16) -> u64 {
+        let li = self.li(origin);
+        let seq = self.origin_seq[li];
+        self.origin_seq[li] += 1;
+        sub_key(origin, seq)
+    }
+
+    fn push_local(&mut self, origin: u16, at: Cycle, ev: Ev) {
+        let sub = self.next_sub(origin);
+        self.st.queue.push_sub(at, sub, ev);
+    }
+
+    fn sync(&mut self, op: SyncOp) {
+        self.sync_ops.push((self.cur, op));
+    }
+
+    fn obs(&mut self, op: ObsOp) {
+        self.obs_ops.push((self.cur, op));
+    }
+
+    fn mark_progress(&mut self) {
+        if self.cur_t > self.st.last_progress {
+            self.st.last_progress = self.cur_t;
+        }
+    }
+
+    /// Processes this shard's events inside the current window, in
+    /// canonical `(cycle, sub)` order.
+    fn run_window(&mut self) {
+        while let Some((t, _)) = self.st.queue.peek_key() {
+            if t >= self.end || t.raw() > self.budget {
+                break;
+            }
+            let (t, sub, ev) = self.st.queue.pop_keyed().expect("peeked non-empty");
+            self.cur = (t.raw(), sub);
+            self.cur_t = t;
+            if t > self.st.now {
+                self.st.now = t;
+            }
+            let ev_line = match &ev {
+                Ev::ProcRun(_) => None,
+                Ev::MagicIn { wire, .. } => Some(wire.addr.line().raw()),
+                Ev::ProcDeliver { pm, .. } => Some(pm.addr.line().raw()),
+                Ev::NetSend { msg } => Some(msg.addr.line().raw()),
+            };
+            match ev {
+                Ev::ProcRun(n) => self.ev_proc_run(n),
+                Ev::MagicIn { node, wire, net } => self.ev_magic_in(node, wire, net),
+                Ev::ProcDeliver { node, pm, tries } => self.ev_proc_deliver(node, pm, tries),
+                Ev::NetSend { msg } => self.post_net(t, msg),
+            }
+            if self.check {
+                if let Some(line) = ev_line {
+                    self.touched.insert(line);
+                }
+            }
+        }
+    }
+
+    fn ev_proc_run(&mut self, n: u16) {
+        let i = self.li(n);
+        if self.parked[i] != Park::Scheduled {
+            return; // stale wakeup (not forward progress)
+        }
+        self.mark_progress();
+        let now = self.cur_t;
+        let mut outs = Vec::new();
+        let outcome = self.procs[i].run(now, &mut outs);
+        self.post_cpu_outs(n, &outs);
+        match outcome {
+            RunOutcome::BlockedRead | RunOutcome::BlockedWrite => {
+                self.parked[i] = Park::WaitReply;
+            }
+            RunOutcome::Barrier => {
+                // Processors run ahead of the event clock; synchronization
+                // uses each processor's own arrival time.
+                let pt = self.procs[i].now().max(now);
+                self.parked[i] = Park::WaitSync;
+                self.sync(SyncOp::Barrier { node: n, pt });
+            }
+            RunOutcome::Lock(id) => {
+                let pt = self.procs[i].now().max(now);
+                self.parked[i] = Park::WaitSync;
+                self.sync(SyncOp::Lock { node: n, id, pt });
+            }
+            RunOutcome::Unlock(id) => {
+                let pt = self.procs[i].now().max(now);
+                self.sync(SyncOp::Unlock { id, pt });
+                self.schedule_run(n, pt);
+            }
+            RunOutcome::Quantum => {
+                let at = self.procs[i].now();
+                self.schedule_run(n, at.max(now));
+            }
+            RunOutcome::Finished => {
+                if self.parked[i] != Park::Done {
+                    self.parked[i] = Park::Done;
+                    self.finish[i] = self.procs[i].finish_time();
+                    self.sync(SyncOp::Finished);
+                }
+            }
+        }
+    }
+
+    fn schedule_run(&mut self, n: u16, at: Cycle) {
+        self.parked[self.li(n)] = Park::Scheduled;
+        self.push_local(n, at, Ev::ProcRun(n));
+    }
+
+    fn wake_if_waiting(&mut self, n: u16, at: Cycle) {
+        if self.parked[self.li(n)] == Park::WaitReply {
+            self.schedule_run(n, at);
+        }
+    }
+
+    /// Converts processor requests into PI messages at the MAGIC inbox.
+    fn post_cpu_outs(&mut self, n: u16, outs: &[(Cycle, CpuOut)]) {
+        let lat = self.cfg.lat;
+        for &(t, o) in outs {
+            let (mtype, addr, extra) = match o {
+                CpuOut::Get(a) => (MsgType::PiGet, a, lat.miss_to_bus),
+                CpuOut::GetX(a) => (MsgType::PiGetX, a, lat.miss_to_bus),
+                CpuOut::Upgrade(a) => (MsgType::PiUpgrade, a, lat.miss_to_bus),
+                CpuOut::Writeback(a) => (MsgType::PiWriteback, a, 0),
+                CpuOut::Hint(a) => (MsgType::PiRplHint, a, 0),
+            };
+            // Observed mode: a miss leaving the processor starts a
+            // tracked request at its issue time.
+            if self.observe {
+                let kind = match mtype {
+                    MsgType::PiGet => Some(ReqKind::Read),
+                    MsgType::PiGetX => Some(ReqKind::Write),
+                    MsgType::PiUpgrade => Some(ReqKind::Upgrade),
+                    _ => None,
+                };
+                if let Some(kind) = kind {
+                    self.obs(ObsOp::Begin {
+                        node: n,
+                        line: addr.line().raw(),
+                        issue: t,
+                        kind,
+                    });
+                }
+            }
+            self.push_local(
+                n,
+                t + extra + lat.bus + lat.pi_in,
+                Ev::MagicIn {
+                    node: n,
+                    wire: Wire {
+                        mtype,
+                        src: NodeId(n),
+                        addr,
+                        aux: 0,
+                        with_data: mtype.carries_data(),
+                    },
+                    net: false,
+                },
+            );
+        }
+    }
+
+    fn ev_magic_in(&mut self, node: u16, wire: Wire, net: bool) {
+        let now = self.cur_t;
+        let i = self.li(node);
+        // Receiver-side inbound-NI freeze: a frozen input queue re-offers
+        // the message — identity (canonical key) preserved — at the thaw
+        // time. Keyed to the *receiving* node so the draw stream is
+        // shard-layout-invariant.
+        if net {
+            if let Some(inj) = self.st.injector.as_mut() {
+                if let Some(resume) = inj.ni_freeze(now, node, NiDir::In) {
+                    self.st
+                        .queue
+                        .push_sub(resume, self.cur.1, Ev::MagicIn { node, wire, net });
+                    return;
+                }
+            }
+        }
+        let line_raw = wire.addr.line().raw();
+        let home = self.cfg.placement.home_of(wire.addr, self.cfg.nodes);
+        if trace_addr() == Some(line_raw) {
+            // The home's header is only visible when this shard owns it.
+            let hdr = if shard_of(self.nodes, self.nshards, home.0) == self.shard {
+                format!(
+                    "{:#x}",
+                    self.chips[self.li(home.0)]
+                        .peek_header(flash_protocol::dir_addr(wire.addr))
+                        .0
+                )
+            } else {
+                "remote-shard".to_string()
+            };
+            eprintln!(
+                "[{}] magic_in node{} {:?} src={} aux={:#x} hdr={}",
+                now, node, wire.mtype, wire.src, wire.aux, hdr
+            );
+        }
+        self.mark_progress();
+        self.st.ring.push_back((
+            self.cur,
+            TraceEntry {
+                at: now.raw(),
+                node,
+                kind: wire.mtype.name(),
+                src: wire.src.0,
+                line: line_raw,
+                aux: wire.aux,
+            },
+        ));
+        if self.st.ring.len() > RING_CAPACITY {
+            self.st.ring.pop_front();
+        }
+        let msg = InMsg {
+            mtype: wire.mtype,
+            src: wire.src,
+            addr: wire.addr,
+            aux: wire.aux,
+            spec: false,
+            self_node: NodeId(node),
+            home,
+            diraddr: dir_addr(wire.addr),
+            with_data: wire.with_data,
+        };
+        // Fault hooks (taken only when an injector is armed): a PP
+        // slowdown burst holds the protocol processor busy past `now`; a
+        // handler running inside a DRAM refresh window finds its memory
+        // controller blocked to the window's end.
+        if let Some(inj) = self.st.injector.as_mut() {
+            let burst = inj.pp_burst(now, node);
+            if burst > 0 {
+                self.chips[i].stall_pp(now + burst);
+            }
+            if let Some(until) = inj.dram_block(now) {
+                self.chips[i].block_memory(until);
+            }
+        }
+        // Observed mode: journal the arrival; the boundary replay
+        // resolves the candidate keys against the master pending set and
+        // advances the tracked request's frontier to the inbox arrival.
+        let arrival = self.observe.then(|| observe_cands(node, &wire)).flatten();
+        if let Some((cands, seg)) = arrival {
+            self.obs(ObsOp::ArriveAdvance {
+                cands,
+                line: line_raw,
+                seg,
+                now,
+            });
+        }
+        // Read-miss classification at the home (paper Tables 4.1/4.2).
+        let chip = &mut self.chips[i];
+        let class = match wire.mtype {
+            MsgType::PiGet if home == NodeId(node) => chip.classify_read(&msg, NodeId(node)),
+            MsgType::NGet => chip.classify_read(&msg, aux::requester(wire.aux)),
+            _ => None,
+        };
+        let emissions = chip.process(msg, now);
+        // Observed mode: record the handler invocation, then journal the
+        // read class and the per-candidate continuing emission's exact
+        // decomposition (the replay picks the resolved candidate's).
+        if self.observe {
+            if let Some(inv) = self.chips[i].obs_invocation().copied() {
+                self.obs(ObsOp::TraceHandler { node, inv });
+            }
+            if let Some((cands, _)) = arrival {
+                let mut parts: [Option<(Cycle, ObsParts, bool)>; 2] = [None, None];
+                for (ci, cand) in cands.iter().enumerate() {
+                    if let Some(c) = cand {
+                        if let Some(ei) = emissions
+                            .iter()
+                            .position(|em| emission_continues(em, (*c, line_raw), node))
+                        {
+                            parts[ci] = Some((
+                                emissions[ei].at(),
+                                self.chips[i].obs_parts()[ei],
+                                matches!(emissions[ei], Emission::Net { .. }),
+                            ));
+                        }
+                    }
+                }
+                self.obs(ObsOp::ArriveApply {
+                    cands,
+                    line: line_raw,
+                    class,
+                    parts,
+                });
+            }
+        }
+        for em in emissions {
+            match em {
+                Emission::Net { at, msg } => self.post_net(at, msg),
+                Emission::Proc { at, msg } => {
+                    if self.check {
+                        let key = (node, msg.addr.line().raw());
+                        match msg.mtype {
+                            // The copy is logically dead from the moment
+                            // the invalidation is queued on the bus.
+                            MsgType::PInval => {
+                                *self.st.inflight_invals.entry(key).or_insert(0) += 1;
+                            }
+                            // The copy is mid-handoff: the new owner may
+                            // install its (exclusive) copy before this bus
+                            // transaction invalidates or downgrades ours.
+                            MsgType::PIntervGet | MsgType::PIntervGetX => {
+                                *self.st.inflight_intervs.entry(key).or_insert(0) += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    self.push_local(
+                        node,
+                        at,
+                        Ev::ProcDeliver {
+                            node,
+                            pm: msg,
+                            tries: 0,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn post_net(&mut self, at: Cycle, msg: Msg) {
+        debug_assert_eq!(
+            shard_of(self.nodes, self.nshards, msg.src.0),
+            self.shard,
+            "network sends originate on the sender's shard"
+        );
+        if trace_addr() == Some(msg.addr.line().raw()) {
+            eprintln!(
+                "[{}] post_net at={} {:?} {}->{} aux={:#x}",
+                self.cur_t, at, msg.mtype, msg.src, msg.dst, msg.aux
+            );
+        }
+        // Fault hooks on the outbound path: an output-queue freeze at the
+        // source NI delays entry to the mesh; then the link verdict may
+        // delay further (transient stall, hop spike) or hold the message
+        // entirely (scripted outage — re-offered later, not progress).
+        let mut at = at;
+        if let Some(inj) = self.st.injector.as_mut() {
+            if let Some(resume) = inj.ni_freeze(at, msg.src.0, NiDir::Out) {
+                at = resume;
+            }
+            match inj.link_verdict(at, msg.src.0, msg.dst.0) {
+                LinkVerdict::Clear => {}
+                LinkVerdict::Delay(d) => at += d,
+                LinkVerdict::Hold { resume } => {
+                    self.push_local(msg.src.0, resume, Ev::NetSend { msg });
+                    return;
+                }
+            }
+        }
+        let arrival = self.st.net.send(at, msg.src, msg.dst);
+        // Observed mode: source-side holds (fault layer) count as
+        // NI-wait, the hop itself as mesh transit.
+        if self.observe {
+            if let Some((cands, line)) = net_msg_cands(&msg) {
+                self.obs(ObsOp::NetHop {
+                    cands,
+                    line,
+                    depart: at,
+                    arrive: arrival,
+                });
+            }
+        }
+        let deliver = arrival + self.cfg.lat.ni_in;
+        let wire = Wire {
+            mtype: msg.mtype,
+            src: msg.src,
+            addr: msg.addr,
+            aux: msg.aux,
+            with_data: msg.with_data,
+        };
+        let dst = msg.dst.0;
+        let sub = self.next_sub(msg.src.0);
+        if shard_of(self.nodes, self.nshards, dst) == self.shard {
+            self.st.queue.push_sub(
+                deliver,
+                sub,
+                Ev::MagicIn {
+                    node: dst,
+                    wire,
+                    net: true,
+                },
+            );
+        } else {
+            // The lookahead proof: deliver >= send time + minimum remote
+            // transit + NI input >= window start + lookahead = window end.
+            debug_assert!(
+                deliver >= self.end,
+                "cross-shard delivery inside the window violates the lookahead"
+            );
+            self.staged.push(Staged {
+                at: deliver,
+                sub,
+                node: dst,
+                wire,
+            });
+        }
+    }
+
+    fn ev_proc_deliver(&mut self, node: u16, pm: ProcMsg, tries: u32) {
+        let i = self.li(node);
+        let now = self.cur_t;
+        let lat = self.cfg.lat;
+        // Consuming a delivery is forward progress; the intervention
+        // *deferral* path below re-queues without consuming and is
+        // deliberately not counted (a deferral loop is a livelock).
+        if !matches!(pm.mtype, MsgType::PIntervGet | MsgType::PIntervGetX) {
+            self.mark_progress();
+        }
+        match pm.mtype {
+            MsgType::PPut | MsgType::PPutX | MsgType::PUpgAck => {
+                // Observed mode: the reply reaching the processor closes
+                // the tracked request (before `deliver_reply`, whose
+                // freed MSHR may immediately re-issue on this line).
+                if self.observe {
+                    self.obs(ObsOp::Complete {
+                        key: (node, pm.addr.line().raw()),
+                        now,
+                    });
+                }
+                let excl = pm.mtype != MsgType::PPut;
+                let mut outs = Vec::new();
+                self.procs[i].deliver_reply(pm.addr, excl, now, &mut outs);
+                self.post_cpu_outs(node, &outs);
+                self.wake_if_waiting(node, now);
+            }
+            MsgType::PInval => {
+                self.procs[i].inval(pm.addr, now);
+                if self.check {
+                    let key = (node, pm.addr.line().raw());
+                    if let Some(n) = self.st.inflight_invals.get_mut(&key) {
+                        *n -= 1;
+                        if *n == 0 {
+                            self.st.inflight_invals.remove(&key);
+                        }
+                    }
+                    // An invalidation reaching this copy discharges any
+                    // provisional rogue-copy observation: the self-repair
+                    // completed.
+                    self.discharges.push(key);
+                }
+            }
+            MsgType::PIntervGet | MsgType::PIntervGetX => {
+                let excl = pm.mtype == MsgType::PIntervGetX;
+                let mut give_up = false;
+                if self.procs[i].has_mshr(pm.addr) {
+                    if tries < MAX_INTERV_DEFERRALS {
+                        // Data for this line is in flight; the bus
+                        // transaction retries until it lands.
+                        self.interv_deferrals += 1;
+                        self.push_local(
+                            node,
+                            now + 16,
+                            Ev::ProcDeliver {
+                                node,
+                                pm,
+                                tries: tries + 1,
+                            },
+                        );
+                        return;
+                    }
+                    // Request/forward cycle: break it. The miss report
+                    // makes the home abandon the transaction; poisoning
+                    // keeps the eventual grant from caching a stale copy.
+                    self.procs[i].poison_pending(pm.addr);
+                    give_up = true;
+                }
+                // The intervention is being consumed (not re-deferred):
+                // the copy's handoff window closes here.
+                self.mark_progress();
+                // Observed mode: the requester's frontier waited out the
+                // owner's bus transaction (deferrals included) — PI time.
+                if self.observe {
+                    self.obs(ObsOp::Advance {
+                        key: (aux::requester(pm.aux).0, pm.addr.line().raw()),
+                        now,
+                        seg: Segment::Pi,
+                    });
+                }
+                if self.check {
+                    let key = (node, pm.addr.line().raw());
+                    if let Some(n) = self.st.inflight_intervs.get_mut(&key) {
+                        *n -= 1;
+                        if *n == 0 {
+                            self.st.inflight_intervs.remove(&key);
+                        }
+                    }
+                }
+                let found = !give_up && self.procs[i].intervention(pm.addr, excl, now);
+                let (mtype, delay) = if found {
+                    (MsgType::PiIntervReply, lat.cache_data)
+                } else {
+                    (MsgType::PiIntervMiss, lat.cache_state)
+                };
+                self.push_local(
+                    node,
+                    now + delay + lat.bus + lat.pi_in,
+                    Ev::MagicIn {
+                        node,
+                        wire: Wire {
+                            mtype,
+                            src: NodeId(node),
+                            addr: pm.addr,
+                            aux: pm.aux,
+                            with_data: found,
+                        },
+                        net: false,
+                    },
+                );
+            }
+            MsgType::PNackRetry => {
+                // Observed mode: the NACK round trip ends on the
+                // requester's bus; the retry gap is PI time.
+                if self.observe {
+                    self.obs(ObsOp::Advance {
+                        key: (node, pm.addr.line().raw()),
+                        now,
+                        seg: Segment::Pi,
+                    });
+                }
+                if let Some(o) = self.procs[i].nack_retry(pm.addr) {
+                    // Bus retry: the miss was already detected, so only
+                    // the retry delay plus bus/PI path applies.
+                    let (mtype, addr) = match o {
+                        flash_cpu::CpuOut::Get(a) => (MsgType::PiGet, a),
+                        flash_cpu::CpuOut::GetX(a) => (MsgType::PiGetX, a),
+                        flash_cpu::CpuOut::Upgrade(a) => (MsgType::PiUpgrade, a),
+                        other => unreachable!("{other:?} is not retryable"),
+                    };
+                    self.push_local(
+                        node,
+                        now + lat.retry + lat.bus + lat.pi_in,
+                        Ev::MagicIn {
+                            node,
+                            wire: Wire {
+                                mtype,
+                                src: NodeId(node),
+                                addr,
+                                aux: 0,
+                                with_data: false,
+                            },
+                            net: false,
+                        },
+                    );
+                }
+            }
+            MsgType::PIoData => {}
+            other => unreachable!("{other:?} is not a processor-bound message"),
+        }
+    }
+}
+
+/// How a windowed run ended (the machine-facing [`RunResult`] is built
+/// after teardown, when the merged state is back on the machine).
+enum DriveEnd {
+    Completed,
+    Deadlocked,
+    Budget,
+    Wedged,
+}
+
+/// The coordinator's boundary-owned state: everything nodes share.
+struct Coord<'a> {
+    cfg: &'a MachineConfig,
+    locks: &'a mut HashMap<u32, LockState>,
+    barrier_waiters: &'a mut Vec<(u16, Cycle)>,
+    done: &'a mut usize,
+    check: &'a mut Option<CheckCtx>,
+    observe: &'a mut Option<Box<Observer>>,
+    total: usize,
+    nodes: u16,
+    nshards: usize,
+}
+
+impl Coord<'_> {
+    /// Wakes `node` (sets it runnable and pushes its `ProcRun`) on its
+    /// owning shard. The wake time may predate cycles other shards have
+    /// already processed — the queue's overflow heap handles behind-
+    /// cursor pushes, and the event still executes at its own simulated
+    /// time — one window late by construction, identically for every
+    /// shard count.
+    fn wake(&self, ctxs: &mut [ShardCtx], node: u16, at: Cycle) {
+        let (s, li) = locate(self.nodes, self.nshards, node);
+        let ctx = &mut ctxs[s];
+        ctx.parked[li] = Park::Scheduled;
+        let seq = ctx.origin_seq[li];
+        ctx.origin_seq[li] += 1;
+        ctx.st
+            .queue
+            .push_sub(at, sub_key(node, seq), Ev::ProcRun(node));
+    }
+
+    fn maybe_release_barrier(&mut self, ctxs: &mut [ShardCtx], at: Cycle) {
+        let active = self.total - *self.done;
+        if active > 0 && self.barrier_waiters.len() == active {
+            let waiters = std::mem::take(self.barrier_waiters);
+            let release = waiters.iter().map(|&(_, t)| t).fold(at, Cycle::max);
+            for (w, _) in waiters {
+                self.wake(ctxs, w, release);
+            }
+        }
+    }
+
+    /// Applies the window's synchronization ops in canonical key order —
+    /// the exact order a serial machine would have encountered them.
+    fn apply_sync(&mut self, ctxs: &mut [ShardCtx], mut ops: Vec<(EvKey, SyncOp)>) {
+        ops.sort_unstable_by_key(|&(k, _)| k);
+        let grant = self.cfg.lat.lock_grant;
+        for (key, op) in ops {
+            let at = Cycle::new(key.0);
+            match op {
+                SyncOp::Barrier { node, pt } => {
+                    self.barrier_waiters.push((node, pt));
+                    self.maybe_release_barrier(ctxs, at);
+                }
+                SyncOp::Lock { node, id, pt } => {
+                    let lock = self.locks.entry(id).or_default();
+                    if lock.held {
+                        lock.waiters.push_back((node, pt));
+                    } else {
+                        lock.held = true;
+                        self.wake(ctxs, node, pt + grant);
+                    }
+                }
+                SyncOp::Unlock { id, pt } => {
+                    let lock = self.locks.entry(id).or_default();
+                    match lock.waiters.pop_front() {
+                        Some((w, wt)) => self.wake(ctxs, w, pt.max(wt) + grant),
+                        None => lock.held = false,
+                    }
+                }
+                SyncOp::Finished => {
+                    *self.done += 1;
+                    self.maybe_release_barrier(ctxs, at);
+                }
+            }
+        }
+    }
+
+    /// Replays the window's observer journal against the master observer
+    /// in canonical key order. Stable sort: ops from one event keep
+    /// their program order. Arrival ops resolve their candidate keys
+    /// against the master's live pending set here, which evolves in the
+    /// same canonical order for every shard count.
+    fn apply_obs(&mut self, mut ops: Vec<(EvKey, ObsOp)>) {
+        let Some(obs) = self.observe.as_deref_mut() else {
+            return;
+        };
+        ops.sort_by_key(|&(k, _)| k);
+        for (_, op) in ops {
+            match op {
+                ObsOp::Begin {
+                    node,
+                    line,
+                    issue,
+                    kind,
+                } => obs.begin(node, line, issue, kind),
+                ObsOp::ArriveAdvance {
+                    cands,
+                    line,
+                    seg,
+                    now,
+                } => {
+                    if let Some(c) = cands
+                        .into_iter()
+                        .flatten()
+                        .find(|&c| obs.is_pending((c, line)))
+                    {
+                        obs.advance((c, line), now, seg);
+                    }
+                }
+                ObsOp::TraceHandler { node, inv } => obs.trace_handler(node, &inv),
+                ObsOp::ArriveApply {
+                    cands,
+                    line,
+                    class,
+                    parts,
+                } => {
+                    let hit = cands.iter().enumerate().find_map(|(ci, c)| {
+                        c.filter(|&c| obs.is_pending((c, line))).map(|c| (ci, c))
+                    });
+                    if let Some((ci, c)) = hit {
+                        let key = (c, line);
+                        if let Some(class) = class {
+                            obs.note_class(key, class);
+                        }
+                        if let Some((em_at, p, net)) = parts[ci] {
+                            obs.apply_parts(key, em_at, &p, net);
+                        }
+                    }
+                }
+                ObsOp::NetHop {
+                    cands,
+                    line,
+                    depart,
+                    arrive,
+                } => {
+                    if let Some(c) = cands.into_iter().find(|&c| obs.is_pending((c, line))) {
+                        obs.net_hop((c, line), depart, arrive);
+                    }
+                }
+                ObsOp::Advance { key, now, seg } => obs.advance(key, now, seg),
+                ObsOp::Complete { key, now } => obs.complete(key, now),
+            }
+        }
+    }
+}
+
+/// The conservative-window loop: pick the next window, let every shard
+/// process it (via `exec` — serial in-place or fanned out to workers),
+/// then resolve the boundary. Returns how the run ended; all merged
+/// state lives in `ctxs`/`coord` for the caller's teardown.
+fn window_loop<'a>(
+    ctxs: &mut Vec<ShardCtx<'a>>,
+    coord: &mut Coord<'_>,
+    budget: u64,
+    lookahead: u64,
+    mut exec: impl FnMut(&mut Vec<ShardCtx<'a>>),
+) -> DriveEnd {
+    loop {
+        // Window start: the canonical global minimum pending event.
+        let mut min: Option<(Cycle, u64, usize)> = None;
+        for (i, c) in ctxs.iter().enumerate() {
+            if let Some((t, s)) = c.st.queue.peek_key() {
+                if min.is_none_or(|(mt, ms, _)| (t, s) < (mt, ms)) {
+                    min = Some((t, s, i));
+                }
+            }
+        }
+        let Some((w, _, wi)) = min else {
+            // Quiescent: every queue (and the boundary staging) drained.
+            return if *coord.done == coord.total {
+                DriveEnd::Completed
+            } else {
+                DriveEnd::Deadlocked
+            };
+        };
+        if w.raw() > budget {
+            // Budget semantics match the serial loop: the first
+            // over-budget event is consumed (dropped) and the clock
+            // stops at its time.
+            let (t, _, _) = ctxs[wi].st.queue.pop_keyed().expect("peeked non-empty");
+            if t > ctxs[wi].st.now {
+                ctxs[wi].st.now = t;
+            }
+            return DriveEnd::Budget;
+        }
+        let end = w + lookahead;
+        for c in ctxs.iter_mut() {
+            c.end = end;
+            c.budget = budget;
+        }
+        exec(ctxs);
+        // ---- boundary ------------------------------------------------
+        let boundary_now = ctxs.iter().map(|c| c.st.now).max().unwrap_or(Cycle::ZERO);
+        // 1. Synchronization (locks, barriers, retirement).
+        let sync: Vec<(EvKey, SyncOp)> =
+            ctxs.iter_mut().flat_map(|c| c.sync_ops.drain(..)).collect();
+        coord.apply_sync(ctxs, sync);
+        // 2. Observer journal.
+        if coord.observe.is_some() {
+            let obs: Vec<(EvKey, ObsOp)> =
+                ctxs.iter_mut().flat_map(|c| c.obs_ops.drain(..)).collect();
+            coord.apply_obs(obs);
+        } else {
+            for c in ctxs.iter_mut() {
+                debug_assert!(c.obs_ops.is_empty());
+            }
+        }
+        // 3. Invariant checks over every line the window touched.
+        if coord.check.is_some() {
+            let discharges: Vec<(u16, u64)> = ctxs
+                .iter_mut()
+                .flat_map(|c| c.discharges.drain(..))
+                .collect();
+            let mut touched: BTreeSet<u64> = BTreeSet::new();
+            for c in ctxs.iter_mut() {
+                touched.append(&mut c.touched);
+            }
+            let mut check = coord.check.take().expect("checked mode");
+            for key in discharges {
+                check.provisional_rogues.remove(&key);
+            }
+            let nodes = coord.nodes;
+            let nshards = coord.nshards;
+            let view: &[ShardCtx] = ctxs;
+            for &raw in &touched {
+                check.touched.insert(raw);
+                check_line_at(
+                    coord.cfg,
+                    &mut check,
+                    Addr::new(raw),
+                    boundary_now,
+                    &|n| {
+                        let (s, li) = locate(nodes, nshards, n);
+                        &view[s].procs[li]
+                    },
+                    &|n| {
+                        let (s, li) = locate(nodes, nshards, n);
+                        &view[s].chips[li]
+                    },
+                    &|key| {
+                        let (s, _) = locate(nodes, nshards, key.0);
+                        view[s].st.inflight_invals.contains_key(&key)
+                            || view[s].st.inflight_intervs.contains_key(&key)
+                    },
+                );
+            }
+            *coord.check = Some(check);
+        }
+        // 4. Cross-shard staged deliveries into destination queues. First
+        // advance every shard's wheel window to the boundary: an idle
+        // shard's cursor freezes at its last pop, and against that stale
+        // base the near-future staged deliveries (and coordinator
+        // wakeups) would look far-future and degrade to the overflow
+        // heap. Safe because every event before `end` was popped this
+        // window, so no wheel-resident event is earlier than `end`.
+        for c in ctxs.iter_mut() {
+            c.st.queue.advance_to(end);
+        }
+        let mut staged: Vec<Staged> = ctxs.iter_mut().flat_map(|c| c.staged.drain(..)).collect();
+        staged.sort_unstable_by_key(|s| (s.at, s.sub));
+        for s in staged {
+            let (sh, _) = locate(coord.nodes, coord.nshards, s.node);
+            ctxs[sh].st.queue.push_sub(
+                s.at,
+                s.sub,
+                Ev::MagicIn {
+                    node: s.node,
+                    wire: s.wire,
+                    net: true,
+                },
+            );
+        }
+        // 5. Forward-progress watchdog, at boundary granularity.
+        let progress = ctxs
+            .iter()
+            .map(|c| c.st.last_progress)
+            .max()
+            .unwrap_or(Cycle::ZERO);
+        if coord.cfg.watchdog_window > 0
+            && boundary_now.raw().saturating_sub(progress.raw()) > coord.cfg.watchdog_window
+        {
+            return DriveEnd::Wedged;
+        }
+    }
 }
 
 impl Machine {
@@ -270,14 +1520,42 @@ impl Machine {
             .into_iter()
             .map(|s| Processor::new(cfg.cache_bytes, cfg.mshrs, s))
             .collect();
-        let net = NetModel::new(Mesh::for_nodes(cfg.nodes), cfg.net);
-        let mut events = EventQueue::new();
-        for i in 0..cfg.nodes {
-            events.push(Cycle::ZERO, Ev::ProcRun(i));
-        }
         let n = cfg.nodes as usize;
+        // The shard count is a host knob: clamp to something sane, never
+        // more shards than nodes.
+        let nshards = cfg.shards.max(1).min(n.max(1));
+        // Size each shard's timing wheel to the longest routine scheduling
+        // distance: worst-case mesh transit plus NI ingress, with 4x slack
+        // for the per-home protocol-processor queuing backlog that pushes
+        // emission times past raw transit under load. Tuned for 128 slots
+        // on small meshes and 512 at 1024 nodes; without it, a large share
+        // of big-mesh pushes degrade to the overflow heap.
+        let horizon = (NetModel::new(Mesh::for_nodes(cfg.nodes), cfg.net).max_remote_transit()
+            + cfg.lat.ni_in)
+            * 4;
+        let mut shards: Vec<ShardState> = (0..nshards)
+            .map(|_| ShardState {
+                queue: EventQueue::with_horizon(horizon),
+                net: NetModel::new(Mesh::for_nodes(cfg.nodes), cfg.net),
+                injector: FaultInjector::new(&cfg.faults),
+                ring: VecDeque::new(),
+                inflight_invals: HashMap::new(),
+                inflight_intervs: HashMap::new(),
+                now: Cycle::ZERO,
+                last_progress: Cycle::ZERO,
+            })
+            .collect();
+        let mut origin_seq = vec![0u64; n];
+        for i in 0..cfg.nodes {
+            let s = shard_of(cfg.nodes, nshards, i);
+            let seq = origin_seq[i as usize];
+            origin_seq[i as usize] += 1;
+            shards[s]
+                .queue
+                .push_sub(Cycle::ZERO, sub_key(i, seq), Ev::ProcRun(i));
+        }
+        let net = NetModel::new(Mesh::for_nodes(cfg.nodes), cfg.net);
         let check_enabled = cfg.check;
-        let injector = FaultInjector::new(&cfg.faults);
         let observe = cfg
             .observe
             .then(|| Box::new(Observer::new(jump.handler_names())));
@@ -286,7 +1564,8 @@ impl Machine {
             procs,
             chips,
             net,
-            events,
+            shards,
+            origin_seq,
             now: Cycle::ZERO,
             parked: vec![Park::Scheduled; n],
             barrier_waiters: Vec::new(),
@@ -295,7 +1574,6 @@ impl Machine {
             finish: vec![Cycle::ZERO; n],
             interv_deferrals: 0,
             check: check_enabled.then(CheckCtx::default),
-            injector,
             ring: MsgRing::new(RING_CAPACITY),
             last_progress: Cycle::ZERO,
             observe,
@@ -305,8 +1583,12 @@ impl Machine {
     /// Schedules a DMA write into `node`'s memory at time `at` (the OS
     /// workload's zero-latency disk, paper §3.4).
     pub fn add_dma_write(&mut self, at: Cycle, node: NodeId, addr: Addr) {
-        self.events.push(
+        let s = shard_of(self.cfg.nodes, self.shards.len(), node.0);
+        let seq = self.origin_seq[node.index()];
+        self.origin_seq[node.index()] += 1;
+        self.shards[s].queue.push_sub(
             at,
+            sub_key(node.0, seq),
             Ev::MagicIn {
                 node: node.0,
                 wire: Wire {
@@ -316,61 +1598,200 @@ impl Machine {
                     aux: 0,
                     with_data: true,
                 },
+                net: false,
             },
         );
     }
 
+    /// The conservative lookahead: the minimum latency any cross-node
+    /// message experiences (minimum remote mesh transit plus the
+    /// receiver's NI input stage). A pure function of the configuration —
+    /// never of the shard count — so the window structure, and therefore
+    /// every result, is identical for any `FLASH_SHARDS`.
+    fn lookahead(&self) -> u64 {
+        (self.net.min_remote_transit() + self.cfg.lat.ni_in).max(1)
+    }
+
     /// Runs until every processor finishes or `budget_cycles` elapse.
     pub fn run(&mut self, budget_cycles: u64) -> RunResult {
-        while let Some((t, ev)) = self.events.pop() {
-            debug_assert!(t >= self.now, "time went backwards");
-            self.now = t;
-            if t.raw() > budget_cycles {
-                return RunResult::BudgetExhausted;
-            }
-            let ev_line = match &ev {
-                Ev::ProcRun(_) => None,
-                Ev::MagicIn { wire, .. } => Some(wire.addr.line()),
-                Ev::ProcDeliver { pm, .. } => Some(pm.addr.line()),
-                Ev::NetSend { msg } => Some(msg.addr.line()),
-            };
-            match ev {
-                Ev::ProcRun(n) => self.ev_proc_run(n),
-                Ev::MagicIn { node, wire } => self.ev_magic_in(node, wire),
-                Ev::ProcDeliver { node, pm, tries } => self.ev_proc_deliver(node, pm, tries),
-                Ev::NetSend { msg } => self.post_net(self.now, msg),
-            }
-            if self.check.is_some() {
-                if let Some(line) = ev_line {
-                    self.check_line(line);
+        let lookahead = self.lookahead();
+        let (end, fins) = self.drive(budget_cycles, lookahead);
+        // Teardown: every exit path restores the shard states and merges
+        // shard-accumulated views back onto the machine.
+        self.interv_deferrals += fins.iter().map(|&(_, d)| d).sum::<u64>();
+        self.shards = fins.into_iter().map(|(st, _)| st).collect();
+        self.now = self.shards.iter().map(|s| s.now).fold(self.now, Cycle::max);
+        self.last_progress = self
+            .shards
+            .iter()
+            .map(|s| s.last_progress)
+            .fold(self.last_progress, Cycle::max);
+        let mut net = NetModel::new(Mesh::for_nodes(self.cfg.nodes), self.cfg.net);
+        for st in &self.shards {
+            net.absorb_counts(&st.net);
+        }
+        self.net = net;
+        let mut entries: Vec<(EvKey, TraceEntry)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.ring.iter().copied())
+            .collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        let mut ring = MsgRing::new(RING_CAPACITY);
+        for &(_, e) in entries
+            .iter()
+            .skip(entries.len().saturating_sub(RING_CAPACITY))
+        {
+            ring.push(e);
+        }
+        self.ring = ring;
+        match end {
+            DriveEnd::Budget => RunResult::BudgetExhausted,
+            DriveEnd::Wedged => RunResult::Wedged {
+                report: Box::new(self.diagnose("no forward progress within the watchdog window")),
+            },
+            DriveEnd::Deadlocked => RunResult::Deadlocked {
+                stuck: self.procs.len() - self.done,
+            },
+            DriveEnd::Completed => {
+                self.finalize_check();
+                self.maybe_write_trace();
+                RunResult::Completed {
+                    exec_cycles: self.exec_cycles(),
                 }
             }
-            // Forward-progress watchdog, checked *after* the event so an
-            // event that itself makes progress (a retirement landing 10 ms
-            // after a long barrier, say) can never false-trigger.
-            if self.cfg.watchdog_window > 0
-                && self.now.raw() - self.last_progress.raw() > self.cfg.watchdog_window
-            {
-                return RunResult::Wedged {
-                    report: Box::new(
-                        self.diagnose("no forward progress within the watchdog window"),
-                    ),
-                };
+        }
+    }
+
+    /// Builds the shard contexts over disjoint slices of the machine's
+    /// node-indexed state and runs the window loop — serially in place
+    /// for one shard, on scoped worker threads otherwise. Returns each
+    /// shard's persistent state (in shard order) for teardown.
+    fn drive(&mut self, budget: u64, lookahead: u64) -> (DriveEnd, Vec<(ShardState, u64)>) {
+        let Machine {
+            cfg,
+            procs,
+            chips,
+            shards,
+            origin_seq,
+            parked,
+            finish,
+            locks,
+            barrier_waiters,
+            done,
+            check,
+            observe,
+            ..
+        } = self;
+        let states = std::mem::take(shards);
+        let nshards = states.len();
+        let nodes = cfg.nodes;
+        let total = procs.len();
+        let mut ctxs: Vec<ShardCtx> = Vec::with_capacity(nshards);
+        {
+            let mut procs: &mut [Processor] = procs;
+            let mut chips: &mut [MagicChip] = chips;
+            let mut parked: &mut [Park] = parked;
+            let mut finish: &mut [Cycle] = finish;
+            let mut origin_seq: &mut [u64] = origin_seq;
+            for (s, st) in states.into_iter().enumerate() {
+                let (lo, hi) = shard_bounds(nodes, nshards, s);
+                let len = (hi - lo) as usize;
+                let (pa, pr) = procs.split_at_mut(len);
+                procs = pr;
+                let (ca, cr) = chips.split_at_mut(len);
+                chips = cr;
+                let (ka, kr) = parked.split_at_mut(len);
+                parked = kr;
+                let (fa, fr) = finish.split_at_mut(len);
+                finish = fr;
+                let (oa, or) = origin_seq.split_at_mut(len);
+                origin_seq = or;
+                ctxs.push(ShardCtx {
+                    cfg,
+                    shard: s,
+                    lo,
+                    nodes,
+                    nshards,
+                    check: cfg.check,
+                    observe: cfg.observe,
+                    procs: pa,
+                    chips: ca,
+                    parked: ka,
+                    finish: fa,
+                    origin_seq: oa,
+                    st,
+                    interv_deferrals: 0,
+                    sync_ops: Vec::new(),
+                    obs_ops: Vec::new(),
+                    staged: Vec::new(),
+                    discharges: Vec::new(),
+                    touched: BTreeSet::new(),
+                    end: Cycle::ZERO,
+                    budget,
+                    cur: (0, 0),
+                    cur_t: Cycle::ZERO,
+                });
             }
-            if self.done == self.procs.len() && self.events.is_empty() {
-                break;
-            }
         }
-        if self.done < self.procs.len() {
-            return RunResult::Deadlocked {
-                stuck: self.procs.len() - self.done,
-            };
-        }
-        self.finalize_check();
-        self.maybe_write_trace();
-        RunResult::Completed {
-            exec_cycles: self.exec_cycles(),
-        }
+        let mut coord = Coord {
+            cfg,
+            locks,
+            barrier_waiters,
+            done,
+            check,
+            observe,
+            total,
+            nodes,
+            nshards,
+        };
+        let end = if nshards == 1 {
+            window_loop(&mut ctxs, &mut coord, budget, lookahead, |cs| {
+                for c in cs.iter_mut() {
+                    c.run_window();
+                }
+            })
+        } else {
+            // Persistent workers ping-pong shard contexts with the
+            // coordinator: one send and one receive per shard per window.
+            std::thread::scope(|scope| {
+                let (back_tx, back_rx) = mpsc::channel();
+                let txs: Vec<mpsc::Sender<ShardCtx>> = (0..nshards)
+                    .map(|_| {
+                        let (tx, rx) = mpsc::channel::<ShardCtx>();
+                        let back = back_tx.clone();
+                        scope.spawn(move || {
+                            while let Ok(mut ctx) = rx.recv() {
+                                ctx.run_window();
+                                if back.send(ctx).is_err() {
+                                    return;
+                                }
+                            }
+                        });
+                        tx
+                    })
+                    .collect();
+                window_loop(&mut ctxs, &mut coord, budget, lookahead, move |cs| {
+                    let n = cs.len();
+                    for c in cs.drain(..) {
+                        let s = c.shard;
+                        txs[s].send(c).expect("worker alive");
+                    }
+                    let mut got: Vec<Option<ShardCtx>> = (0..n).map(|_| None).collect();
+                    for _ in 0..n {
+                        let c = back_rx.recv().expect("worker alive");
+                        let s = c.shard;
+                        got[s] = Some(c);
+                    }
+                    cs.extend(got.into_iter().map(|o| o.expect("all shards returned")));
+                })
+            })
+        };
+        let fins = ctxs
+            .into_iter()
+            .map(|c| (c.st, c.interv_deferrals))
+            .collect();
+        (end, fins)
     }
 
     // ---- observed mode ---------------------------------------------------
@@ -433,111 +1854,6 @@ impl Machine {
         }
     }
 
-    /// Resolves the tracked request (if any) that `wire`, arriving at
-    /// `node`'s inbox, belongs to — plus the segment its frontier gap is
-    /// charged to (PI for bus-side messages, mesh for network-side, which
-    /// folds the receiving NI input stage into mesh transit).
-    ///
-    /// Requests and forwards carry the requester in their aux field;
-    /// replies from third-party owners carry the responder, so replies
-    /// also try the receiving node (replies terminate at the requester's
-    /// own chip). Messages that never continue a request path (invals,
-    /// acks, writebacks, sharing writebacks) resolve to `None`.
-    fn observe_key(&self, node: u16, wire: &Wire) -> Option<((u16, u64), Segment)> {
-        let obs = self.observe.as_ref()?;
-        let line = wire.addr.line().raw();
-        let (candidates, seg): ([Option<u16>; 2], Segment) = match wire.mtype {
-            MsgType::PiGet | MsgType::PiGetX | MsgType::PiUpgrade => {
-                ([Some(wire.src.0), None], Segment::Pi)
-            }
-            MsgType::PiIntervReply | MsgType::PiIntervMiss => {
-                ([Some(aux::requester(wire.aux).0), None], Segment::Pi)
-            }
-            MsgType::NGet
-            | MsgType::NGetX
-            | MsgType::NUpgrade
-            | MsgType::NFwdGet
-            | MsgType::NFwdGetX => ([Some(aux::requester(wire.aux).0), None], Segment::Mesh),
-            MsgType::NPut
-            | MsgType::NPutX
-            | MsgType::NUpgAck
-            | MsgType::NNack
-            | MsgType::NIntervMiss => (
-                [Some(aux::requester(wire.aux).0), Some(node)],
-                Segment::Mesh,
-            ),
-            _ => return None,
-        };
-        candidates
-            .into_iter()
-            .flatten()
-            .find(|&c| obs.is_pending((c, line)))
-            .map(|c| ((c, line), seg))
-    }
-
-    /// Whether a chip emission continues the tracked request `key`
-    /// (first match wins when applying per-emission attributions).
-    fn emission_continues(em: &Emission, key: (u16, u64), node: u16) -> bool {
-        match em {
-            Emission::Proc { msg: pm, .. } => {
-                pm.addr.line().raw() == key.1
-                    && match pm.mtype {
-                        MsgType::PPut | MsgType::PPutX | MsgType::PUpgAck | MsgType::PNackRetry => {
-                            key.0 == node
-                        }
-                        MsgType::PIntervGet | MsgType::PIntervGetX => {
-                            aux::requester(pm.aux).0 == key.0
-                        }
-                        _ => false,
-                    }
-            }
-            Emission::Net { msg: m, .. } => {
-                m.addr.line().raw() == key.1
-                    && matches!(
-                        m.mtype,
-                        MsgType::NGet
-                            | MsgType::NGetX
-                            | MsgType::NUpgrade
-                            | MsgType::NFwdGet
-                            | MsgType::NFwdGetX
-                            | MsgType::NPut
-                            | MsgType::NPutX
-                            | MsgType::NUpgAck
-                            | MsgType::NNack
-                            | MsgType::NIntervMiss
-                    )
-                    && (aux::requester(m.aux).0 == key.0 || m.dst.0 == key.0)
-            }
-        }
-    }
-
-    /// Resolves the tracked request a network message continues (the
-    /// network-side subset of [`Machine::emission_continues`], used to
-    /// charge NI-wait and mesh-transit cycles in `post_net`).
-    fn net_msg_key(&self, msg: &Msg) -> Option<(u16, u64)> {
-        let obs = self.observe.as_ref()?;
-        if !matches!(
-            msg.mtype,
-            MsgType::NGet
-                | MsgType::NGetX
-                | MsgType::NUpgrade
-                | MsgType::NFwdGet
-                | MsgType::NFwdGetX
-                | MsgType::NPut
-                | MsgType::NPutX
-                | MsgType::NUpgAck
-                | MsgType::NNack
-                | MsgType::NIntervMiss
-        ) {
-            return None;
-        }
-        let line = msg.addr.line().raw();
-        [aux::requester(msg.aux).0, msg.dst.0]
-            .into_iter()
-            .find(|&c| obs.is_pending((c, line)))
-            .map(|c| (c, line))
-    }
-
     // ---- checked mode ----------------------------------------------------
 
     /// Whether checked mode is on.
@@ -567,108 +1883,44 @@ impl Machine {
         out
     }
 
-    /// Checks every invariant visible for one line right now: SWMR across
-    /// all processor caches, directory structural audit, and cache/
-    /// directory agreement at the line's home.
-    fn check_line(&mut self, line: Addr) {
-        let Some(ctx) = self.check.as_mut() else {
-            return;
-        };
-        ctx.touched.insert(line.raw());
-        let mut copies = Vec::new();
-        for (i, p) in self.procs.iter().enumerate() {
-            // A copy with a queued `PInval` is logically dead (the
-            // sharer's MAGIC already acknowledged the invalidation), and
-            // one with a queued `PIntervGet`/`PIntervGetX` is mid-handoff
-            // (the requester may install before the bus transaction
-            // lands). Both are exempt from SWMR/agreement.
-            let key = (i as u16, line.raw());
-            let doomed =
-                ctx.inflight_invals.contains_key(&key) || ctx.inflight_intervs.contains_key(&key);
-            if let Some(state) = p.cache().state_of(line) {
-                if !doomed {
-                    copies.push(flash_check::CachedCopy {
-                        node: i as u16,
-                        exclusive: state == flash_cpu::LineState::Exclusive,
-                    });
-                }
-            }
-            let in_use = p.outstanding_misses();
-            if in_use > self.cfg.mshrs {
-                ctx.violations.push(flash_check::Violation {
-                    kind: "mshr-over",
-                    node: i as u16,
-                    line: line.raw(),
-                    detail: format!("{in_use} MSHRs in use, limit {}", self.cfg.mshrs),
-                });
-            }
-        }
-        let home = self.cfg.placement.home_of(line, self.cfg.nodes);
-        let da = dir_addr(line);
-        let mem = self.chips[home.index()].proto_mem();
-        ctx.violations
-            .extend(flash_check::audit_directory(mem, da, home.0, false));
-        if let Ok(sharers) = flash_check::walk_sharers(mem, da) {
-            let h = flash_protocol::DirHeader(mem.load64(da));
-            let now = self.now;
-            for v in flash_check::check_line_coherence(h, &sharers, home.0, &copies, line.raw()) {
-                // Per-copy cache/directory disagreements are legal for a
-                // bounded window (stale-transfer self-repair) and are
-                // attributed to the copy holder; held provisionally until
-                // the copy is invalidated. See
-                // `CheckCtx::provisional_rogues`. Everything else
-                // (aggregate swmr, structural audits) reports
-                // immediately.
-                let provisional = matches!(
-                    v.kind,
-                    "shared-under-dirty"
-                        | "copy-not-listed"
-                        | "excl-wrong-owner"
-                        | "excl-not-dirty"
-                        | "excl-home-not-local"
-                        | "home-copy-not-local"
-                );
-                if provisional {
-                    ctx.provisional_rogues
-                        .entry((v.node, v.line))
-                        .or_insert((now, v));
-                } else {
-                    ctx.violations.push(v);
-                }
-            }
-        }
-    }
-
     /// End-of-run audits, called once the machine is quiescent (all
-    /// processors done, event queue drained): every touched line must
+    /// processors done, event queues drained): every touched line must
     /// have retired its transactions (no `PENDING`, no residual acks,
     /// caches and directory in agreement), every MSHR must have drained,
     /// each node's pointer store must conserve entries, and the MAGIC
     /// cache tag stores must be internally consistent.
     fn finalize_check(&mut self) {
-        if self.check.is_none() {
+        let Some(mut check) = self.check.take() else {
             return;
-        }
-        let touched: Vec<u64> = self
-            .check
-            .as_ref()
-            .map(|c| c.touched.iter().copied().collect())
-            .unwrap_or_default();
+        };
+        let touched: Vec<u64> = check.touched.iter().copied().collect();
+        let now = self.now;
         for &raw in &touched {
             let line = Addr::new(raw);
             let home = self.cfg.placement.home_of(line, self.cfg.nodes);
             let da = dir_addr(line);
             let mem = self.chips[home.index()].proto_mem();
-            let mut found = flash_check::audit_directory(mem, da, home.0, true);
-            let ctx = self.check.as_mut().expect("checked mode");
-            ctx.violations.append(&mut found);
-            self.check_line(line);
+            check
+                .violations
+                .extend(flash_check::audit_directory(mem, da, home.0, true));
+            check_line_at(
+                &self.cfg,
+                &mut check,
+                line,
+                now,
+                &|n| &self.procs[n as usize],
+                &|n| &self.chips[n as usize],
+                &|key| {
+                    let (s, _) = locate(self.cfg.nodes, self.shards.len(), key.0);
+                    self.shards[s].inflight_invals.contains_key(&key)
+                        || self.shards[s].inflight_intervs.contains_key(&key)
+                },
+            );
         }
-        let ctx = self.check.as_mut().expect("checked mode");
         for (i, p) in self.procs.iter().enumerate() {
             let n = p.outstanding_misses();
             if n != 0 {
-                ctx.violations.push(flash_check::Violation {
+                check.violations.push(flash_check::Violation {
                     kind: "mshr-leak",
                     node: i as u16,
                     line: 0,
@@ -677,21 +1929,30 @@ impl Machine {
             }
         }
         // Message conservation: every scheduled `PInval` must have been
-        // delivered by the time the event queue drains.
-        let leaked: Vec<((u16, u64), u32)> =
-            ctx.inflight_invals.iter().map(|(&k, &v)| (k, v)).collect();
+        // delivered by the time the event queues drain. Collected across
+        // shards and sorted for deterministic output.
+        let mut leaked: Vec<((u16, u64), u32)> = self
+            .shards
+            .iter()
+            .flat_map(|st| st.inflight_invals.iter().map(|(&k, &v)| (k, v)))
+            .collect();
+        leaked.sort_unstable();
         for ((node, l), n) in leaked {
-            ctx.violations.push(flash_check::Violation {
+            check.violations.push(flash_check::Violation {
                 kind: "inval-leak",
                 node,
                 line: l,
                 detail: format!("{n} PInval(s) still queued at quiescence"),
             });
         }
-        let leaked_intervs: Vec<((u16, u64), u32)> =
-            ctx.inflight_intervs.iter().map(|(&k, &v)| (k, v)).collect();
+        let mut leaked_intervs: Vec<((u16, u64), u32)> = self
+            .shards
+            .iter()
+            .flat_map(|st| st.inflight_intervs.iter().map(|(&k, &v)| (k, v)))
+            .collect();
+        leaked_intervs.sort_unstable();
         for ((node, l), n) in leaked_intervs {
-            ctx.violations.push(flash_check::Violation {
+            check.violations.push(flash_check::Violation {
                 kind: "interv-leak",
                 node,
                 line: l,
@@ -703,11 +1964,11 @@ impl Machine {
         // coherence violation (a rogue copy the protocol never cleaned
         // up). Sorted for deterministic output.
         let mut stale: Vec<(Cycle, flash_check::Violation)> =
-            ctx.provisional_rogues.drain().map(|(_, v)| v).collect();
+            check.provisional_rogues.drain().map(|(_, v)| v).collect();
         stale.sort_by_key(|(at, v)| (*at, v.node, v.line));
         for (at, mut v) in stale {
             v.detail = format!("{} (observed at cycle {at}, never invalidated)", v.detail);
-            ctx.violations.push(v);
+            check.violations.push(v);
         }
         for node in 0..self.cfg.nodes {
             let diraddrs: Vec<u64> = touched
@@ -716,29 +1977,26 @@ impl Machine {
                 .map(|&l| dir_addr(Addr::new(l)))
                 .collect();
             let mem = self.chips[node as usize].proto_mem();
-            let mut found = flash_check::check_pointer_store(
+            check.violations.extend(flash_check::check_pointer_store(
                 mem,
                 diraddrs.iter(),
                 flash_protocol::dir::DEFAULT_PS_CAPACITY,
                 node,
-            );
-            let ctx = self.check.as_mut().expect("checked mode");
-            ctx.violations.append(&mut found);
+            ));
         }
         for chip in &self.chips {
             if let Some(mdc) = chip.mdc() {
                 if let Err(e) = mdc.audit() {
-                    let node = chip.node().0;
-                    let ctx = self.check.as_mut().expect("checked mode");
-                    ctx.violations.push(flash_check::Violation {
+                    check.violations.push(flash_check::Violation {
                         kind: "mdc-integrity",
-                        node,
+                        node: chip.node().0,
                         line: 0,
                         detail: e,
                     });
                 }
             }
         }
+        self.check = Some(check);
     }
 
     /// Latest processor finish time.
@@ -761,7 +2019,8 @@ impl Machine {
         &self.chips
     }
 
-    /// The network model (stats inspection).
+    /// The network model (stats inspection; traffic totals merged over
+    /// all shards).
     pub fn network(&self) -> &NetModel {
         &self.net
     }
@@ -771,14 +2030,41 @@ impl Machine {
         &self.cfg
     }
 
+    /// The shard count this machine actually runs with (the configured
+    /// knob clamped to the node count).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Wheel-vs-heap push routing summed over every shard queue (event
+    /// scheduler health at scale).
+    pub fn queue_push_routing(&self) -> (u64, u64) {
+        let mut wheel = 0;
+        let mut heap = 0;
+        for st in &self.shards {
+            let (w, h) = st.queue.push_routing();
+            wheel += w;
+            heap += h;
+        }
+        (wheel, heap)
+    }
+
     /// Interventions that had to be deferred waiting for in-flight data.
     pub fn interv_deferrals(&self) -> u64 {
         self.interv_deferrals
     }
 
-    /// Cumulative fault-injection statistics, when a plan is armed.
+    /// Cumulative fault-injection statistics, when a plan is armed
+    /// (summed over shards).
     pub fn fault_stats(&self) -> Option<FaultStats> {
-        self.injector.as_ref().map(|i| *i.stats())
+        let mut acc: Option<FaultStats> = None;
+        for st in &self.shards {
+            if let Some(inj) = &st.injector {
+                acc.get_or_insert_with(FaultStats::default)
+                    .absorb(inj.stats());
+            }
+        }
+        acc
     }
 
     /// Assembles a structured diagnosis of the machine's current state:
@@ -795,20 +2081,22 @@ impl Machine {
         // Suspect lines: anything queued, outstanding in an MSHR, or
         // recently observed by the trace ring.
         let mut suspects: BTreeSet<u64> = BTreeSet::new();
-        for (_, ev) in self.events.iter() {
-            match ev {
-                Ev::ProcRun(_) => {}
-                Ev::MagicIn { node, wire } => {
-                    inbox_queued[*node as usize] += 1;
-                    suspects.insert(wire.addr.line().raw());
-                }
-                Ev::ProcDeliver { node, pm, .. } => {
-                    proc_queued[*node as usize] += 1;
-                    suspects.insert(pm.addr.line().raw());
-                }
-                Ev::NetSend { msg } => {
-                    net_held[msg.src.index()] += 1;
-                    suspects.insert(msg.addr.line().raw());
+        for st in &self.shards {
+            for (_, ev) in st.queue.iter() {
+                match ev {
+                    Ev::ProcRun(_) => {}
+                    Ev::MagicIn { node, wire, .. } => {
+                        inbox_queued[*node as usize] += 1;
+                        suspects.insert(wire.addr.line().raw());
+                    }
+                    Ev::ProcDeliver { node, pm, .. } => {
+                        proc_queued[*node as usize] += 1;
+                        suspects.insert(pm.addr.line().raw());
+                    }
+                    Ev::NetSend { msg } => {
+                        net_held[msg.src.index()] += 1;
+                        suspects.insert(msg.addr.line().raw());
+                    }
                 }
             }
         }
@@ -880,470 +2168,20 @@ impl Machine {
             total: n,
             nodes,
             pending_lines,
-            stalled_links: self
-                .injector
-                .as_ref()
-                .map(|i| i.held_links())
-                .unwrap_or_default(),
+            stalled_links: {
+                let mut links = Vec::new();
+                for st in &self.shards {
+                    if let Some(inj) = &st.injector {
+                        links.extend(inj.held_links());
+                    }
+                }
+                links
+            },
             fault_stats: self.fault_stats(),
             recent,
         }
     }
-
-    // ---- event handlers --------------------------------------------------
-
-    fn mark_progress(&mut self) {
-        self.last_progress = self.now;
-    }
-
-    fn ev_proc_run(&mut self, n: u16) {
-        let i = n as usize;
-        if self.parked[i] != Park::Scheduled {
-            return; // stale wakeup (not forward progress)
-        }
-        self.mark_progress();
-        let mut outs = Vec::new();
-        let outcome = self.procs[i].run(self.now, &mut outs);
-        self.post_cpu_outs(n, &outs);
-        match outcome {
-            RunOutcome::BlockedRead | RunOutcome::BlockedWrite => {
-                self.parked[i] = Park::WaitReply;
-            }
-            RunOutcome::Barrier => {
-                // Processors run ahead of the event clock; synchronization
-                // uses each processor's own arrival time.
-                let pt = self.procs[i].now().max(self.now);
-                self.parked[i] = Park::WaitSync;
-                self.barrier_waiters.push((n, pt));
-                self.maybe_release_barrier();
-            }
-            RunOutcome::Lock(id) => {
-                let pt = self.procs[i].now().max(self.now);
-                let grant = self.cfg.lat.lock_grant;
-                let lock = self.locks.entry(id).or_default();
-                if lock.held {
-                    lock.waiters.push_back((n, pt));
-                    self.parked[i] = Park::WaitSync;
-                } else {
-                    lock.held = true;
-                    self.schedule_run(n, pt + grant);
-                }
-            }
-            RunOutcome::Unlock(id) => {
-                let pt = self.procs[i].now().max(self.now);
-                let grant = self.cfg.lat.lock_grant;
-                let next = {
-                    let lock = self.locks.entry(id).or_default();
-                    match lock.waiters.pop_front() {
-                        Some(w) => Some(w),
-                        None => {
-                            lock.held = false;
-                            None
-                        }
-                    }
-                };
-                if let Some((w, wt)) = next {
-                    self.schedule_run(w, pt.max(wt) + grant);
-                }
-                self.schedule_run(n, pt);
-            }
-            RunOutcome::Quantum => {
-                let at = self.procs[i].now();
-                self.schedule_run(n, at.max(self.now));
-            }
-            RunOutcome::Finished => {
-                if self.parked[i] != Park::Done {
-                    self.parked[i] = Park::Done;
-                    self.finish[i] = self.procs[i].finish_time();
-                    self.done += 1;
-                    self.maybe_release_barrier();
-                }
-            }
-        }
-    }
-
-    fn schedule_run(&mut self, n: u16, at: Cycle) {
-        self.parked[n as usize] = Park::Scheduled;
-        self.events.push(at, Ev::ProcRun(n));
-    }
-
-    fn wake_if_waiting(&mut self, n: u16, at: Cycle) {
-        if self.parked[n as usize] == Park::WaitReply {
-            self.schedule_run(n, at);
-        }
-    }
-
-    fn maybe_release_barrier(&mut self) {
-        let active = self.procs.len() - self.done;
-        if active > 0 && self.barrier_waiters.len() == active {
-            let waiters = std::mem::take(&mut self.barrier_waiters);
-            let release = waiters.iter().map(|&(_, t)| t).fold(self.now, Cycle::max);
-            for (w, _) in waiters {
-                self.schedule_run(w, release);
-            }
-        }
-    }
-
-    /// Converts processor requests into PI messages at the MAGIC inbox.
-    fn post_cpu_outs(&mut self, n: u16, outs: &[(Cycle, CpuOut)]) {
-        let lat = self.cfg.lat;
-        for &(t, o) in outs {
-            let (mtype, addr, extra) = match o {
-                CpuOut::Get(a) => (MsgType::PiGet, a, lat.miss_to_bus),
-                CpuOut::GetX(a) => (MsgType::PiGetX, a, lat.miss_to_bus),
-                CpuOut::Upgrade(a) => (MsgType::PiUpgrade, a, lat.miss_to_bus),
-                CpuOut::Writeback(a) => (MsgType::PiWriteback, a, 0),
-                CpuOut::Hint(a) => (MsgType::PiRplHint, a, 0),
-            };
-            // Observed mode: a miss leaving the processor starts a
-            // tracked request at its issue time.
-            if let Some(obs) = self.observe.as_mut() {
-                let kind = match mtype {
-                    MsgType::PiGet => Some(ReqKind::Read),
-                    MsgType::PiGetX => Some(ReqKind::Write),
-                    MsgType::PiUpgrade => Some(ReqKind::Upgrade),
-                    _ => None,
-                };
-                if let Some(kind) = kind {
-                    obs.begin(n, addr.line().raw(), t, kind);
-                }
-            }
-            self.events.push(
-                t + extra + lat.bus + lat.pi_in,
-                Ev::MagicIn {
-                    node: n,
-                    wire: Wire {
-                        mtype,
-                        src: NodeId(n),
-                        addr,
-                        aux: 0,
-                        with_data: mtype.carries_data(),
-                    },
-                },
-            );
-        }
-    }
-
-    fn ev_magic_in(&mut self, node: u16, wire: Wire) {
-        if trace_addr() == Some(wire.addr.line().raw()) {
-            let home = self.cfg.placement.home_of(wire.addr, self.cfg.nodes);
-            eprintln!(
-                "[{}] magic_in node{} {:?} src={} aux={:#x} hdr={:#x}",
-                self.now,
-                node,
-                wire.mtype,
-                wire.src,
-                wire.aux,
-                self.chips[home.index()]
-                    .peek_header(flash_protocol::dir_addr(wire.addr))
-                    .0
-            );
-        }
-        let home = self.cfg.placement.home_of(wire.addr, self.cfg.nodes);
-        self.mark_progress();
-        self.ring.push(TraceEntry {
-            at: self.now.raw(),
-            node,
-            kind: wire.mtype.name(),
-            src: wire.src.0,
-            line: wire.addr.line().raw(),
-            aux: wire.aux,
-        });
-        let msg = InMsg {
-            mtype: wire.mtype,
-            src: wire.src,
-            addr: wire.addr,
-            aux: wire.aux,
-            spec: false,
-            self_node: NodeId(node),
-            home,
-            diraddr: dir_addr(wire.addr),
-            with_data: wire.with_data,
-        };
-        // Fault hooks (taken only when an injector is armed): a PP
-        // slowdown burst holds the protocol processor busy past `now`; a
-        // handler running inside a DRAM refresh window finds its memory
-        // controller blocked to the window's end.
-        if let Some(inj) = self.injector.as_mut() {
-            let burst = inj.pp_burst(self.now, node);
-            if burst > 0 {
-                self.chips[node as usize].stall_pp(self.now + burst);
-            }
-            if let Some(until) = inj.dram_block(self.now) {
-                self.chips[node as usize].block_memory(until);
-            }
-        }
-        // Observed mode: advance the tracked request's frontier to the
-        // inbox arrival (bus/PI gap for processor-side messages, NI-input
-        // gap for network-side).
-        let obs_key = self.observe_key(node, &wire);
-        if let Some((key, seg)) = obs_key {
-            self.observe
-                .as_mut()
-                .expect("observe_key implies observer")
-                .advance(key, self.now, seg);
-        }
-        // Read-miss classification at the home (paper Tables 4.1/4.2).
-        let chip = &mut self.chips[node as usize];
-        let class = match wire.mtype {
-            MsgType::PiGet if home == NodeId(node) => chip.classify_read(&msg, NodeId(node)),
-            MsgType::NGet => chip.classify_read(&msg, aux::requester(wire.aux)),
-            _ => None,
-        };
-        let emissions = chip.process(msg, self.now);
-        // Observed mode: record the handler invocation, note the read
-        // class, and fold the chip's exact per-emission decomposition
-        // into the tracked request the first continuing emission serves.
-        if let Some(obs) = self.observe.as_mut() {
-            if let Some(inv) = self.chips[node as usize].obs_invocation().copied() {
-                obs.trace_handler(node, &inv);
-            }
-            if let Some((key, _)) = obs_key {
-                if let Some(class) = class {
-                    obs.note_class(key, class);
-                }
-                if let Some(i) = emissions
-                    .iter()
-                    .position(|em| Self::emission_continues(em, key, node))
-                {
-                    let parts = self.chips[node as usize].obs_parts()[i];
-                    let net = matches!(emissions[i], Emission::Net { .. });
-                    obs.apply_parts(key, emissions[i].at(), &parts, net);
-                }
-            }
-        }
-        for em in emissions {
-            match em {
-                Emission::Net { at, msg } => self.post_net(at, msg),
-                Emission::Proc { at, msg } => {
-                    if let Some(ctx) = self.check.as_mut() {
-                        let key = (node, msg.addr.line().raw());
-                        match msg.mtype {
-                            // The copy is logically dead from the moment
-                            // the invalidation is queued on the bus.
-                            MsgType::PInval => {
-                                *ctx.inflight_invals.entry(key).or_insert(0) += 1;
-                            }
-                            // The copy is mid-handoff: the new owner may
-                            // install its (exclusive) copy before this bus
-                            // transaction invalidates or downgrades ours.
-                            MsgType::PIntervGet | MsgType::PIntervGetX => {
-                                *ctx.inflight_intervs.entry(key).or_insert(0) += 1;
-                            }
-                            _ => {}
-                        }
-                    }
-                    self.events.push(
-                        at,
-                        Ev::ProcDeliver {
-                            node,
-                            pm: msg,
-                            tries: 0,
-                        },
-                    );
-                }
-            }
-        }
-    }
-
-    fn post_net(&mut self, at: Cycle, msg: Msg) {
-        if trace_addr() == Some(msg.addr.line().raw()) {
-            eprintln!(
-                "[{}] post_net at={} {:?} {}->{} aux={:#x}",
-                self.now, at, msg.mtype, msg.src, msg.dst, msg.aux
-            );
-        }
-        // Fault hooks on the outbound path: an output-queue freeze at the
-        // source NI delays entry to the mesh; then the link verdict may
-        // delay further (transient stall, hop spike) or hold the message
-        // entirely (scripted outage — re-offered later, not progress).
-        let mut at = at;
-        if let Some(inj) = self.injector.as_mut() {
-            if let Some(resume) = inj.ni_freeze(at, msg.src.0, NiDir::Out) {
-                at = resume;
-            }
-            match inj.link_verdict(at, msg.src.0, msg.dst.0) {
-                LinkVerdict::Clear => {}
-                LinkVerdict::Delay(d) => at += d,
-                LinkVerdict::Hold { resume } => {
-                    self.events.push(resume, Ev::NetSend { msg });
-                    return;
-                }
-            }
-        }
-        let arrival = self.net.send(at, msg.src, msg.dst);
-        // Observed mode: source-side holds (fault layer) count as
-        // NI-wait, the hop itself as mesh transit.
-        if self.observe.is_some() {
-            if let Some(key) = self.net_msg_key(&msg) {
-                if let Some(obs) = self.observe.as_mut() {
-                    obs.net_hop(key, at, arrival);
-                }
-            }
-        }
-        // An input-queue freeze at the destination NI delays dispatch
-        // into the inbox.
-        let mut deliver = arrival + self.cfg.lat.ni_in;
-        if let Some(inj) = self.injector.as_mut() {
-            if let Some(resume) = inj.ni_freeze(deliver, msg.dst.0, NiDir::In) {
-                deliver = resume;
-            }
-        }
-        self.events.push(
-            deliver,
-            Ev::MagicIn {
-                node: msg.dst.0,
-                wire: Wire {
-                    mtype: msg.mtype,
-                    src: msg.src,
-                    addr: msg.addr,
-                    aux: msg.aux,
-                    with_data: msg.with_data,
-                },
-            },
-        );
-    }
-
-    fn ev_proc_deliver(&mut self, node: u16, pm: ProcMsg, tries: u32) {
-        let i = node as usize;
-        let lat = self.cfg.lat;
-        // Consuming a delivery is forward progress; the intervention
-        // *deferral* path below re-queues without consuming and is
-        // deliberately not counted (a deferral loop is a livelock).
-        if !matches!(pm.mtype, MsgType::PIntervGet | MsgType::PIntervGetX) {
-            self.mark_progress();
-        }
-        match pm.mtype {
-            MsgType::PPut | MsgType::PPutX | MsgType::PUpgAck => {
-                // Observed mode: the reply reaching the processor closes
-                // the tracked request (before `deliver_reply`, whose
-                // freed MSHR may immediately re-issue on this line).
-                if let Some(obs) = self.observe.as_mut() {
-                    obs.complete((node, pm.addr.line().raw()), self.now);
-                }
-                let excl = pm.mtype != MsgType::PPut;
-                let mut outs = Vec::new();
-                self.procs[i].deliver_reply(pm.addr, excl, self.now, &mut outs);
-                self.post_cpu_outs(node, &outs);
-                self.wake_if_waiting(node, self.now);
-            }
-            MsgType::PInval => {
-                self.procs[i].inval(pm.addr, self.now);
-                if let Some(ctx) = self.check.as_mut() {
-                    let key = (node, pm.addr.line().raw());
-                    if let Some(n) = ctx.inflight_invals.get_mut(&key) {
-                        *n -= 1;
-                        if *n == 0 {
-                            ctx.inflight_invals.remove(&key);
-                        }
-                    }
-                    // An invalidation reaching this copy discharges any
-                    // provisional rogue-copy observation: the self-repair
-                    // completed.
-                    ctx.provisional_rogues.remove(&key);
-                }
-            }
-            MsgType::PIntervGet | MsgType::PIntervGetX => {
-                let excl = pm.mtype == MsgType::PIntervGetX;
-                let mut give_up = false;
-                if self.procs[i].has_mshr(pm.addr) {
-                    if tries < MAX_INTERV_DEFERRALS {
-                        // Data for this line is in flight; the bus
-                        // transaction retries until it lands.
-                        self.interv_deferrals += 1;
-                        self.events.push(
-                            self.now + 16,
-                            Ev::ProcDeliver {
-                                node,
-                                pm,
-                                tries: tries + 1,
-                            },
-                        );
-                        return;
-                    }
-                    // Request/forward cycle: break it. The miss report
-                    // makes the home abandon the transaction; poisoning
-                    // keeps the eventual grant from caching a stale copy.
-                    self.procs[i].poison_pending(pm.addr);
-                    give_up = true;
-                }
-                // The intervention is being consumed (not re-deferred):
-                // the copy's handoff window closes here.
-                self.mark_progress();
-                // Observed mode: the requester's frontier waited out the
-                // owner's bus transaction (deferrals included) — PI time.
-                if let Some(obs) = self.observe.as_mut() {
-                    obs.advance(
-                        (aux::requester(pm.aux).0, pm.addr.line().raw()),
-                        self.now,
-                        Segment::Pi,
-                    );
-                }
-                if let Some(ctx) = self.check.as_mut() {
-                    let key = (node, pm.addr.line().raw());
-                    if let Some(n) = ctx.inflight_intervs.get_mut(&key) {
-                        *n -= 1;
-                        if *n == 0 {
-                            ctx.inflight_intervs.remove(&key);
-                        }
-                    }
-                }
-                let found = !give_up && self.procs[i].intervention(pm.addr, excl, self.now);
-                let (mtype, delay) = if found {
-                    (MsgType::PiIntervReply, lat.cache_data)
-                } else {
-                    (MsgType::PiIntervMiss, lat.cache_state)
-                };
-                self.events.push(
-                    self.now + delay + lat.bus + lat.pi_in,
-                    Ev::MagicIn {
-                        node,
-                        wire: Wire {
-                            mtype,
-                            src: NodeId(node),
-                            addr: pm.addr,
-                            aux: pm.aux,
-                            with_data: found,
-                        },
-                    },
-                );
-            }
-            MsgType::PNackRetry => {
-                // Observed mode: the NACK round trip ends on the
-                // requester's bus; the retry gap is PI time.
-                if let Some(obs) = self.observe.as_mut() {
-                    obs.advance((node, pm.addr.line().raw()), self.now, Segment::Pi);
-                }
-                if let Some(o) = self.procs[i].nack_retry(pm.addr) {
-                    // Bus retry: the miss was already detected, so only
-                    // the retry delay plus bus/PI path applies.
-                    let (mtype, addr) = match o {
-                        flash_cpu::CpuOut::Get(a) => (MsgType::PiGet, a),
-                        flash_cpu::CpuOut::GetX(a) => (MsgType::PiGetX, a),
-                        flash_cpu::CpuOut::Upgrade(a) => (MsgType::PiUpgrade, a),
-                        other => unreachable!("{other:?} is not retryable"),
-                    };
-                    self.events.push(
-                        self.now + lat.retry + lat.bus + lat.pi_in,
-                        Ev::MagicIn {
-                            node,
-                            wire: Wire {
-                                mtype,
-                                src: NodeId(node),
-                                addr,
-                                aux: 0,
-                                with_data: false,
-                            },
-                        },
-                    );
-                }
-            }
-            MsgType::PIoData => {}
-            other => unreachable!("{other:?} is not a processor-bound message"),
-        }
-    }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1771,5 +2609,135 @@ mod tests {
             ideal <= flash,
             "ideal ({ideal}) must not be slower than FLASH ({flash})"
         );
+    }
+
+    // ---- sharded execution ----------------------------------------------
+
+    #[test]
+    fn shard_partition_is_consistent() {
+        for &nodes in &[1u16, 2, 3, 4, 16, 64, 255, 1024] {
+            for want in 1..=9usize {
+                let shards = want.min(nodes as usize);
+                let mut seen = 0u32;
+                for s in 0..shards {
+                    let (lo, hi) = shard_bounds(nodes, shards, s);
+                    assert!(lo <= hi, "empty-or-negative shard");
+                    for n in lo..hi {
+                        assert_eq!(shard_of(nodes, shards, n), s);
+                        let (s2, li) = locate(nodes, shards, n);
+                        assert_eq!((s2, li), (s, (n - lo) as usize));
+                        seen += 1;
+                    }
+                }
+                assert_eq!(seen, u32::from(nodes), "partition must cover every node");
+            }
+        }
+    }
+
+    /// Everything externally visible about a finished run, as one string.
+    fn fingerprint(m: &Machine) -> String {
+        let procs: Vec<String> = m
+            .procs()
+            .iter()
+            .map(|p| format!("{:?}", p.stats()))
+            .collect();
+        format!(
+            "exec={} now={} msgs={} hops={:.6} interv={} procs={procs:?}",
+            m.exec_cycles(),
+            m.now().raw(),
+            m.network().messages(),
+            m.network().mean_hops(),
+            m.interv_deferrals(),
+        )
+    }
+
+    #[test]
+    fn results_are_invariant_across_shard_counts() {
+        let run = |s: usize| {
+            let mut m = machine_with(MachineConfig::flash(4).with_shards(s), sharing_workload(4));
+            assert!(matches!(m.run(1_000_000), RunResult::Completed { .. }));
+            fingerprint(&m)
+        };
+        let base = run(1);
+        for s in [2, 3, 4, 7] {
+            assert_eq!(run(s), base, "shards={s} diverged from the serial run");
+        }
+    }
+
+    #[test]
+    fn locks_and_observation_are_shard_invariant() {
+        let workload = |n: u16| -> Vec<Vec<WorkItem>> {
+            let hot = node_addr(NodeId(0), 0xd000);
+            (0..n)
+                .map(|i| {
+                    vec![
+                        WorkItem::Busy(4 * u64::from(i)),
+                        WorkItem::Lock(3),
+                        WorkItem::Read(hot),
+                        WorkItem::Write(hot),
+                        WorkItem::Unlock(3),
+                        WorkItem::Barrier,
+                        WorkItem::Read(node_addr(NodeId(i), 0x80)),
+                    ]
+                })
+                .collect()
+        };
+        let run = |s: usize| {
+            let cfg = MachineConfig::flash(4)
+                .with_check(true)
+                .with_observe(true)
+                .with_shards(s);
+            let mut m = machine_with(cfg, workload(4));
+            assert!(matches!(m.run(2_000_000), RunResult::Completed { .. }));
+            assert_eq!(m.check_violations(), vec![], "shards={s}");
+            let trace = m.trace_json().expect("observing");
+            (fingerprint(&m), trace)
+        };
+        let base = run(1);
+        for s in [2, 3, 4] {
+            assert_eq!(run(s), base, "shards={s} diverged from the serial run");
+        }
+    }
+
+    #[test]
+    fn fault_stress_is_shard_invariant() {
+        let run = |s: usize| {
+            let cfg = MachineConfig::flash(4)
+                .with_faults(crate::FaultPlan::stress(11))
+                .with_shards(s);
+            let mut m = machine_with(cfg, sharing_workload(4));
+            assert!(matches!(m.run(4_000_000), RunResult::Completed { .. }));
+            let stats = format!("{:?}", m.fault_stats().expect("armed"));
+            (fingerprint(&m), stats)
+        };
+        let base = run(1);
+        for s in [2, 4] {
+            assert_eq!(run(s), base, "shards={s} diverged from the serial run");
+        }
+    }
+
+    #[test]
+    fn dma_writes_are_shard_invariant() {
+        let run = |s: usize| {
+            let mk = |i: u16| {
+                let a = node_addr(NodeId(2), 0x400);
+                vec![
+                    WorkItem::Read(a),
+                    WorkItem::Busy(40 + u64::from(i)),
+                    WorkItem::Read(a),
+                ]
+            };
+            let mut m = machine_with(
+                MachineConfig::flash(4).with_shards(s),
+                (0..4).map(mk).collect(),
+            );
+            m.add_dma_write(Cycle::new(60), NodeId(2), node_addr(NodeId(2), 0x400));
+            assert!(matches!(m.run(1_000_000), RunResult::Completed { .. }));
+            fingerprint(&m)
+        };
+        let base = run(1);
+        for s in [2, 3, 4] {
+            assert_eq!(run(s), base, "shards={s} diverged from the serial run");
+        }
     }
 }

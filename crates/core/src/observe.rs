@@ -195,6 +195,13 @@ impl Observer {
         self.pending.contains_key(&key)
     }
 
+    /// Every in-flight tracked key, in unspecified order (shard setup:
+    /// seeds each shard's local pending-key mirror so `is_pending`
+    /// queries can be answered without touching the master observer).
+    pub fn pending_keys(&self) -> impl Iterator<Item = (u16, u64)> + '_ {
+        self.pending.keys().copied()
+    }
+
     /// Applies a chip's exact per-emission decomposition: the frontier
     /// must already stand at the chip arrival time (the caller advanced
     /// it when the message reached the inbox), and `em_at − frontier ==

@@ -81,6 +81,17 @@ pub struct ProcStats {
     pub invals_received: u64,
     /// Interventions received.
     pub interventions: u64,
+    /// Completions or unblocks observed with a clock earlier than the
+    /// interval they close (`now < issued_at` / `now < block start`).
+    /// Impossible in a correct time-ordered schedule — asserted in debug
+    /// builds and counted here (instead of silently clamping to zero)
+    /// so release-mode event-ordering bugs surface in the stats.
+    pub clock_skew: u64,
+    /// Wakeups delivered at a machine time before the local pipeline
+    /// clock reached the block point (the pipeline ran ahead inside its
+    /// quantum). Legitimate, zero-stall events — see
+    /// `Processor::charge_unblock`.
+    pub early_wakeups: u64,
 }
 
 impl ProcStats {
@@ -215,7 +226,18 @@ impl Processor {
 
     fn charge_unblock(&mut self, now_q: u64) {
         if let (Some(start), Some(kind)) = (self.block_start_q, self.block_kind) {
-            let stall = now_q.saturating_sub(start);
+            // `start` is the *local* pipeline clock at the block point,
+            // which legitimately runs ahead of the machine clock inside a
+            // quantum: a reply to an earlier non-blocking request (a write
+            // upgrade issued before the pipeline ran ahead) can wake the
+            // processor at a machine time before it blocked. That is an
+            // early wakeup with no stall to charge — counted, not an
+            // error, unlike the global-clock underflows in
+            // [`Processor::record_latency`].
+            let stall = now_q.checked_sub(start).unwrap_or_else(|| {
+                self.stats.early_wakeups += 1;
+                0
+            });
             match kind {
                 BlockKind::Read => self.stats.read_stall_q += stall,
                 BlockKind::Write => self.stats.write_stall_q += stall,
@@ -225,6 +247,21 @@ impl Processor {
         }
         self.block_start_q = None;
         self.block_kind = None;
+    }
+
+    /// Records a completed miss's latency. A completion earlier than its
+    /// issue is a clock running backwards: asserted in debug builds,
+    /// counted (and recorded as 0 so histogram counts stay conserved) in
+    /// release.
+    fn record_latency(&mut self, now: Cycle, issued_at: Cycle) {
+        match now.raw().checked_sub(issued_at.raw()) {
+            Some(lat) => self.lat_hist.record(lat),
+            None => {
+                debug_assert!(false, "miss completed at {now} before issue at {issued_at}");
+                self.stats.clock_skew += 1;
+                self.lat_hist.record(0);
+            }
+        }
     }
 
     fn block(&mut self, kind: BlockKind) {
@@ -287,12 +324,16 @@ impl Processor {
                     self.stats.busy_q += n;
                 }
                 WorkItem::Read(a) => {
+                    // Count the reference when it first leaves the stream,
+                    // not when it resolves: a read whose first encounter
+                    // blocks (MSHR conflict, data in flight) would otherwise
+                    // never be counted, making the totals timing-sensitive.
+                    if !retrying {
+                        self.stats.reads += 1;
+                    }
                     self.wait_for_cache();
                     match self.cache.probe(a, false) {
                         CpuAccess::Hit => {
-                            if !retrying {
-                                self.stats.reads += 1;
-                            }
                             self.stats.busy_q += 1;
                             self.qtime += 1;
                         }
@@ -309,9 +350,6 @@ impl Processor {
                                 self.block(BlockKind::Read);
                                 return RunOutcome::BlockedRead;
                             }
-                            if !retrying {
-                                self.stats.reads += 1;
-                            }
                             self.stats.read_misses += 1;
                             let at = self.cycle();
                             self.mshrs.allocate(a, MissKind::Read, at);
@@ -326,19 +364,17 @@ impl Processor {
                     }
                 }
                 WorkItem::Write(a) => {
+                    // Counted at first stream take, as for reads above.
+                    if !retrying {
+                        self.stats.writes += 1;
+                    }
                     self.wait_for_cache();
                     match self.cache.probe(a, true) {
                         CpuAccess::Hit => {
-                            if !retrying {
-                                self.stats.writes += 1;
-                            }
                             self.stats.busy_q += 1;
                             self.qtime += 1;
                         }
                         CpuAccess::NeedsUpgrade => {
-                            if !retrying {
-                                self.stats.writes += 1;
-                            }
                             if self.mshrs.find(a).is_some() {
                                 // Upgrade (or miss) already outstanding: merge.
                                 self.stats.merges += 1;
@@ -361,9 +397,6 @@ impl Processor {
                             }
                         }
                         CpuAccess::Miss => {
-                            if !retrying {
-                                self.stats.writes += 1;
-                            }
                             if let Some(m) = self.mshrs.find_mut(a) {
                                 if m.kind == MissKind::Read {
                                     m.write_merged = true;
@@ -440,7 +473,7 @@ impl Processor {
         let Some(m) = self.mshrs.release(addr) else {
             return; // stale reply (e.g. after an intervening invalidation)
         };
-        self.lat_hist.record(now.saturating_since(m.issued_at));
+        self.record_latency(now, m.issued_at);
         if m.invalidated {
             // The grant was invalidated or poisoned in flight: use the
             // data once without caching it (an exclusive reply would
@@ -476,7 +509,7 @@ impl Processor {
         let Some(m) = self.mshrs.release(addr) else {
             return;
         };
-        self.lat_hist.record(now.saturating_since(m.issued_at));
+        self.record_latency(now, m.issued_at);
         if m.invalidated {
             // Poisoned grant: complete the write architecturally without
             // caching the line.

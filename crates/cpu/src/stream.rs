@@ -26,7 +26,9 @@ pub enum WorkItem {
 /// A lazily generated stream of work items for one processor.
 ///
 /// Implementations must keep returning [`WorkItem::Done`] once finished.
-pub trait RefStream {
+/// `Send` is a supertrait so a processor (and the shard executing it) can
+/// move to a worker thread under sharded simulation.
+pub trait RefStream: Send {
     /// Produces the next item.
     fn next_item(&mut self) -> WorkItem;
 }
@@ -70,7 +72,7 @@ impl RefStream for SliceStream {
     }
 }
 
-impl<F: FnMut() -> WorkItem> RefStream for F {
+impl<F: FnMut() -> WorkItem + Send> RefStream for F {
     fn next_item(&mut self) -> WorkItem {
         self()
     }

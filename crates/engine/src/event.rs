@@ -12,10 +12,12 @@ use crate::time::Cycle;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
-/// Number of slots in the near-future wheel. Power of two so the
-/// slot-index and occupancy-rotation math stays branch-free.
+/// Default number of slots in the near-future wheel. Power of two so the
+/// slot-index math stays branch-free. Sized for small meshes; callers
+/// whose steady-state scheduling distances exceed it (large-mesh transit
+/// latencies) should size the wheel with [`EventQueue::with_horizon`] so
+/// routine traffic does not degrade to the overflow heap.
 const WHEEL_SLOTS: usize = 128;
-const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
 
 /// A deterministic discrete-event queue.
 ///
@@ -37,13 +39,16 @@ const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    /// Near-future buckets. Slot `t & WHEEL_MASK` holds the events for
-    /// absolute time `t` while `t` lies in `[cursor, cursor + 128)`;
+    /// Near-future buckets. Slot `t & mask` holds the events for
+    /// absolute time `t` while `t` lies in `[cursor, cursor + slots.len())`;
     /// within the window each slot maps to exactly one absolute time, so
     /// entries store only their FIFO sequence number.
     slots: Vec<VecDeque<(u64, E)>>,
-    /// Bit `i` set iff `slots[i]` is non-empty.
-    occupied: u128,
+    /// Slot-index mask: `slots.len() - 1` (the length is a power of two).
+    mask: u64,
+    /// Occupancy bitmap, one bit per slot: bit `i` of word `i / 64` is
+    /// set iff `slots[i]` is non-empty.
+    occupied: Vec<u64>,
     /// Number of events currently resident in the wheel.
     wheel_len: usize,
     /// Base of the wheel window: the time of the most recently delivered
@@ -54,6 +59,11 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     /// Total pushes ever; doubles as the next FIFO sequence number.
     seq: u64,
+    /// Pushes routed to the wheel (health statistic: a healthy steady
+    /// state keeps almost every push out of the overflow heap).
+    wheel_pushes: u64,
+    /// Pushes routed to the overflow heap.
+    heap_pushes: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -82,15 +92,29 @@ impl<E> Ord for Entry<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default 128-slot wheel.
     pub fn new() -> Self {
+        Self::with_horizon(WHEEL_SLOTS as u64)
+    }
+
+    /// Creates an empty queue whose wheel spans at least `horizon` cycles
+    /// ahead of the cursor (rounded up to a power of two, minimum 128).
+    /// Size the horizon to the workload's longest *routine* scheduling
+    /// distance — e.g. the worst-case mesh transit latency — so only the
+    /// rare genuinely far-future event (watchdog budgets, DMA arrivals)
+    /// pays for the overflow heap.
+    pub fn with_horizon(horizon: u64) -> Self {
+        let n = horizon.max(WHEEL_SLOTS as u64).next_power_of_two() as usize;
         EventQueue {
-            slots: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
-            occupied: 0,
+            slots: (0..n).map(|_| VecDeque::new()).collect(),
+            mask: n as u64 - 1,
+            occupied: vec![0u64; n / 64],
             wheel_len: 0,
             cursor: 0,
             heap: BinaryHeap::new(),
             seq: 0,
+            wheel_pushes: 0,
+            heap_pushes: 0,
         }
     }
 
@@ -99,32 +123,72 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: Cycle, ev: E) {
         let seq = self.seq;
         self.seq += 1;
+        self.insert(at, seq, ev);
+    }
+
+    /// Schedules `ev` at `at` under an explicit within-cycle ordering key
+    /// `sub` instead of the internal FIFO sequence number. Delivery order
+    /// is `(time, sub)` ascending; `sub` values sharing a cycle must be
+    /// distinct for the order to be total. The sharded engine derives
+    /// `sub` from `(origin node, per-origin sequence)` so the schedule is
+    /// identical no matter which shard pushed the event.
+    #[inline]
+    pub fn push_sub(&mut self, at: Cycle, sub: u64, ev: E) {
+        self.seq += 1;
+        self.insert(at, sub, ev);
+    }
+
+    #[inline]
+    fn insert(&mut self, at: Cycle, sub: u64, ev: E) {
         let t = at.raw();
-        if t >= self.cursor && t - self.cursor < WHEEL_SLOTS as u64 {
-            let slot = (t & WHEEL_MASK) as usize;
-            self.slots[slot].push_back((seq, ev));
-            self.occupied |= 1u128 << slot;
+        if t >= self.cursor && t - self.cursor < self.slots.len() as u64 {
+            let slot = (t & self.mask) as usize;
+            let q = &mut self.slots[slot];
+            // Keep each slot sorted by `sub`. Plain pushes use the
+            // monotone sequence counter, so this lands at the back in
+            // O(log n); explicit subs may interleave arbitrarily.
+            let i = q.partition_point(|&(s, _)| s <= sub);
+            q.insert(i, (sub, ev));
+            self.occupied[slot / 64] |= 1u64 << (slot % 64);
             self.wheel_len += 1;
+            self.wheel_pushes += 1;
         } else {
-            self.heap.push(Entry { at, seq, ev });
+            self.heap.push(Entry { at, seq: sub, ev });
+            self.heap_pushes += 1;
         }
     }
 
-    /// `(time, seq)` of the earliest wheel-resident event, if any. O(1):
-    /// rotate the occupancy bitmap so the window base lands on bit 0,
-    /// then count trailing zeros.
+    /// `(time, seq)` of the earliest wheel-resident event, if any.
+    /// Scans the occupancy bitmap circularly from the cursor's slot:
+    /// O(slots / 64) words in the worst case, one `trailing_zeros` per
+    /// word — for the default 128-slot wheel that is two words.
     #[inline]
     fn wheel_front(&self) -> Option<(u64, u64)> {
         if self.wheel_len == 0 {
             return None;
         }
-        let rot = self
-            .occupied
-            .rotate_right((self.cursor & WHEEL_MASK) as u32);
-        let offset = rot.trailing_zeros() as u64;
-        debug_assert!(offset < WHEEL_SLOTS as u64);
+        let words = self.occupied.len();
+        let start = (self.cursor & self.mask) as usize;
+        let (sw, sb) = (start / 64, start % 64);
+        let mut found = None;
+        // Word `sw` is visited twice: first masked to bits `sb..`, then
+        // (after wrapping) masked to bits `..sb`.
+        for i in 0..=words {
+            let wi = (sw + i) % words;
+            let mut w = self.occupied[wi];
+            if i == 0 {
+                w &= !0u64 << sb;
+            } else if i == words {
+                w &= (1u64 << sb) - 1;
+            }
+            if w != 0 {
+                found = Some(wi * 64 + w.trailing_zeros() as usize);
+                break;
+            }
+        }
+        let slot = found.expect("wheel_len > 0 with an empty occupancy bitmap");
+        let offset = (slot as u64).wrapping_sub(start as u64) & self.mask;
         let t = self.cursor + offset;
-        let slot = (t & WHEEL_MASK) as usize;
         let seq = self.slots[slot]
             .front()
             .expect("occupancy bit set on empty slot")
@@ -134,6 +198,15 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.pop_keyed().map(|(t, _, ev)| (t, ev))
+    }
+
+    /// Removes and returns the earliest event along with its within-cycle
+    /// ordering key (the FIFO sequence for [`EventQueue::push`], the
+    /// explicit `sub` for [`EventQueue::push_sub`]). The sharded engine
+    /// uses the key to re-push a budget-deferred event unchanged and to
+    /// tag journal entries with a shard-invariant identity.
+    pub fn pop_keyed(&mut self) -> Option<(Cycle, u64, E)> {
         let wheel = self.wheel_front();
         let heap = self.heap.peek().map(|e| (e.at.raw(), e.seq));
         let take_wheel = match (wheel, heap) {
@@ -144,19 +217,34 @@ impl<E> EventQueue<E> {
         };
         if take_wheel {
             let (t, _) = wheel.unwrap();
-            let slot = (t & WHEEL_MASK) as usize;
-            let (_, ev) = self.slots[slot].pop_front().expect("wheel front vanished");
+            let slot = (t & self.mask) as usize;
+            let (sub, ev) = self.slots[slot].pop_front().expect("wheel front vanished");
             if self.slots[slot].is_empty() {
-                self.occupied &= !(1u128 << slot);
+                self.occupied[slot / 64] &= !(1u64 << (slot % 64));
             }
             self.wheel_len -= 1;
             self.cursor = self.cursor.max(t);
-            Some((Cycle::new(t), ev))
+            Some((Cycle::new(t), sub, ev))
         } else {
             let e = self.heap.pop().expect("heap peeked non-empty");
             self.cursor = self.cursor.max(e.at.raw());
-            Some((e.at, e.ev))
+            Some((e.at, e.seq, e.ev))
         }
+    }
+
+    /// Advances the wheel's window base to `at` without delivering
+    /// anything, clamped so it never passes the earliest wheel-resident
+    /// event. The sharded engine calls this on every shard queue at each
+    /// window boundary: an idle shard's cursor otherwise freezes at its
+    /// last pop, and staged cross-shard deliveries — near-future in
+    /// *global* time — would look far-future to the stale window and
+    /// degrade to the overflow heap.
+    pub fn advance_to(&mut self, at: Cycle) {
+        let mut t = at.raw();
+        if let Some((front, _)) = self.wheel_front() {
+            t = t.min(front);
+        }
+        self.cursor = self.cursor.max(t);
     }
 
     /// Time of the earliest pending event.
@@ -166,6 +254,23 @@ impl<E> EventQueue<E> {
         match (wheel, heap) {
             (Some(w), Some(h)) => Some(Cycle::new(w.min(h).0)),
             (Some((t, _)), None) | (None, Some((t, _))) => Some(Cycle::new(t)),
+            (None, None) => None,
+        }
+    }
+
+    /// `(time, key)` of the earliest pending event — the full ordering
+    /// key [`EventQueue::pop_keyed`] would return. The sharded engine
+    /// compares these across shard queues to find the canonical global
+    /// minimum without popping.
+    pub fn peek_key(&self) -> Option<(Cycle, u64)> {
+        let wheel = self.wheel_front();
+        let heap = self.heap.peek().map(|e| (e.at.raw(), e.seq));
+        match (wheel, heap) {
+            (Some(w), Some(h)) => {
+                let (t, s) = w.min(h);
+                Some((Cycle::new(t), s))
+            }
+            (Some((t, s)), None) | (None, Some((t, s))) => Some((Cycle::new(t), s)),
             (None, None) => None,
         }
     }
@@ -185,15 +290,24 @@ impl<E> EventQueue<E> {
         self.seq
     }
 
+    /// Pushes that landed in the near-future wheel vs. the overflow heap,
+    /// ever. A healthy steady state routes almost everything through the
+    /// wheel; a large heap share means the 128-slot window is too small
+    /// for the workload's scheduling distances.
+    pub fn push_routing(&self) -> (u64, u64) {
+        (self.wheel_pushes, self.heap_pushes)
+    }
+
     /// Visits every pending event as `(time, &event)` in unspecified
     /// order (wedge diagnostics: per-node occupancy counts, suspect-line
     /// harvesting). O(pending); never perturbs delivery order.
     pub fn iter(&self) -> impl Iterator<Item = (Cycle, &E)> {
         let cursor = self.cursor;
+        let mask = self.mask;
         let wheel = self.slots.iter().enumerate().flat_map(move |(s, q)| {
             // The absolute time of slot `s` within the current window
-            // `[cursor, cursor + 128)`.
-            let offset = (s as u64).wrapping_sub(cursor) & WHEEL_MASK;
+            // `[cursor, cursor + slots.len())`.
+            let offset = (s as u64).wrapping_sub(cursor) & mask;
             let t = Cycle::new(cursor + offset);
             q.iter().map(move |(_, e)| (t, e))
         });
@@ -206,7 +320,7 @@ impl<E> EventQueue<E> {
         for s in &mut self.slots {
             s.clear();
         }
-        self.occupied = 0;
+        self.occupied.fill(0);
         self.wheel_len = 0;
         self.cursor = 0;
         self.heap.clear();
@@ -475,6 +589,86 @@ mod tests {
         assert_eq!(q.pop(), Some((Cycle::new(167), 'x')));
         assert_eq!(q.pop(), Some((Cycle::new(540), 'h')));
         assert!(q.iter().next().is_none());
+    }
+
+    #[test]
+    fn push_sub_orders_within_a_cycle_regardless_of_push_order() {
+        let mut q = EventQueue::new();
+        q.push_sub(Cycle::new(10), 30, 'c');
+        q.push_sub(Cycle::new(10), 10, 'a');
+        q.push_sub(Cycle::new(10), 20, 'b');
+        q.push_sub(Cycle::new(5), 99, 'z');
+        assert_eq!(q.pop_keyed(), Some((Cycle::new(5), 99, 'z')));
+        assert_eq!(q.pop_keyed(), Some((Cycle::new(10), 10, 'a')));
+        assert_eq!(q.pop_keyed(), Some((Cycle::new(10), 20, 'b')));
+        assert_eq!(q.pop_keyed(), Some((Cycle::new(10), 30, 'c')));
+        assert_eq!(q.pop_keyed(), None);
+        assert_eq!(q.total_pushed(), 4);
+    }
+
+    #[test]
+    fn push_sub_orders_across_wheel_and_heap() {
+        // Subs must order a cycle's events even when some entered via the
+        // far-future heap and others via the wheel after the window
+        // caught up.
+        let mut q = EventQueue::new();
+        q.push_sub(Cycle::new(500), 7, "late-sub"); // heap
+        q.push_sub(Cycle::new(400), 1, "warm"); // heap
+        assert_eq!(q.pop().unwrap().1, "warm"); // cursor -> 400
+        q.push_sub(Cycle::new(500), 3, "early-sub"); // wheel now
+        assert_eq!(q.pop_keyed(), Some((Cycle::new(500), 3, "early-sub")));
+        assert_eq!(q.pop_keyed(), Some((Cycle::new(500), 7, "late-sub")));
+    }
+
+    #[test]
+    fn push_routing_counts_wheel_and_heap() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(3), ());
+        q.push(Cycle::new(100), ());
+        q.push(Cycle::new(1_000), ());
+        assert_eq!(q.push_routing(), (2, 1));
+    }
+
+    #[test]
+    fn with_horizon_rounds_up_and_widens_the_window() {
+        // 300-cycle horizon -> 512 slots: a push 300 cycles out rides the
+        // wheel; the default 128-slot queue would have sent it to the heap.
+        let mut q = EventQueue::with_horizon(300);
+        assert_eq!(q.slots.len(), 512);
+        assert_eq!(q.occupied.len(), 8);
+        q.push(Cycle::new(300), 'w');
+        q.push(Cycle::new(512), 'h'); // first time past the widened window
+        assert_eq!(q.push_routing(), (1, 1));
+        assert_eq!(q.pop(), Some((Cycle::new(300), 'w')));
+        assert_eq!(q.pop(), Some((Cycle::new(512), 'h')));
+    }
+
+    #[test]
+    fn sized_wheel_matches_default_delivery_order() {
+        // Differential: identical mixed pushes through the 128-slot and a
+        // 1024-slot queue must deliver identically — the wheel size is a
+        // routing detail, never an ordering one.
+        use crate::DetRng;
+        let mut rng = DetRng::for_stream(0x5CA1E, 0);
+        let mut small = EventQueue::new();
+        let mut big = EventQueue::with_horizon(1024);
+        let mut now = 0u64;
+        for seq in 0..3000u64 {
+            if rng.chance(0.4) && !small.is_empty() {
+                let a = small.pop().unwrap();
+                let b = big.pop().unwrap();
+                assert_eq!(a, b);
+                now = a.0.raw();
+            } else {
+                let t = now + rng.below(2000);
+                small.push(Cycle::new(t), seq);
+                big.push(Cycle::new(t), seq);
+            }
+        }
+        while let Some(a) = small.pop() {
+            assert_eq!(Some(a), big.pop());
+        }
+        assert!(big.is_empty());
     }
 
     #[test]

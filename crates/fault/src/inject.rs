@@ -1,9 +1,15 @@
 //! The fault injector: deterministic runtime for a [`FaultPlan`].
 //!
-//! Each fault class draws from its **own** [`DetRng`] stream derived from
-//! the plan seed, so the decision sequence of one class depends only on
-//! its own call sequence — which the deterministic event loop fixes — and
-//! never on how other classes interleave. Every guard is `p > 0.0 &&
+//! Each **(fault class, entity)** pair draws from its own [`DetRng`]
+//! stream derived from the plan seed — one stream per directed link, per
+//! NI queue direction, per protocol processor. The decision sequence for
+//! an entity therefore depends only on that entity's own call sequence,
+//! never on how other entities or classes interleave. That is what makes
+//! fault schedules *shard-invariant*: every entity is driven from exactly
+//! one shard (a link from its source node's shard, an NI direction from
+//! the node that processes it, a PP from its node), and each shard
+//! replays its entities' calls in the same deterministic order no matter
+//! how many shards the mesh is split into. Every guard is `p > 0.0 &&
 //! chance(p)`, so a zeroed plan makes no draws at all and an armed-but-
 //! zero injector is byte-identical to no injector.
 
@@ -11,8 +17,11 @@ use crate::plan::FaultPlan;
 use flash_engine::{Cycle, DetRng};
 use std::collections::BTreeMap;
 
-/// Per-class RNG stream indices (stable across versions: changing these
-/// invalidates replay tokens).
+/// Per-class RNG stream classes (stable across versions: changing these —
+/// or the entity encoding below — invalidates replay tokens). The actual
+/// stream index is `class << 32 | entity`, where the entity is
+/// `src << 16 | dst` for links and hops, `node << 1 | direction` for NI
+/// queues, and `node` for PPs.
 const STREAM_LINK: u64 = 1;
 const STREAM_NI: u64 = 2;
 const STREAM_PP: u64 = 3;
@@ -71,14 +80,31 @@ pub struct FaultStats {
     pub delay_cycles: u64,
 }
 
-/// The runtime for one machine's [`FaultPlan`].
+impl FaultStats {
+    /// Folds another injector's counts into this one (shard teardown:
+    /// per-shard injectors accumulate independently and merge for
+    /// reporting).
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.hop_spikes += other.hop_spikes;
+        self.link_stalls += other.link_stalls;
+        self.link_holds += other.link_holds;
+        self.ni_freezes += other.ni_freezes;
+        self.pp_bursts += other.pp_bursts;
+        self.dram_stalls += other.dram_stalls;
+        self.delay_cycles += other.delay_cycles;
+    }
+}
+
+/// The runtime for one machine's [`FaultPlan`]. Under sharded simulation
+/// each shard runs its own injector over the same plan; because RNG
+/// streams are per-entity and every entity belongs to one shard, the
+/// union of the shards' schedules equals the serial schedule, and
+/// [`FaultStats::absorb`] folds the per-shard counts back together.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     plan: FaultPlan,
-    rng_link: DetRng,
-    rng_ni: DetRng,
-    rng_pp: DetRng,
-    rng_hop: DetRng,
+    /// Lazily created per-(class, entity) RNG streams.
+    rngs: BTreeMap<(u64, u64), DetRng>,
     /// End of the current transient stall per directed link.
     link_stalled_until: BTreeMap<(u16, u16), u64>,
     /// End of the current freeze per (node, direction).
@@ -96,16 +122,21 @@ impl FaultInjector {
             return None;
         }
         Some(FaultInjector {
-            rng_link: DetRng::for_stream(plan.seed, STREAM_LINK),
-            rng_ni: DetRng::for_stream(plan.seed, STREAM_NI),
-            rng_pp: DetRng::for_stream(plan.seed, STREAM_PP),
-            rng_hop: DetRng::for_stream(plan.seed, STREAM_HOP),
             plan: plan.clone(),
+            rngs: BTreeMap::new(),
             link_stalled_until: BTreeMap::new(),
             ni_frozen_until: BTreeMap::new(),
             held: BTreeMap::new(),
             stats: FaultStats::default(),
         })
+    }
+
+    /// The RNG stream for one (class, entity) pair, created on first use.
+    fn rng(&mut self, class: u64, entity: u64) -> &mut DetRng {
+        let seed = self.plan.seed;
+        self.rngs
+            .entry((class, entity))
+            .or_insert_with(|| DetRng::for_stream(seed, (class << 32) | entity))
     }
 
     /// Decides the fate of a message offered to the network at `at` on
@@ -137,13 +168,16 @@ impl FaultInjector {
                 delay += until - t;
             }
         }
-        if self.plan.link_stall_p > 0.0 && self.rng_link.chance(self.plan.link_stall_p) {
+        let link_entity = (src as u64) << 16 | dst as u64;
+        let p = self.plan.link_stall_p;
+        if p > 0.0 && self.rng(STREAM_LINK, link_entity).chance(p) {
             let until = t + delay + self.plan.link_stall_cycles;
             self.link_stalled_until.insert((src, dst), until);
             self.stats.link_stalls += 1;
             delay += self.plan.link_stall_cycles;
         }
-        if self.plan.hop_spike_p > 0.0 && self.rng_hop.chance(self.plan.hop_spike_p) {
+        let p = self.plan.hop_spike_p;
+        if p > 0.0 && self.rng(STREAM_HOP, link_entity).chance(p) {
             self.stats.hop_spikes += 1;
             delay += self.plan.hop_spike_cycles;
         }
@@ -166,7 +200,9 @@ impl FaultInjector {
                 return Some(Cycle::new(until));
             }
         }
-        if self.plan.ni_freeze_p > 0.0 && self.rng_ni.chance(self.plan.ni_freeze_p) {
+        let entity = (node as u64) << 1 | (dir == NiDir::Out) as u64;
+        let p = self.plan.ni_freeze_p;
+        if p > 0.0 && self.rng(STREAM_NI, entity).chance(p) {
             let until = t + self.plan.ni_freeze_cycles;
             self.ni_frozen_until.insert((node, dir), until);
             self.stats.ni_freezes += 1;
@@ -177,8 +213,9 @@ impl FaultInjector {
 
     /// PP slowdown burst for one handler invocation on `node`: extra
     /// cycles the protocol processor is held busy (0 almost always).
-    pub fn pp_burst(&mut self, _at: Cycle, _node: u16) -> u64 {
-        if self.plan.pp_burst_p > 0.0 && self.rng_pp.chance(self.plan.pp_burst_p) {
+    pub fn pp_burst(&mut self, _at: Cycle, node: u16) -> u64 {
+        let p = self.plan.pp_burst_p;
+        if p > 0.0 && self.rng(STREAM_PP, node as u64).chance(p) {
             self.stats.pp_bursts += 1;
             self.plan.pp_burst_cycles
         } else {
@@ -297,6 +334,63 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(link_schedule(0), link_schedule(1_000));
+    }
+
+    #[test]
+    fn per_entity_streams_are_interleave_invariant() {
+        // Two injectors over the same plan, driven with the same
+        // per-entity call sequences but a completely different global
+        // interleave (entity-major vs. time-major), must produce
+        // identical per-entity schedules — the property that lets each
+        // shard run its own injector over its own entities.
+        let plan = FaultPlan::stress(7);
+        let mut a = FaultInjector::new(&plan).unwrap();
+        let mut b = FaultInjector::new(&plan).unwrap();
+        let mut log_a = Vec::new();
+        let mut log_b = Vec::new();
+        // a: entity-major.
+        for link in [(0u16, 1u16), (3, 2), (1, 0)] {
+            for t in 0..400u64 {
+                log_a.push((
+                    link,
+                    t,
+                    format!("{:?}", a.link_verdict(Cycle::new(t * 5), link.0, link.1)),
+                ));
+            }
+        }
+        // b: time-major, with unrelated NI/PP draws mixed in.
+        for t in 0..400u64 {
+            for link in [(0u16, 1u16), (3, 2), (1, 0)] {
+                b.ni_freeze(Cycle::new(t * 5), link.0, NiDir::In);
+                b.pp_burst(Cycle::new(t * 5), link.1);
+                log_b.push((
+                    link,
+                    t,
+                    format!("{:?}", b.link_verdict(Cycle::new(t * 5), link.0, link.1)),
+                ));
+            }
+        }
+        log_a.sort_by_key(|&(link, t, _)| (link, t));
+        log_b.sort_by_key(|&(link, t, _)| (link, t));
+        assert_eq!(log_a, log_b);
+    }
+
+    #[test]
+    fn stats_absorb_sums_counts() {
+        let plan = FaultPlan {
+            link_stall_p: 1.0,
+            link_stall_cycles: 10,
+            ..FaultPlan::zeroed(0)
+        };
+        let mut a = FaultInjector::new(&plan).unwrap();
+        let mut b = FaultInjector::new(&plan).unwrap();
+        a.link_verdict(Cycle::new(0), 0, 1);
+        b.link_verdict(Cycle::new(0), 2, 3);
+        b.link_verdict(Cycle::new(100), 2, 3);
+        let mut sum = *a.stats();
+        sum.absorb(b.stats());
+        assert_eq!(sum.link_stalls, 3);
+        assert_eq!(sum.delay_cycles, 30);
     }
 
     #[test]

@@ -62,18 +62,19 @@ impl Mesh {
     }
 
     /// Mean Manhattan distance over all ordered pairs of distinct nodes.
+    ///
+    /// Closed form: on one axis of length `c`, the ordered-pair distance
+    /// sum is `Σ|i−j| = (c³−c)/3` (exactly divisible, since `c³−c` is a
+    /// product of three consecutive integers); each axis sum is counted
+    /// once per ordered pair of positions on the other axis. O(1) instead
+    /// of the O(n²) pair walk — at 1024 nodes that walk was ~1M hop
+    /// computations per call.
     pub fn average_hops(&self) -> f64 {
         if self.nodes <= 1 {
             return 0.0;
         }
-        let mut total = 0u64;
-        for a in 0..self.nodes {
-            for b in 0..self.nodes {
-                if a != b {
-                    total += self.hops(NodeId(a), NodeId(b)) as u64;
-                }
-            }
-        }
+        let (c, r) = (self.cols as u64, self.rows as u64);
+        let total = r * r * (c * c * c - c) / 3 + c * c * (r * r * r - r) / 3;
         total as f64 / (self.nodes as f64 * (self.nodes as f64 - 1.0))
     }
 }
@@ -105,6 +106,38 @@ mod tests {
             for b in 0..16 {
                 assert_eq!(m.hops(NodeId(a), NodeId(b)), m.hops(NodeId(b), NodeId(a)));
             }
+        }
+    }
+
+    /// The brute-force reference the closed form replaced.
+    fn average_hops_brute(m: &Mesh) -> f64 {
+        if m.nodes <= 1 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        for a in 0..m.nodes {
+            for b in 0..m.nodes {
+                if a != b {
+                    total += m.hops(NodeId(a), NodeId(b)) as u64;
+                }
+            }
+        }
+        total as f64 / (m.nodes as f64 * (m.nodes as f64 - 1.0))
+    }
+
+    #[test]
+    fn closed_form_matches_brute_force() {
+        // Both compute an exact integer total before one division, so
+        // the match is exact, not approximate. Includes a non-square
+        // mesh (8 = 4x2) to exercise the asymmetric term.
+        for nodes in [1u16, 2, 4, 8, 16, 64, 256] {
+            let m = Mesh::for_nodes(nodes);
+            assert_eq!(
+                m.average_hops(),
+                average_hops_brute(&m),
+                "nodes = {nodes}, dims = {:?}",
+                m.dims()
+            );
         }
     }
 

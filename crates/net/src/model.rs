@@ -113,6 +113,50 @@ impl NetModel {
     pub fn fixed_transit(&self) -> u64 {
         self.fixed_transit
     }
+
+    /// The minimum transit latency between two *distinct* nodes — the
+    /// conservative-lookahead bound for parallel simulation: no message
+    /// posted at time `t` can arrive at another node before
+    /// `t + min_remote_transit()`. Loopback (same-node) messages are
+    /// cheaper but never cross a shard boundary, so they do not bound the
+    /// lookahead. Returns the fixed transit in fixed-average mode (every
+    /// remote message pays it) and the adjacent-node cost in per-hop mode.
+    pub fn min_remote_transit(&self) -> u64 {
+        if let Some(v) = self.cfg.transit_override {
+            return v;
+        }
+        if self.cfg.fixed_average {
+            self.fixed_transit
+        } else {
+            (2 + 1) * self.cfg.hop_cycles + self.cfg.header_cycles
+        }
+    }
+
+    /// The maximum transit latency between two nodes — the longest
+    /// *routine* scheduling distance mesh traffic produces, reached by
+    /// corner-to-corner messages crossing the full mesh diameter. Event
+    /// queues size their near-future wheel to cover it so steady-state
+    /// traffic on big meshes does not degrade to the overflow heap.
+    pub fn max_remote_transit(&self) -> u64 {
+        if let Some(v) = self.cfg.transit_override {
+            return v;
+        }
+        if self.cfg.fixed_average {
+            self.fixed_transit
+        } else {
+            let (w, h) = self.mesh.dims();
+            let diameter = (w.max(1) as u64 - 1) + (h.max(1) as u64 - 1);
+            (2 + diameter.max(1)) * self.cfg.hop_cycles + self.cfg.header_cycles
+        }
+    }
+
+    /// Folds another model's traffic counters into this one (shard
+    /// teardown: per-shard models accumulate independently and merge into
+    /// the machine's master model for reporting).
+    pub fn absorb_counts(&mut self, other: &NetModel) {
+        self.messages.add(other.messages.get());
+        self.hops_total.add(other.hops_total.get());
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +210,46 @@ mod tests {
         let net = NetModel::new(Mesh::for_nodes(16), NetConfig::default());
         let lb = net.transit(NodeId(3), NodeId(3));
         assert!(lb > 0 && lb < net.fixed_transit());
+    }
+
+    #[test]
+    fn min_remote_transit_bounds_every_remote_pair() {
+        for cfg in [
+            NetConfig::default(),
+            NetConfig {
+                fixed_average: false,
+                ..NetConfig::default()
+            },
+            NetConfig {
+                transit_override: Some(99),
+                ..NetConfig::default()
+            },
+        ] {
+            let net = NetModel::new(Mesh::for_nodes(16), cfg);
+            let min = net.min_remote_transit();
+            for a in 0..16 {
+                for b in 0..16 {
+                    if a != b {
+                        assert!(
+                            net.transit(NodeId(a), NodeId(b)) >= min,
+                            "{cfg:?}: transit({a},{b}) < {min}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_counts_sums_traffic() {
+        let mut a = NetModel::new(Mesh::for_nodes(16), NetConfig::default());
+        let mut b = NetModel::new(Mesh::for_nodes(16), NetConfig::default());
+        a.send(Cycle::new(0), NodeId(0), NodeId(1));
+        b.send(Cycle::new(0), NodeId(0), NodeId(15));
+        b.send(Cycle::new(5), NodeId(2), NodeId(3));
+        a.absorb_counts(&b);
+        assert_eq!(a.messages(), 3);
+        assert_eq!(a.mean_hops(), (1 + 6 + 1) as f64 / 3.0);
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct NiQueue<T> {
     /// Cycle the current backpressure episode began (first rejected
     /// offer), if one is open.
     stalled_since: Option<u64>,
+    /// Drains observed *before* the episode they close began — a clock
+    /// running backwards. Impossible in a correct schedule (and asserted
+    /// in debug builds); counted instead of silently recording a zero
+    /// stall so release-mode sharding bugs surface in the stats.
+    clock_skew: u64,
 }
 
 impl<T> NiQueue<T> {
@@ -56,6 +61,7 @@ impl<T> NiQueue<T> {
             drained: 0,
             stall_cycles: 0,
             stalled_since: None,
+            clock_skew: 0,
         }
     }
 
@@ -86,7 +92,14 @@ impl<T> NiQueue<T> {
         let item = self.q.pop()?;
         self.drained += 1;
         if let Some(start) = self.stalled_since.take() {
-            self.stall_cycles += now.raw().saturating_sub(start);
+            // A drain strictly before the episode opened means the caller's
+            // clock ran backwards (e.g. a cross-shard ordering bug).
+            if let Some(stall) = now.raw().checked_sub(start) {
+                self.stall_cycles += stall;
+            } else {
+                debug_assert!(false, "NI drain at {now} before stall began at {start}c");
+                self.clock_skew += 1;
+            }
         }
         Some(item)
     }
@@ -130,6 +143,13 @@ impl<T> NiQueue<T> {
     /// queue (closed backpressure episodes only).
     pub fn stall_cycles(&self) -> u64 {
         self.stall_cycles
+    }
+
+    /// Backwards-clock observations (see the `clock_skew` field). Always
+    /// zero on a healthy run; nonzero means event delivery violated time
+    /// order.
+    pub fn clock_skew(&self) -> u64 {
+        self.clock_skew
     }
 
     /// Message conservation audit (checked mode): every accepted message
