@@ -1,0 +1,84 @@
+//! End-to-end host-performance benchmark over the full `repro_all` job
+//! set, with a built-in byte-identity check.
+//!
+//! Runs the sibling `repro_all` binary (same target directory) a few
+//! times, verifies its stdout is byte-identical to the pinned golden
+//! transcript (`tests/golden/repro_all.txt`), and prints a small JSON
+//! report: wall milliseconds per repeat, best/median, and simulation
+//! points per second. CI's perf-smoke job archives the JSON and fails on
+//! any stdout drift; BENCH_PR8.json in the repo root records the
+//! before/after numbers for this PR.
+//!
+//! Knobs: `FLASH_BENCH_REPEATS` (default 3) controls the repeat count;
+//! the child inherits the environment, so `FLASH_SHARDS`,
+//! `FLASH_PP_BACKEND`, `FLASH_JOBS`, etc. apply as usual.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Instant;
+
+/// The sibling `repro_all` binary (both bins land in the same directory).
+fn repro_all_path() -> PathBuf {
+    let mut p = std::env::current_exe().expect("own path");
+    p.set_file_name(format!("repro_all{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+/// The pinned golden transcript, resolved relative to the workspace (the
+/// bench crate sits at `crates/bench`).
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/repro_all.txt")
+}
+
+fn main() {
+    let repeats: usize = std::env::var("FLASH_BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let golden = std::fs::read(golden_path()).expect("tests/golden/repro_all.txt readable");
+    let bin = repro_all_path();
+    let points = flash_bench::tables::repro_all_jobs().len();
+    let mut times_ms: Vec<u64> = Vec::with_capacity(repeats);
+    let mut identical = true;
+    for i in 0..repeats {
+        let t0 = Instant::now();
+        let out = Command::new(&bin).output().expect("repro_all runs");
+        let ms = t0.elapsed().as_millis() as u64;
+        assert!(
+            out.status.success(),
+            "repro_all exited nonzero on repeat {i}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        if out.stdout != golden {
+            identical = false;
+        }
+        times_ms.push(ms);
+    }
+    let mut sorted = times_ms.clone();
+    sorted.sort_unstable();
+    let best = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let sims_per_sec = points as f64 / (median as f64 / 1000.0);
+    println!("{{");
+    println!("  \"bench\": \"bench_pr8\",");
+    println!("  \"listed_points\": {points},");
+    println!("  \"repeats\": {repeats},");
+    println!(
+        "  \"times_ms\": [{}],",
+        times_ms
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("  \"best_ms\": {best},");
+    println!("  \"median_ms\": {median},");
+    println!("  \"listed_points_per_sec\": {sims_per_sec:.2},");
+    println!("  \"stdout_byte_identical\": {identical}");
+    println!("}}");
+    assert!(
+        identical,
+        "repro_all stdout drifted from tests/golden/repro_all.txt"
+    );
+}

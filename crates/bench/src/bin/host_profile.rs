@@ -1,0 +1,50 @@
+//! Renders a host-time profile: where the *simulator's* wall-clock time
+//! goes while simulating one workload (the mirror of
+//! `observe_breakdown`, which attributes *simulated* cycles).
+//!
+//! Usage: `host_profile [APP]` — any name `flash_workloads::by_name`
+//! accepts (default: MP3D). Honors `FLASH_SCALE` / `FLASH_FULL` /
+//! `FLASH_PROCS` like the other bins; with `FLASH_HOSTPROF_OUT=<path>`
+//! set the machine also exports the `flash-hostprof-v1` JSON of
+//! METRICS.md on completion.
+//!
+//! The profiler is timing-invisible (pinned by
+//! `machine_properties::host_profile_is_timing_invisible`), so the
+//! simulated results of a profiled run are identical to an unprofiled
+//! one; only host-clock observations are added.
+
+use flash::ControllerKind;
+use flash::RunResult;
+use flash_bench::{base_cfg, os_procs, parallel_procs, scale};
+use flash_workloads::{budget, build_machine, by_name};
+
+fn main() {
+    let app = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "MP3D".to_string());
+    let procs = if app == "OS" {
+        os_procs()
+    } else {
+        parallel_procs()
+    };
+    let w = by_name(&app, procs, scale());
+    let cfg = base_cfg(ControllerKind::FlashEmulated, procs).with_host_profile(true);
+    let mut m = build_machine(&cfg, w.as_ref());
+    match m.run(budget()) {
+        RunResult::Completed { exec_cycles } => {
+            let prof = m.host_profile().expect("profiler armed via config");
+            println!(
+                "{} x{} procs, scale divisor {}: {} simulated cycles",
+                w.name(),
+                procs,
+                scale(),
+                exec_cycles
+            );
+            print!("{}", prof.render());
+        }
+        other => {
+            eprintln!("{} did not complete: {other:?}", w.name());
+            std::process::exit(1);
+        }
+    }
+}

@@ -137,6 +137,96 @@ fn repro_stdout_identical_across_backends() {
     );
 }
 
+/// The pinned golden transcript for a bin, from `tests/golden/` at the
+/// workspace root.
+fn golden(name: &str) -> Vec<u8> {
+    let p = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name);
+    std::fs::read(&p).unwrap_or_else(|e| panic!("golden transcript {p:?}: {e}"))
+}
+
+/// `observe_breakdown` stdout is pinned byte-for-byte against the golden
+/// transcript across the shard-count x PP-backend matrix: the sharded
+/// engine, the inline run fast path, and the backend choice are host
+/// implementation details that must never reach an observable.
+#[test]
+fn observe_breakdown_stdout_matches_golden_across_shards_and_backends() {
+    let want = golden("observe_breakdown.txt");
+    for shards in ["1", "4"] {
+        for backend in ["emu", "translated"] {
+            let out = Command::new(env!("CARGO_BIN_EXE_observe_breakdown"))
+                .env("FLASH_SHARDS", shards)
+                .env("FLASH_PP_BACKEND", backend)
+                .output()
+                .expect("spawn observe_breakdown");
+            assert!(out.status.success(), "{shards} shards / {backend}");
+            assert_eq!(
+                out.stdout, want,
+                "observe_breakdown stdout drifted from tests/golden/observe_breakdown.txt \
+                 ({shards} shards, {backend} backend)"
+            );
+        }
+    }
+}
+
+/// `repro_all` — the full paper-reproduction sweep — is pinned against
+/// its golden transcript under the sharded engine. (The release-mode
+/// `bench_pr8` bin re-checks this under the default serial config on
+/// every CI perf-smoke run; here the 4-shard config exercises the
+/// boundary machinery end to end.)
+#[test]
+fn repro_all_stdout_matches_golden_sharded() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro_all"))
+        .env("FLASH_SHARDS", "4")
+        .output()
+        .expect("spawn repro_all");
+    assert!(out.status.success());
+    assert_eq!(
+        out.stdout,
+        golden("repro_all.txt"),
+        "repro_all stdout drifted from tests/golden/repro_all.txt (4 shards)"
+    );
+}
+
+/// `FLASH_HOSTPROF_OUT=<file>.json` (README "Observability", METRICS.md
+/// "Exports"): arming the host-time profiler writes the
+/// `flash-hostprof-v1` JSON *and* leaves stdout byte-identical — the
+/// profiler is timing-invisible.
+#[test]
+fn hostprof_out_writes_schema_tagged_json_and_stdout_is_unchanged() {
+    let dir = temp_dir("hostprof-out");
+    let path = dir.join("hostprof.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_observe_breakdown"))
+        .env("FLASH_HOSTPROF_OUT", &path)
+        .output()
+        .expect("spawn observe_breakdown with FLASH_HOSTPROF_OUT");
+    assert!(out.status.success());
+    assert_eq!(
+        out.stdout,
+        golden("observe_breakdown.txt"),
+        "FLASH_HOSTPROF_OUT must not change stdout"
+    );
+    let body = std::fs::read_to_string(&path).expect("hostprof file written");
+    assert!(body.contains("\"schema\": \"flash-hostprof-v1\""), "{body}");
+    for seg in [
+        "proc_cache",
+        "magic_dispatch",
+        "protocol",
+        "net_mesh",
+        "event_queue",
+        "observe_check",
+        "boundary",
+    ] {
+        assert!(
+            body.contains(&format!("\"{seg}\"")),
+            "missing {seg}\n{body}"
+        );
+    }
+    assert!(body.contains("\"wall_ns\""), "{body}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The README quick-start commands build: every documented example and
 /// repro binary name resolves to a real target (compile-time check via
 /// `CARGO_BIN_EXE_*` for the bins this crate owns, plus a live run of

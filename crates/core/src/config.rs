@@ -197,6 +197,23 @@ pub struct MachineConfig {
     /// engine serially, with no worker threads). Defaults to the
     /// process-wide `FLASH_SHARDS` setting (1 when unset).
     pub shards: usize,
+    /// Host-time profiler: bracket every processed event with monotonic
+    /// host-clock stamps and attribute the simulator's wall-clock time
+    /// per subsystem (the host-time mirror of the cycle-attribution
+    /// observer — see [`crate::hostprof`]). Off by default. A pure
+    /// observer of the host clock: arming it never changes simulated
+    /// timing or any report. Exported as `flash-hostprof-v1` JSON via
+    /// `FLASH_HOSTPROF_OUT`; rendered by the `host_profile` bin.
+    pub host_profile: bool,
+    /// Hit fast path: a processor wakeup or quantum yield whose
+    /// continuation is provably the shard's next event executes inline in
+    /// the run loop instead of round-tripping through the event queue.
+    /// The elision condition (`(at, sub) < queue head`, inside the
+    /// current window and budget) makes the inlined execution exactly the
+    /// pop the queue would have performed next, so every schedule,
+    /// report, and export is byte-identical with it on or off — a host
+    /// knob kept toggleable only so the equivalence stays pinned by test.
+    pub inline_runs: bool,
 }
 
 impl MachineConfig {
@@ -221,6 +238,8 @@ impl MachineConfig {
             watchdog_window: default_watchdog_window(nodes),
             pp_backend: PpBackend::from_env(),
             shards: shards_from_env(),
+            host_profile: false,
+            inline_runs: true,
         }
     }
 
@@ -313,6 +332,23 @@ impl MachineConfig {
     /// `FLASH_SHARDS` process default; values below 1 are treated as 1).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Returns the config with the host-time profiler armed (see
+    /// [`MachineConfig::host_profile`]). Timing-invisible: simulated
+    /// results are identical with it on or off.
+    pub fn with_host_profile(mut self, on: bool) -> Self {
+        self.host_profile = on;
+        self
+    }
+
+    /// Returns the config with the inline hit fast path enabled or
+    /// disabled (see [`MachineConfig::inline_runs`]; results are
+    /// byte-identical either way — the toggle exists to keep that
+    /// equivalence testable).
+    pub fn with_inline_runs(mut self, on: bool) -> Self {
+        self.inline_runs = on;
         self
     }
 }

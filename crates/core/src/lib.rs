@@ -28,6 +28,7 @@
 //! ```
 
 pub mod config;
+pub mod hostprof;
 pub mod machine;
 pub mod observe;
 pub mod report;
@@ -35,6 +36,7 @@ pub mod report;
 pub use config::{MachineConfig, PathLatencies, Placement, DEFAULT_WATCHDOG_WINDOW};
 pub use flash_fault::{FaultPlan, FaultStats, LinkDown, WedgeReport};
 pub use flash_magic::{ControllerKind, PpBackend};
+pub use hostprof::{HostProfile, HOST_SEG_COUNT, HOST_SEG_NAMES};
 pub use machine::{Machine, RunResult};
 pub use observe::{ClassRow, HandlerRow, ObserveReport};
 pub use report::{compare, format_table, Comparison, LatencyTable, MachineReport};

@@ -36,8 +36,10 @@
 //! [`MachineConfig::with_shards`]), never a model knob.
 
 use crate::config::MachineConfig;
+use crate::hostprof::{HostProfAcc, HostProfile, HostSeg};
 use crate::observe::{ObserveReport, Observer, ReqKind};
 use flash_cpu::{CpuOut, Processor, RefStream, RunOutcome};
+use flash_engine::FastMap;
 use flash_engine::{Addr, Cycle, EventQueue, NodeId, Segment};
 use flash_fault::{
     FaultInjector, FaultStats, LinkVerdict, MsgRing, MshrSnap, NiDir, NodeWedge, PendingLine,
@@ -47,8 +49,9 @@ use flash_magic::{ControllerKind, Emission, MagicChip, ObsInvocation, ObsParts, 
 use flash_net::{Mesh, NetModel};
 use flash_protocol::fields::aux;
 use flash_protocol::{dir_addr, InMsg, JumpTable, Msg, MsgType, ProcMsg};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
@@ -240,7 +243,7 @@ struct CheckCtx {
     /// quiescence. (Whether the rogue shows up as `shared-under-dirty` or
     /// `copy-not-listed` depends only on what the header looks like when
     /// the checker happens to observe the window.)
-    provisional_rogues: HashMap<(u16, u64), (Cycle, flash_check::Violation)>,
+    provisional_rogues: FastMap<(u16, u64), (Cycle, flash_check::Violation)>,
 }
 
 /// Why [`Machine::run`] stopped.
@@ -294,7 +297,7 @@ struct ShardState {
     /// ordering, §2). A copy with a queued `PInval` is logically dead and
     /// exempt from the coherence checks; one still queued at quiescence
     /// is a message-conservation violation.
-    inflight_invals: HashMap<(u16, u64), u32>,
+    inflight_invals: FastMap<(u16, u64), u32>,
     /// In-flight `PIntervGet`/`PIntervGetX` deliveries, keyed the same
     /// way. A copy with a queued intervention is mid-handoff: the home
     /// may have already granted (exclusive) ownership to the requester
@@ -303,7 +306,7 @@ struct ShardState {
     /// copy is exempt from the coherence checks until the intervention
     /// executes; one still queued at quiescence is a conservation
     /// violation.
-    inflight_intervs: HashMap<(u16, u64), u32>,
+    inflight_intervs: FastMap<(u16, u64), u32>,
     /// Latest event time this shard has processed.
     now: Cycle,
     /// Last cycle this shard saw forward progress.
@@ -324,7 +327,7 @@ pub struct Machine {
     now: Cycle,
     parked: Vec<Park>,
     barrier_waiters: Vec<(u16, Cycle)>,
-    locks: HashMap<u32, LockState>,
+    locks: FastMap<u32, LockState>,
     done: usize,
     finish: Vec<Cycle>,
     interv_deferrals: u64,
@@ -340,6 +343,10 @@ pub struct Machine {
     /// Owned by the coordinator; shards journal mutations and the
     /// boundary replays them in canonical order.
     observe: Option<Box<Observer>>,
+    /// Host-time profile (`None` unless `cfg.host_profile` or
+    /// `FLASH_HOSTPROF_OUT` arms it). A pure observer of the host clock —
+    /// it never feeds back into simulated state.
+    hostprof: Option<Box<HostProfile>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -388,6 +395,19 @@ fn trace_out() -> Option<&'static str> {
     static OUT: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
     OUT.get_or_init(|| {
         std::env::var("FLASH_TRACE_OUT")
+            .ok()
+            .filter(|s| !s.is_empty())
+    })
+    .as_deref()
+}
+
+/// Path to export the `flash-hostprof-v1` host-time profile to on
+/// completion (set `FLASH_HOSTPROF_OUT=prof.json`; setting it also arms
+/// the profiler). Read once per process like the other export knobs.
+fn hostprof_out() -> Option<&'static str> {
+    static OUT: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    OUT.get_or_init(|| {
+        std::env::var("FLASH_HOSTPROF_OUT")
             .ok()
             .filter(|s| !s.is_empty())
     })
@@ -596,6 +616,13 @@ struct ShardCtx<'a> {
     budget: u64,
     cur: EvKey,
     cur_t: Cycle,
+    // Steady-state scratch: reused across events so the hot loop makes
+    // no heap allocations (tests/alloc_budget.rs pins this).
+    cpu_outs: Vec<(Cycle, CpuOut)>,
+    emit_buf: Vec<Emission>,
+    /// Host-time profiler accumulator (None unless armed; boxed so the
+    /// unarmed hot path carries only a null check).
+    prof: Option<Box<HostProfAcc>>,
 }
 
 impl<'a> ShardCtx<'a> {
@@ -632,14 +659,42 @@ impl<'a> ShardCtx<'a> {
         }
     }
 
+    /// Advances the event cursor to an inlined continuation, exactly as
+    /// the pop path would have.
+    fn set_cursor(&mut self, at: Cycle, sub: u64) {
+        self.cur = (at.raw(), sub);
+        self.cur_t = at;
+        if at > self.st.now {
+            self.st.now = at;
+        }
+    }
+
     /// Processes this shard's events inside the current window, in
-    /// canonical `(cycle, sub)` order.
+    /// canonical `(cycle, sub)` order. Processor run events whose
+    /// reschedule would be the very next pop are executed inline
+    /// (continuation loop) instead of round-tripping through the queue;
+    /// [`ShardCtx::schedule_or_inline`] proves the order is unchanged.
     fn run_window(&mut self) {
-        while let Some((t, _)) = self.st.queue.peek_key() {
-            if t >= self.end || t.raw() > self.budget {
-                break;
+        // Profiled path: one chained stamp closes the queue lap and opens
+        // the event's outer bracket, and the next closes the bracket and
+        // opens the following queue lap — no unattributed gaps between
+        // events, and two `Instant::now` calls per event.
+        let mut stamp = self.prof.as_mut().map(|p| {
+            p.reset_inner();
+            Instant::now()
+        });
+        let (end, budget) = (self.end, self.budget);
+        while let Some((t, sub, ev)) = self
+            .st
+            .queue
+            .pop_keyed_if(|t, _| t < end && t.raw() <= budget)
+        {
+            if let Some(s) = stamp {
+                let p = self.prof.as_mut().expect("armed");
+                stamp = Some(p.lap(HostSeg::Queue, s));
+                p.events += 1;
+                p.reset_inner();
             }
-            let (t, sub, ev) = self.st.queue.pop_keyed().expect("peeked non-empty");
             self.cur = (t.raw(), sub);
             self.cur_t = t;
             if t > self.st.now {
@@ -651,11 +706,40 @@ impl<'a> ShardCtx<'a> {
                 Ev::ProcDeliver { pm, .. } => Some(pm.addr.line().raw()),
                 Ev::NetSend { msg } => Some(msg.addr.line().raw()),
             };
-            match ev {
-                Ev::ProcRun(n) => self.ev_proc_run(n),
-                Ev::MagicIn { node, wire, net } => self.ev_magic_in(node, wire, net),
-                Ev::ProcDeliver { node, pm, tries } => self.ev_proc_deliver(node, pm, tries),
-                Ev::NetSend { msg } => self.post_net(t, msg),
+            let seg = match ev {
+                Ev::ProcRun(n) => {
+                    let mut cont = self.ev_proc_run(n);
+                    while let Some((at, sub)) = cont {
+                        if let Some(p) = self.prof.as_mut() {
+                            p.events += 1;
+                        }
+                        self.set_cursor(at, sub);
+                        cont = self.ev_proc_run(n);
+                    }
+                    HostSeg::Proc
+                }
+                Ev::MagicIn { node, wire, net } => {
+                    self.ev_magic_in(node, wire, net);
+                    HostSeg::Magic
+                }
+                Ev::ProcDeliver { node, pm, tries } => {
+                    let mut cont = self.ev_proc_deliver(node, pm, tries);
+                    while let Some((at, sub)) = cont {
+                        if let Some(p) = self.prof.as_mut() {
+                            p.events += 1;
+                        }
+                        self.set_cursor(at, sub);
+                        cont = self.ev_proc_run(node);
+                    }
+                    HostSeg::Proc
+                }
+                Ev::NetSend { msg } => {
+                    self.post_net(t, msg);
+                    HostSeg::Net
+                }
+            };
+            if let Some(s) = stamp {
+                stamp = Some(self.prof.as_mut().expect("armed").lap_outer(seg, s));
             }
             if self.check {
                 if let Some(line) = ev_line {
@@ -665,19 +749,25 @@ impl<'a> ShardCtx<'a> {
         }
     }
 
-    fn ev_proc_run(&mut self, n: u16) {
+    /// Runs processor `n`'s reference stream. Returns the continuation
+    /// key when the processor's next run event was elided from the queue
+    /// (the caller executes it inline — see [`ShardCtx::run_window`]).
+    fn ev_proc_run(&mut self, n: u16) -> Option<(Cycle, u64)> {
         let i = self.li(n);
         if self.parked[i] != Park::Scheduled {
-            return; // stale wakeup (not forward progress)
+            return None; // stale wakeup (not forward progress)
         }
         self.mark_progress();
         let now = self.cur_t;
-        let mut outs = Vec::new();
+        let mut outs = std::mem::take(&mut self.cpu_outs);
+        outs.clear();
         let outcome = self.procs[i].run(now, &mut outs);
         self.post_cpu_outs(n, &outs);
+        self.cpu_outs = outs;
         match outcome {
             RunOutcome::BlockedRead | RunOutcome::BlockedWrite => {
                 self.parked[i] = Park::WaitReply;
+                None
             }
             RunOutcome::Barrier => {
                 // Processors run ahead of the event clock; synchronization
@@ -685,20 +775,22 @@ impl<'a> ShardCtx<'a> {
                 let pt = self.procs[i].now().max(now);
                 self.parked[i] = Park::WaitSync;
                 self.sync(SyncOp::Barrier { node: n, pt });
+                None
             }
             RunOutcome::Lock(id) => {
                 let pt = self.procs[i].now().max(now);
                 self.parked[i] = Park::WaitSync;
                 self.sync(SyncOp::Lock { node: n, id, pt });
+                None
             }
             RunOutcome::Unlock(id) => {
                 let pt = self.procs[i].now().max(now);
                 self.sync(SyncOp::Unlock { id, pt });
-                self.schedule_run(n, pt);
+                self.schedule_or_inline(n, pt)
             }
             RunOutcome::Quantum => {
                 let at = self.procs[i].now();
-                self.schedule_run(n, at.max(now));
+                self.schedule_or_inline(n, at.max(now))
             }
             RunOutcome::Finished => {
                 if self.parked[i] != Park::Done {
@@ -706,18 +798,46 @@ impl<'a> ShardCtx<'a> {
                     self.finish[i] = self.procs[i].finish_time();
                     self.sync(SyncOp::Finished);
                 }
+                None
             }
         }
     }
 
-    fn schedule_run(&mut self, n: u16, at: Cycle) {
+    /// Schedules `ProcRun(n)` at `at` — or, when that event would be the
+    /// very next pop anyway, elides the queue round-trip and returns the
+    /// continuation key for inline execution.
+    ///
+    /// Identity proof: the sub-key is allocated unconditionally, so the
+    /// canonical `(cycle, sub)` stream every downstream consumer sees
+    /// (journals, traces, staged deliveries) is byte-identical to the
+    /// always-queue path. Elision requires `(at, sub)` to order before
+    /// the current queue head and to fall inside the window and cycle
+    /// budget: in the queued execution the loop would pop exactly this
+    /// event next (nothing can enqueue an earlier key in between —
+    /// events only push at or after their own time, and the head already
+    /// orders after us), so executing it inline preserves the canonical
+    /// order and leaves the queue at the window boundary in exactly the
+    /// state the queued execution would.
+    fn schedule_or_inline(&mut self, n: u16, at: Cycle) -> Option<(Cycle, u64)> {
+        let sub = self.next_sub(n);
         self.parked[self.li(n)] = Park::Scheduled;
-        self.push_local(n, at, Ev::ProcRun(n));
+        if self.cfg.inline_runs
+            && at < self.end
+            && at.raw() <= self.budget
+            && self.st.queue.peek_key().is_none_or(|k| (at, sub) < k)
+        {
+            Some((at, sub))
+        } else {
+            self.st.queue.push_sub(at, sub, Ev::ProcRun(n));
+            None
+        }
     }
 
-    fn wake_if_waiting(&mut self, n: u16, at: Cycle) {
+    fn wake_if_waiting(&mut self, n: u16, at: Cycle) -> Option<(Cycle, u64)> {
         if self.parked[self.li(n)] == Park::WaitReply {
-            self.schedule_run(n, at);
+            self.schedule_or_inline(n, at)
+        } else {
+            None
         }
     }
 
@@ -862,10 +982,19 @@ impl<'a> ShardCtx<'a> {
             MsgType::NGet => chip.classify_read(&msg, aux::requester(wire.aux)),
             _ => None,
         };
-        let emissions = chip.process(msg, now);
+        let mut emissions = std::mem::take(&mut self.emit_buf);
+        let tp = self.prof.is_some().then(Instant::now);
+        chip.process_into(msg, now, &mut emissions);
+        if let Some(tp) = tp {
+            self.prof
+                .as_mut()
+                .expect("armed")
+                .add_inner(HostSeg::Protocol, tp);
+        }
         // Observed mode: record the handler invocation, then journal the
         // read class and the per-candidate continuing emission's exact
         // decomposition (the replay picks the resolved candidate's).
+        let to = (self.prof.is_some() && self.observe).then(Instant::now);
         if self.observe {
             if let Some(inv) = self.chips[i].obs_invocation().copied() {
                 self.obs(ObsOp::TraceHandler { node, inv });
@@ -894,7 +1023,13 @@ impl<'a> ShardCtx<'a> {
                 });
             }
         }
-        for em in emissions {
+        if let Some(to) = to {
+            self.prof
+                .as_mut()
+                .expect("armed")
+                .add_inner(HostSeg::ObsCheck, to);
+        }
+        for em in emissions.drain(..) {
             match em {
                 Emission::Net { at, msg } => self.post_net(at, msg),
                 Emission::Proc { at, msg } => {
@@ -927,9 +1062,25 @@ impl<'a> ShardCtx<'a> {
                 }
             }
         }
+        self.emit_buf = emissions;
     }
 
+    /// Routes an outbound network message (fault hooks, mesh transit,
+    /// staging for cross-shard destinations). The bracket wrapper
+    /// attributes the whole path to the net segment even when reached
+    /// from inside a MAGIC event.
     fn post_net(&mut self, at: Cycle, msg: Msg) {
+        let tn = self.prof.is_some().then(Instant::now);
+        self.post_net_inner(at, msg);
+        if let Some(tn) = tn {
+            self.prof
+                .as_mut()
+                .expect("armed")
+                .add_inner(HostSeg::Net, tn);
+        }
+    }
+
+    fn post_net_inner(&mut self, at: Cycle, msg: Msg) {
         debug_assert_eq!(
             shard_of(self.nodes, self.nshards, msg.src.0),
             self.shard,
@@ -1008,7 +1159,10 @@ impl<'a> ShardCtx<'a> {
         }
     }
 
-    fn ev_proc_deliver(&mut self, node: u16, pm: ProcMsg, tries: u32) {
+    /// Delivers a MAGIC→processor message. Returns the continuation key
+    /// when a reply wake's run event was elided (see
+    /// [`ShardCtx::schedule_or_inline`]).
+    fn ev_proc_deliver(&mut self, node: u16, pm: ProcMsg, tries: u32) -> Option<(Cycle, u64)> {
         let i = self.li(node);
         let now = self.cur_t;
         let lat = self.cfg.lat;
@@ -1030,10 +1184,12 @@ impl<'a> ShardCtx<'a> {
                     });
                 }
                 let excl = pm.mtype != MsgType::PPut;
-                let mut outs = Vec::new();
+                let mut outs = std::mem::take(&mut self.cpu_outs);
+                outs.clear();
                 self.procs[i].deliver_reply(pm.addr, excl, now, &mut outs);
                 self.post_cpu_outs(node, &outs);
-                self.wake_if_waiting(node, now);
+                self.cpu_outs = outs;
+                return self.wake_if_waiting(node, now);
             }
             MsgType::PInval => {
                 self.procs[i].inval(pm.addr, now);
@@ -1068,7 +1224,7 @@ impl<'a> ShardCtx<'a> {
                                 tries: tries + 1,
                             },
                         );
-                        return;
+                        return None;
                     }
                     // Request/forward cycle: break it. The miss report
                     // makes the home abandon the transaction; poisoning
@@ -1158,6 +1314,7 @@ impl<'a> ShardCtx<'a> {
             MsgType::PIoData => {}
             other => unreachable!("{other:?} is not a processor-bound message"),
         }
+        None
     }
 }
 
@@ -1173,7 +1330,7 @@ enum DriveEnd {
 /// The coordinator's boundary-owned state: everything nodes share.
 struct Coord<'a> {
     cfg: &'a MachineConfig,
-    locks: &'a mut HashMap<u32, LockState>,
+    locks: &'a mut FastMap<u32, LockState>,
     barrier_waiters: &'a mut Vec<(u16, Cycle)>,
     done: &'a mut usize,
     check: &'a mut Option<CheckCtx>,
@@ -1181,6 +1338,9 @@ struct Coord<'a> {
     total: usize,
     nodes: u16,
     nshards: usize,
+    /// Boundary-side host-profiler accumulator (None unless armed);
+    /// merged into the machine's profile after the drive loop.
+    prof: Option<HostProfAcc>,
 }
 
 impl Coord<'_> {
@@ -1330,6 +1490,7 @@ fn window_loop<'a>(
 ) -> DriveEnd {
     loop {
         // Window start: the canonical global minimum pending event.
+        let tb = coord.prof.as_ref().map(|_| Instant::now());
         let mut min: Option<(Cycle, u64, usize)> = None;
         for (i, c) in ctxs.iter().enumerate() {
             if let Some((t, s)) = c.st.queue.peek_key() {
@@ -1361,13 +1522,30 @@ fn window_loop<'a>(
             c.end = end;
             c.budget = budget;
         }
+        if let Some(t) = tb {
+            coord
+                .prof
+                .as_mut()
+                .expect("armed")
+                .add_flat(HostSeg::Queue, t);
+        }
         exec(ctxs);
         // ---- boundary ------------------------------------------------
+        // (exec's elapsed time is attributed inside the shards' own
+        // accumulators, so the coordinator re-stamps here.)
+        let tb = coord.prof.as_ref().map(|_| Instant::now());
         let boundary_now = ctxs.iter().map(|c| c.st.now).max().unwrap_or(Cycle::ZERO);
         // 1. Synchronization (locks, barriers, retirement).
         let sync: Vec<(EvKey, SyncOp)> =
             ctxs.iter_mut().flat_map(|c| c.sync_ops.drain(..)).collect();
         coord.apply_sync(ctxs, sync);
+        let tb = tb.map(|t| {
+            coord
+                .prof
+                .as_mut()
+                .expect("armed")
+                .lap(HostSeg::Boundary, t)
+        });
         // 2. Observer journal.
         if coord.observe.is_some() {
             let obs: Vec<(EvKey, ObsOp)> =
@@ -1419,6 +1597,13 @@ fn window_loop<'a>(
             }
             *coord.check = Some(check);
         }
+        let tb = tb.map(|t| {
+            coord
+                .prof
+                .as_mut()
+                .expect("armed")
+                .lap(HostSeg::ObsCheck, t)
+        });
         // 4. Cross-shard staged deliveries into destination queues. First
         // advance every shard's wheel window to the boundary: an idle
         // shard's cursor freezes at its last pop, and against that stale
@@ -1442,6 +1627,13 @@ fn window_loop<'a>(
                     net: true,
                 },
             );
+        }
+        if let Some(t) = tb {
+            coord
+                .prof
+                .as_mut()
+                .expect("armed")
+                .add_flat(HostSeg::Queue, t);
         }
         // 5. Forward-progress watchdog, at boundary granularity.
         let progress = ctxs
@@ -1539,8 +1731,8 @@ impl Machine {
                 net: NetModel::new(Mesh::for_nodes(cfg.nodes), cfg.net),
                 injector: FaultInjector::new(&cfg.faults),
                 ring: VecDeque::new(),
-                inflight_invals: HashMap::new(),
-                inflight_intervs: HashMap::new(),
+                inflight_invals: FastMap::default(),
+                inflight_intervs: FastMap::default(),
                 now: Cycle::ZERO,
                 last_progress: Cycle::ZERO,
             })
@@ -1556,6 +1748,7 @@ impl Machine {
         }
         let net = NetModel::new(Mesh::for_nodes(cfg.nodes), cfg.net);
         let check_enabled = cfg.check;
+        let cfg_host_profile = cfg.host_profile;
         let observe = cfg
             .observe
             .then(|| Box::new(Observer::new(jump.handler_names())));
@@ -1569,7 +1762,7 @@ impl Machine {
             now: Cycle::ZERO,
             parked: vec![Park::Scheduled; n],
             barrier_waiters: Vec::new(),
-            locks: HashMap::new(),
+            locks: FastMap::default(),
             done: 0,
             finish: vec![Cycle::ZERO; n],
             interv_deferrals: 0,
@@ -1577,6 +1770,8 @@ impl Machine {
             ring: MsgRing::new(RING_CAPACITY),
             last_progress: Cycle::ZERO,
             observe,
+            hostprof: (cfg_host_profile || hostprof_out().is_some())
+                .then(|| Box::new(HostProfile::default())),
         }
     }
 
@@ -1615,7 +1810,13 @@ impl Machine {
     /// Runs until every processor finishes or `budget_cycles` elapse.
     pub fn run(&mut self, budget_cycles: u64) -> RunResult {
         let lookahead = self.lookahead();
+        let wall0 = self.hostprof.is_some().then(Instant::now);
         let (end, fins) = self.drive(budget_cycles, lookahead);
+        if let Some(t0) = wall0 {
+            let hp = self.hostprof.as_mut().expect("armed");
+            hp.wall_ns += t0.elapsed().as_nanos() as u64;
+            hp.runs += 1;
+        }
         // Teardown: every exit path restores the shard states and merges
         // shard-accumulated views back onto the machine.
         self.interv_deferrals += fins.iter().map(|&(_, d)| d).sum::<u64>();
@@ -1656,6 +1857,7 @@ impl Machine {
             DriveEnd::Completed => {
                 self.finalize_check();
                 self.maybe_write_trace();
+                self.maybe_write_hostprof();
                 RunResult::Completed {
                     exec_cycles: self.exec_cycles(),
                 }
@@ -1681,8 +1883,10 @@ impl Machine {
             done,
             check,
             observe,
+            hostprof,
             ..
         } = self;
+        let profiled = hostprof.is_some();
         let states = std::mem::take(shards);
         let nshards = states.len();
         let nodes = cfg.nodes;
@@ -1731,6 +1935,9 @@ impl Machine {
                     budget,
                     cur: (0, 0),
                     cur_t: Cycle::ZERO,
+                    cpu_outs: Vec::new(),
+                    emit_buf: Vec::new(),
+                    prof: profiled.then(Box::default),
                 });
             }
         }
@@ -1744,6 +1951,7 @@ impl Machine {
             total,
             nodes,
             nshards,
+            prof: profiled.then(HostProfAcc::default),
         };
         let end = if nshards == 1 {
             window_loop(&mut ctxs, &mut coord, budget, lookahead, |cs| {
@@ -1787,6 +1995,19 @@ impl Machine {
                 })
             })
         };
+        // Merge the per-shard and boundary profiler accumulators into the
+        // machine's profile (host-clock observation only — no simulated
+        // state flows through here).
+        if let Some(hp) = hostprof.as_mut() {
+            if let Some(acc) = coord.prof.take() {
+                hp.acc.merge(&acc);
+            }
+            for c in &ctxs {
+                if let Some(p) = &c.prof {
+                    hp.acc.merge(p);
+                }
+            }
+        }
         let fins = ctxs
             .into_iter()
             .map(|c| (c.st, c.interv_deferrals))
@@ -1851,6 +2072,26 @@ impl Machine {
             if let Err(e) = self.write_trace(path) {
                 eprintln!("FLASH_TRACE_OUT: failed to write {path}: {e}");
             }
+        }
+    }
+
+    /// The host-time profile (`None` unless armed with
+    /// [`MachineConfig::with_host_profile`] or `FLASH_HOSTPROF_OUT`).
+    ///
+    /// [`MachineConfig::with_host_profile`]: crate::MachineConfig::with_host_profile
+    pub fn host_profile(&self) -> Option<&HostProfile> {
+        self.hostprof.as_deref()
+    }
+
+    /// `FLASH_HOSTPROF_OUT` handling on successful completion:
+    /// best-effort, a write failure is reported on stderr but never fails
+    /// the run.
+    fn maybe_write_hostprof(&self) {
+        let (Some(hp), Some(path)) = (self.hostprof.as_deref(), hostprof_out()) else {
+            return;
+        };
+        if let Err(e) = std::fs::write(path, hp.to_json()) {
+            eprintln!("FLASH_HOSTPROF_OUT: failed to write {path}: {e}");
         }
     }
 

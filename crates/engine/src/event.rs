@@ -207,6 +207,18 @@ impl<E> EventQueue<E> {
     /// uses the key to re-push a budget-deferred event unchanged and to
     /// tag journal entries with a shard-invariant identity.
     pub fn pop_keyed(&mut self) -> Option<(Cycle, u64, E)> {
+        self.pop_keyed_if(|_, _| true)
+    }
+
+    /// Removes and returns the earliest event only when its `(time, key)`
+    /// satisfies `pred`; otherwise leaves the queue untouched and returns
+    /// `None`. One front scan serves both the bound check and the pop —
+    /// the hot loop's replacement for a `peek_key` followed by
+    /// `pop_keyed`.
+    pub fn pop_keyed_if(
+        &mut self,
+        pred: impl FnOnce(Cycle, u64) -> bool,
+    ) -> Option<(Cycle, u64, E)> {
         let wheel = self.wheel_front();
         let heap = self.heap.peek().map(|e| (e.at.raw(), e.seq));
         let take_wheel = match (wheel, heap) {
@@ -215,6 +227,16 @@ impl<E> EventQueue<E> {
             (None, Some(_)) => false,
             (None, None) => return None,
         };
+        {
+            let (t, s) = if take_wheel {
+                wheel.expect("chosen wheel front")
+            } else {
+                heap.expect("chosen heap front")
+            };
+            if !pred(Cycle::new(t), s) {
+                return None;
+            }
+        }
         if take_wheel {
             let (t, _) = wheel.unwrap();
             let slot = (t & self.mask) as usize;

@@ -34,6 +34,7 @@
 
 pub mod addr;
 pub mod event;
+pub mod fasthash;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -41,6 +42,7 @@ pub mod time;
 
 pub use addr::{Addr, LINE_BYTES, LINE_SHIFT};
 pub use event::EventQueue;
+pub use fasthash::{FastBuild, FastHasher, FastMap, FastSet};
 pub use queue::BoundedQueue;
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, LatencySplit, OccupancyTracker, Segment, SEGMENT_COUNT};

@@ -14,7 +14,7 @@
 //! zero injector is byte-identical to no injector.
 
 use crate::plan::FaultPlan;
-use flash_engine::{Cycle, DetRng};
+use flash_engine::{Cycle, DetRng, FastMap};
 use std::collections::BTreeMap;
 
 /// Per-class RNG stream classes (stable across versions: changing these —
@@ -51,7 +51,7 @@ pub enum LinkVerdict {
 }
 
 /// Which side of a node's network interface a freeze applies to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NiDir {
     /// Inbound: messages arriving at the node wait before dispatch.
     In,
@@ -104,12 +104,14 @@ impl FaultStats {
 pub struct FaultInjector {
     plan: FaultPlan,
     /// Lazily created per-(class, entity) RNG streams.
-    rngs: BTreeMap<(u64, u64), DetRng>,
+    rngs: FastMap<(u64, u64), DetRng>,
     /// End of the current transient stall per directed link.
-    link_stalled_until: BTreeMap<(u16, u16), u64>,
+    link_stalled_until: FastMap<(u16, u16), u64>,
     /// End of the current freeze per (node, direction).
-    ni_frozen_until: BTreeMap<(u16, NiDir), u64>,
-    /// Hold count per scripted-outage link (wedge diagnostics).
+    ni_frozen_until: FastMap<(u16, NiDir), u64>,
+    /// Hold count per scripted-outage link (wedge diagnostics). Stays
+    /// a `BTreeMap`: [`Self::held_links`] iterates it and its order is
+    /// observable in wedge reports.
     held: BTreeMap<(u16, u16), u64>,
     stats: FaultStats,
 }
@@ -123,9 +125,9 @@ impl FaultInjector {
         }
         Some(FaultInjector {
             plan: plan.clone(),
-            rngs: BTreeMap::new(),
-            link_stalled_until: BTreeMap::new(),
-            ni_frozen_until: BTreeMap::new(),
+            rngs: FastMap::default(),
+            link_stalled_until: FastMap::default(),
+            ni_frozen_until: FastMap::default(),
             held: BTreeMap::new(),
             stats: FaultStats::default(),
         })

@@ -10,7 +10,7 @@ use flash_protocol::dir::DEFAULT_PS_CAPACITY;
 use flash_protocol::handlers::{effect_to_outgoing, fields_of};
 use flash_protocol::native::{self, Outgoing};
 use flash_protocol::{CostTable, Directory, InMsg, JumpTable, Msg, ProcMsg, ProtoMem};
-use std::collections::BTreeMap;
+
 use std::sync::Arc;
 
 /// Which controller sits at the heart of the node.
@@ -165,7 +165,9 @@ pub struct MagicStats {
     /// Aggregate PP instruction statistics (emulated mode).
     pub pp: RunStats,
     /// Per-handler invocation counts and total occupancy cycles.
-    pub handlers: BTreeMap<&'static str, (u64, u64)>,
+    /// Fast-hash keyed (hot: one entry per handler invocation); consumers
+    /// aggregate into sorted maps, so iteration order never leaks out.
+    pub handlers: flash_engine::FastMap<&'static str, (u64, u64)>,
     /// Cycles the PP spent stalled on MDC misses.
     pub mdc_stall_cycles: u64,
     /// MAGIC instruction-cache cold misses.
@@ -311,8 +313,9 @@ pub struct MagicChip {
     backend: PpBackend,
     translated: Option<Arc<Translated>>,
     /// Handler name → entry pair index, filled lazily: spares the hot
-    /// path a `BTreeMap<String>` lookup per invocation.
-    entry_pcs: std::collections::HashMap<&'static str, usize>,
+    /// path a `BTreeMap<String>` lookup per invocation. Deterministic
+    /// fast hashing — this map is probed once per emulated invocation.
+    entry_pcs: flash_engine::FastMap<&'static str, usize>,
     /// Scratch register file and effect buffer, reused across handler
     /// invocations so the hot path does not allocate.
     pp_regs: Regs,
@@ -385,7 +388,7 @@ impl MagicChip {
             program,
             backend,
             translated,
-            entry_pcs: std::collections::HashMap::new(),
+            entry_pcs: flash_engine::FastMap::default(),
             pp_regs: Regs::new(),
             pp_sink: EffectSink::new(),
             jump,
@@ -542,7 +545,20 @@ impl MagicChip {
     /// Processes one incoming message that became available to the inbox
     /// at `arrival` (PI/NI inbound latency already charged by the caller).
     /// Returns everything the chip emits, with timestamps.
-    pub fn process(&mut self, mut msg: InMsg, arrival: Cycle) -> Vec<Emission> {
+    ///
+    /// Allocates a fresh vector per call; the machine's hot path uses
+    /// [`MagicChip::process_into`] with a reused scratch buffer instead.
+    pub fn process(&mut self, msg: InMsg, arrival: Cycle) -> Vec<Emission> {
+        let mut out = Vec::new();
+        self.process_into(msg, arrival, &mut out);
+        out
+    }
+
+    /// [`MagicChip::process`] into a caller-owned buffer (cleared first),
+    /// so a steady-state event loop pays zero allocations per message
+    /// once the buffer has grown to the protocol's maximum fan-out.
+    pub fn process_into(&mut self, mut msg: InMsg, arrival: Cycle, out: &mut Vec<Emission>) {
+        out.clear();
         self.stats.messages += 1;
         if self.observe {
             self.obs_parts.clear();
@@ -567,17 +583,17 @@ impl MagicChip {
 
         match self.kind {
             ControllerKind::Ideal => {
-                self.process_native(msg, t_ready, 0, data_mem, entry.handler, true)
+                self.process_native(msg, t_ready, 0, data_mem, entry.handler, true, out)
             }
             ControllerKind::FlashCostTable => {
                 let start = t_ready.max(self.pp_free);
                 let wait = start - t_ready;
                 self.stats.inbox_wait_cycles += wait;
                 self.stats.inbox_wait_max = self.stats.inbox_wait_max.max(wait);
-                self.process_native(msg, start, wait, data_mem, entry.handler, false)
+                self.process_native(msg, start, wait, data_mem, entry.handler, false, out)
             }
             ControllerKind::FlashEmulated => {
-                self.process_emulated(msg, arrival, t_ready, data_mem, entry.handler)
+                self.process_emulated(msg, arrival, t_ready, data_mem, entry.handler, out)
             }
         }
     }
@@ -585,6 +601,7 @@ impl MagicChip {
     /// Native-protocol processing (ideal and cost-table modes). `wait` is
     /// the inbox queueing delay already folded into `start` by the caller
     /// (0 for ideal), passed along for attribution.
+    #[allow(clippy::too_many_arguments)]
     fn process_native(
         &mut self,
         msg: InMsg,
@@ -593,7 +610,8 @@ impl MagicChip {
         mut data_mem: Option<Cycle>,
         handler: &'static str,
         ideal: bool,
-    ) -> Vec<Emission> {
+        emissions: &mut Vec<Emission>,
+    ) {
         self.out_buf.clear();
         let mut out = std::mem::take(&mut self.out_buf);
         let costs = self.costs; // Copy: sidesteps the &mut self.proto borrow
@@ -620,7 +638,6 @@ impl MagicChip {
             });
         }
         let inbox = self.timings.inbox_arb + self.timings.jump;
-        let mut emissions = Vec::with_capacity(out.len());
         let mut used_mem_data = false;
         for o in out.drain(..) {
             match o {
@@ -688,7 +705,6 @@ impl MagicChip {
         if msg.spec && !used_mem_data {
             self.stats.spec_useless += 1;
         }
-        emissions
     }
 
     /// Detailed processing on the emulated PP.
@@ -699,8 +715,11 @@ impl MagicChip {
         t_ready: Cycle,
         mut data_mem: Option<Cycle>,
         handler: &'static str,
-    ) -> Vec<Emission> {
-        let program = self.program.clone().expect("emulated mode has a program");
+        emissions: &mut Vec<Emission>,
+    ) {
+        // Borrow (not clone) the shared program: an `Arc` bump per
+        // invocation is a contended atomic on multi-shard runs.
+        let program = self.program.as_ref().expect("emulated mode has a program");
         let entry_pc = match self.entry_pcs.get(handler) {
             Some(&pc) => pc,
             None => {
@@ -748,7 +767,7 @@ impl MagicChip {
                     &mut sink,
                 ),
                 _ => emu::run_into(
-                    &program,
+                    program,
                     entry_pc,
                     &mut env,
                     emu::DEFAULT_PAIR_BUDGET,
@@ -800,7 +819,6 @@ impl MagicChip {
         }
 
         let mut drift = pre_drift;
-        let mut emissions = Vec::with_capacity(sink.len());
         let mut used_mem_data = false;
         for te in sink.effects() {
             let t_e = pp_start + te.offset + drift;
@@ -904,7 +922,6 @@ impl MagicChip {
         }
         self.pp_regs = regs;
         self.pp_sink = sink;
-        emissions
     }
 
     fn data_ready(

@@ -9,7 +9,7 @@
 //! the speculation bits reproduces paper Table 5.1's experiment.
 
 use crate::msg::MsgType;
-use std::collections::HashMap;
+use flash_engine::FastMap;
 
 /// One jump-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,7 +25,7 @@ pub struct JumpEntry {
 /// handler + speculation decision.
 #[derive(Debug, Clone)]
 pub struct JumpTable {
-    entries: HashMap<(MsgType, bool), JumpEntry>,
+    entries: FastMap<(MsgType, bool), JumpEntry>,
 }
 
 impl JumpTable {
@@ -33,9 +33,9 @@ impl JumpTable {
     /// protocol, with speculative reads enabled for the request types that
     /// may be satisfied from home memory.
     pub fn dpa_protocol() -> Self {
-        let mut entries = HashMap::new();
+        let mut entries = FastMap::default();
         fn both(
-            entries: &mut HashMap<(MsgType, bool), JumpEntry>,
+            entries: &mut FastMap<(MsgType, bool), JumpEntry>,
             t: MsgType,
             handler: &'static str,
             spec: bool,

@@ -118,6 +118,71 @@ proptest! {
     }
 }
 
+/// A fixed, non-trivial observed workload for the host-instrumentation
+/// invariance tests below: 16 nodes, mixed sharing, a few thousand
+/// events per run.
+fn invariance_run(cfg: MachineConfig) -> (u64, String, Option<String>, Option<f64>) {
+    let streams: Vec<Box<dyn RefStream>> = flash_check::stress_streams(16, 8, 60, 7)
+        .into_iter()
+        .map(|v| Box::new(SliceStream::new(v)) as Box<dyn RefStream>)
+        .collect();
+    let mut m = Machine::new(cfg, streams);
+    let RunResult::Completed { exec_cycles } = m.run(2_000_000_000) else {
+        panic!("invariance workload did not complete");
+    };
+    let report = format!("{:?}", MachineReport::from_machine(&m));
+    let coverage = m.host_profile().map(|p| p.coverage());
+    (exec_cycles, report, m.trace_json(), coverage)
+}
+
+/// The host-time profiler is a pure observer: arming it must not change
+/// any simulated observable, and at one shard its segments must explain
+/// (nearly) all of the wall time they bracket.
+#[test]
+fn host_profile_is_timing_invisible() {
+    let cfg = || MachineConfig::flash(16).with_observe(true);
+    let (base_t, base_r, base_trace, none) = invariance_run(cfg());
+    assert!(none.is_none(), "profiler must stay off by default");
+    let (prof_t, prof_r, prof_trace, coverage) = invariance_run(cfg().with_host_profile(true));
+    assert_eq!(base_t, prof_t, "profiling changed exec_cycles");
+    assert_eq!(base_r, prof_r, "profiling changed the report");
+    assert_eq!(base_trace, prof_trace, "profiling changed the trace");
+    let coverage = coverage.expect("profiler armed via config");
+    assert!(
+        coverage >= 0.95,
+        "single-shard segment sum must explain >=95% of wall, got {coverage:.3}"
+    );
+}
+
+/// The inline run fast path (eliding the event-queue round-trip for
+/// next-to-execute processor wakeups) is a host-side optimization only:
+/// disabling it must reproduce the exact same schedule, at any shard
+/// count.
+#[test]
+fn inline_fast_path_is_schedule_invisible() {
+    for shards in [1usize, 4] {
+        let cfg = || {
+            MachineConfig::flash(16)
+                .with_observe(true)
+                .with_shards(shards)
+        };
+        let (fast_t, fast_r, fast_trace, _) = invariance_run(cfg());
+        let (slow_t, slow_r, slow_trace, _) = invariance_run(cfg().with_inline_runs(false));
+        assert_eq!(
+            fast_t, slow_t,
+            "{shards} shards: inline elision changed exec_cycles"
+        );
+        assert_eq!(
+            fast_r, slow_r,
+            "{shards} shards: inline elision changed the report"
+        );
+        assert_eq!(
+            fast_trace, slow_trace,
+            "{shards} shards: inline elision changed the trace"
+        );
+    }
+}
+
 #[test]
 fn dma_and_sync_mix_completes() {
     let mk = |n: u16| {
