@@ -11,6 +11,7 @@
 //! for a specific divisor.
 
 pub mod harness;
+pub mod isolate;
 pub mod runner;
 pub mod tables;
 

@@ -66,6 +66,45 @@ pub struct Violation {
     pub detail: String,
 }
 
+impl Violation {
+    /// A stable structural identifier: invariant kind, node, and line —
+    /// everything except the free-form `detail` text, which legitimately
+    /// changes as a failing run is shrunk (it quotes cycle counts, sharer
+    /// bitmaps, and queue contents). Minimization predicates and CI triage
+    /// match on this instead of on the `Display` string.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flash_check::Violation;
+    ///
+    /// let v = Violation {
+    ///     kind: "copy-not-listed",
+    ///     node: 3,
+    ///     line: 0x1_0000_4000,
+    ///     detail: "cache holds Shared but directory bitmap is 0x2".into(),
+    /// };
+    /// assert_eq!(v.fingerprint(), "copy-not-listed@n3:0x100004000");
+    /// ```
+    pub fn fingerprint(&self) -> String {
+        format!("{}@n{}:{:#x}", self.kind, self.node, self.line)
+    }
+
+    /// Serializes the violation (fingerprint embedded) for triage
+    /// artifacts.
+    pub fn to_json(&self) -> flash_engine::json::Json {
+        use flash_engine::json::Json;
+        Json::obj(vec![
+            ("schema", Json::str("flash-violation-v1")),
+            ("fingerprint", Json::str(self.fingerprint())),
+            ("kind", Json::str(self.kind)),
+            ("node", Json::UInt(self.node as u64)),
+            ("line", Json::UInt(self.line)),
+            ("detail", Json::str(self.detail.clone())),
+        ])
+    }
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -92,5 +131,46 @@ mod tests {
         assert!(s.contains("[swmr]"));
         assert!(s.contains("n3"));
         assert!(s.contains("0x8000"));
+    }
+
+    #[test]
+    fn violation_fingerprint_ignores_detail() {
+        let a = Violation {
+            kind: "swmr",
+            node: 3,
+            line: 0x8000,
+            detail: "two writers at cycle 12345".into(),
+        };
+        let b = Violation {
+            detail: "two writers at cycle 99".into(),
+            ..a.clone()
+        };
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), "swmr@n3:0x8000");
+        let c = Violation {
+            kind: "copy-not-listed",
+            ..a.clone()
+        };
+        assert_ne!(c.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn violation_json_round_trips() {
+        use flash_engine::json::Json;
+        let v = Violation {
+            kind: "swmr",
+            node: 3,
+            line: 0x8000,
+            detail: "two \"writers\"".into(),
+        };
+        let round = Json::parse(&v.to_json().render()).unwrap();
+        assert_eq!(
+            round.get("fingerprint").and_then(Json::as_str),
+            Some("swmr@n3:0x8000")
+        );
+        assert_eq!(
+            round.get("detail").and_then(Json::as_str),
+            Some("two \"writers\"")
+        );
     }
 }

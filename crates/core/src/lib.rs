@@ -32,6 +32,7 @@ pub mod hostprof;
 pub mod machine;
 pub mod observe;
 pub mod report;
+pub mod repro;
 
 pub use config::{MachineConfig, PathLatencies, Placement, DEFAULT_WATCHDOG_WINDOW};
 pub use flash_fault::{FaultPlan, FaultStats, LinkDown, WedgeReport};
@@ -40,6 +41,7 @@ pub use hostprof::{HostProfile, HOST_SEG_COUNT, HOST_SEG_NAMES};
 pub use machine::{Machine, RunResult};
 pub use observe::{ClassRow, HandlerRow, ObserveReport};
 pub use report::{compare, format_table, Comparison, LatencyTable, MachineReport};
+pub use repro::{ReplayOutcome, Repro, REPRO_SCHEMA};
 
 /// Protocol-memory address of the directory header for an address
 /// (re-exported for machine-state inspection in tests and tools).

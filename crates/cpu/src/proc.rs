@@ -474,7 +474,13 @@ impl Processor {
             return; // stale reply (e.g. after an intervening invalidation)
         };
         self.record_latency(now, m.issued_at);
-        if m.invalidated {
+        // Planted bug (`planted-bugs`, test-only): pretend the grant was
+        // never invalidated, so a stale exclusive reply resurrects a dead
+        // owner — the historical merged-write reissue bug, re-introduced
+        // for the minimizer's shrink suite. Checker-visible as an SWMR /
+        // stale-value violation.
+        let invalidated = m.invalidated && !cfg!(feature = "planted-bugs");
+        if invalidated {
             // The grant was invalidated or poisoned in flight: use the
             // data once without caching it (an exclusive reply would
             // otherwise resurrect a stale owner). A subsequent reference

@@ -35,6 +35,7 @@
 pub mod addr;
 pub mod event;
 pub mod fasthash;
+pub mod json;
 pub mod queue;
 pub mod rng;
 pub mod stats;

@@ -31,5 +31,5 @@ pub mod plan;
 pub mod wedge;
 
 pub use inject::{FaultInjector, FaultStats, LinkVerdict, NiDir};
-pub use plan::{FaultPlan, LinkDown};
+pub use plan::{FaultAtom, FaultPlan, LinkDown};
 pub use wedge::{MsgRing, MshrSnap, NodeWedge, PendingLine, StalledLink, TraceEntry, WedgeReport};

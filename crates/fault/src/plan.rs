@@ -5,6 +5,14 @@
 //! workload under the same plan are byte-identical — the plan *is* the
 //! replay token. The plan participates in `MachineConfig`'s `Debug`
 //! rendering, so it also keys the run-matrix memo cache correctly.
+//!
+//! For minimization the plan decomposes into an editable list of
+//! [`FaultAtom`]s ([`FaultPlan::atoms`] / [`FaultPlan::from_atoms`]): the
+//! delta-debugger drops atoms one subset at a time and rebuilds a plan
+//! from the survivors, so "which fault classes are load-bearing for this
+//! failure" falls out of the shrink instead of manual bisection.
+
+use flash_engine::json::Json;
 
 /// A scripted (deterministic, non-random) outage of one directed mesh
 /// link: every message from `src` to `dst` is held — re-offered to the
@@ -26,6 +34,174 @@ impl LinkDown {
     /// Whether the outage covers cycle `at`.
     pub fn covers(&self, at: u64) -> bool {
         at >= self.from && self.until.is_none_or(|u| at < u)
+    }
+}
+
+/// One independently removable ingredient of a [`FaultPlan`].
+///
+/// The probabilistic fault classes become one atom each (rate plus
+/// magnitude travel together: halving a probability changes *which*
+/// messages fault and therefore the whole downstream schedule, so the
+/// minimizer treats a class as present-or-absent, not tunable), and every
+/// scripted [`LinkDown`] is its own atom. The plan seed is *not* an atom —
+/// it is carried alongside the list so that the surviving atoms replay the
+/// same RNG streams.
+///
+/// # Examples
+///
+/// ```
+/// use flash_fault::{FaultAtom, FaultPlan};
+///
+/// let plan = FaultPlan::light(7).with_link_down(1, 2, 1_000, None);
+/// let atoms = plan.atoms();
+/// assert_eq!(atoms.len(), 6, "five light-mix classes + one outage");
+/// assert_eq!(FaultPlan::from_atoms(plan.seed, &atoms), plan);
+/// // Dropping every atom yields the disarmed plan.
+/// assert!(FaultPlan::from_atoms(plan.seed, &[]).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAtom {
+    /// Per-hop delay spikes: probability and extra cycles per spike.
+    HopSpikes {
+        /// Per-message spike probability.
+        p: f64,
+        /// Extra transit cycles per spike.
+        cycles: u64,
+    },
+    /// Transient directed-link stalls.
+    LinkStalls {
+        /// Per-message stall-window probability.
+        p: f64,
+        /// Stall window length in cycles.
+        cycles: u64,
+    },
+    /// NI queue freezes.
+    NiFreezes {
+        /// Per-message freeze probability.
+        p: f64,
+        /// Freeze length in cycles.
+        cycles: u64,
+    },
+    /// PP handler slowdown bursts.
+    PpBursts {
+        /// Per-invocation burst probability.
+        p: f64,
+        /// Cycles the PP is held busy per burst.
+        cycles: u64,
+    },
+    /// Phase-locked DRAM refresh stalls.
+    DramRefresh {
+        /// Refresh period in cycles.
+        period: u64,
+        /// Controller-blocked cycles per refresh.
+        cycles: u64,
+    },
+    /// One scripted directed-link outage.
+    LinkDown(LinkDown),
+}
+
+impl FaultAtom {
+    /// Stable kind tag (also the JSON discriminant).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultAtom::HopSpikes { .. } => "hop_spikes",
+            FaultAtom::LinkStalls { .. } => "link_stalls",
+            FaultAtom::NiFreezes { .. } => "ni_freezes",
+            FaultAtom::PpBursts { .. } => "pp_bursts",
+            FaultAtom::DramRefresh { .. } => "dram_refresh",
+            FaultAtom::LinkDown(_) => "link_down",
+        }
+    }
+
+    /// Serializes the atom as one JSON object.
+    pub fn to_json(&self) -> Json {
+        match *self {
+            FaultAtom::HopSpikes { p, cycles }
+            | FaultAtom::LinkStalls { p, cycles }
+            | FaultAtom::NiFreezes { p, cycles }
+            | FaultAtom::PpBursts { p, cycles } => Json::obj(vec![
+                ("kind", Json::str(self.kind())),
+                ("p", Json::Float(p)),
+                ("cycles", Json::UInt(cycles)),
+            ]),
+            FaultAtom::DramRefresh { period, cycles } => Json::obj(vec![
+                ("kind", Json::str(self.kind())),
+                ("period", Json::UInt(period)),
+                ("cycles", Json::UInt(cycles)),
+            ]),
+            FaultAtom::LinkDown(l) => Json::obj(vec![
+                ("kind", Json::str(self.kind())),
+                ("src", Json::UInt(l.src as u64)),
+                ("dst", Json::UInt(l.dst as u64)),
+                ("from", Json::UInt(l.from)),
+                (
+                    "until",
+                    match l.until {
+                        Some(u) => Json::UInt(u),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+        }
+    }
+
+    /// Parses one atom back from its JSON object form.
+    pub fn from_json(v: &Json) -> Result<FaultAtom, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("fault atom: missing `kind`")?;
+        let p = || {
+            v.get("p")
+                .and_then(Json::as_f64)
+                .ok_or(format!("fault atom {kind}: missing `p`"))
+        };
+        let cycles = v
+            .get("cycles")
+            .and_then(Json::as_u64)
+            .ok_or(format!("fault atom {kind}: missing `cycles`"));
+        match kind {
+            "hop_spikes" => Ok(FaultAtom::HopSpikes {
+                p: p()?,
+                cycles: cycles?,
+            }),
+            "link_stalls" => Ok(FaultAtom::LinkStalls {
+                p: p()?,
+                cycles: cycles?,
+            }),
+            "ni_freezes" => Ok(FaultAtom::NiFreezes {
+                p: p()?,
+                cycles: cycles?,
+            }),
+            "pp_bursts" => Ok(FaultAtom::PpBursts {
+                p: p()?,
+                cycles: cycles?,
+            }),
+            "dram_refresh" => Ok(FaultAtom::DramRefresh {
+                period: v
+                    .get("period")
+                    .and_then(Json::as_u64)
+                    .ok_or("fault atom dram_refresh: missing `period`")?,
+                cycles: cycles?,
+            }),
+            "link_down" => {
+                let field = |name: &str| {
+                    v.get(name)
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("fault atom link_down: missing `{name}`"))
+                };
+                Ok(FaultAtom::LinkDown(LinkDown {
+                    src: field("src")? as u16,
+                    dst: field("dst")? as u16,
+                    from: field("from")?,
+                    until: match v.get("until") {
+                        None | Some(Json::Null) => None,
+                        Some(u) => Some(u.as_u64().ok_or("fault atom link_down: bad `until`")?),
+                    },
+                }))
+            }
+            other => Err(format!("fault atom: unknown kind `{other}`")),
+        }
     }
 }
 
@@ -171,6 +347,83 @@ impl FaultPlan {
         });
         self
     }
+
+    /// Decomposes the plan into its injectable ingredients: one atom per
+    /// probabilistic fault class with a nonzero rate, plus one atom per
+    /// scripted link outage, in a fixed order (classes first, outages in
+    /// script order). An armed-but-all-zero plan has no atoms.
+    pub fn atoms(&self) -> Vec<FaultAtom> {
+        let mut out = Vec::new();
+        if self.hop_spike_p > 0.0 {
+            out.push(FaultAtom::HopSpikes {
+                p: self.hop_spike_p,
+                cycles: self.hop_spike_cycles,
+            });
+        }
+        if self.link_stall_p > 0.0 {
+            out.push(FaultAtom::LinkStalls {
+                p: self.link_stall_p,
+                cycles: self.link_stall_cycles,
+            });
+        }
+        if self.ni_freeze_p > 0.0 {
+            out.push(FaultAtom::NiFreezes {
+                p: self.ni_freeze_p,
+                cycles: self.ni_freeze_cycles,
+            });
+        }
+        if self.pp_burst_p > 0.0 {
+            out.push(FaultAtom::PpBursts {
+                p: self.pp_burst_p,
+                cycles: self.pp_burst_cycles,
+            });
+        }
+        if self.dram_refresh_period > 0 {
+            out.push(FaultAtom::DramRefresh {
+                period: self.dram_refresh_period,
+                cycles: self.dram_refresh_cycles,
+            });
+        }
+        out.extend(self.link_down.iter().copied().map(FaultAtom::LinkDown));
+        out
+    }
+
+    /// Rebuilds a plan from a surviving atom subset. The seed is carried
+    /// separately (it is the RNG replay token, not an injectable fault).
+    /// An empty atom list yields a fully disarmed plan, so shrinking away
+    /// every fault also shrinks away the injector.
+    pub fn from_atoms(seed: u64, atoms: &[FaultAtom]) -> Self {
+        let mut p = FaultPlan {
+            armed: !atoms.is_empty(),
+            ..Self::zeroed(seed)
+        };
+        for a in atoms {
+            match *a {
+                FaultAtom::HopSpikes { p: prob, cycles } => {
+                    p.hop_spike_p = prob;
+                    p.hop_spike_cycles = cycles;
+                }
+                FaultAtom::LinkStalls { p: prob, cycles } => {
+                    p.link_stall_p = prob;
+                    p.link_stall_cycles = cycles;
+                }
+                FaultAtom::NiFreezes { p: prob, cycles } => {
+                    p.ni_freeze_p = prob;
+                    p.ni_freeze_cycles = cycles;
+                }
+                FaultAtom::PpBursts { p: prob, cycles } => {
+                    p.pp_burst_p = prob;
+                    p.pp_burst_cycles = cycles;
+                }
+                FaultAtom::DramRefresh { period, cycles } => {
+                    p.dram_refresh_period = period;
+                    p.dram_refresh_cycles = cycles;
+                }
+                FaultAtom::LinkDown(l) => p.link_down.push(l),
+            }
+        }
+        p
+    }
 }
 
 impl Default for FaultPlan {
@@ -220,6 +473,59 @@ mod tests {
         let p = FaultPlan::none().with_link_down(0, 1, 0, None);
         assert!(!p.is_none());
         assert_eq!(p.link_down.len(), 1);
+    }
+
+    #[test]
+    fn atoms_round_trip_for_every_preset() {
+        for plan in [
+            FaultPlan::light(7),
+            FaultPlan::stress(11),
+            FaultPlan::zeroed(3).with_link_down(1, 2, 1_000, None),
+            FaultPlan::light(5)
+                .with_link_down(0, 3, 500, Some(9_000))
+                .with_link_down(2, 1, 100, None),
+        ] {
+            assert_eq!(
+                FaultPlan::from_atoms(plan.seed, &plan.atoms()),
+                plan,
+                "{plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zeroed_plan_has_no_atoms_and_empty_atoms_disarm() {
+        assert!(FaultPlan::zeroed(9).atoms().is_empty());
+        assert!(FaultPlan::none().atoms().is_empty());
+        let rebuilt = FaultPlan::from_atoms(9, &[]);
+        assert!(rebuilt.is_none());
+        assert_eq!(rebuilt.seed, 9, "seed survives for the replay token");
+    }
+
+    #[test]
+    fn atoms_json_round_trip() {
+        let plan = FaultPlan::stress(13).with_link_down(4, 5, 120_000, Some(180_000));
+        for atom in plan.atoms() {
+            let back = FaultAtom::from_json(&atom.to_json()).unwrap();
+            assert_eq!(back, atom);
+            // And through actual text, the way the artifact carries it.
+            let text = atom.to_json().render();
+            let parsed = flash_engine::json::Json::parse(&text).unwrap();
+            assert_eq!(FaultAtom::from_json(&parsed).unwrap(), atom);
+        }
+    }
+
+    #[test]
+    fn atom_json_rejects_malformed_input() {
+        for bad in [
+            "{}",
+            r#"{"kind":"warp_core_breach"}"#,
+            r#"{"kind":"hop_spikes","p":0.1}"#,
+            r#"{"kind":"link_down","src":1,"dst":2}"#,
+        ] {
+            let v = flash_engine::json::Json::parse(bad).unwrap();
+            assert!(FaultAtom::from_json(&v).is_err(), "{bad}");
+        }
     }
 
     #[test]

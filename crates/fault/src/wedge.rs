@@ -12,8 +12,10 @@
 //! cross threads, and be rendered late.
 
 use crate::inject::FaultStats;
+use flash_engine::json::Json;
 use std::collections::VecDeque;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// One message observation in the trace ring (mirrors what
 /// `FLASH_TRACE_ADDR=0x...` prints to stderr, kept for every line).
@@ -192,6 +194,186 @@ pub struct WedgeReport {
     pub recent: Vec<TraceEntry>,
 }
 
+impl WedgeReport {
+    /// A stable structural identifier for "the same wedge".
+    ///
+    /// Minimization predicates need to distinguish *this* deadlock from
+    /// *any* deadlock while shrinking, but must not key on anything the
+    /// shrink legitimately changes — cycle counts, hold counts, queue
+    /// depths, trace contents all shift as references and faults are
+    /// removed. The fingerprint therefore keeps only the causal shape:
+    ///
+    /// * every stalled link, sorted, with a `!` marking permanence;
+    /// * every PENDING directory line with its home, sorted;
+    /// * every waiting MSHR `(node, kind, line)` whose line is stuck
+    ///   PENDING (all waiters when nothing is PENDING), sorted.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flash_fault::{MshrSnap, NodeWedge, PendingLine, StalledLink, WedgeReport};
+    ///
+    /// let report = WedgeReport {
+    ///     at: 150_000, window: 100_000, last_progress_at: 49_000,
+    ///     reason: "no forward progress".into(), done: 2, total: 3,
+    ///     nodes: vec![NodeWedge {
+    ///         node: 0, state: "wait-reply",
+    ///         mshrs: vec![MshrSnap { line: 0x1_0000_4000, kind: "Read", issued_at: 20_000 }],
+    ///         inbox_queued: 0, proc_queued: 0, net_held: 0,
+    ///     }],
+    ///     pending_lines: vec![PendingLine { line: 0x1_0000_4000, home: 1, header: 1 }],
+    ///     stalled_links: vec![StalledLink { src: 1, dst: 2, holds: 97, permanent: true }],
+    ///     fault_stats: None, recent: vec![],
+    /// };
+    /// assert_eq!(
+    ///     report.fingerprint(),
+    ///     "wedge|links=[1->2!]|pending=[0x100004000@n1]|waiters=[n0:Read:0x100004000]"
+    /// );
+    /// ```
+    pub fn fingerprint(&self) -> String {
+        let mut links: Vec<&StalledLink> = self.stalled_links.iter().collect();
+        links.sort_by_key(|l| (l.src, l.dst));
+        let mut pending: Vec<&PendingLine> = self.pending_lines.iter().collect();
+        pending.sort_by_key(|p| (p.line, p.home));
+        let mut waiters: Vec<(u16, &'static str, u64)> = Vec::new();
+        for n in &self.nodes {
+            for m in &n.mshrs {
+                if self.pending_lines.is_empty()
+                    || self.pending_lines.iter().any(|p| p.line == m.line)
+                {
+                    waiters.push((n.node, m.kind, m.line));
+                }
+            }
+        }
+        waiters.sort();
+        waiters.dedup();
+
+        let mut s = String::from("wedge|links=[");
+        for (i, l) in links.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{}->{}{}",
+                l.src,
+                l.dst,
+                if l.permanent { "!" } else { "" }
+            );
+        }
+        s.push_str("]|pending=[");
+        for (i, p) in pending.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{:#x}@n{}", p.line, p.home);
+        }
+        s.push_str("]|waiters=[");
+        for (i, (node, kind, line)) in waiters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "n{node}:{kind}:{line:#x}");
+        }
+        s.push(']');
+        s
+    }
+
+    /// Serializes the full report (not just the fingerprint) for CI
+    /// triage artifacts. The fingerprint is embedded so downstream
+    /// tooling can match structurally without re-deriving it.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str("flash-wedge-v1")),
+            ("fingerprint", Json::str(self.fingerprint())),
+            ("at", Json::UInt(self.at)),
+            ("window", Json::UInt(self.window)),
+            ("last_progress_at", Json::UInt(self.last_progress_at)),
+            ("reason", Json::str(self.reason.clone())),
+            ("done", Json::UInt(self.done as u64)),
+            ("total", Json::UInt(self.total as u64)),
+            (
+                "nodes",
+                Json::Arr(
+                    self.nodes
+                        .iter()
+                        .map(|n| {
+                            Json::obj(vec![
+                                ("node", Json::UInt(n.node as u64)),
+                                ("state", Json::str(n.state)),
+                                (
+                                    "mshrs",
+                                    Json::Arr(
+                                        n.mshrs
+                                            .iter()
+                                            .map(|m| {
+                                                Json::obj(vec![
+                                                    ("line", Json::UInt(m.line)),
+                                                    ("kind", Json::str(m.kind)),
+                                                    ("issued_at", Json::UInt(m.issued_at)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                                ("inbox_queued", Json::UInt(n.inbox_queued as u64)),
+                                ("proc_queued", Json::UInt(n.proc_queued as u64)),
+                                ("net_held", Json::UInt(n.net_held as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "pending_lines",
+                Json::Arr(
+                    self.pending_lines
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("line", Json::UInt(p.line)),
+                                ("home", Json::UInt(p.home as u64)),
+                                ("header", Json::UInt(p.header)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "stalled_links",
+                Json::Arr(
+                    self.stalled_links
+                        .iter()
+                        .map(|l| {
+                            Json::obj(vec![
+                                ("src", Json::UInt(l.src as u64)),
+                                ("dst", Json::UInt(l.dst as u64)),
+                                ("holds", Json::UInt(l.holds)),
+                                ("permanent", Json::Bool(l.permanent)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "fault_stats",
+                match &self.fault_stats {
+                    Some(s) => Json::obj(vec![
+                        ("hop_spikes", Json::UInt(s.hop_spikes)),
+                        ("link_stalls", Json::UInt(s.link_stalls)),
+                        ("link_holds", Json::UInt(s.link_holds)),
+                        ("ni_freezes", Json::UInt(s.ni_freezes)),
+                        ("pp_bursts", Json::UInt(s.pp_bursts)),
+                        ("dram_stalls", Json::UInt(s.dram_stalls)),
+                        ("delay_cycles", Json::UInt(s.delay_cycles)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
 impl fmt::Display for WedgeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -365,5 +547,115 @@ mod tests {
         assert!(text.contains("mshr: Read line=0x100008000"));
         assert!(text.contains("97 link holds"));
         assert!(!text.contains("node2"), "quiet done nodes are elided");
+    }
+
+    fn sample_report() -> WedgeReport {
+        WedgeReport {
+            at: 150_000,
+            window: 100_000,
+            last_progress_at: 49_000,
+            reason: "no forward progress within the watchdog window".into(),
+            done: 2,
+            total: 3,
+            nodes: vec![
+                NodeWedge {
+                    node: 2,
+                    state: "wait-sync",
+                    mshrs: vec![MshrSnap {
+                        line: 0x2_0000_0080,
+                        kind: "Write",
+                        issued_at: 30_000,
+                    }],
+                    inbox_queued: 1,
+                    proc_queued: 0,
+                    net_held: 3,
+                },
+                NodeWedge {
+                    node: 0,
+                    state: "wait-reply",
+                    mshrs: vec![MshrSnap {
+                        line: 0x1_0000_8000,
+                        kind: "Read",
+                        issued_at: 20_000,
+                    }],
+                    inbox_queued: 0,
+                    proc_queued: 0,
+                    net_held: 0,
+                },
+            ],
+            pending_lines: vec![PendingLine {
+                line: 0x1_0000_8000,
+                home: 1,
+                header: 0x8000_0001,
+            }],
+            stalled_links: vec![StalledLink {
+                src: 1,
+                dst: 2,
+                holds: 97,
+                permanent: true,
+            }],
+            fault_stats: Some(FaultStats {
+                link_holds: 97,
+                ..FaultStats::default()
+            }),
+            recent: vec![entry(20_010, 0x1_0000_8000)],
+        }
+    }
+
+    #[test]
+    fn fingerprint_keeps_shape_and_drops_timing() {
+        let report = sample_report();
+        assert_eq!(
+            report.fingerprint(),
+            "wedge|links=[1->2!]|pending=[0x100008000@n1]|waiters=[n0:Read:0x100008000]",
+            "waiter on the non-pending line 0x200000080 is excluded"
+        );
+        // Everything the shrink is allowed to change leaves it untouched.
+        let mut shifted = report.clone();
+        shifted.at = 999_999;
+        shifted.last_progress_at = 1;
+        shifted.window = 5_000;
+        shifted.stalled_links[0].holds = 3;
+        shifted.nodes[1].mshrs[0].issued_at = 50;
+        shifted.nodes[1].inbox_queued = 7;
+        shifted.recent.clear();
+        shifted.fault_stats = None;
+        assert_eq!(shifted.fingerprint(), report.fingerprint());
+        // But a different held link is a different wedge.
+        let mut other = report.clone();
+        other.stalled_links[0].dst = 0;
+        assert_ne!(other.fingerprint(), report.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_without_pending_lines_keeps_all_waiters() {
+        let mut report = sample_report();
+        report.pending_lines.clear();
+        let fp = report.fingerprint();
+        assert!(fp.contains("n0:Read:0x100008000"));
+        assert!(fp.contains("n2:Write:0x200000080"));
+    }
+
+    #[test]
+    fn json_form_embeds_fingerprint_and_structure() {
+        let report = sample_report();
+        let v = report.to_json();
+        let round = Json::parse(&v.render()).unwrap();
+        assert_eq!(
+            round.get("schema").and_then(Json::as_str),
+            Some("flash-wedge-v1")
+        );
+        assert_eq!(
+            round.get("fingerprint").and_then(Json::as_str),
+            Some(report.fingerprint().as_str())
+        );
+        assert_eq!(round.get("at").and_then(Json::as_u64), Some(150_000));
+        let links = round.get("stalled_links").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            links[0].get("permanent").and_then(Json::as_bool),
+            Some(true)
+        );
+        let stats = round.get("fault_stats").unwrap();
+        assert_eq!(stats.get("link_holds").and_then(Json::as_u64), Some(97));
     }
 }

@@ -1,0 +1,80 @@
+//! Rendering minimal artifacts as regression-test stubs.
+
+use flash::repro::Repro;
+
+/// Renders a ready-to-paste `#[test]` function embedding the artifact.
+///
+/// The stub asserts the replay is **clean** — it is meant to be checked
+/// in *with the fix* for the failure the artifact captures, at which
+/// point it permanently pins that this exact minimal scenario stays
+/// healthy. Until the fix lands, the stub fails with the artifact's
+/// recorded fingerprint in the panic message, which is the fastest
+/// possible red/green signal while debugging.
+///
+/// # Examples
+///
+/// ```
+/// use flash::repro::Repro;
+/// use flash_minimize::emit::test_stub;
+///
+/// let mut r = Repro::flash(2);
+/// r.budget = 100_000;
+/// r.expect = Some("wedge|links=[]|pending=[]|waiters=[]".into());
+/// let stub = test_stub(&r, "link_outage_stays_fixed");
+/// assert!(stub.contains("fn link_outage_stays_fixed()"));
+/// assert!(stub.contains("flash-repro-v1"));
+/// ```
+pub fn test_stub(repro: &Repro, name: &str) -> String {
+    let json = repro.to_json_string();
+    let json = json.trim_end();
+    let expect = repro.expect.as_deref().unwrap_or("<none recorded>");
+    format!(
+        r###"/// Golden minimal reproducer (flash-repro-v1), checked in as a
+/// permanent regression test. Originally failed as:
+///   {expect}
+/// Provenance: {provenance}
+#[test]
+fn {name}() {{
+    let repro = flash::repro::Repro::parse(ARTIFACT).expect("artifact parses");
+    let outcome = repro.replay();
+    assert!(
+        outcome.is_clean(),
+        "regression: minimal reproducer failed again\n  result: {{:?}}\n  violations: {{:?}}\n  recorded fingerprint: {{}}",
+        outcome.result,
+        outcome.violation_fingerprints(),
+        repro.expect.as_deref().unwrap_or("<none>"),
+    );
+}}
+
+const ARTIFACT: &str = r##"{json}"##;
+"###,
+        provenance = if repro.provenance.is_empty() {
+            "<none>"
+        } else {
+            &repro.provenance
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stub_compilable_shape_and_artifact_embedding() {
+        let mut r = Repro::flash(2);
+        r.budget = 50_000;
+        r.streams = vec![vec![flash_cpu::WorkItem::Busy(10)], vec![]];
+        r.expect = Some("swmr@n0:0x80".into());
+        r.provenance = "unit test".into();
+        let stub = test_stub(&r, "my_regression");
+        assert!(stub.contains("fn my_regression()"));
+        assert!(stub.contains("swmr@n0:0x80"));
+        assert!(stub.contains("unit test"));
+        // The embedded artifact round-trips.
+        let start = stub.find(r###"r##""###).unwrap() + 4;
+        let end = stub.find(r###""##"###).unwrap();
+        let embedded = &stub[start..end];
+        assert_eq!(Repro::parse(embedded).unwrap(), r);
+    }
+}

@@ -1,0 +1,75 @@
+//! The checked-in golden minimal reproducers.
+//!
+//! Each golden is a `flash-repro-v1` artifact the minimizer produced from
+//! a planted historical bug (see `crates/minimize/tests/planted.rs`).
+//! They are permanent regression tests with two faces:
+//!
+//! - **Bugs compiled out** (the normal build): the artifacts must replay
+//!   *clean* — if one ever fails again, the bug it captures is back.
+//! - **Bugs compiled in** (`--features planted-bugs`): the artifacts must
+//!   reproduce exactly the failure fingerprint they record — proof the
+//!   goldens are real reproducers, not stale JSON.
+
+use flash::repro::Repro;
+use flash_minimize::Predicate;
+
+const GOLDENS: [(&str, &str); 2] = [
+    (
+        "planted_cpu_invalidated_grant",
+        include_str!("../goldens/planted_cpu_invalidated_grant.json"),
+    ),
+    (
+        "planted_proto_stale_interv_reply",
+        include_str!("../goldens/planted_proto_stale_interv_reply.json"),
+    ),
+];
+
+#[test]
+fn goldens_parse_and_carry_expectations() {
+    for (name, text) in GOLDENS {
+        let r = Repro::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(r.expect.is_some(), "{name}: no recorded fingerprint");
+        assert!(!r.predicate.is_empty(), "{name}: no predicate");
+        let _: Predicate = r
+            .predicate
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}: bad predicate: {e}"));
+        assert!(
+            r.provenance.contains("minimized in"),
+            "{name}: missing shrink provenance"
+        );
+        // Byte-stable round trip: the artifact is its own canonical form.
+        assert_eq!(r.to_json_string().trim_end(), text.trim_end(), "{name}");
+    }
+}
+
+#[cfg(not(feature = "planted-bugs"))]
+#[test]
+fn goldens_replay_clean_with_bugs_fixed() {
+    for (name, text) in GOLDENS {
+        let r = Repro::parse(text).unwrap();
+        let outcome = r.replay();
+        assert!(
+            outcome.is_clean(),
+            "{name}: the bug this golden captures has returned\n  result: {:?}\n  violations: {:?}\n  recorded fingerprint: {}",
+            outcome.result,
+            outcome.violation_fingerprints(),
+            r.expect.as_deref().unwrap_or("<none>"),
+        );
+    }
+}
+
+#[cfg(feature = "planted-bugs")]
+#[test]
+fn goldens_reproduce_their_recorded_failures() {
+    for (name, text) in GOLDENS {
+        let r = Repro::parse(text).unwrap();
+        let predicate: Predicate = r.predicate.parse().unwrap();
+        let observed = predicate.eval(&r, &flash_minimize::EvalOptions::default());
+        assert_eq!(
+            observed.as_deref(),
+            r.expect.as_deref(),
+            "{name}: artifact no longer reproduces its recorded failure"
+        );
+    }
+}

@@ -389,7 +389,13 @@ impl Ctx<'_> {
                 // Dirty in the home's own cache: share it.
                 let da = self.diraddr();
                 let h0 = self.dir.header(da);
-                if !h0.pending() {
+                // Planted bug (`planted-bugs`, test-only): drop the
+                // stale-local-reply NACK guard, re-introducing the
+                // historical race where a stale intervention reply
+                // rewrites an already-resolved header. The translated PP
+                // backend keeps the guard, so the oracle flags the
+                // divergence.
+                if !h0.pending() && !cfg!(feature = "planted-bugs") {
                     // Stale local intervention reply: a local writeback
                     // raced the deferred intervention and already
                     // resolved this transaction (clearing PENDING and
@@ -429,9 +435,9 @@ impl Ctx<'_> {
             if home == self.me() {
                 let da = self.diraddr();
                 let h0 = self.dir.header(da);
-                if !h0.pending() {
+                if !h0.pending() && !cfg!(feature = "planted-bugs") {
                     // Same stale-local-reply race as the NGet branch
-                    // (and the same PENDING-only rationale).
+                    // (and the same planted-bug gate as above).
                     self.send(MsgType::NNack, req, a, false);
                     return self.result("pi_interv_reply", self.costs.nack_retry, 0);
                 }

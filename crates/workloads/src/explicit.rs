@@ -1,0 +1,143 @@
+//! Bounded replay from explicit reference lists.
+//!
+//! The generator workloads in [`crate::apps`] produce their streams
+//! lazily and (for the paper sizes) nearly endlessly — fine for
+//! measurement, useless for delta debugging, which needs a finite list it
+//! can cut pieces out of. [`ExplicitWorkload`] is the materialized form:
+//! every processor's references as a plain `Vec<WorkItem>`, plus the
+//! placement policy and DMA script the originals carried.
+//! [`ExplicitWorkload::materialize`] converts any workload by pulling a
+//! bounded prefix of each stream; the result replays exactly like the
+//! original up to the bound (streams are consumed item-for-item, and a
+//! finished stream keeps returning `Done` either way).
+
+use crate::apps::Workload;
+use flash::config::Placement;
+use flash_cpu::{RefStream, SliceStream, WorkItem};
+use flash_engine::{Addr, Cycle, NodeId};
+
+/// A workload whose per-processor reference streams are explicit,
+/// finite item lists — the form `flash-minimize` shrinks and the
+/// `flash-repro-v1` artifact stores.
+///
+/// # Examples
+///
+/// ```
+/// use flash_workloads::{ExplicitWorkload, Fft, Workload};
+///
+/// let fft = Fft::scaled(4, 64);
+/// let bounded = ExplicitWorkload::materialize(&fft, 500);
+/// assert_eq!(bounded.procs(), 4);
+/// assert!(bounded.streams.iter().all(|s| s.len() <= 500));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExplicitWorkload {
+    /// Processor count (defines the mesh size too).
+    pub procs: u16,
+    /// Placement policy the machine must use.
+    pub placement: Placement,
+    /// One finite item list per processor (no trailing `Done`).
+    pub streams: Vec<Vec<WorkItem>>,
+    /// DMA script carried over from the source workload.
+    pub dma: Vec<(Cycle, NodeId, Addr)>,
+}
+
+impl ExplicitWorkload {
+    /// Materializes up to `bound` items of each of `w`'s streams.
+    ///
+    /// The prefix relation is exact: a machine running the materialized
+    /// streams consumes the same items in the same order as one running
+    /// `w` itself, until a processor exhausts its bounded list (after
+    /// which it retires `Done` and idles — which is precisely the
+    /// "shorter run" the minimizer is probing for).
+    pub fn materialize(w: &dyn Workload, bound: usize) -> ExplicitWorkload {
+        let streams = w
+            .streams()
+            .into_iter()
+            .map(|mut s| {
+                let mut items = Vec::new();
+                while items.len() < bound {
+                    match s.next_item() {
+                        WorkItem::Done => break,
+                        item => items.push(item),
+                    }
+                }
+                items
+            })
+            .collect();
+        ExplicitWorkload {
+            procs: w.procs(),
+            placement: w.placement(),
+            streams,
+            dma: w.dma_events(),
+        }
+    }
+}
+
+impl Workload for ExplicitWorkload {
+    fn name(&self) -> &'static str {
+        "explicit"
+    }
+
+    fn procs(&self) -> u16 {
+        self.procs
+    }
+
+    fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    fn streams(&self) -> Vec<Box<dyn RefStream>> {
+        self.streams
+            .iter()
+            .map(|items| Box::new(SliceStream::new(items.clone())) as Box<dyn RefStream>)
+            .collect()
+    }
+
+    fn dma_events(&self) -> Vec<(Cycle, NodeId, Addr)> {
+        self.dma.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{Fft, OsWorkload};
+
+    #[test]
+    fn materialized_prefix_matches_the_generator() {
+        let fft = Fft::scaled(4, 64);
+        let explicit = ExplicitWorkload::materialize(&fft, 200);
+        let mut originals = fft.streams();
+        for (p, orig) in originals.iter_mut().enumerate() {
+            for (i, &item) in explicit.streams[p].iter().enumerate() {
+                assert_eq!(orig.next_item(), item, "proc {p} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_zero_empties_every_stream() {
+        let e = ExplicitWorkload::materialize(&Fft::scaled(2, 64), 0);
+        assert!(e.streams.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn done_terminates_before_the_bound() {
+        // A tiny workload ends well before a huge bound; no Done items
+        // leak into the materialized list.
+        let e = ExplicitWorkload::materialize(&Fft::scaled(2, 64), usize::MAX);
+        assert!(e
+            .streams
+            .iter()
+            .all(|s| !s.contains(&WorkItem::Done) && !s.is_empty()));
+    }
+
+    #[test]
+    fn dma_script_is_carried_over() {
+        let os = OsWorkload::scaled(4, 16);
+        let e = ExplicitWorkload::materialize(&os, 100);
+        assert_eq!(e.dma, os.dma_events());
+        assert_eq!(e.placement(), os.placement());
+    }
+}

@@ -14,9 +14,11 @@
 //! one-call experiment driver.
 
 pub mod apps;
+pub mod explicit;
 pub mod phases;
 
 pub use apps::{Barnes, Fft, HotspotFft, Lu, Mp3d, Ocean, OsWorkload, Radix, Workload};
+pub use explicit::ExplicitWorkload;
 pub use phases::{Phase, PhaseStream};
 
 use flash::{Machine, MachineConfig, MachineReport, RunResult};

@@ -14,6 +14,7 @@
 
 use flash::{Machine, MachineConfig, RunResult};
 use flash_cpu::{RefStream, SliceStream};
+use flash_minimize::{Predicate, Spec};
 
 /// Seeds per configuration; `FLASH_CHECK_SEEDS` widens the sweep for
 /// soak runs.
@@ -31,27 +32,67 @@ fn streams(nodes: u16, lines_per_node: u64, items: usize, seed: u64) -> Vec<Box<
         .collect()
 }
 
+/// The ready-to-paste `minimize` invocation that shrinks a failure of
+/// this stress configuration to a minimal `flash-repro-v1` artifact.
+fn shrink_hint(
+    cfg: &MachineConfig,
+    lines: u64,
+    items: usize,
+    seed: u64,
+    predicate: Predicate,
+) -> String {
+    let mut spec = Spec::stress(cfg.nodes, lines, items, seed)
+        .with_check(true)
+        .with_predicate(predicate);
+    spec.controller = cfg.controller;
+    if cfg.cache_bytes != MachineConfig::flash(cfg.nodes).cache_bytes {
+        spec.cache_bytes = Some(cfg.cache_bytes);
+    }
+    format!(
+        "to shrink this failure to a minimal repro, run:\n  {}",
+        spec.command_line()
+    )
+}
+
 fn run_checked(cfg: MachineConfig, lines_per_node: u64, items: usize, seed: u64) -> Machine {
     let nodes = cfg.nodes;
     let kind = cfg.controller;
     let mut m = Machine::new(
-        cfg.with_check(true),
+        cfg.clone().with_check(true),
         streams(nodes, lines_per_node, items, seed),
     );
     assert!(m.checked_mode());
-    let RunResult::Completed { .. } = m.run(500_000_000) else {
-        panic!("{kind:?}: checked stress stuck (seed {seed})");
-    };
+    match m.run(500_000_000) {
+        RunResult::Completed { .. } => {}
+        RunResult::Wedged { report } => panic!(
+            "{kind:?}: checked stress wedged (seed {seed})\n{report}\n{}",
+            shrink_hint(
+                &cfg,
+                lines_per_node,
+                items,
+                seed,
+                Predicate::Wedge { fingerprint: None }
+            )
+        ),
+        other => panic!("{kind:?}: checked stress stuck (seed {seed}): {other:?}"),
+    }
     let violations = m.check_violations();
     assert!(
         violations.is_empty(),
-        "seed {seed}: {} violation(s):\n{}",
+        "seed {seed}: {} violation(s):\n{}\n{}",
         violations.len(),
         violations
             .iter()
             .map(|v| format!("  {v}"))
             .collect::<Vec<_>>()
-            .join("\n")
+            .join("\n"),
+        shrink_hint(
+            &cfg,
+            lines_per_node,
+            items,
+            seed,
+            Predicate::Violation { fingerprint: None }
+        )
     );
     m
 }

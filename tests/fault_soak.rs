@@ -13,6 +13,7 @@
 
 use flash::{FaultPlan, Machine, MachineConfig, RunResult};
 use flash_cpu::{RefStream, SliceStream};
+use flash_minimize::{FaultsSpec, Predicate, Spec};
 
 /// Seeds per configuration; `FLASH_FAULT_SEEDS` widens the sweep.
 fn seeds(default: u64) -> u64 {
@@ -29,19 +30,59 @@ fn streams(nodes: u16, lines_per_node: u64, items: usize, seed: u64) -> Vec<Box<
         .collect()
 }
 
+/// The ready-to-paste `minimize` invocation that shrinks a failure of
+/// this soak configuration to a minimal `flash-repro-v1` artifact.
+fn shrink_hint(
+    cfg: &MachineConfig,
+    faults: FaultsSpec,
+    lines: u64,
+    items: usize,
+    seed: u64,
+    predicate: Predicate,
+) -> String {
+    let mut spec = Spec::stress(cfg.nodes, lines, items, seed)
+        .with_faults(faults)
+        .with_check(true)
+        .with_predicate(predicate);
+    spec.controller = cfg.controller;
+    if cfg.cache_bytes != MachineConfig::flash(cfg.nodes).cache_bytes {
+        spec.cache_bytes = Some(cfg.cache_bytes);
+    }
+    format!(
+        "to shrink this failure to a minimal repro, run:\n  {}",
+        spec.command_line()
+    )
+}
+
 /// Runs one faulted, checked configuration to completion and returns the
 /// machine for further assertions.
-fn soak(cfg: MachineConfig, plan: FaultPlan, lines: u64, items: usize, seed: u64) -> Machine {
+fn soak(cfg: MachineConfig, faults: FaultsSpec, lines: u64, items: usize, seed: u64) -> Machine {
     let nodes = cfg.nodes;
     let kind = cfg.controller;
+    let plan = match faults {
+        FaultsSpec::None => FaultPlan::none(),
+        FaultsSpec::Zeroed(s) => FaultPlan::zeroed(s),
+        FaultsSpec::Light(s) => FaultPlan::light(s),
+        FaultsSpec::Stress(s) => FaultPlan::stress(s),
+    };
     let mut m = Machine::new(
-        cfg.with_check(true).with_faults(plan),
+        cfg.clone().with_check(true).with_faults(plan),
         streams(nodes, lines, items, seed),
     );
     match m.run(2_000_000_000) {
         RunResult::Completed { .. } => {}
         RunResult::Wedged { report } => {
-            panic!("{kind:?} seed {seed} wedged under faults\n{report}")
+            panic!(
+                "{kind:?} seed {seed} wedged under faults\n{report}\n{}",
+                shrink_hint(
+                    &cfg,
+                    faults,
+                    lines,
+                    items,
+                    seed,
+                    Predicate::Wedge { fingerprint: None }
+                )
+            )
         }
         other => panic!(
             "{kind:?} seed {seed} did not converge under faults: {other:?}\n{}",
@@ -51,13 +92,21 @@ fn soak(cfg: MachineConfig, plan: FaultPlan, lines: u64, items: usize, seed: u64
     let violations = m.check_violations();
     assert!(
         violations.is_empty(),
-        "{kind:?} seed {seed}: faults must be timing-only; {} violation(s):\n{}",
+        "{kind:?} seed {seed}: faults must be timing-only; {} violation(s):\n{}\n{}",
         violations.len(),
         violations
             .iter()
             .map(|v| format!("  {v}"))
             .collect::<Vec<_>>()
-            .join("\n")
+            .join("\n"),
+        shrink_hint(
+            &cfg,
+            faults,
+            lines,
+            items,
+            seed,
+            Predicate::Violation { fingerprint: None }
+        )
     );
     m
 }
@@ -67,7 +116,7 @@ fn fault_soak_flash_4() {
     for seed in 0..seeds(3) {
         let m = soak(
             MachineConfig::flash(4),
-            FaultPlan::stress(0xA0 + seed),
+            FaultsSpec::Stress(0xA0 + seed),
             16,
             250,
             seed,
@@ -86,7 +135,7 @@ fn fault_soak_flash_8() {
     for seed in 0..seeds(2) {
         let m = soak(
             MachineConfig::flash(8),
-            FaultPlan::light(0xB0 + seed),
+            FaultsSpec::Light(0xB0 + seed),
             12,
             200,
             40 + seed,
@@ -100,7 +149,7 @@ fn fault_soak_cost_table() {
     for seed in 0..seeds(2) {
         soak(
             MachineConfig::flash_cost_table(4),
-            FaultPlan::stress(0xC0 + seed),
+            FaultsSpec::Stress(0xC0 + seed),
             16,
             250,
             80 + seed,
@@ -115,7 +164,7 @@ fn fault_soak_ideal() {
     for seed in 0..seeds(2) {
         soak(
             MachineConfig::ideal(4),
-            FaultPlan::light(0xD0 + seed),
+            FaultsSpec::Light(0xD0 + seed),
             16,
             250,
             120 + seed,
@@ -130,7 +179,7 @@ fn fault_soak_small_cache_evictions() {
     for seed in 0..seeds(2) {
         soak(
             MachineConfig::flash(4).with_cache_bytes(4 << 10),
-            FaultPlan::stress(0xE0 + seed),
+            FaultsSpec::Stress(0xE0 + seed),
             96,
             250,
             160 + seed,
