@@ -39,7 +39,7 @@ pub use flash_fault::{FaultPlan, FaultStats, LinkDown, WedgeReport};
 pub use flash_magic::{ControllerKind, PpBackend};
 pub use hostprof::{HostProfile, HOST_SEG_COUNT, HOST_SEG_NAMES};
 pub use machine::{Machine, RunResult};
-pub use observe::{ClassRow, HandlerRow, ObserveReport};
+pub use observe::{ClassRow, HandlerRow, LatencyReport, LatencyRow, ObserveReport, TrafficStats};
 pub use report::{compare, format_table, Comparison, LatencyTable, MachineReport};
 pub use repro::{ReplayOutcome, Repro, REPRO_SCHEMA};
 

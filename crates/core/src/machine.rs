@@ -37,8 +37,10 @@
 
 use crate::config::MachineConfig;
 use crate::hostprof::{HostProfAcc, HostProfile, HostSeg};
-use crate::observe::{ObserveReport, Observer, ReqKind};
-use flash_cpu::{CpuOut, Processor, RefStream, RunOutcome};
+use crate::observe::{LatencyReport, ObserveReport, Observer, ReqKind, TrafficStats};
+use flash_cpu::{
+    CpuOut, Mailbox, MailboxHandle, MailboxStream, Processor, RefStream, RunOutcome, WorkItem,
+};
 use flash_engine::FastMap;
 use flash_engine::{Addr, Cycle, EventQueue, NodeId, Segment};
 use flash_fault::{
@@ -49,6 +51,7 @@ use flash_magic::{ControllerKind, Emission, MagicChip, ObsInvocation, ObsParts, 
 use flash_net::{Mesh, NetModel};
 use flash_protocol::fields::aux;
 use flash_protocol::{dir_addr, InMsg, JumpTable, Msg, MsgType, ProcMsg};
+use flash_traffic::ArrivalSource;
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::mpsc;
 use std::time::Instant;
@@ -69,6 +72,10 @@ enum Ev {
     /// Processing one is *not* forward progress: a permanently held
     /// message loops here until the watchdog diagnoses the wedge.
     NetSend { msg: Msg },
+    /// An open-loop reference arrives at `node` (the feed's pending
+    /// arrival lands in the admission backlog; one such event is
+    /// outstanding per fed node at a time).
+    Arrival { node: u16 },
 }
 
 /// A message on the wire (or on a node's internal buses).
@@ -86,6 +93,11 @@ enum Park {
     Scheduled,
     WaitReply,
     WaitSync,
+    /// Open-loop node with an empty mailbox: parked until the next
+    /// arrival admits work (or the feed closes). Distinguishable from
+    /// `WaitReply` in wedge reports — an idle open-loop node is not a
+    /// protocol wedge.
+    WaitWork,
     Done,
 }
 
@@ -313,6 +325,42 @@ struct ShardState {
     last_progress: Cycle,
 }
 
+/// One node's open-loop feed: the arrival source, the admission mailbox
+/// its processor drains, and the backlog of references that have arrived
+/// but not yet been admitted.
+///
+/// The mailbox mutex is uncontended by construction — arrivals are
+/// admitted and drained on the node's owning shard; the lock exists only
+/// so the handle can cross the worker-thread boundary with its shard.
+struct OpenFeed {
+    source: Box<dyn ArrivalSource>,
+    mailbox: MailboxHandle,
+    /// Arrived-but-unadmitted references, oldest first, each with its
+    /// arrival cycle (the admission-wait clock starts here).
+    backlog: VecDeque<(Cycle, WorkItem)>,
+    /// The next arrival, already pulled from the source and scheduled as
+    /// an [`Ev::Arrival`] event at its cycle.
+    pending: Option<(Cycle, WorkItem)>,
+    /// The source returned `None`: no further arrivals ever. Once the
+    /// backlog and mailbox drain, the mailbox closes and the processor
+    /// retires.
+    exhausted: bool,
+    stats: TrafficStats,
+}
+
+/// Open-loop sources feed plain references; synchronization items have
+/// no open-loop meaning (nobody to rendezvous with) and `Done` is
+/// expressed by source exhaustion, not an item.
+fn assert_open_item(item: &WorkItem) {
+    assert!(
+        matches!(
+            item,
+            WorkItem::Busy(_) | WorkItem::Read(_) | WorkItem::Write(_)
+        ),
+        "open-loop source emitted {item:?}: only Busy/Read/Write arrivals are admissible"
+    );
+}
+
 /// A full machine instance: processors, MAGIC chips, memory, network.
 pub struct Machine {
     cfg: MachineConfig,
@@ -326,6 +374,10 @@ pub struct Machine {
     origin_seq: Vec<u64>,
     now: Cycle,
     parked: Vec<Park>,
+    /// Per-node open-loop feeds (`None` for closed-loop nodes — the
+    /// common case; a machine with no feeds takes no open-loop branch
+    /// anywhere, so traffic support is timing-invisible when off).
+    feeds: Vec<Option<OpenFeed>>,
     barrier_waiters: Vec<(u16, Cycle)>,
     locks: FastMap<u32, LockState>,
     done: usize,
@@ -408,6 +460,20 @@ fn hostprof_out() -> Option<&'static str> {
     static OUT: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
     OUT.get_or_init(|| {
         std::env::var("FLASH_HOSTPROF_OUT")
+            .ok()
+            .filter(|s| !s.is_empty())
+    })
+    .as_deref()
+}
+
+/// Path to export the `flash-latency-v1` per-class latency percentile
+/// report to on completion (set `FLASH_LATENCY_OUT=latency.json`;
+/// requires observed mode). Read once per process like the other export
+/// knobs.
+fn latency_out() -> Option<&'static str> {
+    static OUT: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    OUT.get_or_init(|| {
+        std::env::var("FLASH_LATENCY_OUT")
             .ok()
             .filter(|s| !s.is_empty())
     })
@@ -600,6 +666,7 @@ struct ShardCtx<'a> {
     procs: &'a mut [Processor],
     chips: &'a mut [MagicChip],
     parked: &'a mut [Park],
+    feeds: &'a mut [Option<OpenFeed>],
     finish: &'a mut [Cycle],
     origin_seq: &'a mut [u64],
     st: ShardState,
@@ -701,7 +768,7 @@ impl<'a> ShardCtx<'a> {
                 self.st.now = t;
             }
             let ev_line = match &ev {
-                Ev::ProcRun(_) => None,
+                Ev::ProcRun(_) | Ev::Arrival { .. } => None,
                 Ev::MagicIn { wire, .. } => Some(wire.addr.line().raw()),
                 Ev::ProcDeliver { pm, .. } => Some(pm.addr.line().raw()),
                 Ev::NetSend { msg } => Some(msg.addr.line().raw()),
@@ -736,6 +803,17 @@ impl<'a> ShardCtx<'a> {
                 Ev::NetSend { msg } => {
                     self.post_net(t, msg);
                     HostSeg::Net
+                }
+                Ev::Arrival { node } => {
+                    let mut cont = self.ev_arrival(node);
+                    while let Some((at, sub)) = cont {
+                        if let Some(p) = self.prof.as_mut() {
+                            p.events += 1;
+                        }
+                        self.set_cursor(at, sub);
+                        cont = self.ev_proc_run(node);
+                    }
+                    HostSeg::Proc
                 }
             };
             if let Some(s) = stamp {
@@ -800,6 +878,95 @@ impl<'a> ShardCtx<'a> {
                 }
                 None
             }
+            RunOutcome::Starved => {
+                // Only an open-loop node starves: its mailbox ran dry.
+                // Admit whatever has arrived meanwhile, retire the
+                // stream if the feed is spent, or park until the next
+                // arrival. Admission is the progress point — a wedged
+                // protocol keeps arrivals piling into the backlog, which
+                // the watchdog then reports as such.
+                let (has_backlog, exhausted) = {
+                    let feed = self.feeds[i]
+                        .as_ref()
+                        .expect("closed-loop streams never starve");
+                    (!feed.backlog.is_empty(), feed.exhausted)
+                };
+                if has_backlog {
+                    self.admit(i);
+                    self.mark_progress();
+                    self.schedule_or_inline(n, now)
+                } else if exhausted {
+                    let feed = self.feeds[i].as_ref().expect("feed present");
+                    feed.mailbox.lock().expect("mailbox lock").close();
+                    // Rerun: the closed mailbox now yields `Done` and the
+                    // processor retires through the ordinary path.
+                    self.schedule_or_inline(n, now)
+                } else {
+                    self.parked[i] = Park::WaitWork;
+                    None
+                }
+            }
+        }
+    }
+
+    /// An open-loop reference arrives at `node`: the feed's pending item
+    /// joins the admission backlog, the source's next arrival is
+    /// scheduled, and a processor parked for work is fed and woken.
+    /// Returns an inline continuation exactly like [`ShardCtx::ev_proc_run`].
+    fn ev_arrival(&mut self, node: u16) -> Option<(Cycle, u64)> {
+        let now = self.cur_t;
+        let i = self.li(node);
+        let next = {
+            let feed = self.feeds[i].as_mut().expect("arrival without a feed");
+            let (at, item) = feed
+                .pending
+                .take()
+                .expect("arrival event without a pending arrival");
+            debug_assert_eq!(at, now, "arrival event fires at its own cycle");
+            assert_open_item(&item);
+            feed.stats.arrivals += 1;
+            feed.backlog.push_back((now, item));
+            feed.stats.peak_backlog = feed.stats.peak_backlog.max(feed.backlog.len() as u64);
+            match feed.source.next_arrival() {
+                Some((at2, item2)) => {
+                    // Defensive clamp: the source contract says monotone,
+                    // but the event queue must never see the past.
+                    let at2 = at2.max(now);
+                    feed.pending = Some((at2, item2));
+                    Some(at2)
+                }
+                None => {
+                    feed.exhausted = true;
+                    None
+                }
+            }
+        };
+        if let Some(at2) = next {
+            self.push_local(node, at2, Ev::Arrival { node });
+        }
+        if self.parked[i] == Park::WaitWork {
+            self.admit(i);
+            self.mark_progress();
+            self.schedule_or_inline(node, now)
+        } else {
+            None
+        }
+    }
+
+    /// Moves node-index `i`'s entire backlog into its admission mailbox
+    /// at the current event time, recording each item's admission wait
+    /// (admit cycle − arrival cycle): the queueing-delay half of the
+    /// open-loop latency story.
+    fn admit(&mut self, i: usize) {
+        let now = self.cur_t;
+        let feed = self.feeds[i].as_mut().expect("admit without a feed");
+        let mut mb = feed.mailbox.lock().expect("mailbox lock");
+        while let Some((at, item)) = feed.backlog.pop_front() {
+            let wait = now.raw().saturating_sub(at.raw());
+            feed.stats.admitted += 1;
+            feed.stats.wait_sum += wait;
+            feed.stats.wait_max = feed.stats.wait_max.max(wait);
+            mb.push(item);
         }
     }
 
@@ -1761,6 +1928,7 @@ impl Machine {
             origin_seq,
             now: Cycle::ZERO,
             parked: vec![Park::Scheduled; n],
+            feeds: (0..n).map(|_| None).collect(),
             barrier_waiters: Vec::new(),
             locks: FastMap::default(),
             done: 0,
@@ -1773,6 +1941,85 @@ impl Machine {
             hostprof: (cfg_host_profile || hostprof_out().is_some())
                 .then(|| Box::new(HostProfile::default())),
         }
+    }
+
+    /// Builds an open-loop machine: every node runs from an arrival
+    /// source instead of a closed-loop reference stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len() != cfg.nodes`.
+    pub fn new_open_loop(cfg: MachineConfig, sources: Vec<Box<dyn ArrivalSource>>) -> Self {
+        assert_eq!(sources.len(), cfg.nodes as usize, "one source per node");
+        let streams = (0..cfg.nodes)
+            .map(|_| Box::new(flash_cpu::SliceStream::new(Vec::new())) as Box<dyn RefStream>)
+            .collect();
+        let mut m = Machine::new(cfg, streams);
+        for (i, src) in sources.into_iter().enumerate() {
+            m.attach_open_loop(NodeId(i as u16), src);
+        }
+        m
+    }
+
+    /// Converts `node` to open-loop execution: its reference stream is
+    /// replaced by an admission mailbox fed from `source`, and the
+    /// source's first arrival is scheduled as an event. References then
+    /// *arrive* on the source's schedule whether or not the processor
+    /// has kept up — arrivals the processor is not ready for accumulate
+    /// in a backlog ([`Machine::traffic_stats`] reports the queueing).
+    ///
+    /// Must be called before the machine runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range, already fed, or the machine has
+    /// started running.
+    pub fn attach_open_loop(&mut self, node: NodeId, mut source: Box<dyn ArrivalSource>) {
+        assert!(node.0 < self.cfg.nodes, "node out of range");
+        assert_eq!(self.now, Cycle::ZERO, "attach feeds before running");
+        assert!(self.feeds[node.index()].is_none(), "node already fed");
+        let mailbox = Mailbox::handle();
+        self.procs[node.index()].set_stream(Box::new(MailboxStream::new(mailbox.clone())));
+        let pending = source.next_arrival();
+        let exhausted = pending.is_none();
+        if let Some((at, item)) = &pending {
+            assert_open_item(item);
+            let s = shard_of(self.cfg.nodes, self.shards.len(), node.0);
+            let seq = self.origin_seq[node.index()];
+            self.origin_seq[node.index()] += 1;
+            self.shards[s]
+                .queue
+                .push_sub(*at, sub_key(node.0, seq), Ev::Arrival { node: node.0 });
+        }
+        self.feeds[node.index()] = Some(OpenFeed {
+            source,
+            mailbox,
+            backlog: VecDeque::new(),
+            pending,
+            exhausted,
+            stats: TrafficStats::default(),
+        });
+    }
+
+    /// Whether any node runs open-loop.
+    pub fn open_loop(&self) -> bool {
+        self.feeds.iter().any(|f| f.is_some())
+    }
+
+    /// Per-node admission statistics for open-loop nodes, or `None` for
+    /// a fully closed-loop machine. Entries are `(node, stats)` in node
+    /// order; unfed nodes are omitted.
+    pub fn traffic_stats(&self) -> Option<Vec<(u16, TrafficStats)>> {
+        if !self.open_loop() {
+            return None;
+        }
+        Some(
+            self.feeds
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| f.as_ref().map(|f| (i as u16, f.stats)))
+                .collect(),
+        )
     }
 
     /// Schedules a DMA write into `node`'s memory at time `at` (the OS
@@ -1858,6 +2105,7 @@ impl Machine {
                 self.finalize_check();
                 self.maybe_write_trace();
                 self.maybe_write_hostprof();
+                self.maybe_write_latency();
                 RunResult::Completed {
                     exec_cycles: self.exec_cycles(),
                 }
@@ -1877,6 +2125,7 @@ impl Machine {
             shards,
             origin_seq,
             parked,
+            feeds,
             finish,
             locks,
             barrier_waiters,
@@ -1896,6 +2145,7 @@ impl Machine {
             let mut procs: &mut [Processor] = procs;
             let mut chips: &mut [MagicChip] = chips;
             let mut parked: &mut [Park] = parked;
+            let mut feeds: &mut [Option<OpenFeed>] = feeds;
             let mut finish: &mut [Cycle] = finish;
             let mut origin_seq: &mut [u64] = origin_seq;
             for (s, st) in states.into_iter().enumerate() {
@@ -1907,6 +2157,8 @@ impl Machine {
                 chips = cr;
                 let (ka, kr) = parked.split_at_mut(len);
                 parked = kr;
+                let (da, dr) = feeds.split_at_mut(len);
+                feeds = dr;
                 let (fa, fr) = finish.split_at_mut(len);
                 finish = fr;
                 let (oa, or) = origin_seq.split_at_mut(len);
@@ -1922,6 +2174,7 @@ impl Machine {
                     procs: pa,
                     chips: ca,
                     parked: ka,
+                    feeds: da,
                     finish: fa,
                     origin_seq: oa,
                     st,
@@ -2072,6 +2325,32 @@ impl Machine {
             if let Err(e) = self.write_trace(path) {
                 eprintln!("FLASH_TRACE_OUT: failed to write {path}: {e}");
             }
+        }
+    }
+
+    /// The per-class latency percentile report (`None` unless the
+    /// machine was built with [`MachineConfig::with_observe`]). Rows are
+    /// exact integer percentiles over log-bucketed histograms; for
+    /// open-loop machines the report also carries each fed node's
+    /// admission statistics, so service latency and queueing delay land
+    /// in one artifact.
+    ///
+    /// [`MachineConfig::with_observe`]: crate::MachineConfig::with_observe
+    pub fn latency_report(&self) -> Option<LatencyReport> {
+        let mut report = self.observe.as_ref()?.latency_report();
+        report.traffic = self.traffic_stats().unwrap_or_default();
+        Some(report)
+    }
+
+    /// `FLASH_LATENCY_OUT` handling on successful completion:
+    /// best-effort, a write failure is reported on stderr but never
+    /// fails the run.
+    fn maybe_write_latency(&self) {
+        let (Some(report), Some(path)) = (self.latency_report(), latency_out()) else {
+            return;
+        };
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("FLASH_LATENCY_OUT: failed to write {path}: {e}");
         }
     }
 
@@ -2325,7 +2604,7 @@ impl Machine {
         for st in &self.shards {
             for (_, ev) in st.queue.iter() {
                 match ev {
-                    Ev::ProcRun(_) => {}
+                    Ev::ProcRun(_) | Ev::Arrival { .. } => {}
                     Ev::MagicIn { node, wire, .. } => {
                         inbox_queued[*node as usize] += 1;
                         suspects.insert(wire.addr.line().raw());
@@ -2364,12 +2643,18 @@ impl Machine {
                         Park::Scheduled => "scheduled",
                         Park::WaitReply => "wait-reply",
                         Park::WaitSync => "wait-sync",
+                        Park::WaitWork => "wait-work",
                         Park::Done => "done",
                     },
                     mshrs,
                     inbox_queued: inbox_queued[i],
                     proc_queued: proc_queued[i],
                     net_held: net_held[i],
+                    // Arrived-but-unadmitted open-loop references. A big
+                    // backlog with quiet queues is overload; a big
+                    // backlog with a PENDING line is a protocol wedge
+                    // starving admission.
+                    arrivals_backlog: self.feeds[i].as_ref().map_or(0, |f| f.backlog.len()),
                 }
             })
             .collect();
@@ -2449,6 +2734,135 @@ mod tests {
             RunResult::Wedged { report } => panic!("{report}"),
             other => panic!("{}", m.diagnose(&format!("{other:?}"))),
         }
+    }
+
+    #[test]
+    fn open_loop_machine_completes_and_accounts_admissions() {
+        let spec = flash_traffic::TrafficSpec::poisson(4, 64, 300, 50, 42);
+        let mut m = Machine::new_open_loop(MachineConfig::flash(4), spec.sources());
+        let cycles = must_complete(&mut m, 50_000_000);
+        assert!(cycles > 0);
+        let stats = m.traffic_stats().expect("open-loop machine");
+        assert_eq!(stats.len(), 4);
+        for (node, t) in stats {
+            assert_eq!(t.arrivals, 300, "node {node} must see every arrival");
+            assert_eq!(t.admitted, 300, "node {node} must admit every arrival");
+            assert!(
+                t.peak_backlog >= 1,
+                "every arrival passes through the backlog"
+            );
+        }
+        // Every admitted reference executed: per-node reads + writes
+        // equal the spec's per-node budget.
+        for p in m.procs() {
+            let s = p.stats();
+            assert_eq!(s.reads + s.writes, 300);
+        }
+    }
+
+    #[test]
+    fn open_loop_reports_identical_across_shard_counts() {
+        let spec = flash_traffic::TrafficSpec::poisson(8, 128, 150, 40, 7);
+        let run = |shards: usize| {
+            let cfg = MachineConfig::flash(8)
+                .with_shards(shards)
+                .with_observe(true);
+            let mut m = Machine::new_open_loop(cfg, spec.sources());
+            let cycles = must_complete(&mut m, 50_000_000);
+            let latency = m.latency_report().expect("observed").to_json();
+            (cycles, latency, m.traffic_stats())
+        };
+        let base = run(1);
+        assert_eq!(run(2), base, "2 shards must be byte-identical");
+        assert_eq!(run(4), base, "4 shards must be byte-identical");
+    }
+
+    #[test]
+    fn overload_backlog_is_visible_in_diagnose() {
+        // One reference per cycle over an object set far larger than the
+        // cache: nearly every reference is a multi-ten-cycle miss, so
+        // offered load sits far beyond capacity and arrivals outpace
+        // admission — the backlog must grow.
+        let mut spec = flash_traffic::TrafficSpec::poisson(2, 65_536, 50_000, 1, 3);
+        spec.write_permille = 0;
+        let mut m = Machine::new_open_loop(MachineConfig::flash(2), spec.sources());
+        match m.run(20_000) {
+            RunResult::BudgetExhausted => {}
+            r => panic!("expected budget exhaustion under overload, got {r:?}"),
+        }
+        let report = m.diagnose("offered load exceeds capacity");
+        assert!(
+            report.nodes.iter().any(|n| n.arrivals_backlog > 100),
+            "overload must surface as admission backlog:\n{report}"
+        );
+        let stats = m.traffic_stats().expect("open-loop machine");
+        assert!(
+            stats.iter().any(|(_, t)| t.admitted < t.arrivals),
+            "arrivals must outpace admission under overload"
+        );
+    }
+
+    #[test]
+    fn empty_open_loop_source_retires_immediately() {
+        struct Empty;
+        impl flash_traffic::ArrivalSource for Empty {
+            fn next_arrival(&mut self) -> Option<(Cycle, WorkItem)> {
+                None
+            }
+        }
+        let sources: Vec<Box<dyn flash_traffic::ArrivalSource>> =
+            (0..2).map(|_| Box::new(Empty) as _).collect();
+        let mut m = Machine::new_open_loop(MachineConfig::flash(2), sources);
+        let cycles = must_complete(&mut m, 10_000);
+        assert!(cycles <= 1, "nothing to do, nothing to charge: {cycles}");
+        let stats = m.traffic_stats().expect("feeds attached");
+        assert!(stats.iter().all(|(_, t)| t.arrivals == 0));
+    }
+
+    #[test]
+    fn mixed_open_and_closed_loop_nodes_coexist() {
+        let spec = flash_traffic::TrafficSpec::poisson(4, 64, 200, 30, 9);
+        let mut m = machine_with(
+            MachineConfig::flash(4),
+            vec![
+                vec![WorkItem::Busy(4)], // replaced by the feed below
+                vec![WorkItem::Read(node_addr(NodeId(0), 0)), WorkItem::Busy(400)],
+                vec![WorkItem::Busy(40)],
+                vec![WorkItem::Write(node_addr(NodeId(1), 256))],
+            ],
+        );
+        m.attach_open_loop(NodeId(0), spec.source_for(0));
+        must_complete(&mut m, 50_000_000);
+        let stats = m.traffic_stats().expect("one fed node");
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].0, 0);
+        assert_eq!(stats[0].1.admitted, 200);
+    }
+
+    #[test]
+    fn open_loop_latency_report_has_percentiles_per_class() {
+        let spec = flash_traffic::TrafficSpec::poisson(4, 64, 120, 25, 5);
+        let cfg = MachineConfig::flash(4).with_observe(true);
+        let mut m = Machine::new_open_loop(cfg, spec.sources());
+        must_complete(&mut m, 50_000_000);
+        let report = m.latency_report().expect("observed");
+        let all = report.rows.last().expect("merged row");
+        assert_eq!(all.class, "all");
+        assert!(all.count > 0, "misses must have been tracked");
+        assert!(all.p50 <= all.p99 && all.p99 <= all.p999 && all.p999 <= all.max);
+        let class_sum: u64 = report.rows[..report.rows.len() - 1]
+            .iter()
+            .map(|r| r.count)
+            .sum();
+        assert_eq!(class_sum, all.count, "the merged row is the class sum");
+        assert_eq!(
+            report.traffic.len(),
+            4,
+            "per-node admission stats ride along"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"flash-latency-v1\""));
+        assert!(json.contains("\"admission_wait_sum\""));
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! `tests/observe.rs` pins byte-identical schedules and reports with the
 //! observer on and off, for all three controller kinds.
 
-use flash_engine::{Cycle, Histogram, LatencySplit, Segment, SEGMENT_COUNT};
+use flash_engine::{Cycle, Histogram, LatencySplit, LogHist, Segment, SEGMENT_COUNT};
 use flash_magic::{ObsInvocation, ObsParts, ReadClass};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -117,6 +117,10 @@ pub struct TraceSlice {
 pub struct Observer {
     pending: HashMap<(u16, u64), PendingReq>,
     rows: [LatencySplit; ROW_COUNT],
+    /// Per-class end-to-end latency in log-bucketed histograms: the
+    /// percentile (p50/p99/p999) side of the latency story, exact to a
+    /// bucket floor and mergeable across shards/runs by bucket addition.
+    lat: [LogHist; ROW_COUNT],
     hist: Histogram,
     handler_seed: Vec<&'static str>,
     trace: VecDeque<TraceSlice>,
@@ -136,6 +140,7 @@ impl Observer {
         Observer {
             pending: HashMap::new(),
             rows: [LatencySplit::new(); ROW_COUNT],
+            lat: std::array::from_fn(|_| LogHist::new()),
             hist: Histogram::new(),
             handler_seed,
             trace: VecDeque::new(),
@@ -250,6 +255,7 @@ impl Observer {
         }
         self.completed += 1;
         self.rows[row_index(r.kind, r.class)].record(r.segs);
+        self.lat[row_index(r.kind, r.class)].record(total);
         self.hist.record(total);
         self.push_slice(TraceSlice {
             name: ROW_NAMES[row_index(r.kind, r.class)],
@@ -498,6 +504,155 @@ impl ObserveReport {
         }
         s.push_str("]\n}\n");
         s
+    }
+}
+
+/// Per-node open-loop admission statistics, accumulated by the machine's
+/// arrival/admission path and reported through
+/// [`LatencyReport::traffic`] (and `Machine::traffic_stats`).
+///
+/// `admission wait` is the queueing delay an arrival spends between
+/// landing (its scheduled arrival cycle) and being admitted to the
+/// processor's mailbox — the open-loop half of end-to-end latency, which
+/// the per-class service histograms do not see. Past the capacity knee
+/// the waits and the backlog grow without bound while service latency
+/// saturates; that divergence *is* the knee.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// References that arrived (entered the backlog).
+    pub arrivals: u64,
+    /// References admitted to the mailbox so far.
+    pub admitted: u64,
+    /// Total admission wait over all admitted references, in cycles.
+    pub wait_sum: u64,
+    /// Largest single admission wait, in cycles.
+    pub wait_max: u64,
+    /// Deepest the arrived-but-unadmitted backlog ever got.
+    pub peak_backlog: u64,
+}
+
+impl TrafficStats {
+    /// Mean admission wait per admitted reference (0.0 when none).
+    pub fn mean_wait(&self) -> f64 {
+        if self.admitted == 0 {
+            0.0
+        } else {
+            self.wait_sum as f64 / self.admitted as f64
+        }
+    }
+}
+
+/// One per-class row of a [`LatencyReport`]: integer-exact percentile
+/// floors over the class's log-bucketed latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyRow {
+    /// Row name (one of [`ROW_NAMES`], or `"all"` for the merged total).
+    pub class: &'static str,
+    /// Completed requests in this class.
+    pub count: u64,
+    /// Median latency (bucket floor, cycles).
+    pub p50: u64,
+    /// 99th-percentile latency (bucket floor, cycles).
+    pub p99: u64,
+    /// 99.9th-percentile latency (bucket floor, cycles).
+    pub p999: u64,
+    /// Largest observed latency — exact, not bucket-quantized.
+    pub max: u64,
+    /// Non-empty `(bucket floor, count)` pairs, ascending. Downstream
+    /// tooling can merge rows from different runs by adding counts.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl LatencyRow {
+    fn from_hist(class: &'static str, h: &LogHist) -> Self {
+        LatencyRow {
+            class,
+            count: h.count(),
+            p50: h.percentile(500),
+            p99: h.percentile(990),
+            p999: h.percentile(999),
+            max: h.max(),
+            buckets: h.buckets().collect(),
+        }
+    }
+}
+
+/// The per-class latency percentile report (`flash-latency-v1`).
+///
+/// Every number is a pure function of deterministic bucket counts, so
+/// the JSON is byte-identical for any shard count and PP backend; it
+/// carries no wall-clock values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyReport {
+    /// Per-class rows in [`ROW_NAMES`] order, then the merged `"all"`
+    /// row last.
+    pub rows: Vec<LatencyRow>,
+    /// Per-node open-loop admission statistics (`(node, stats)`, node
+    /// order). Empty for closed-loop runs.
+    pub traffic: Vec<(u16, TrafficStats)>,
+}
+
+impl LatencyReport {
+    /// Serializes under the `flash-latency-v1` schema documented in
+    /// `METRICS.md`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\n  \"schema\": \"flash-latency-v1\",\n  \"classes\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                s.push_str(",\n");
+            }
+            s.push_str(&format!(
+                "    {{\"class\": \"{}\", \"count\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                row.class,
+                row.count,
+                row.p50,
+                row.p99,
+                row.p999,
+                row.max,
+                row.buckets
+                    .iter()
+                    .map(|(f, c)| format!("[{f}, {c}]"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        s.push_str("\n  ],\n  \"traffic\": [");
+        for (i, (node, t)) in self.traffic.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"node\": {}, \"arrivals\": {}, \"admitted\": {}, \"admission_wait_sum\": {}, \"admission_wait_max\": {}, \"peak_backlog\": {}}}",
+                node, t.arrivals, t.admitted, t.wait_sum, t.wait_max, t.peak_backlog
+            ));
+        }
+        if !self.traffic.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+impl Observer {
+    /// Builds the per-class latency percentile report (the machine adds
+    /// open-loop traffic rows on top when feeds are attached).
+    pub fn latency_report(&self) -> LatencyReport {
+        let mut rows: Vec<LatencyRow> = ROW_NAMES
+            .iter()
+            .zip(self.lat.iter())
+            .map(|(&name, h)| LatencyRow::from_hist(name, h))
+            .collect();
+        let mut all = LogHist::new();
+        for h in &self.lat {
+            all.merge(h);
+        }
+        rows.push(LatencyRow::from_hist("all", &all));
+        LatencyReport {
+            rows,
+            traffic: Vec::new(),
+        }
     }
 }
 

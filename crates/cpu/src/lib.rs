@@ -23,4 +23,4 @@ pub mod stream;
 pub use cache::{CpuAccess, L2Cache, LineState, Victim};
 pub use mshr::{MissKind, Mshr, MshrFile};
 pub use proc::{CpuOut, ProcStats, Processor, RunOutcome};
-pub use stream::{RefStream, SliceStream, WorkItem};
+pub use stream::{Mailbox, MailboxHandle, MailboxStream, RefStream, SliceStream, WorkItem};

@@ -42,6 +42,10 @@ pub enum RunOutcome {
     Unlock(u32),
     /// Exhausted the run quantum; resume at the processor's current time.
     Quantum,
+    /// The open-loop stream has no work *yet* ([`RefStream::try_next`]
+    /// returned `None`): the processor is idle, waiting for the machine to
+    /// admit the next arrival. Closed-loop streams never starve.
+    Starved,
     /// The reference stream ended.
     Finished,
 }
@@ -58,6 +62,10 @@ pub struct ProcStats {
     pub write_stall_q: u64,
     /// Synchronization wait time.
     pub sync_stall_q: u64,
+    /// Open-loop idle time: the stream was open but no reference had
+    /// arrived yet. Always zero for closed-loop streams, so adding it to
+    /// [`ProcStats::total_q`] changes no existing number.
+    pub idle_q: u64,
     /// Cache contention: processor waiting for its own cache while MAGIC
     /// held the bus (interventions, invalidations).
     pub cont_q: u64,
@@ -97,7 +105,12 @@ pub struct ProcStats {
 impl ProcStats {
     /// Total accounted quarter-cycles.
     pub fn total_q(&self) -> u64 {
-        self.busy_q + self.read_stall_q + self.write_stall_q + self.sync_stall_q + self.cont_q
+        self.busy_q
+            + self.read_stall_q
+            + self.write_stall_q
+            + self.sync_stall_q
+            + self.cont_q
+            + self.idle_q
     }
 
     /// All references issued.
@@ -121,6 +134,8 @@ enum BlockKind {
     Read,
     Write,
     Sync,
+    /// Open-loop starvation: parked until the machine admits an arrival.
+    Idle,
 }
 
 /// Cycles the cache stays busy servicing a data intervention (paper Table
@@ -180,6 +195,14 @@ impl Processor {
             finished: false,
             finish_q: 0,
         }
+    }
+
+    /// Replaces the reference stream. Used by the machine to attach an
+    /// open-loop [`crate::MailboxStream`] after construction; swapping the
+    /// stream of a running processor with a pending item is a logic error.
+    pub fn set_stream(&mut self, stream: Box<dyn RefStream>) {
+        debug_assert!(self.pending.is_none(), "stream swap with an item in flight");
+        self.stream = stream;
     }
 
     /// Distribution of miss transaction latencies (issue to reply).
@@ -242,6 +265,7 @@ impl Processor {
                 BlockKind::Read => self.stats.read_stall_q += stall,
                 BlockKind::Write => self.stats.write_stall_q += stall,
                 BlockKind::Sync => self.stats.sync_stall_q += stall,
+                BlockKind::Idle => self.stats.idle_q += stall,
             }
             self.qtime = self.qtime.max(now_q);
         }
@@ -316,7 +340,13 @@ impl Processor {
             // counters must not double-count it.
             let (item, retrying) = match self.pending.take() {
                 Some(it) => (it, true),
-                None => (self.stream.next_item(), false),
+                None => match self.stream.try_next() {
+                    Some(it) => (it, false),
+                    None => {
+                        self.block(BlockKind::Idle);
+                        return RunOutcome::Starved;
+                    }
+                },
             };
             match item {
                 WorkItem::Busy(n) => {
@@ -853,6 +883,53 @@ mod tests {
         p.run(Cycle::ZERO, &mut out);
         assert_eq!(p.nack_retry(a), Some(CpuOut::Get(a.line())));
         assert_eq!(p.nack_retry(Addr::new(0x9000)), None);
+    }
+
+    #[test]
+    fn mailbox_stream_starves_resumes_and_finishes() {
+        use crate::stream::{Mailbox, MailboxStream};
+        let handle = Mailbox::handle();
+        let mut p = Processor::new(4 << 10, 4, Box::new(MailboxStream::new(handle.clone())));
+        let mut out = Vec::new();
+        // Open but empty: the processor parks, charging idle time.
+        assert_eq!(p.run(Cycle::ZERO, &mut out), RunOutcome::Starved);
+        assert!(!p.finished());
+        // The machine admits work at cycle 25 and wakes the processor.
+        handle.lock().unwrap().push(WorkItem::Busy(8));
+        assert_eq!(p.run(Cycle::new(25), &mut out), RunOutcome::Starved);
+        assert_eq!(p.stats().idle_q, 100, "25 cycles parked");
+        assert_eq!(p.stats().busy_q, 8);
+        // Closing the mailbox ends the stream.
+        handle.lock().unwrap().close();
+        assert_eq!(p.run(Cycle::new(27), &mut out), RunOutcome::Finished);
+        assert!(p.finished());
+        // Idle time is in the total; no closed-loop bucket moved.
+        assert_eq!(p.stats().read_stall_q, 0);
+        assert_eq!(p.stats().sync_stall_q, 0);
+        assert!(p.stats().total_q() >= p.stats().idle_q + p.stats().busy_q);
+    }
+
+    #[test]
+    fn starved_mid_stream_preserves_reference_counts() {
+        use crate::stream::{Mailbox, MailboxStream};
+        let a = Addr::new(0x1000);
+        let handle = Mailbox::handle();
+        handle.lock().unwrap().push(WorkItem::Read(a));
+        let mut p = Processor::new(4 << 10, 4, Box::new(MailboxStream::new(handle.clone())));
+        let mut out = Vec::new();
+        assert_eq!(p.run(Cycle::ZERO, &mut out), RunOutcome::BlockedRead);
+        p.complete_read(a, false, Cycle::new(24), &mut out);
+        // The mailbox is dry when the read completes: idle, not done.
+        assert_eq!(p.run(Cycle::new(24), &mut out), RunOutcome::Starved);
+        handle.lock().unwrap().push(WorkItem::Read(a));
+        handle.lock().unwrap().close();
+        assert_eq!(p.run(Cycle::new(30), &mut out), RunOutcome::Finished);
+        assert_eq!(p.stats().reads, 2, "each read counted exactly once");
+        assert_eq!(p.stats().read_misses, 1, "second read hits");
+        assert_eq!(p.stats().read_stall_q, 96);
+        // Parked at local q=97 (the hit consumed one slot after resuming
+        // at q=96), woken at machine q=120.
+        assert_eq!(p.stats().idle_q, 120 - 97);
     }
 
     #[test]

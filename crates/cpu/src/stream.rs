@@ -1,6 +1,8 @@
 //! Per-processor reference streams (the Tango Lite role).
 
 use flash_engine::Addr;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 
 /// One element of a processor's reference stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +33,19 @@ pub enum WorkItem {
 pub trait RefStream: Send {
     /// Produces the next item.
     fn next_item(&mut self) -> WorkItem;
+
+    /// Polls for the next item without committing to one.
+    ///
+    /// `None` means *no work yet* — distinct from [`WorkItem::Done`]: the
+    /// stream is still open but the next reference has not arrived. Only
+    /// open-loop streams ([`MailboxStream`]) ever return `None`; the
+    /// default implementation makes every closed-loop stream trivially
+    /// always-ready. A processor that polls `None` reports
+    /// `RunOutcome::Starved` and parks until the machine feeds the
+    /// mailbox and wakes it.
+    fn try_next(&mut self) -> Option<WorkItem> {
+        Some(self.next_item())
+    }
 }
 
 /// A stream over a fixed slice of items — test workloads and traces.
@@ -75,6 +90,101 @@ impl RefStream for SliceStream {
 impl<F: FnMut() -> WorkItem + Send> RefStream for F {
     fn next_item(&mut self) -> WorkItem {
         self()
+    }
+}
+
+/// The admission queue between an open-loop arrival feed and a
+/// processor: references the machine has *admitted* (handed to the
+/// processor) but the pipeline has not yet consumed.
+///
+/// The machine keeps one handle and the processor's [`MailboxStream`]
+/// keeps the other. All pushes happen at machine-event granularity on the
+/// shard that owns the node, and the processor drains from the same
+/// shard's event handlers, so the mutex is uncontended by construction —
+/// it exists to satisfy `Send`, not to synchronize concurrent access.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    queue: VecDeque<WorkItem>,
+    closed: bool,
+}
+
+/// Shared handle to a [`Mailbox`].
+pub type MailboxHandle = Arc<Mutex<Mailbox>>;
+
+impl Mailbox {
+    /// A fresh, open, empty mailbox behind a shared handle.
+    pub fn handle() -> MailboxHandle {
+        Arc::new(Mutex::new(Mailbox::default()))
+    }
+
+    /// Admits one work item.
+    pub fn push(&mut self, item: WorkItem) {
+        self.queue.push_back(item);
+    }
+
+    /// Items admitted but not yet consumed by the processor.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no admitted work is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Closes the mailbox: once drained, the stream ends ([`WorkItem::Done`]).
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// Whether the mailbox has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+}
+
+/// A processor stream fed by a [`Mailbox`] — the open-loop counterpart of
+/// [`SliceStream`].
+///
+/// # Examples
+///
+/// ```
+/// use flash_cpu::{Mailbox, MailboxStream, RefStream, WorkItem};
+///
+/// let handle = Mailbox::handle();
+/// let mut s = MailboxStream::new(handle.clone());
+/// assert_eq!(s.try_next(), None); // open but empty: no work *yet*
+/// handle.lock().unwrap().push(WorkItem::Busy(4));
+/// assert_eq!(s.try_next(), Some(WorkItem::Busy(4)));
+/// handle.lock().unwrap().close();
+/// assert_eq!(s.try_next(), Some(WorkItem::Done));
+/// ```
+#[derive(Debug)]
+pub struct MailboxStream(MailboxHandle);
+
+impl MailboxStream {
+    /// Wraps a mailbox handle.
+    pub fn new(handle: MailboxHandle) -> Self {
+        MailboxStream(handle)
+    }
+}
+
+impl RefStream for MailboxStream {
+    /// Committed form: not-ready collapses to `Done`. Callers that can
+    /// observe arrival gaps (the processor) must use
+    /// [`RefStream::try_next`]; `next_item` exists for bounded
+    /// materialization, which treats a dry mailbox as end-of-stream.
+    fn next_item(&mut self) -> WorkItem {
+        self.try_next().unwrap_or(WorkItem::Done)
+    }
+
+    fn try_next(&mut self) -> Option<WorkItem> {
+        let mut mb = self.0.lock().expect("mailbox lock");
+        match mb.queue.pop_front() {
+            Some(it) => Some(it),
+            None if mb.closed => Some(WorkItem::Done),
+            None => None,
+        }
     }
 }
 

@@ -46,7 +46,10 @@ pub use event::EventQueue;
 pub use fasthash::{FastBuild, FastHasher, FastMap, FastSet};
 pub use queue::BoundedQueue;
 pub use rng::DetRng;
-pub use stats::{Counter, Histogram, LatencySplit, OccupancyTracker, Segment, SEGMENT_COUNT};
+pub use stats::{
+    Counter, Histogram, LatencySplit, LogHist, OccupancyTracker, Segment, LOG_HIST_BUCKETS,
+    LOG_HIST_SUB, LOG_HIST_SUB_BITS, SEGMENT_COUNT,
+};
 pub use time::Cycle;
 
 /// Identifier of a FLASH node (one MAGIC chip, one processor, one memory).

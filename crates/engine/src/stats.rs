@@ -257,6 +257,196 @@ impl Histogram {
     }
 }
 
+/// Sub-bucket resolution of a [`LogHist`]: each power-of-two octave is
+/// split into `2^LOG_HIST_SUB_BITS` linear sub-buckets, bounding the
+/// relative quantization error of any reported quantile to `1/8 = 12.5%`.
+pub const LOG_HIST_SUB_BITS: u32 = 3;
+/// Sub-buckets per octave (`8`).
+pub const LOG_HIST_SUB: u64 = 1 << LOG_HIST_SUB_BITS;
+/// Total bucket count of a [`LogHist`]: values below 8 get exact unit
+/// buckets, and every octave `[2^e, 2^(e+1))` for `e in 3..64` contributes
+/// 8 sub-buckets: `8 + 61 * 8 = 496` (the last index is `(63-2)*8 + 7`).
+pub const LOG_HIST_BUCKETS: usize = (62 * LOG_HIST_SUB) as usize;
+
+/// A fixed log-linear-bucket histogram with deterministic percentile
+/// estimation — the latency-distribution primitive behind the
+/// `flash-latency-v1` export (METRICS.md).
+///
+/// The bucket layout is fixed at compile time (HDR-histogram style):
+/// values `0..8` land in exact unit buckets; a value in octave
+/// `[2^e, 2^(e+1))` lands in one of 8 linear sub-buckets of width
+/// `2^(e-3)`. Every operation is integer-only, and
+/// [`LogHist::percentile`] reports the *floor* of the bucket holding the
+/// requested rank — a pure function of the bucket counts. Merging is
+/// therefore exact: bucket counts add, so percentiles computed from a
+/// merged histogram equal those of a histogram fed every sample directly.
+/// That is the shard-invariance contract: per-shard histograms merged in
+/// canonical order are indistinguishable from a single-shard run.
+///
+/// # Examples
+///
+/// ```
+/// use flash_engine::LogHist;
+///
+/// let mut a = LogHist::new();
+/// let mut b = LogHist::new();
+/// let mut whole = LogHist::new();
+/// for v in 0..1000u64 {
+///     if v % 2 == 0 { a.record(v) } else { b.record(v) }
+///     whole.record(v);
+/// }
+/// let mut merged = a.clone();
+/// merged.merge(&b);
+/// assert_eq!(merged, whole);                      // exact, not approximate
+/// assert_eq!(merged.percentile(500), whole.percentile(500));
+/// assert_eq!(merged.max(), 999);
+/// assert!(merged.percentile(990) >= merged.percentile(500));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHist {
+    buckets: [u64; LOG_HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHist {
+    fn default() -> Self {
+        LogHist {
+            buckets: [0; LOG_HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LogHist {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a sample (total order, contiguous from 0).
+    #[inline]
+    fn index(sample: u64) -> usize {
+        if sample < LOG_HIST_SUB {
+            sample as usize
+        } else {
+            let e = 63 - sample.leading_zeros() as u64;
+            let sub = (sample >> (e - LOG_HIST_SUB_BITS as u64)) & (LOG_HIST_SUB - 1);
+            ((e - 2) * LOG_HIST_SUB + sub) as usize
+        }
+    }
+
+    /// Smallest sample a bucket can hold (the value
+    /// [`LogHist::percentile`] reports).
+    #[inline]
+    pub fn bucket_floor(index: usize) -> u64 {
+        let i = index as u64;
+        if i < LOG_HIST_SUB {
+            i
+        } else {
+            let e = i / LOG_HIST_SUB + 2;
+            let sub = i % LOG_HIST_SUB;
+            (LOG_HIST_SUB + sub) << (e - LOG_HIST_SUB_BITS as u64)
+        }
+    }
+
+    /// Records one sample. The running sum saturates instead of
+    /// overflowing (saturating unsigned addition stays associative and
+    /// commutative, so [`LogHist::merge`]'s exactness contract survives
+    /// even at the numeric ceiling).
+    pub fn record(&mut self, sample: u64) {
+        self.buckets[Self::index(sample)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(sample);
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample — exact, not bucket-quantized (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Merges another histogram into this one. Bucket counts add, so the
+    /// result is exactly the histogram that would have seen every sample:
+    /// merge is associative and commutative, and percentiles of the merge
+    /// equal percentiles of the combined stream.
+    pub fn merge(&mut self, other: &LogHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// The `permille/1000` quantile as a bucket floor (integer-exact and
+    /// merge-invariant): the floor of the bucket holding the sample of
+    /// rank `ceil(count * permille / 1000)` (clamped to at least 1).
+    /// `percentile(500)` is the median estimate, `percentile(990)` p99,
+    /// `percentile(999)` p999. Returns 0 on an empty histogram.
+    pub fn percentile(&self, permille: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let need = ((self.count * permille).div_ceil(1000)).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= need {
+                return Self::bucket_floor(i);
+            }
+        }
+        Self::bucket_floor(LOG_HIST_BUCKETS - 1)
+    }
+
+    /// Iterates over the non-empty buckets as `(floor, count)` pairs in
+    /// ascending floor order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (Self::bucket_floor(i), c))
+    }
+}
+
 /// One attributable component of an end-to-end miss latency.
 ///
 /// Every completed request in an observed run (see the `flash` crate's
@@ -552,6 +742,75 @@ mod tests {
         let sat = other.minus(&s);
         assert_eq!(sat.count(), 0);
         assert_eq!(sat.total(), 0);
+    }
+
+    #[test]
+    fn log_hist_buckets_are_contiguous_and_monotone() {
+        // Every sample maps to exactly one bucket, indices are monotone in
+        // the sample, and the floor of a sample's bucket never exceeds the
+        // sample (the floor is what percentile() reports).
+        let mut last = 0usize;
+        for v in 0..4096u64 {
+            let i = LogHist::index(v);
+            assert!(i >= last, "index not monotone at {v}");
+            assert!(i < LOG_HIST_BUCKETS);
+            assert!(LogHist::bucket_floor(i) <= v, "floor above sample at {v}");
+            // The sample sits strictly below the next bucket's floor.
+            if i + 1 < LOG_HIST_BUCKETS {
+                assert!(
+                    v < LogHist::bucket_floor(i + 1),
+                    "sample past bucket at {v}"
+                );
+            }
+            last = i;
+        }
+        // Extremes hit the first and last buckets without panicking.
+        assert_eq!(LogHist::index(0), 0);
+        assert_eq!(LogHist::index(u64::MAX), LOG_HIST_BUCKETS - 1);
+        for i in 0..LOG_HIST_BUCKETS {
+            assert_eq!(LogHist::index(LogHist::bucket_floor(i)), i);
+        }
+    }
+
+    #[test]
+    fn log_hist_percentiles_are_deterministic_bucket_floors() {
+        let mut h = LogHist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 1);
+        // The rank-500 sample is 500; its bucket is [480, 512) → floor 480.
+        assert_eq!(h.percentile(500), 480);
+        // p99 → rank 990 → bucket [960, 1024) → floor 960.
+        assert_eq!(h.percentile(990), 960);
+        assert_eq!(h.percentile(999), 960);
+        assert_eq!(h.percentile(1000), 960);
+        assert_eq!(LogHist::new().percentile(500), 0);
+        // Quantization error is bounded: floor ≥ sample * 8/9 for v ≥ 8.
+        assert!(h.percentile(500) as f64 >= 500.0 * 8.0 / 9.0);
+    }
+
+    #[test]
+    fn log_hist_merge_is_exact() {
+        let mut parts: Vec<LogHist> = (0..4).map(|_| LogHist::new()).collect();
+        let mut whole = LogHist::new();
+        let mut r = crate::DetRng::for_stream(7, 7);
+        for i in 0..10_000u64 {
+            let v = r.next_u64() >> (r.below(40) + 10);
+            parts[(i % 4) as usize].record(v);
+            whole.record(v);
+        }
+        let mut merged = LogHist::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, whole);
+        let total: u64 = merged.buckets().map(|(_, c)| c).sum();
+        assert_eq!(total, merged.count());
+        let floors: Vec<u64> = merged.buckets().map(|(f, _)| f).collect();
+        assert!(floors.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

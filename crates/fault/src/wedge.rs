@@ -138,6 +138,13 @@ pub struct NodeWedge {
     pub proc_queued: usize,
     /// Messages from this node held by the network fault layer.
     pub net_held: usize,
+    /// Open-loop references that arrived but were never admitted to the
+    /// processor's mailbox (0 for closed-loop nodes). Distinguishes
+    /// *overload* — big backlog, nothing PENDING, the machine simply
+    /// cannot keep up — from a *protocol wedge* that starves admission.
+    /// Excluded from [`WedgeReport::fingerprint`]: shrinking legitimately
+    /// changes queue depths.
+    pub arrivals_backlog: usize,
 }
 
 /// A directory line stuck PENDING at wedge time.
@@ -219,7 +226,7 @@ impl WedgeReport {
     ///     nodes: vec![NodeWedge {
     ///         node: 0, state: "wait-reply",
     ///         mshrs: vec![MshrSnap { line: 0x1_0000_4000, kind: "Read", issued_at: 20_000 }],
-    ///         inbox_queued: 0, proc_queued: 0, net_held: 0,
+    ///         inbox_queued: 0, proc_queued: 0, net_held: 0, arrivals_backlog: 0,
     ///     }],
     ///     pending_lines: vec![PendingLine { line: 0x1_0000_4000, home: 1, header: 1 }],
     ///     stalled_links: vec![StalledLink { src: 1, dst: 2, holds: 97, permanent: true }],
@@ -319,6 +326,7 @@ impl WedgeReport {
                                 ("inbox_queued", Json::UInt(n.inbox_queued as u64)),
                                 ("proc_queued", Json::UInt(n.proc_queued as u64)),
                                 ("net_held", Json::UInt(n.net_held as u64)),
+                                ("arrivals_backlog", Json::UInt(n.arrivals_backlog as u64)),
                             ])
                         })
                         .collect(),
@@ -390,14 +398,19 @@ impl fmt::Display for WedgeReport {
                 && n.inbox_queued == 0
                 && n.proc_queued == 0
                 && n.net_held == 0
+                && n.arrivals_backlog == 0
             {
                 continue;
             }
-            writeln!(
+            write!(
                 f,
                 "  node{}: {} | inbox={} procq={} held={}",
                 n.node, n.state, n.inbox_queued, n.proc_queued, n.net_held
             )?;
+            if n.arrivals_backlog > 0 {
+                write!(f, " backlog={}", n.arrivals_backlog)?;
+            }
+            writeln!(f)?;
             for m in &n.mshrs {
                 writeln!(
                     f,
@@ -511,6 +524,7 @@ mod tests {
                     inbox_queued: 0,
                     proc_queued: 0,
                     net_held: 0,
+                    arrivals_backlog: 0,
                 },
                 NodeWedge {
                     node: 2,
@@ -519,6 +533,7 @@ mod tests {
                     inbox_queued: 0,
                     proc_queued: 0,
                     net_held: 0,
+                    arrivals_backlog: 0,
                 },
             ],
             pending_lines: vec![PendingLine {
@@ -569,6 +584,7 @@ mod tests {
                     inbox_queued: 1,
                     proc_queued: 0,
                     net_held: 3,
+                    arrivals_backlog: 0,
                 },
                 NodeWedge {
                     node: 0,
@@ -581,6 +597,7 @@ mod tests {
                     inbox_queued: 0,
                     proc_queued: 0,
                     net_held: 0,
+                    arrivals_backlog: 0,
                 },
             ],
             pending_lines: vec![PendingLine {

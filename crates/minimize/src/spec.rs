@@ -44,6 +44,27 @@ pub enum Source {
         /// Materialization bound (references per processor).
         bound: usize,
     },
+    /// An open-loop Poisson/uniform traffic run
+    /// (`flash_traffic::TrafficSpec::poisson`), each node's arrival
+    /// stream materialized to a closed-loop item list with `Busy` gaps
+    /// standing in for inter-arrival time
+    /// (`flash_traffic::materialize`) — the bridge that lets the
+    /// existing stream-shrinking machinery chew on `traffic_soak`
+    /// failures.
+    Traffic {
+        /// Mesh size (= per-node sources).
+        nodes: u16,
+        /// Distinct objects the traffic touches.
+        objects: u64,
+        /// References per node.
+        items_per_node: u64,
+        /// Mean cycles between arrivals at one node.
+        mean_gap: u64,
+        /// Traffic seed.
+        seed: u64,
+        /// Materialization bound (references per node).
+        bound: usize,
+    },
 }
 
 /// Which fault-plan preset seeds the initial atom list.
@@ -131,6 +152,30 @@ impl Spec {
         }
     }
 
+    /// An open-loop traffic spec with the suite defaults — the
+    /// constructor `tests/traffic_soak.rs` uses to print its repro
+    /// invocation. The materialization bound defaults to the full item
+    /// budget; `ddmin` shrinks from there.
+    pub fn traffic(
+        nodes: u16,
+        objects: u64,
+        items_per_node: u64,
+        mean_gap: u64,
+        seed: u64,
+    ) -> Spec {
+        Spec {
+            source: Source::Traffic {
+                nodes,
+                objects,
+                items_per_node,
+                mean_gap,
+                seed,
+                bound: items_per_node as usize,
+            },
+            ..Spec::stress(0, 0, 0, 0)
+        }
+    }
+
     /// Sets the fault preset.
     pub fn with_faults(mut self, faults: FaultsSpec) -> Spec {
         self.faults = faults;
@@ -181,6 +226,28 @@ impl Spec {
                 let w = flash_workloads::by_name(name, *procs, *scale);
                 let e = ExplicitWorkload::materialize(w.as_ref(), *bound);
                 (e.procs, e.streams)
+            }
+            Source::Traffic {
+                nodes,
+                objects,
+                items_per_node,
+                mean_gap,
+                seed,
+                bound,
+            } => {
+                let spec = flash_traffic::TrafficSpec::poisson(
+                    *nodes,
+                    *objects,
+                    *items_per_node,
+                    *mean_gap,
+                    *seed,
+                );
+                let streams = spec
+                    .sources()
+                    .into_iter()
+                    .map(|mut s| flash_traffic::materialize(s.as_mut(), *bound))
+                    .collect();
+                (*nodes, streams)
             }
         };
         let mut plan = self.faults.plan();
@@ -256,6 +323,31 @@ impl Spec {
                         procs: procs.parse().map_err(|_| "bad --workload procs")?,
                         scale: scale.parse().map_err(|_| "bad --workload scale")?,
                         bound: bound.parse().map_err(|_| "bad --workload bound")?,
+                    });
+                }
+                "--traffic" => {
+                    let v = value(&mut i, "--traffic")?;
+                    let p: Vec<&str> = v.split(',').collect();
+                    let (n, o, it, g, s, b) = match p[..] {
+                        [n, o, it, g, s] => (n, o, it, g, s, None),
+                        [n, o, it, g, s, b] => (n, o, it, g, s, Some(b)),
+                        _ => {
+                            return Err(
+                                "--traffic needs NODES,OBJECTS,ITEMS,GAP,SEED[,BOUND]".into()
+                            )
+                        }
+                    };
+                    let items: u64 = it.parse().map_err(|_| "bad --traffic items")?;
+                    source = Some(Source::Traffic {
+                        nodes: n.parse().map_err(|_| "bad --traffic nodes")?,
+                        objects: o.parse().map_err(|_| "bad --traffic objects")?,
+                        items_per_node: items,
+                        mean_gap: g.parse().map_err(|_| "bad --traffic gap")?,
+                        seed: s.parse().map_err(|_| "bad --traffic seed")?,
+                        bound: match b {
+                            None => items as usize,
+                            Some(b) => b.parse().map_err(|_| "bad --traffic bound")?,
+                        },
                     });
                 }
                 "--controller" => {
@@ -351,6 +443,17 @@ impl fmt::Display for Spec {
                 scale,
                 bound,
             } => write!(f, "--workload {name},{procs},{scale},{bound}")?,
+            Source::Traffic {
+                nodes,
+                objects,
+                items_per_node,
+                mean_gap,
+                seed,
+                bound,
+            } => write!(
+                f,
+                "--traffic {nodes},{objects},{items_per_node},{mean_gap},{seed},{bound}"
+            )?,
         }
         match self.controller {
             ControllerKind::FlashEmulated => {}
@@ -399,6 +502,7 @@ mod tests {
             "--stress 8,4,96,7 --predicate wedge",
             "--stress 16,8,192,3 --faults stress,3 --check --predicate violation",
             "--workload FFT,4,64,500 --cache 65536 --predicate oracle",
+            "--traffic 4,64,200,30,11,200 --faults light,3 --check --predicate violation",
             "--stress 8,4,96,7 --faults zeroed,0 --link-down 1,2,120000 --watchdog 150000 --budget 400000 --predicate wedge",
             "--stress 4,2,16,1 --controller cost-table --link-down 0,1,100,900 --predicate shards:1,4",
         ] {
@@ -414,6 +518,7 @@ mod tests {
             "--predicate wedge",                      // no source
             "--stress 8,4,96,7",                      // no predicate
             "--stress 8,4,96 --predicate wedge",      // short tuple
+            "--traffic 4,64,200 --predicate wedge",   // short traffic tuple
             "--stress 8,4,96,7 --predicate nonsense", // bad predicate
             "--stress 8,4,96,7 --faults heavy,1 --predicate wedge",
             "--stress 8,4,96,7 --frobnicate --predicate wedge",
@@ -437,6 +542,31 @@ mod tests {
         assert!(r.provenance.starts_with("spec: --stress 4,2,24,9"));
         // The generator is seeded: same spec, same streams.
         assert_eq!(spec.build_repro().to_json_string(), r.to_json_string());
+    }
+
+    #[test]
+    fn traffic_spec_materializes_paced_streams() {
+        let spec = parse("--traffic 4,64,50,30,11,50 --check --predicate violation").unwrap();
+        let r = spec.build_repro();
+        assert_eq!(r.nodes, 4);
+        assert_eq!(r.streams.len(), 4);
+        for s in &r.streams {
+            use flash_cpu::WorkItem;
+            let refs = s
+                .iter()
+                .filter(|i| matches!(i, WorkItem::Read(_) | WorkItem::Write(_)))
+                .count();
+            assert_eq!(refs, 50, "bound covers the whole item budget");
+            assert!(
+                s.iter().any(|i| matches!(i, WorkItem::Busy(_))),
+                "inter-arrival gaps materialize as busy work"
+            );
+        }
+        // Parse → build is seeded: byte-identical repro both times.
+        assert_eq!(spec.build_repro().to_json_string(), r.to_json_string());
+        // Shortened form defaults the bound to the item budget.
+        let short = parse("--traffic 4,64,50,30,11 --check --predicate violation").unwrap();
+        assert_eq!(short, spec);
     }
 
     #[test]

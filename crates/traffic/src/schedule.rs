@@ -1,0 +1,231 @@
+//! Seeded arrival schedules: when the next reference lands.
+
+use flash_engine::DetRng;
+
+/// The shape of an arrival process. All variants are parameterized by the
+/// spec-level mean inter-arrival gap, so swapping patterns changes
+/// *burstiness* at a fixed offered load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// Memoryless (exponential) inter-arrival gaps — the M in M/G/1.
+    Poisson,
+    /// On/off trains: `burst` arrivals spaced `burst_gap` cycles apart,
+    /// separated by exponential idle gaps sized so the long-run rate
+    /// still matches the spec's mean gap.
+    Bursty {
+        /// Arrivals per train (≥ 1).
+        burst: u64,
+        /// Cycles between arrivals inside a train.
+        burst_gap: u64,
+    },
+    /// Piecewise-constant rate: cycles through `(duration_cycles,
+    /// rate_permille)` phases, where 1000 permille is the spec's base
+    /// rate, 2000 is double rate (half the mean gap), 500 is half rate.
+    /// A diurnal load curve in miniature.
+    Phased {
+        /// The repeating phase list; must be non-empty with nonzero
+        /// durations and rates.
+        phases: Vec<(u64, u32)>,
+    },
+}
+
+/// Draws an exponential gap with the given mean, at least 1 cycle.
+fn exp_gap(rng: &mut DetRng, mean: f64) -> u64 {
+    let u = rng.unit().max(1e-12);
+    let g = (-u.ln() * mean).round();
+    (g as u64).max(1)
+}
+
+/// A running arrival schedule: owns the pattern state and the current
+/// clock, and hands out successive arrival cycles.
+///
+/// # Examples
+///
+/// ```
+/// use flash_engine::DetRng;
+/// use flash_traffic::{ArrivalClock, Pattern};
+///
+/// let mut c = ArrivalClock::new(Pattern::Poisson, 50, DetRng::for_stream(1, 0));
+/// let (a, b) = (c.tick(), c.tick());
+/// assert!(b >= a, "arrival cycles never go backwards");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalClock {
+    pattern: Pattern,
+    mean_gap: f64,
+    now: u64,
+    rng: DetRng,
+    /// Arrivals left in the current train (`Bursty`).
+    burst_left: u64,
+    /// Index and remaining cycles of the current phase (`Phased`).
+    phase: usize,
+    phase_left: u64,
+}
+
+impl ArrivalClock {
+    /// Creates a clock producing arrivals with the given long-run mean
+    /// inter-arrival gap (cycles per arrival).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate patterns: `mean_gap == 0`, a zero-length
+    /// burst, or an empty/zero phase table.
+    pub fn new(pattern: Pattern, mean_gap: u64, rng: DetRng) -> Self {
+        assert!(mean_gap > 0, "mean gap must be at least one cycle");
+        match &pattern {
+            Pattern::Bursty { burst, .. } => assert!(*burst >= 1, "empty burst"),
+            Pattern::Phased { phases } => {
+                assert!(!phases.is_empty(), "empty phase table");
+                assert!(
+                    phases.iter().all(|&(d, r)| d > 0 && r > 0),
+                    "phases need nonzero duration and rate"
+                );
+            }
+            Pattern::Poisson => {}
+        }
+        let phase_left = match &pattern {
+            Pattern::Phased { phases } => phases[0].0,
+            _ => 0,
+        };
+        ArrivalClock {
+            pattern,
+            mean_gap: mean_gap as f64,
+            now: 0,
+            rng,
+            burst_left: 0,
+            phase: 0,
+            phase_left,
+        }
+    }
+
+    /// The cycle of the next arrival. Nondecreasing across calls.
+    pub fn tick(&mut self) -> flash_engine::Cycle {
+        let gap = match &self.pattern {
+            Pattern::Poisson => exp_gap(&mut self.rng, self.mean_gap),
+            Pattern::Bursty { burst, burst_gap } => {
+                if self.burst_left > 0 {
+                    self.burst_left -= 1;
+                    *burst_gap
+                } else {
+                    // Start a new train. The idle gap absorbs the rest of
+                    // the per-train time budget (`burst * mean_gap`) not
+                    // spent inside the train, keeping the long-run rate
+                    // at the spec's mean.
+                    self.burst_left = burst - 1;
+                    let in_train = burst_gap * (burst - 1);
+                    let idle = (self.mean_gap * *burst as f64 - in_train as f64).max(1.0);
+                    exp_gap(&mut self.rng, idle)
+                }
+            }
+            Pattern::Phased { phases } => {
+                let (_, rate_permille) = phases[self.phase];
+                let mean = self.mean_gap * 1000.0 / rate_permille as f64;
+                let gap = exp_gap(&mut self.rng, mean);
+                // Advance the phase position by the gap we just spent.
+                let mut left = gap;
+                while left >= self.phase_left {
+                    left -= self.phase_left;
+                    self.phase = (self.phase + 1) % phases.len();
+                    self.phase_left = phases[self.phase].0;
+                }
+                self.phase_left -= left;
+                gap
+            }
+        };
+        self.now += gap;
+        flash_engine::Cycle::new(self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::for_stream(7, 0)
+    }
+
+    #[test]
+    fn poisson_mean_roughly_matches() {
+        let mut c = ArrivalClock::new(Pattern::Poisson, 40, rng());
+        let n = 20_000;
+        let mut last = 0;
+        for _ in 0..n {
+            last = c.tick().raw();
+        }
+        let mean = last as f64 / n as f64;
+        assert!((mean - 40.0).abs() < 2.0, "mean gap was {mean}");
+    }
+
+    #[test]
+    fn bursty_long_run_rate_matches_mean() {
+        let mut c = ArrivalClock::new(
+            Pattern::Bursty {
+                burst: 8,
+                burst_gap: 2,
+            },
+            40,
+            rng(),
+        );
+        let n = 20_000;
+        let mut last = 0;
+        for _ in 0..n {
+            last = c.tick().raw();
+        }
+        let mean = last as f64 / n as f64;
+        assert!((mean - 40.0).abs() < 3.0, "mean gap was {mean}");
+    }
+
+    #[test]
+    fn bursty_trains_are_tight() {
+        let mut c = ArrivalClock::new(
+            Pattern::Bursty {
+                burst: 4,
+                burst_gap: 3,
+            },
+            100,
+            rng(),
+        );
+        // First arrival opens a train; the next three follow at exactly
+        // the train spacing.
+        let a0 = c.tick().raw();
+        assert_eq!(c.tick().raw(), a0 + 3);
+        assert_eq!(c.tick().raw(), a0 + 6);
+        assert_eq!(c.tick().raw(), a0 + 9);
+        // Then a fresh (exponential) idle gap.
+        assert!(c.tick().raw() > a0 + 9);
+    }
+
+    #[test]
+    fn phased_shifts_rate_between_phases() {
+        // Phase A at 4x the base rate, phase B at 1/4: phase A must pack
+        // many more arrivals into the same duration.
+        let mk = |phases| ArrivalClock::new(Pattern::Phased { phases }, 40, rng());
+        let count_until = |c: &mut ArrivalClock, limit: u64| {
+            let mut n = 0u64;
+            while c.tick().raw() < limit {
+                n += 1;
+            }
+            n
+        };
+        let fast = count_until(&mut mk(vec![(1_000_000, 4000)]), 100_000);
+        let slow = count_until(&mut mk(vec![(1_000_000, 250)]), 100_000);
+        assert!(
+            fast > slow * 8,
+            "4x vs 1/4x rate should differ ~16x ({fast} vs {slow})"
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let seq = |pattern: Pattern| -> Vec<u64> {
+            let mut c = ArrivalClock::new(pattern, 30, DetRng::for_stream(9, 3));
+            (0..64).map(|_| c.tick().raw()).collect()
+        };
+        let p = Pattern::Bursty {
+            burst: 5,
+            burst_gap: 1,
+        };
+        assert_eq!(seq(p.clone()), seq(p));
+    }
+}

@@ -1,0 +1,303 @@
+//! Declarative traffic specs and the sources they build.
+
+use crate::popularity::{ObjectSampler, Popularity};
+use crate::schedule::{ArrivalClock, Pattern};
+use crate::ArrivalSource;
+use flash_cpu::WorkItem;
+use flash_engine::{Addr, Cycle, DetRng, LINE_BYTES};
+
+/// A complete open-loop traffic description: everything needed to build
+/// one deterministic [`ArrivalSource`] per node.
+///
+/// Object `o` lives at line `o / nodes` of node `o % nodes`'s memory
+/// (addresses use the `Placement::Explicit` encoding, home in bits
+/// 32..48), so a uniform object draw spreads homes round-robin and a
+/// Zipf/hotspot head concentrates traffic on the low-numbered nodes —
+/// the §4.3 hot-spot story, arrived at from the load side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSpec {
+    /// Nodes (= processors = per-node sources).
+    pub nodes: u16,
+    /// Distinct objects (cache lines) the traffic touches.
+    pub objects: u64,
+    /// References per node over the whole run (split across tenants).
+    pub items_per_node: u64,
+    /// Long-run mean cycles between arrivals at one node.
+    pub mean_gap: u64,
+    /// Store fraction in permille (the rest are loads).
+    pub write_permille: u32,
+    /// Arrival schedule shape.
+    pub pattern: Pattern,
+    /// Object popularity law.
+    pub popularity: Popularity,
+    /// Independent interleaved streams per node (≥ 1). Each tenant has
+    /// its own clock and its own popularity stream; the node sees the
+    /// time-ordered merge.
+    pub tenants: u16,
+    /// Run seed. Same spec + same seed = bit-identical arrivals.
+    pub seed: u64,
+}
+
+impl TrafficSpec {
+    /// A plain Poisson/uniform spec — the baseline M-style load.
+    pub fn poisson(
+        nodes: u16,
+        objects: u64,
+        items_per_node: u64,
+        mean_gap: u64,
+        seed: u64,
+    ) -> Self {
+        TrafficSpec {
+            nodes,
+            objects,
+            items_per_node,
+            mean_gap,
+            write_permille: 250,
+            pattern: Pattern::Poisson,
+            popularity: Popularity::Uniform,
+            tenants: 1,
+            seed,
+        }
+    }
+
+    /// The address object `o` maps to (see the type docs for the layout).
+    pub fn object_addr(&self, o: u64) -> Addr {
+        let home = o % self.nodes as u64;
+        let line = o / self.nodes as u64;
+        Addr::new((home << 32) | (line * LINE_BYTES))
+    }
+
+    /// Builds the arrival source for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (zero nodes, objects or tenants).
+    pub fn source_for(&self, node: u16) -> Box<dyn ArrivalSource> {
+        assert!(self.nodes > 0 && self.tenants > 0, "degenerate spec");
+        assert!(node < self.nodes, "node out of range");
+        if self.tenants == 1 {
+            Box::new(self.tenant_source(node, 0, self.items_per_node))
+        } else {
+            let t = self.tenants as u64;
+            let each = self.items_per_node / t;
+            let spare = self.items_per_node % t;
+            let tenants = (0..self.tenants)
+                .map(|tenant| {
+                    let items = each + if (tenant as u64) < spare { 1 } else { 0 };
+                    Box::new(self.tenant_source(node, tenant, items)) as Box<dyn ArrivalSource>
+                })
+                .collect();
+            Box::new(TenantMix::new(tenants))
+        }
+    }
+
+    /// All per-node sources, index = node.
+    pub fn sources(&self) -> Vec<Box<dyn ArrivalSource>> {
+        (0..self.nodes).map(|n| self.source_for(n)).collect()
+    }
+
+    fn tenant_source(&self, node: u16, tenant: u16, items: u64) -> OpenLoopSource {
+        // Distinct, order-independent rng streams per (node, tenant, role).
+        let id = |role: u64| (role << 48) | ((node as u64) << 16) | tenant as u64;
+        OpenLoopSource {
+            clock: ArrivalClock::new(
+                self.pattern.clone(),
+                self.mean_gap,
+                DetRng::for_stream(self.seed, id(1)),
+            ),
+            sampler: ObjectSampler::new(self.popularity.clone(), self.objects),
+            rng: DetRng::for_stream(self.seed, id(2)),
+            spec: self.clone(),
+            left: items,
+        }
+    }
+}
+
+/// One tenant's arrival stream: a clock, a popularity sampler, and a
+/// finite reference budget.
+#[derive(Debug, Clone)]
+pub struct OpenLoopSource {
+    clock: ArrivalClock,
+    sampler: ObjectSampler,
+    rng: DetRng,
+    spec: TrafficSpec,
+    left: u64,
+}
+
+impl ArrivalSource for OpenLoopSource {
+    fn next_arrival(&mut self) -> Option<(Cycle, WorkItem)> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        let at = self.clock.tick();
+        let addr = self.spec.object_addr(self.sampler.draw(&mut self.rng));
+        let item = if self.rng.below(1000) < self.spec.write_permille as u64 {
+            WorkItem::Write(addr)
+        } else {
+            WorkItem::Read(addr)
+        };
+        Some((at, item))
+    }
+}
+
+/// Time-ordered merge of independent tenant sources: the node observes
+/// one interleaved arrival stream. Ties break toward the lowest tenant
+/// index, deterministically.
+pub struct TenantMix {
+    /// `(peeked next arrival, source)` per tenant.
+    tenants: Vec<PeekedTenant>,
+}
+
+/// One tenant in a [`TenantMix`]: its peeked next arrival and the
+/// source it came from.
+type PeekedTenant = (Option<(Cycle, WorkItem)>, Box<dyn ArrivalSource>);
+
+impl TenantMix {
+    /// Merges the given tenant sources.
+    pub fn new(sources: Vec<Box<dyn ArrivalSource>>) -> Self {
+        TenantMix {
+            tenants: sources
+                .into_iter()
+                .map(|mut s| (s.next_arrival(), s))
+                .collect(),
+        }
+    }
+}
+
+impl ArrivalSource for TenantMix {
+    fn next_arrival(&mut self) -> Option<(Cycle, WorkItem)> {
+        let best = self
+            .tenants
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (peek, _))| peek.map(|(at, _)| (at, i)))
+            .min()?
+            .1;
+        let slot = &mut self.tenants[best];
+        let out = slot.0.take();
+        slot.0 = slot.1.next_arrival();
+        out
+    }
+}
+
+/// Flattens the first `limit` arrivals of `src` into a closed-loop item
+/// vector, turning inter-arrival gaps into `Busy` slots (4 issue slots
+/// per cycle).
+///
+/// This is how `flash-minimize` replays a shrunken open-loop failure
+/// with the ordinary stream machinery: the materialized stream paces the
+/// processor *approximately* like the arrival schedule did (a busy gap
+/// stalls the pipeline where the mailbox kept it parked), which is
+/// exactly the fidelity a shrink candidate needs — the predicate decides
+/// whether the failure survived.
+pub fn materialize(src: &mut dyn ArrivalSource, limit: usize) -> Vec<WorkItem> {
+    let mut items = Vec::new();
+    let mut last = 0u64;
+    for _ in 0..limit {
+        let Some((at, item)) = src.next_arrival() else {
+            break;
+        };
+        let gap = at.raw().saturating_sub(last);
+        if gap > 0 {
+            items.push(WorkItem::Busy(gap * 4));
+        }
+        items.push(item);
+        last = at.raw();
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TrafficSpec {
+        TrafficSpec::poisson(4, 64, 200, 30, 11)
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_budgeted() {
+        let mut src = spec().source_for(2);
+        let mut last = 0;
+        let mut n = 0;
+        while let Some((at, item)) = src.next_arrival() {
+            assert!(at.raw() >= last);
+            assert!(matches!(item, WorkItem::Read(_) | WorkItem::Write(_)));
+            last = at.raw();
+            n += 1;
+        }
+        assert_eq!(n, 200);
+    }
+
+    #[test]
+    fn nodes_get_independent_streams() {
+        let take = |node: u16| -> Vec<(u64, WorkItem)> {
+            let mut src = spec().source_for(node);
+            (0..16)
+                .map(|_| {
+                    let (at, it) = src.next_arrival().unwrap();
+                    (at.raw(), it)
+                })
+                .collect()
+        };
+        assert_ne!(take(0), take(1), "per-node streams must differ");
+        assert_eq!(take(0), take(0), "and replay identically");
+    }
+
+    #[test]
+    fn object_addresses_stripe_homes() {
+        let s = spec();
+        assert_eq!(s.object_addr(0).raw() >> 32, 0);
+        assert_eq!(s.object_addr(1).raw() >> 32, 1);
+        assert_eq!(s.object_addr(5).raw() >> 32, 1);
+        assert_eq!(s.object_addr(4).raw() & 0xFFFF_FFFF, LINE_BYTES);
+    }
+
+    #[test]
+    fn tenant_mix_is_time_ordered_and_complete() {
+        let mut s = spec();
+        s.tenants = 3;
+        s.items_per_node = 100;
+        let mut src = s.source_for(0);
+        let mut last = 0;
+        let mut n = 0;
+        while let Some((at, _)) = src.next_arrival() {
+            assert!(at.raw() >= last, "merge must be time-ordered");
+            last = at.raw();
+            n += 1;
+        }
+        assert_eq!(n, 100, "tenant split must conserve the item budget");
+    }
+
+    #[test]
+    fn materialize_preserves_pacing() {
+        let mut src = spec().source_for(1);
+        let (first_at, first_item) = {
+            let mut probe = spec().source_for(1);
+            probe.next_arrival().unwrap()
+        };
+        let items = materialize(src.as_mut(), 10);
+        // Leading busy gap covers the first inter-arrival time.
+        assert_eq!(items[0], WorkItem::Busy(first_at.raw() * 4));
+        assert_eq!(items[1], first_item);
+        assert_eq!(
+            items
+                .iter()
+                .filter(|i| matches!(i, WorkItem::Read(_) | WorkItem::Write(_)))
+                .count(),
+            10
+        );
+    }
+
+    #[test]
+    fn writes_respect_the_permille_knob() {
+        let mut s = spec();
+        s.write_permille = 0;
+        s.items_per_node = 500;
+        let mut src = s.source_for(0);
+        while let Some((_, item)) = src.next_arrival() {
+            assert!(matches!(item, WorkItem::Read(_)), "0 permille = no writes");
+        }
+    }
+}

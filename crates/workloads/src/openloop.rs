@@ -1,0 +1,124 @@
+//! The open-loop workload: a [`TrafficSpec`] dressed as a [`Workload`].
+//!
+//! Every other workload in this crate is closed-loop — the processor
+//! pulls the next reference the instant the previous one retires, so
+//! offered load always equals capacity. `OpenLoopWorkload` inverts that:
+//! references *arrive* on a seeded schedule whether or not the machine
+//! has kept up, which is what makes offered load an independent variable
+//! and lets `flash-bench`'s `traffic_suite` sweep it past the knee.
+
+use crate::apps::Workload;
+use flash::config::Placement;
+use flash_cpu::{RefStream, SliceStream};
+use flash_traffic::{ArrivalSource, TrafficSpec};
+
+/// An open-loop traffic workload, built from a declarative
+/// [`TrafficSpec`] (pattern × popularity × tenants × load).
+///
+/// Run it like any other workload:
+///
+/// ```
+/// use flash::MachineConfig;
+/// use flash_traffic::TrafficSpec;
+/// use flash_workloads::{build_machine, OpenLoopWorkload};
+///
+/// let w = OpenLoopWorkload::new(TrafficSpec::poisson(4, 64, 200, 50, 9));
+/// let mut m = build_machine(&MachineConfig::flash(4), &w);
+/// assert!(matches!(m.run(10_000_000), flash::RunResult::Completed { .. }));
+/// let stats = m.traffic_stats().expect("open-loop machine has feeds");
+/// assert_eq!(stats.iter().map(|(_, s)| s.admitted).sum::<u64>(), 4 * 200);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopWorkload {
+    /// The traffic description the per-node arrival sources are built
+    /// from. Public so sweeps can dial one knob (e.g. `mean_gap`)
+    /// between runs.
+    pub spec: TrafficSpec,
+}
+
+impl OpenLoopWorkload {
+    /// Wraps a traffic spec as a workload.
+    pub fn new(spec: TrafficSpec) -> Self {
+        OpenLoopWorkload { spec }
+    }
+}
+
+impl Workload for OpenLoopWorkload {
+    fn name(&self) -> &'static str {
+        "OpenLoop"
+    }
+
+    fn procs(&self) -> u16 {
+        self.spec.nodes
+    }
+
+    fn placement(&self) -> Placement {
+        // TrafficSpec::object_addr encodes the home node in bits 32..48,
+        // the `Placement::Explicit` layout.
+        Placement::Explicit
+    }
+
+    /// Unused on the open-loop path ([`crate::build_machine`] feeds the
+    /// machine from [`Workload::open_loop_sources`] instead); returns
+    /// empty streams so the trait contract still holds if called.
+    fn streams(&self) -> Vec<Box<dyn RefStream>> {
+        (0..self.spec.nodes)
+            .map(|_| Box::new(SliceStream::new(Vec::new())) as Box<dyn RefStream>)
+            .collect()
+    }
+
+    fn open_loop_sources(&self) -> Option<Vec<Box<dyn ArrivalSource>>> {
+        Some(self.spec.sources())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_machine;
+    use flash::{MachineConfig, RunResult};
+
+    fn spec() -> TrafficSpec {
+        TrafficSpec::poisson(4, 128, 150, 40, 21)
+    }
+
+    #[test]
+    fn build_machine_takes_the_open_loop_path() {
+        let w = OpenLoopWorkload::new(spec());
+        let mut m = build_machine(&MachineConfig::flash(4), &w);
+        assert!(m.open_loop(), "machine must be fed by arrival sources");
+        let RunResult::Completed { exec_cycles } = m.run(50_000_000) else {
+            panic!("open-loop run stuck");
+        };
+        assert!(exec_cycles > 0);
+        let stats = m.traffic_stats().expect("traffic stats present");
+        assert_eq!(stats.len(), 4);
+        let arrivals: u64 = stats.iter().map(|(_, s)| s.arrivals).sum();
+        let admitted: u64 = stats.iter().map(|(_, s)| s.admitted).sum();
+        assert_eq!(arrivals, 4 * 150);
+        assert_eq!(admitted, arrivals, "a completed run admits everything");
+    }
+
+    #[test]
+    fn closed_loop_workloads_report_no_sources() {
+        let w = crate::by_name("FFT", 4, 32);
+        assert!(w.open_loop_sources().is_none());
+        let mut m = build_machine(&MachineConfig::flash(4), w.as_ref());
+        assert!(!m.open_loop());
+        assert!(m.traffic_stats().is_none());
+        assert!(matches!(m.run(100_000_000), RunResult::Completed { .. }));
+    }
+
+    #[test]
+    fn open_loop_runs_are_deterministic() {
+        let run = || {
+            let w = OpenLoopWorkload::new(spec());
+            let mut m = build_machine(&MachineConfig::flash(4), &w);
+            let RunResult::Completed { exec_cycles } = m.run(50_000_000) else {
+                panic!("stuck");
+            };
+            (exec_cycles, m.traffic_stats())
+        };
+        assert_eq!(run(), run());
+    }
+}
